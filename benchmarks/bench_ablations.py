@@ -1,0 +1,317 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these sweep the knobs Untangle exposes and verify
+the direction of each trade-off the paper argues qualitatively:
+
+* cooldown T_c: longer cooldown -> lower leakage rate (Mechanism 1);
+* random delay: removing it raises the channel rate (Mechanism 2);
+* attacker timing resolution: finer resolution -> higher rate;
+* monitor window M_w: affects performance, never leakage accounting;
+* schedule: Time's conservative charge vs Untangle's measured charge.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.covert import CovertChannelModel, no_delay, uniform_delay
+from repro.core.dinkelbach import solve_rmax
+from repro.harness.experiment import run_custom_mix
+from repro.harness.runconfig import SCALED
+
+ABLATION_PAIRS = [
+    ("parest_0", "AES-128"), ("gcc_1", "AES-256"),
+    ("imagick_0", "Chacha20"), ("xz_0", "EdDSA"),
+    ("mcf_0", "RSA-2048"), ("deepsjeng_0", "RSA-4096"),
+    ("namd_0", "ECDSA"), ("povray_0", "SHA-256"),
+]
+
+
+def test_cooldown_sweep(benchmark, results_dir):
+    """Mechanism 1: R'_max falls as T_c grows."""
+
+    def run():
+        rows = []
+        for cooldown in (512, 1_024, 2_048, 4_096, 8_192):
+            resolution = cooldown // 16
+            model = CovertChannelModel(
+                cooldown=cooldown,
+                resolution=resolution,
+                max_duration=4 * cooldown,
+                delay=uniform_delay(cooldown, resolution),
+            )
+            result = solve_rmax(model, inner_iterations=300)
+            rows.append((cooldown, result.rate_upper_bound))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: cooldown sweep (Mechanism 1)"]
+    for cooldown, rate in rows:
+        lines.append(
+            f"  T_c={cooldown:6d} cycles  R'_max={rate * 1e3:8.4f} mbits/cycle"
+            f"  ({rate * cooldown:.3f} bits/T_c)"
+        )
+    write_result(results_dir, "ablation_cooldown", "\n".join(lines))
+    rates = [rate for _, rate in rows]
+    assert all(b < a for a, b in zip(rates, rates[1:]))
+
+
+def test_delay_distribution_ablation(benchmark, results_dir):
+    """Mechanism 2: the random delay shrinks the channel rate."""
+
+    def run():
+        cooldown, resolution = 2_048, 128
+        results = {}
+        delays = {
+            "none": no_delay(),
+            "uniform[0,Tc/2)": uniform_delay(cooldown // 2, resolution),
+            "uniform[0,Tc)": uniform_delay(cooldown, resolution),
+        }
+        for name, delay in delays.items():
+            model = CovertChannelModel(
+                cooldown=cooldown,
+                resolution=resolution,
+                max_duration=4 * cooldown,
+                delay=delay,
+            )
+            results[name] = solve_rmax(model, inner_iterations=300)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: random-delay distribution (Mechanism 2)"]
+    for name, result in results.items():
+        lines.append(
+            f"  delay={name:18s} R'_max={result.rate_upper_bound * 2048:.3f} bits/T_c"
+        )
+    write_result(results_dir, "ablation_delay", "\n".join(lines))
+    assert (
+        results["uniform[0,Tc)"].rate_upper_bound
+        < results["uniform[0,Tc/2)"].rate_upper_bound
+        < results["none"].rate_upper_bound
+    )
+
+
+def test_attacker_resolution_ablation(benchmark, results_dir):
+    """A finer-grained attacker extracts more bits per transmission."""
+
+    def run():
+        cooldown = 2_048
+        rows = []
+        for divisor in (4, 8, 16, 32):
+            resolution = cooldown // divisor
+            model = CovertChannelModel(
+                cooldown=cooldown,
+                resolution=resolution,
+                max_duration=4 * cooldown,
+                delay=uniform_delay(cooldown, resolution),
+            )
+            rows.append((divisor, solve_rmax(model, inner_iterations=300)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: attacker timing resolution (T_c / divisor)"]
+    for divisor, result in rows:
+        lines.append(
+            f"  divisor={divisor:3d}  R'_max={result.rate_upper_bound * 2048:.3f} bits/T_c"
+        )
+    write_result(results_dir, "ablation_resolution", "\n".join(lines))
+    rates = [r.rate_upper_bound for _, r in rows]
+    assert rates[-1] > rates[0]  # finer resolution, higher rate
+
+
+def test_monitor_window_ablation(benchmark, results_dir):
+    """M_w affects allocation quality; leakage accounting is untouched."""
+    import dataclasses
+
+    def run():
+        rows = []
+        for window in (1_000, 4_000, 16_000):
+            profile = dataclasses.replace(SCALED, monitor_window=window)
+            result = run_custom_mix(
+                ABLATION_PAIRS, profile, schemes=("static", "untangle")
+            )
+            untangle = result.runs["untangle"]
+            rows.append(
+                (
+                    window,
+                    result.geomean_speedup("untangle"),
+                    untangle.mean_bits_per_assessment,
+                    untangle.maintain_fraction,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: monitor window M_w (8-workload custom mix)"]
+    for window, speedup, bits, maintain in rows:
+        lines.append(
+            f"  M_w={window:6d}  speedup={speedup:.3f}  "
+            f"bits/assessment={bits:.3f}  maintain={maintain:.2f}"
+        )
+    write_result(results_dir, "ablation_window", "\n".join(lines))
+    for _, speedup, bits, _ in rows:
+        assert speedup > 0.9
+        assert bits < 3.17  # always below the conservative charge
+
+
+def test_debounce_ablation(benchmark, results_dir):
+    """The two-assessment debounce trades reaction time for fewer resizes."""
+    import dataclasses
+
+    def run():
+        # Hysteresis 0 vs the default: with zero hysteresis the allocator
+        # chases noise harder; visible-action counts should not collapse.
+        rows = []
+        for hysteresis in (0.0, SCALED.hysteresis, 0.2):
+            profile = dataclasses.replace(SCALED, hysteresis=hysteresis)
+            result = run_custom_mix(
+                ABLATION_PAIRS, profile, schemes=("static", "untangle")
+            )
+            untangle = result.runs["untangle"]
+            rows.append(
+                (
+                    hysteresis,
+                    result.geomean_speedup("untangle"),
+                    untangle.maintain_fraction,
+                    untangle.mean_bits_per_assessment,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: allocator hysteresis"]
+    for hysteresis, speedup, maintain, bits in rows:
+        lines.append(
+            f"  hysteresis={hysteresis:5.2f}  speedup={speedup:.3f}  "
+            f"maintain={maintain:.2f}  bits/assessment={bits:.3f}"
+        )
+    write_result(results_dir, "ablation_hysteresis", "\n".join(lines))
+    maintains = [m for _, _, m, _ in rows]
+    # More hysteresis -> never fewer Maintains.
+    assert maintains[-1] >= maintains[0] - 0.05
+
+
+def test_partition_organization_ablation(benchmark, results_dir):
+    """Set partitioning (the paper's choice) vs classic way partitioning.
+
+    Same machine capacity, same Untangle scheme, two LLC organizations.
+    Way granularity is one way (1 MB-equivalent) versus set
+    partitioning's finer 128 kB-equivalent steps — coarser adaptation,
+    and different conflict behaviour at equal capacity.
+    """
+    import numpy as np
+
+    from repro.config import ArchConfig
+    from repro.core.covert import uniform_delay
+    from repro.schemes.schedule import ProgressSchedule
+    from repro.schemes.static import StaticScheme
+    from repro.schemes.untangle import UntangleScheme
+    from repro.sim.system import DomainSpec, MultiDomainSystem
+    from repro.workloads.workload import build_workload
+
+    arch = ArchConfig(
+        num_cores=4,
+        llc_lines=2048,
+        llc_associativity=16,
+        supported_partition_lines=(128, 256, 384, 512, 768, 1024),
+        default_partition_lines=256,
+    )
+    pairs = [
+        ("parest_0", "AES-128"), ("gcc_1", "AES-256"),
+        ("imagick_0", "Chacha20"), ("mcf_0", "SHA-256"),
+    ]
+    workloads = [
+        build_workload(s, c, SCALED.workload_scale, seed=SCALED.seed + i)
+        for i, (s, c) in enumerate(pairs)
+    ]
+    domains = [DomainSpec(w.label, w.stream, w.core_config) for w in workloads]
+
+    def run():
+        rows = []
+        for organization in ("set", "way"):
+            static = StaticScheme(arch, organization=organization)
+            static_system = MultiDomainSystem(
+                arch, domains, static, quantum=SCALED.quantum
+            )
+            static_result = static_system.run(max_cycles=SCALED.max_cycles)
+            schedule = ProgressSchedule(
+                SCALED.untangle_instructions,
+                SCALED.cooldown,
+                uniform_delay(SCALED.cooldown, SCALED.cooldown // 16),
+                seed=SCALED.seed,
+            )
+            scheme = UntangleScheme(
+                arch,
+                schedule,
+                monitor_window=SCALED.monitor_window,
+                hysteresis=SCALED.hysteresis,
+                organization=organization,
+            )
+            system = MultiDomainSystem(
+                arch, domains, scheme, quantum=SCALED.quantum
+            )
+            result = system.run(max_cycles=SCALED.max_cycles)
+            ratios = [
+                u.ipc / s.ipc
+                for u, s in zip(result.stats, static_result.stats)
+                if s.ipc > 0
+            ]
+            speedup = float(np.exp(np.mean(np.log(ratios))))
+            bits = [
+                s.bits_per_assessment for s in result.stats if s.assessments
+            ]
+            rows.append((organization, speedup, sum(bits) / len(bits)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: LLC organization (Untangle, 4-workload mix)"]
+    for organization, speedup, bits in rows:
+        lines.append(
+            f"  {organization:4s} partitioning: speedup={speedup:.3f}  "
+            f"bits/assessment={bits:.3f}"
+        )
+    write_result(results_dir, "ablation_organization", "\n".join(lines))
+    for _, speedup, bits in rows:
+        assert speedup > 0.9
+        assert bits < 3.17
+
+
+def test_time_interval_sweep(benchmark, results_dir):
+    """Section 3.3's prior mitigation: coarsen the resizing granularity.
+
+    Lengthening Time's assessment interval cuts total leakage linearly
+    (fewer assessments x the same log2|A| charge) but costs adaptivity —
+    the trade-off Untangle's tighter accounting avoids.
+    """
+    import dataclasses
+
+    def run():
+        rows = []
+        for interval in (2_000, 4_000, 8_000, 16_000):
+            profile = dataclasses.replace(SCALED, time_interval=interval)
+            result = run_custom_mix(
+                ABLATION_PAIRS, profile, schemes=("static", "time")
+            )
+            time_run = result.runs["time"]
+            total_assessments = sum(w.assessments for w in time_run.workloads)
+            rows.append(
+                (
+                    interval,
+                    result.geomean_speedup("time"),
+                    time_run.mean_total_leakage,
+                    total_assessments,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: Time assessment-interval sweep (Section 3.3 mitigation)"]
+    for interval, speedup, total_bits, assessments in rows:
+        lines.append(
+            f"  interval={interval:6d} cycles  speedup={speedup:.3f}  "
+            f"avg total leakage={total_bits:7.1f} bits  "
+            f"assessments={assessments}"
+        )
+    write_result(results_dir, "ablation_time_interval", "\n".join(lines))
+    totals = [t for _, _, t, _ in rows]
+    # Coarser schedule, less total leakage (the prior-work trade-off).
+    assert all(b < a for a, b in zip(totals, totals[1:]))

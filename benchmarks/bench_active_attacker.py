@@ -1,0 +1,111 @@
+"""Section 9's active-attacker study: unoptimized vs optimized accounting.
+
+"We measure the leakage under Untangle without the optimized covert
+channel model ... the average leakage per assessment is 3.8 bits ...
+higher than with the optimization (0.7 bits)."
+
+The unoptimized accounting (worst-case rate table of capacity 1) models
+an attacker who forces an attacker-visible action at every assessment;
+the benchmark also demonstrates the squeeze workload itself.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.attacks.active import squeezing_workload
+from repro.harness.report import render_active_attacker
+from repro.harness.runconfig import SCALED
+from repro.harness.tables import active_attacker_summary
+from repro.harness.experiment import make_scheme
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.workloads.workload import build_workload
+
+
+def test_active_attacker_accounting(benchmark, results_dir):
+    def run():
+        return active_attacker_summary(SCALED, mix_ids=(1, 4))
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        results_dir, "active_attacker", render_active_attacker(summary)
+    )
+    # Unoptimized accounting charges a multiple of the optimized rate
+    # (paper: 3.8 vs 0.7 bits — about 5x).
+    assert summary.unoptimized_bits_per_assessment > (
+        2.0 * summary.optimized_bits_per_assessment
+    )
+    # Even unoptimized, the bound stays in a sane range.
+    assert summary.unoptimized_bits_per_assessment < 20.0
+
+
+def test_squeezing_attacker_forces_visible_actions(benchmark, results_dir):
+    """Figure 9: pulsing co-runners force the victim to resize more often.
+
+    A single attacker cannot overcommit the LLC (the size alphabet caps
+    any domain at the 8 MB-equivalent), so the squeeze uses two attacker
+    domains whose high-rate pulses alternately claim capacity and
+    release it — shrinking the victim's feasible allocation during
+    pulses and letting it re-expand between them.
+    """
+
+    def run():
+        profile = SCALED
+        arch = profile.arch(3)
+        victim = build_workload(
+            "parest_0", "AES-128", profile.workload_scale, seed=profile.seed
+        )
+        results = {}
+        for attacker_on in (False, True):
+            domains = [
+                DomainSpec(victim.label, victim.stream, victim.core_config)
+            ]
+            for index in range(2):
+                if attacker_on:
+                    stream, config = squeezing_workload(
+                        total_instructions=victim.stream.length,
+                        working_set_lines=1_100,
+                        memory_fraction=0.9,
+                        pulse_instructions=victim.stream.length // 6,
+                        idle_stall_cycles=1,
+                        mlp=8.0,
+                        seed=1 + index * 7,
+                    )
+                else:
+                    quiet = np.full(
+                        victim.stream.length, -1, dtype=np.int64
+                    )
+                    from repro.sim.cpu import CoreConfig, InstructionStream
+
+                    stream = InstructionStream(quiet)
+                    config = CoreConfig(
+                        mlp=2.0, slice_instructions=len(quiet)
+                    )
+                domains.append(DomainSpec(f"attacker{index}", stream, config))
+            scheme = make_scheme("untangle", profile, 3)
+            system = MultiDomainSystem(
+                arch, domains, scheme, quantum=profile.quantum
+            )
+            system.run(max_cycles=profile.max_cycles)
+            stats = system.stats[0]
+            results[attacker_on] = (
+                stats.visible_actions,
+                stats.leakage_bits,
+                stats.assessments,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    quiet_visible, quiet_bits, quiet_assess = results[False]
+    squeezed_visible, squeezed_bits, squeezed_assess = results[True]
+    text = (
+        "Active squeezing attackers vs quiet co-runners (victim: parest_0+AES-128)\n"
+        f"  quiet co-runners: {quiet_visible} visible / {quiet_assess} assessments, "
+        f"{quiet_bits:.1f} bits total\n"
+        f"  squeezing:        {squeezed_visible} visible / {squeezed_assess} assessments, "
+        f"{squeezed_bits:.1f} bits total"
+    )
+    write_result(results_dir, "active_squeeze", text)
+    # The attack drives MORE visible victim resizes and leakage charges
+    # (faster budget burn) but can never create action leakage (§6.2).
+    assert squeezed_visible >= quiet_visible
+    assert squeezed_bits >= quiet_bits * 0.9

@@ -1,0 +1,37 @@
+"""Figure 10: Mixes 1-4 under Static / Time / Untangle / Shared.
+
+Regenerates, for each of the four mixes the paper shows in the main
+figure: per-workload IPC normalized to Static, leakage per assessment of
+Time and Untangle, and the partition-size distribution — plus the
+system-wide geometric-mean speedups quoted in Section 9.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIGURE_SCHEMES, write_result
+from repro.harness.figures import figure_group
+from repro.harness.report import render_figure_group
+from repro.harness.runconfig import SCALED
+
+
+@pytest.mark.parametrize("mix_id", [1, 2, 3, 4])
+def test_figure10_mix(benchmark, mix_id, mix_cache, results_dir):
+    def run():
+        return mix_cache(mix_id, FIGURE_SCHEMES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    group = figure_group(mix_id, SCALED, mix_result=result)
+    write_result(results_dir, f"figure10_mix{mix_id}", render_figure_group(group))
+
+    # Shape assertions mirroring Section 9's narrative.
+    time_speedup = result.geomean_speedup("time")
+    untangle_speedup = result.geomean_speedup("untangle")
+    # Dynamic schemes beat Static system-wide.
+    assert time_speedup > 1.0
+    assert untangle_speedup > 1.0
+    # Untangle leaks far less than Time per assessment.
+    time_bits = result.runs["time"].mean_bits_per_assessment
+    untangle_bits = result.runs["untangle"].mean_bits_per_assessment
+    assert untangle_bits < 0.5 * time_bits
+    # Most Untangle assessments are Maintain (paper: ~90%).
+    assert result.runs["untangle"].maintain_fraction > 0.7

@@ -1,0 +1,34 @@
+"""Figure 11: LLC sensitivity study of all 36 SPEC17 benchmarks.
+
+Each benchmark runs alone at every supported partition size; IPC is
+normalized to the 8 MB-equivalent partition. The headline check: exactly
+the paper's eight benchmarks classify as LLC-sensitive.
+"""
+
+from benchmarks.conftest import write_result
+from repro.config import ArchConfig
+from repro.harness.report import render_sensitivity
+from repro.harness.runconfig import SCALED
+from repro.harness.sensitivity import classify_benchmarks, run_sensitivity_study
+from repro.workloads.spec import LLC_SENSITIVE_NAMES
+
+
+def test_figure11_sensitivity_study(benchmark, results_dir):
+    def run():
+        return run_sensitivity_study(profile=SCALED)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "figure11_sensitivity", render_sensitivity(curves))
+
+    assert len(curves) == 36
+    sensitive, insensitive = classify_benchmarks(
+        curves, ArchConfig.scaled().default_partition_lines
+    )
+    # The paper's classification: 8 sensitive, 28 insensitive, same names.
+    assert sensitive == sorted(LLC_SENSITIVE_NAMES)
+    assert len(insensitive) == 28
+    # Normalized IPC curves are monotone up to measurement noise.
+    for curve in curves.values():
+        normalized = curve.normalized_ipc
+        for earlier, later in zip(normalized, normalized[1:]):
+            assert later >= earlier - 0.1

@@ -1,0 +1,44 @@
+"""Figures 12-17 (Appendix B): Mixes 5-16 under the four schemes.
+
+The full-evaluation counterpart of Figure 10: the remaining twelve mixes,
+two figure groups per appendix figure.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIGURE_SCHEMES, write_result
+from repro.harness.figures import figure_group
+from repro.harness.report import render_figure_group
+from repro.harness.runconfig import SCALED
+
+#: Paper figure number for each appendix mix.
+APPENDIX_FIGURES = {
+    5: 12, 6: 12, 7: 13, 8: 13, 9: 14, 10: 14,
+    11: 15, 12: 15, 13: 16, 14: 16, 15: 17, 16: 17,
+}
+
+
+@pytest.mark.parametrize("mix_id", sorted(APPENDIX_FIGURES))
+def test_appendix_mix(benchmark, mix_id, mix_cache, results_dir):
+    def run():
+        return mix_cache(mix_id, FIGURE_SCHEMES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    group = figure_group(mix_id, SCALED, mix_result=result)
+    figure_number = APPENDIX_FIGURES[mix_id]
+    write_result(
+        results_dir,
+        f"figure{figure_number}_mix{mix_id}",
+        render_figure_group(group),
+    )
+
+    untangle_run = result.runs["untangle"]
+    time_run = result.runs["time"]
+    # Untangle always leaks less per assessment than Time's log2(9).
+    assert (
+        untangle_run.mean_bits_per_assessment
+        < time_run.mean_bits_per_assessment
+    )
+    # Both dynamic schemes at least match Static overall.
+    assert result.geomean_speedup("untangle") > 0.95
+    assert result.geomean_speedup("time") > 0.95

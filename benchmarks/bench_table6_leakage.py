@@ -1,0 +1,36 @@
+"""Table 6: leakage of Mixes 1-4 under Time and Untangle.
+
+Average leakage per assessment and average total leakage per workload,
+plus the paper's headline: Untangle leaks ~78% less per assessment.
+"""
+
+from benchmarks.conftest import FIGURE_SCHEMES, write_result
+from repro.harness.tables import Table6, table6_row
+from repro.harness.report import render_table6
+
+
+def test_table6(benchmark, mix_cache, results_dir):
+    def run():
+        rows = []
+        for mix_id in (1, 2, 3, 4):
+            rows.append(table6_row(mix_id, mix_cache(mix_id, FIGURE_SCHEMES)))
+        return Table6(rows=rows)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "table6_leakage", render_table6(table))
+
+    # Shape checks against the paper's Table 6.
+    for row in table.rows:
+        # Time: log2(9) = 3.17 bits per assessment for every workload.
+        assert abs(row.time_bits_per_assessment - 3.17) < 0.01
+        # Untangle's per-assessment leakage sits in the paper's band.
+        assert row.untangle_bits_per_assessment < 2.0
+        # Totals follow the same ordering.
+        assert row.untangle_total_bits < row.time_total_bits
+    # Headline: a large average reduction (paper reports 78%).
+    assert table.average_reduction > 0.6
+    # Leakage grows with LLC pressure across mixes 1 -> 4 (paper trend),
+    # at least between the extremes.
+    assert (
+        table.rows[3].untangle_total_bits >= table.rows[0].untangle_total_bits * 0.8
+    )

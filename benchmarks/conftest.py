@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes
+its text rendering to ``benchmarks/results/<name>.txt`` (so the output
+survives pytest's capture). Mix results are cached per session because
+Table 6 reuses the Figure 10 runs, exactly as the paper derives its
+table from the same experiments.
+
+All benchmarks use ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+each experiment is a deterministic simulation whose *result* is the
+deliverable; repeating it would only repeat identical work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import MixResult, run_mix
+from repro.harness.runconfig import SCALED
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schemes every figure mix is run under (Table 4).
+FIGURE_SCHEMES = ("static", "time", "untangle", "shared")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def mix_cache():
+    """Session cache of mix runs keyed by (mix_id, schemes)."""
+    cache: dict[tuple[int, tuple[str, ...]], MixResult] = {}
+
+    def get(mix_id: int, schemes: tuple[str, ...] = FIGURE_SCHEMES) -> MixResult:
+        key = (mix_id, schemes)
+        if key not in cache:
+            cache[key] = run_mix(mix_id, SCALED, schemes=schemes)
+        return cache[key]
+
+    return get
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one rendered table/figure and echo it."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The scheduling-leakage bound, attacked: senders vs the certificate.
+
+Builds the Section 5.3.3 covert channel, computes the certified maximum
+data rate R'_max with Dinkelbach's transform (Appendix A), then lets a
+cooperative sender/receiver pair actually *use* the channel with several
+strategies — including the solver's optimal input distribution — and
+compares the achieved empirical rates against the certified bound.
+
+Also sweeps the two rate-reduction mechanisms of Section 5.3.2:
+cooldown length and random-delay width.
+
+Run:  python examples/covert_channel_bound.py
+"""
+
+import numpy as np
+
+from repro.attacks.channel_sim import CovertChannelSimulator
+from repro.core.covert import CovertChannelModel, no_delay, uniform_delay
+from repro.core.dinkelbach import solve_rmax
+
+COOLDOWN = 64
+RESOLUTION = 4
+
+
+def build_model(cooldown=COOLDOWN, delay_width=COOLDOWN) -> CovertChannelModel:
+    delay = (
+        uniform_delay(delay_width, RESOLUTION) if delay_width > 0 else no_delay()
+    )
+    return CovertChannelModel(
+        cooldown=cooldown,
+        resolution=RESOLUTION,
+        max_duration=4 * cooldown,
+        delay=delay,
+    )
+
+
+def attack_the_bound() -> None:
+    print("=== Senders vs the certified bound ===")
+    model = build_model()
+    solution = solve_rmax(model)
+    bound = solution.rate_upper_bound
+    print(f"certified R'_max = {bound * COOLDOWN:.3f} bits/T_c\n")
+
+    rng = np.random.default_rng(0)
+    strategies = {
+        "optimal (solver)": solution.input_distribution,
+        "uniform": model.uniform_input(),
+        "two-symbol": None,
+        "random": rng.dirichlet(np.ones(model.num_inputs)),
+    }
+    two = np.zeros(model.num_inputs)
+    two[0] = two[-1] = 0.5
+    strategies["two-symbol"] = two
+
+    print(f"{'strategy':18s} {'empirical rate':>16s} {'of bound':>9s} {'decode':>7s}")
+    for name, p in strategies.items():
+        simulator = CovertChannelSimulator(model, seed=11)
+        outcome = simulator.transmit(p, 4_000)
+        print(
+            f"{name:18s} {outcome.empirical_rate * COOLDOWN:13.3f} b/T_c "
+            f"{outcome.empirical_rate / bound:8.0%} {outcome.decode_accuracy:7.2f}"
+        )
+    print("no strategy exceeds the certificate — that is the point.\n")
+
+
+def sweep_mechanisms() -> None:
+    print("=== Mechanism 1: cooldown sweep ===")
+    for cooldown in (32, 64, 128, 256):
+        model = build_model(cooldown=cooldown, delay_width=cooldown)
+        result = solve_rmax(model)
+        print(
+            f"  T_c={cooldown:4d}: R'_max={result.rate_upper_bound * cooldown:6.3f} "
+            f"bits/T_c  ({result.rate_upper_bound:8.5f} bits/cycle)"
+        )
+
+    print("\n=== Mechanism 2: random-delay sweep (T_c = 64) ===")
+    for delay_width in (0, 16, 32, 64):
+        model = build_model(delay_width=delay_width)
+        result = solve_rmax(model)
+        label = f"uniform[0,{delay_width})" if delay_width else "no delay"
+        print(
+            f"  {label:15s}: R'_max={result.rate_upper_bound * COOLDOWN:6.3f} bits/T_c"
+        )
+
+
+def main() -> None:
+    attack_the_bound()
+    sweep_mechanisms()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Quickstart: Untangle's leakage framework in five minutes.
+
+Walks the paper's core machinery on small, fast inputs:
+
+1. The Figure 3 leakage decomposition — action vs scheduling leakage.
+2. The Section 5.3.1 transmission-strategy trade-off.
+3. The covert-channel model and its certified max rate (Appendix A).
+4. The Maintain-optimized rate table (Sections 5.3.4 / 7).
+5. Runtime leakage accounting against a budget (Section 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CovertChannelModel,
+    LeakageAccountant,
+    ResizingTrace,
+    RmaxTable,
+    TraceEnsemble,
+    decompose,
+    maintain,
+    resize,
+    solve_rmax,
+    uniform_delay,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def figure3_decomposition() -> None:
+    section("1. Leakage decomposition (Figure 3)")
+    s1_fast = ResizingTrace.from_pairs([(resize(1, 2), 100), (maintain(2), 200)])
+    s1_slow = ResizingTrace.from_pairs([(resize(1, 2), 150), (maintain(2), 300)])
+    s2 = ResizingTrace.from_pairs([(maintain(1), 120), (maintain(1), 240)])
+    ensemble = TraceEnsemble({s1_fast: 0.25, s1_slow: 0.25, s2: 0.5})
+    breakdown = decompose(ensemble)
+    print(f"action leakage     H(S)             = {breakdown.action_bits:.3f} bits")
+    print(f"scheduling leakage E[H(T_s | S=s)]  = {breakdown.scheduling_bits:.3f} bits")
+    print(f"total leakage      H(S, T_S)        = {breakdown.total_bits:.3f} bits")
+    print("(the paper's example: 1 + 0.5 = 1.5 bits)")
+
+
+def strategy_tradeoff() -> None:
+    section("2. Transmission-strategy trade-off (Section 5.3.1)")
+    s1 = CovertChannelModel.strategy_rate([1, 2, 3, 4])
+    s2 = CovertChannelModel.strategy_rate(list(range(1, 9)))
+    print(f"4 symbols at 1-4 ms: {s1.bits_per_transmission:.0f} bits / "
+          f"{s1.average_transmission_time} ms = {s1.rate * 1000:.0f} bits/s")
+    print(f"8 symbols at 1-8 ms: {s2.bits_per_transmission:.0f} bits / "
+          f"{s2.average_transmission_time} ms = {s2.rate * 1000:.0f} bits/s")
+    print("more symbols != more rate: the alphabet costs transmission time")
+
+
+def covert_channel_bound() -> CovertChannelModel:
+    section("3. Covert-channel model and R'_max (Appendix A)")
+    cooldown = 64  # T_c in time units
+    model = CovertChannelModel(
+        cooldown=cooldown,
+        resolution=4,
+        max_duration=4 * cooldown,
+        delay=uniform_delay(cooldown, 4),
+    )
+    print(model)
+    result = solve_rmax(model)
+    print(f"R'_max  = {result.rate * cooldown:.3f} bits per cooldown "
+          f"(certified <= {result.rate_upper_bound * cooldown:.3f})")
+    print(f"optimal sender: {result.bits_per_transmission:.2f} bits per "
+          f"transmission every {result.average_transmission_time / cooldown:.2f} T_c")
+    return model
+
+
+def maintain_table(model: CovertChannelModel) -> RmaxTable:
+    section("4. Maintain-optimized rate table (Sections 5.3.4 / 7)")
+    table = RmaxTable(model, capacity=6)
+    for entry in table.entries():
+        print(f"  {entry.maintains} consecutive Maintains -> effective "
+              f"T'_c = {entry.effective_cooldown // model.cooldown} T_c, "
+              f"rate {entry.rate_upper_bound * model.cooldown:.3f} bits/T_c")
+    return table
+
+
+def runtime_accounting(table: RmaxTable) -> None:
+    section("5. Runtime leakage accounting with a budget (Section 7)")
+    accountant = LeakageAccountant(table, threshold_bits=3.0)
+    cooldown = table.cooldown
+    pattern = [False, False, True, False, False, False, True, True, True, True]
+    for i, visible in enumerate(pattern, start=1):
+        if visible and not accountant.resizing_allowed:
+            visible = False  # budget: the resize is denied
+        bits = accountant.on_assessment(i * cooldown, visible)
+        kind = "visible" if visible else "Maintain"
+        print(f"  assessment {i:2d} ({kind:8s}): +{bits:.3f} bits "
+              f"(total {accountant.total_bits:.3f})")
+    report = accountant.report()
+    print(f"total: {report.total_bits:.2f} bits over {report.assessments} "
+          f"assessments; budget exhausted: {report.budget_exhausted}")
+
+
+def main() -> None:
+    figure3_decomposition()
+    strategy_tradeoff()
+    model = covert_channel_bound()
+    table = maintain_table(model)
+    runtime_accounting(table)
+    print("\nNext: examples/llc_partitioning_mix.py runs a full evaluation mix.")
+
+
+if __name__ == "__main__":
+    main()

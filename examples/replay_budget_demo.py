@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Replay attacks vs the cross-run leakage budget (Section 6.2).
+
+An attacker replays the victim many times, harvesting scheduling leakage
+from every run. The OS counters by accumulating the victim's leakage
+across runs against one threshold; once exhausted, resizing is disabled
+permanently and later replays learn nothing more — at a performance
+cost, never a security cost.
+
+The demo also exercises the annotation pipeline end-to-end: the victim
+is a Figure 1a-style IR program annotated by the taint analysis
+(``repro.analysis``), compiled to an instruction stream by the executor.
+
+Run:  python examples/replay_budget_demo.py
+"""
+
+from repro.analysis.executor import execute
+from repro.analysis.programs import secret_gated_traversal
+from repro.attacks.replay import ReplayCampaign
+from repro.core.accountant import LeakageAccountant
+from repro.core.rates import RmaxTable
+from repro.schemes.untangle import default_channel_model
+
+THRESHOLD_BITS = 5.0
+COOLDOWN = 64
+
+
+def annotated_victim_demo() -> None:
+    print("=== Annotation pipeline: IR -> taint -> stream ===")
+    program = secret_gated_traversal(8)
+    for secret in (0, 1):
+        result = execute(program, secret_inputs=[secret])
+        stream = result.stream
+        summary = stream.annotations.summary()
+        print(
+            f"  secret={secret}: {result.executed_instructions} instructions, "
+            f"{stream.memory_instruction_count} loads, "
+            f"{summary.excluded_from_metric} metric-excluded, "
+            f"public progress per pass = {stream.public_per_pass}"
+        )
+    print("  -> public progress is identical for both secrets: the")
+    print("     annotated traversal cannot influence Untangle's actions.\n")
+
+
+def replay_campaign_demo() -> None:
+    print(f"=== Replay campaign against a {THRESHOLD_BITS}-bit budget ===")
+    model = default_channel_model(COOLDOWN)
+    table = RmaxTable(model, capacity=8)
+    accountant = LeakageAccountant(table, threshold_bits=THRESHOLD_BITS)
+
+    def victim_run(acc: LeakageAccountant):
+        """Five assessments per run; the victim wants to resize each time."""
+        decisions = []
+        for i in range(1, 6):
+            visible = acc.check_resize_allowed()
+            acc.on_assessment(i * COOLDOWN, visible)
+            decisions.append((i * COOLDOWN, visible))
+        return decisions
+
+    campaign = ReplayCampaign(accountant, victim_run)
+    campaign.replay(8)
+
+    print(f"{'run':>4s} {'charged':>9s} {'total':>8s} {'resizes':>8s} {'denied':>7s}")
+    for run in campaign.runs:
+        total_so_far = sum(r.bits_charged for r in campaign.runs[: run.index + 1])
+        print(
+            f"{run.index:4d} {run.bits_charged:8.3f}b {total_so_far:7.3f}b "
+            f"{run.resizes_allowed:8d} {run.resizes_denied:7d}"
+        )
+    print(
+        f"\nbudget exhausted: {accountant.budget_exhausted}; "
+        f"accumulated leakage {accountant.total_bits:.3f} bits "
+        f"(threshold {THRESHOLD_BITS})"
+    )
+    print("after exhaustion every run is resize-free and charges 0 bits:")
+    print("the attacker gains nothing from further replays.")
+
+
+def main() -> None:
+    annotated_victim_demo()
+    replay_campaign_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The three leaks of Figure 1, measured — and what annotations fix.
+
+For each snippet (control-flow leak, data-flow leak, timing leak) the
+demo runs the victim under an Untangle scheme for every secret value and
+measures, with the idealized observer of Section 4, how many bits the
+attacker actually learns:
+
+* unannotated, Figures 1a/1b leak through the *action* part of the trace;
+* with annotations, their action leakage drops to exactly zero;
+* Figure 1c leaks only through *timing* — annotations cannot remove it,
+  which is precisely why Untangle bounds it with the covert-channel
+  model instead.
+
+Run:  python examples/secret_leak_demo.py
+"""
+
+from repro.attacks.observer import measure_empirical_leakage
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.core.trace import ResizingTrace
+from repro.info.distributions import DiscreteDistribution
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.untangle import UntangleScheme, default_channel_model
+from repro.sim.cpu import CoreConfig
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.workloads import snippets
+
+ARCH = ArchConfig.tiny(num_cores=1)
+MODEL = default_channel_model(64, resolution_divisor=16)
+TABLE = RmaxTable(MODEL, capacity=4)
+
+
+def run_victim(stream) -> ResizingTrace:
+    """One deterministic victim execution under Untangle.
+
+    The snippet loops several times (like a server handling requests) so
+    the scheme has enough assessments to react to its demand.
+    """
+    schedule = ProgressSchedule(
+        instructions_per_assessment=400,
+        cooldown=MODEL.cooldown,
+        delay=uniform_delay(MODEL.cooldown, MODEL.resolution),
+        seed=7,
+    )
+    scheme = UntangleScheme(ARCH, schedule, rmax_table=TABLE, monitor_window=1_000)
+    config = CoreConfig(mlp=2.0, slice_instructions=stream.length * 8)
+    system = MultiDomainSystem(
+        ARCH, [DomainSpec("victim", stream, config)], scheme, quantum=64
+    )
+    system.run(max_cycles=2_000_000)
+    return ResizingTrace.from_pairs(system.trace_logs[0])
+
+
+def measure(name, build, secrets):
+    print(f"\n--- {name} ---")
+    for annotated in (False, True):
+        leakage = measure_empirical_leakage(
+            DiscreteDistribution.uniform(secrets),
+            lambda secret: run_victim(build(secret, annotated)),
+        )
+        mode = "annotated  " if annotated else "unannotated"
+        print(
+            f"  {mode}: attacker learns {leakage.total_information_bits:.3f} bits "
+            f"({leakage.action_information_bits:.3f} via actions)"
+        )
+
+
+def main() -> None:
+    print("Empirical leakage of the Figure 1 snippets under Untangle")
+    print("(secret entropy = 1 bit in each demo; values are what the")
+    print(" idealized observer of Section 4 extracts)")
+
+    measure(
+        "Figure 1a: if (secret) traverse(arr)  [control-flow leak]",
+        lambda secret, annotated: snippets.figure_1a(
+            bool(secret), annotated=annotated, array_lines=96, padding=800
+        ),
+        [0, 1],
+    )
+    measure(
+        "Figure 1b: access(arr[i * secret])  [data-flow leak]",
+        lambda secret, annotated: snippets.figure_1b(
+            secret, annotated=annotated, array_lines=96, padding=800
+        ),
+        [0, 1],
+    )
+    measure(
+        "Figure 1c: if (secret) usleep(); traverse(arr)  [timing leak]",
+        lambda secret, annotated: snippets.figure_1c(
+            bool(secret), annotated=annotated, array_lines=96, padding=800,
+            sleep_cycles=900,
+        ),
+        [0, 1],
+    )
+
+    rate = TABLE.rate(0)
+    print("\nFigure 1c's residual timing leak is exactly what the covert-")
+    print("channel model bounds: at this configuration the certified rate is")
+    print(f"  R'_max = {rate * MODEL.cooldown:.3f} bits per cooldown,")
+    print("charged at runtime by the leakage accountant (Section 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Untangle vs SecSMT-style accounting on SMT pipeline resources.
+
+Section 6.3 names functional units shared by SMT threads as another
+resource Untangle covers, with "the fraction of the retired instructions
+that utilize a certain type of function unit" as the timing-independent
+metric. The Related Work adds the punchline: in the peer model "SecSMT
+only loosely bounds the leakage to 1 bit per assessment (for 2 possible
+resizing actions) ... In contrast, Untangle's leakage bounds are much
+tighter."
+
+This example runs two SMT threads with phased unit demand over a shared
+slot pool, resizes their partitions with the Section 6.3 metric on a
+progress-based schedule, and accounts the SAME resizing trace two ways:
+
+* SecSMT-style: a flat 1 bit at every assessment (conservative);
+* Untangle: the Maintain-optimized covert-channel rate table.
+
+Run:  python examples/smt_partitioning.py
+"""
+
+from repro.core.accountant import ConservativeAccountant, LeakageAccountant
+from repro.core.rates import RmaxTable
+from repro.schemes.untangle import default_channel_model
+from repro.sim.smt import MixFractionMetric, SMTPipeline, synthetic_smt_workload
+
+TOTAL_SLOTS = 8
+ISSUE_WIDTH = 4
+INSTRUCTIONS = 30_000
+#: Progress-based schedule: assess every N retired instructions of the
+#: victim thread; the cooldown ties the channel model to wall-clock.
+ASSESS_EVERY = 1_000
+COOLDOWN = 250
+
+
+def main() -> None:
+    print("SMT pipeline partitioning (8 slots, 2 threads)")
+    pipeline = SMTPipeline(TOTAL_SLOTS, issue_width=ISSUE_WIDTH)
+    workloads = [
+        # The victim alternates compute-bound and unit-hungry phases.
+        synthetic_smt_workload("victim", INSTRUCTIONS, 0.65, burstiness=4_000, seed=1),
+        synthetic_smt_workload("other", INSTRUCTIONS, 0.30, burstiness=1, seed=2),
+    ]
+    metric = MixFractionMetric(window=800)
+    model = default_channel_model(COOLDOWN)
+    untangle_accounting = LeakageAccountant(RmaxTable(model, capacity=32))
+    secsmt_accounting = ConservativeAccountant(num_actions=2)
+
+    state = {"next_assessment": ASSESS_EVERY, "observed": 0, "resizes": 0}
+
+    def on_cycle(cycle, pipe):
+        victim = pipe.stats[0]
+        demand = workloads[0].unit_demand
+        # Feed the metric the newly retired instructions (architectural).
+        while state["observed"] < victim.retired:
+            metric.observe(int(demand[state["observed"]]))
+            state["observed"] += 1
+        if victim.retired >= state["next_assessment"]:
+            state["next_assessment"] += ASSESS_EVERY
+            want = max(
+                1,
+                min(
+                    TOTAL_SLOTS - 1,
+                    round(metric.fraction * ISSUE_WIDTH * 2),
+                ),
+            )
+            current = pipe.quota_of(0)
+            visible = want != current
+            if visible:
+                if want < current:  # shrink the victim, then grow the peer
+                    pipe.set_quota(0, want)
+                    pipe.set_quota(1, TOTAL_SLOTS - want)
+                else:  # shrink the peer first to free the slots
+                    pipe.set_quota(1, TOTAL_SLOTS - want)
+                    pipe.set_quota(0, want)
+                state["resizes"] += 1
+            untangle_accounting.on_assessment(cycle, visible)
+            secsmt_accounting.on_assessment(cycle, visible)
+
+    stats = pipeline.run(workloads, max_cycles=200_000, on_cycle=on_cycle)
+
+    for thread, stat in enumerate(stats):
+        print(f"  thread {thread} ({workloads[thread].name:6s}): "
+              f"IPC {stat.ipc:.2f}, full events {stat.full_events}")
+    untangle = untangle_accounting.report()
+    secsmt = secsmt_accounting.report()
+    print(f"\nassessments: {untangle.assessments}, visible resizes: "
+          f"{state['resizes']}, Maintain fraction {untangle.maintain_fraction:.2f}")
+    print("\nleakage accounting of the SAME trace:")
+    print(f"  SecSMT-style (1 bit/assessment):  {secsmt.total_bits:6.2f} bits "
+          f"({secsmt.bits_per_assessment:.3f}/assessment)")
+    print(f"  Untangle (rate table):            {untangle.total_bits:6.2f} bits "
+          f"({untangle.bits_per_assessment:.3f}/assessment)")
+    reduction = 1 - untangle.total_bits / max(secsmt.total_bits, 1e-9)
+    print(f"  -> {reduction:.0%} tighter, same scheme behaviour "
+          "(the Related Work comparison)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Applying Untangle to a different resource: the TLB (Section 6.3).
+
+"Untangle is a general framework and it can be applied to different
+hardware resources. ... we can trivially extend the LLC utilization
+metric to the TLB."
+
+This example partitions a TLB between two domains. A TLB is just a
+set-associative cache of page translations, so the substrate is reused
+with page-granularity "line" addresses; the utilization metric is the
+page footprint of the last N retired public memory instructions
+(Section 5.2's timing-independent example metric), and the scheme is the
+relative-action threshold heuristic under Untangle's principles.
+
+The victim alternates between a small phase (few hot pages) and a large
+phase (page-spanning scans); the demo shows the TLB partition tracking
+the phase while the leakage accountant charges the certified
+scheduling-leakage rate.
+
+Run:  python examples/tlb_partitioning.py
+"""
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.threshold import ThresholdScheme
+from repro.schemes.untangle import default_channel_model
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+
+#: TLB geometry: model it as the machine's "LLC" with page-granularity
+#: entries — a 128-entry, 4-way TLB partitioned between 2 domains.
+TLB_ARCH = ArchConfig(
+    num_cores=2,
+    issue_width=4,
+    l1_lines=8,              # a tiny L0 "micro-TLB" filter
+    l1_associativity=4,
+    llc_lines=128,
+    llc_associativity=4,
+    l1_latency=1,
+    llc_latency=4,           # main TLB hit
+    dram_latency=60,         # page-table walk
+    supported_partition_lines=(8, 16, 32, 48, 64, 96),
+    default_partition_lines=32,
+)
+
+COOLDOWN = 256
+
+
+def phased_page_trace(instructions: int, seed: int) -> InstructionStream:
+    """Alternate small-footprint and large-footprint page phases."""
+    rng = np.random.default_rng(seed)
+    addresses = np.full(instructions, -1, dtype=np.int64)
+    phase_length = instructions // 8
+    for phase in range(8):
+        start = phase * phase_length
+        slots = np.arange(start, start + phase_length, 3)
+        pages = 6 if phase % 2 == 0 else 80
+        addresses[slots] = rng.integers(0, pages, size=len(slots))
+    return InstructionStream(addresses)
+
+
+def main() -> None:
+    print("Untangle-partitioned TLB (128 entries, 2 domains)")
+    model = default_channel_model(COOLDOWN)
+    table = RmaxTable(model, capacity=64)
+    schedule = ProgressSchedule(
+        instructions_per_assessment=1_000,
+        cooldown=model.cooldown,
+        delay=uniform_delay(model.cooldown, model.resolution),
+        seed=3,
+    )
+    scheme = ThresholdScheme(
+        TLB_ARCH,
+        schedule,
+        table,
+        footprint_window=2_000,
+        expand_fraction=0.85,
+        shrink_fraction=0.5,
+    )
+    instructions = 40_000
+    domains = [
+        DomainSpec(
+            "phased", phased_page_trace(instructions, seed=1),
+            CoreConfig(mlp=1.5, slice_instructions=instructions),
+        ),
+        DomainSpec(
+            "steady", phased_page_trace(instructions, seed=2),
+            CoreConfig(mlp=1.5, slice_instructions=instructions),
+        ),
+    ]
+    system = MultiDomainSystem(
+        TLB_ARCH, domains, scheme, quantum=128, sample_interval=512
+    )
+    result = system.run(max_cycles=5_000_000)
+
+    for domain in range(2):
+        stats = result.stats[domain]
+        minimum, q1, median, q3, maximum = stats.partition_size_quartiles()
+        print(f"\ndomain {domain} ({domains[domain].name}):")
+        print(f"  IPC                  {stats.ipc:.3f}")
+        print(f"  TLB partition        min={minimum} q1={q1} median={median} "
+              f"q3={q3} max={maximum} entries")
+        print(f"  assessments          {stats.assessments} "
+              f"({stats.visible_actions} visible)")
+        print(f"  leakage              {stats.leakage_bits:.2f} bits "
+              f"({stats.bits_per_assessment:.3f}/assessment)")
+
+    print("\nThe same framework, metric style, and accountant as the LLC —")
+    print("only the resource geometry changed (Section 6.3's claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Runs the paper's experiments from a terminal without writing any code:
+
+* ``python -m repro mix 1``              — one figure group (Figure 10 style)
+* ``python -m repro sensitivity``        — Figure 11 (all 36 benchmarks)
+* ``python -m repro table6``             — Table 6 (mixes 1-4)
+* ``python -m repro rmax``               — Appendix A rate table
+* ``python -m repro mix 1 --profile test``  — faster, smaller profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiment import run_mix
+from repro.harness.figures import figure_group
+from repro.harness.report import (
+    render_figure_group,
+    render_sensitivity,
+    render_table6,
+)
+from repro.harness.runconfig import PROFILES
+from repro.harness.sensitivity import run_sensitivity_study
+from repro.harness.tables import table6
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the Untangle (ASPLOS 2023) evaluation.",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="scaled",
+        help="experiment scale (default: scaled)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mix = commands.add_parser("mix", help="run one workload mix (Figures 10/12-17)")
+    mix.add_argument("mix_id", type=int, choices=range(1, 17))
+
+    commands.add_parser(
+        "sensitivity", help="LLC sensitivity study of all 36 benchmarks (Figure 11)"
+    )
+    commands.add_parser("table6", help="leakage summary of mixes 1-4 (Table 6)")
+
+    rmax = commands.add_parser(
+        "rmax", help="compute the R_max table (Appendix A / Section 7)"
+    )
+    rmax.add_argument(
+        "--capacity", type=int, default=16, help="table capacity (Maintain levels)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = PROFILES[args.profile]
+
+    if args.command == "mix":
+        result = run_mix(args.mix_id, profile)
+        group = figure_group(args.mix_id, profile, mix_result=result)
+        print(render_figure_group(group))
+    elif args.command == "sensitivity":
+        curves = run_sensitivity_study(profile=profile)
+        print(render_sensitivity(curves))
+    elif args.command == "table6":
+        print(render_table6(table6(profile)))
+    elif args.command == "rmax":
+        from repro.core.rates import RmaxTable
+        from repro.schemes.untangle import default_channel_model
+
+        model = default_channel_model(profile.cooldown)
+        table = RmaxTable(model, capacity=args.capacity)
+        print(f"R_max table (T_c = {profile.cooldown} cycles):")
+        for entry in table.entries():
+            print(
+                f"  m={entry.maintains:3d}  "
+                f"rate={entry.rate_upper_bound * profile.cooldown:8.4f} bits/T_c  "
+                f"bits/tx={entry.bits_per_transmission:6.3f}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

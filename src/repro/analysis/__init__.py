@@ -1,0 +1,34 @@
+"""Annotation analysis substrate: tiny IR, taint analysis, executor."""
+
+from repro.analysis.executor import ExecutionResult, execute
+from repro.analysis.ir import (
+    Instruction,
+    Opcode,
+    Program,
+    alu,
+    branch,
+    const,
+    load,
+    read_public,
+    read_secret,
+    store,
+)
+from repro.analysis.taint import TaintReport, analyze, annotate
+
+__all__ = [
+    "Program",
+    "Instruction",
+    "Opcode",
+    "const",
+    "alu",
+    "load",
+    "store",
+    "branch",
+    "read_secret",
+    "read_public",
+    "TaintReport",
+    "analyze",
+    "annotate",
+    "ExecutionResult",
+    "execute",
+]

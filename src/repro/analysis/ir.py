@@ -1,0 +1,134 @@
+"""A tiny instruction IR for the annotation analysis.
+
+The paper assumes sound secret-dependence annotations produced by static
+analyses (CacheAudit, CaSym, Abacus — Section 6.5). To make the pipeline
+end-to-end executable, this package defines a miniature straight-line IR
+with branches, loads/stores, and arithmetic, over which
+:mod:`repro.analysis.taint` runs a conservative taint analysis that emits
+exactly the two annotation kinds Untangle needs (Section 5.2):
+
+1. secret-dependent *resource use* (tainted address operands), and
+2. secret-dependent *control* (instructions control-dependent on a
+   tainted branch).
+
+Programs here are small by design — the point is a working, tested
+annotator, not a production compiler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AnnotationError
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes of the miniature IR."""
+
+    #: dst = constant
+    CONST = "const"
+    #: dst = src1 (arithmetic on) src2
+    ALU = "alu"
+    #: dst = memory[address_register + offset]
+    LOAD = "load"
+    #: memory[address_register + offset] = src
+    STORE = "store"
+    #: conditional branch on a register; its body is the next `body_len`
+    #: instructions (structured control flow keeps the CFG trivial).
+    BRANCH = "branch"
+    #: read a secret input into dst
+    READ_SECRET = "read_secret"
+    #: read a public input into dst
+    READ_PUBLIC = "read_public"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One IR instruction.
+
+    Registers are named by strings. ``body_len`` is only meaningful for
+    :attr:`Opcode.BRANCH`: the number of following instructions guarded
+    by the branch.
+    """
+
+    opcode: Opcode
+    dst: str | None = None
+    sources: tuple[str, ...] = ()
+    address_register: str | None = None
+    offset: int = 0
+    body_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.opcode in (Opcode.LOAD, Opcode.STORE) and self.address_register is None:
+            raise AnnotationError(f"{self.opcode.value} needs an address register")
+        if self.opcode is Opcode.BRANCH:
+            if not self.sources:
+                raise AnnotationError("branch needs a condition register")
+            if self.body_len < 0:
+                raise AnnotationError("branch body length must be non-negative")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+
+@dataclass
+class Program:
+    """A straight-line program with structured branches."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Check branch bodies stay inside the program."""
+        for index, instruction in enumerate(self.instructions):
+            if instruction.opcode is Opcode.BRANCH:
+                if index + instruction.body_len > len(self.instructions) - 1:
+                    raise AnnotationError(
+                        f"branch at {index} guards {instruction.body_len} "
+                        "instructions past the end of the program"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def const(dst: str, value: int = 0) -> Instruction:
+    return Instruction(Opcode.CONST, dst=dst, offset=value)
+
+
+def alu(dst: str, *sources: str) -> Instruction:
+    return Instruction(Opcode.ALU, dst=dst, sources=tuple(sources))
+
+
+def load(dst: str, address_register: str, offset: int = 0) -> Instruction:
+    return Instruction(
+        Opcode.LOAD, dst=dst, address_register=address_register, offset=offset
+    )
+
+
+def store(src: str, address_register: str, offset: int = 0) -> Instruction:
+    return Instruction(
+        Opcode.STORE,
+        sources=(src,),
+        address_register=address_register,
+        offset=offset,
+    )
+
+
+def branch(condition: str, body_len: int) -> Instruction:
+    return Instruction(Opcode.BRANCH, sources=(condition,), body_len=body_len)
+
+
+def read_secret(dst: str) -> Instruction:
+    return Instruction(Opcode.READ_SECRET, dst=dst)
+
+
+def read_public(dst: str) -> Instruction:
+    return Instruction(Opcode.READ_PUBLIC, dst=dst)

@@ -1,0 +1,87 @@
+"""Example IR programs mirroring the paper's Figure 1 snippets.
+
+These are the IR-level counterparts of :mod:`repro.workloads.snippets`:
+small programs whose taint analysis produces exactly the annotations the
+paper's examples need, used by tests and by ``examples/secret_leak_demo.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ir import (
+    Program,
+    alu,
+    branch,
+    const,
+    load,
+    read_public,
+    read_secret,
+    store,
+)
+
+
+def secret_gated_traversal(array_lines: int) -> Program:
+    """Figure 1a: ``if (secret) for i in 0..N: access(arr[i])``.
+
+    The traversal loads are control-dependent on the secret branch; the
+    analysis marks them SECRET_CONTROL (hence both metric- and
+    progress-excluded).
+    """
+    body = []
+    for i in range(array_lines):
+        body.append(const(f"addr{i}", 1000 + i))
+        body.append(load("tmp", f"addr{i}"))
+    return Program(
+        [read_secret("secret"), branch("secret", len(body)), *body]
+    )
+
+
+def secret_strided_traversal(array_lines: int) -> Program:
+    """Figure 1b: ``for i in 0..N: access(arr[i * secret])``.
+
+    The loads' addresses are data-dependent on the secret; the analysis
+    marks them SECRET_RESOURCE_USE (metric-excluded, progress-counted).
+
+    The IR's ALU sums its sources, so ``i * secret`` is built by
+    accumulating ``secret`` once per iteration — the footprint is one
+    line for ``secret == 0`` and ``array_lines`` lines otherwise.
+    """
+    instructions = [
+        read_secret("secret"),
+        const("base", 1000),
+        const("scaled", 0),
+    ]
+    for _ in range(array_lines):
+        instructions.append(alu("addr", "base", "scaled"))
+        instructions.append(load("tmp", "addr"))
+        instructions.append(alu("scaled", "scaled", "secret"))
+    return Program(instructions)
+
+
+def public_traversal(array_lines: int) -> Program:
+    """The always-executed public traversal of Figure 1c (sans sleep).
+
+    Nothing is tainted: the analysis must leave every instruction
+    unannotated. (The secret-gated *sleep* of Figure 1c is a timing
+    effect with no architectural trace, which is exactly why annotations
+    cannot remove that leak — see Section 3.4.)
+    """
+    instructions = [read_public("n")]
+    for i in range(array_lines):
+        instructions.append(const(f"addr{i}", 2000 + i))
+        instructions.append(load("tmp", f"addr{i}"))
+    return Program(instructions)
+
+
+def tainted_store_then_load(array_lines: int = 4) -> Program:
+    """A store of a secret followed by loads: memory taint propagation."""
+    instructions = [
+        read_secret("secret"),
+        const("slot", 3000),
+        store("secret", "slot"),
+    ]
+    for i in range(array_lines):
+        instructions.append(const(f"addr{i}", 3000 + i))
+        instructions.append(load(f"value{i}", f"addr{i}"))
+        instructions.append(alu(f"derived{i}", f"value{i}"))
+        instructions.append(load("tmp", f"derived{i}"))
+    return Program(instructions)

@@ -1,0 +1,116 @@
+"""Conservative taint analysis producing Untangle annotations.
+
+Implements the annotation contract of Section 5.2 over the miniature IR:
+
+* An instruction has **secret-dependent resource use** when it is a
+  memory instruction whose address register is tainted, or when it is a
+  memory instruction control-dependent on a tainted branch.
+* An instruction is **secret-control-dependent** when it lies in the
+  body of a branch whose condition register is tainted (it is then
+  excluded from progress counting, whether or not it touches memory).
+
+Taint propagates forward through registers (data flow) and into branch
+bodies (control flow); stores with a tainted source taint the memory
+region conservatively, and loads from tainted memory produce tainted
+registers. The result maps one-to-one onto
+:class:`repro.core.annotations.AnnotationKind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ir import Opcode, Program
+from repro.core.annotations import AnnotationKind, AnnotationVector
+
+
+@dataclass(frozen=True)
+class TaintReport:
+    """Per-instruction annotation kinds plus summary counts."""
+
+    kinds: list[AnnotationKind]
+
+    @property
+    def annotated_count(self) -> int:
+        return sum(1 for kind in self.kinds if kind is not AnnotationKind.NONE)
+
+    def annotation_vector(self) -> AnnotationVector:
+        """The Untangle-consumable annotation vector."""
+        return AnnotationVector.from_kinds(self.kinds)
+
+
+def analyze(program: Program) -> TaintReport:
+    """Run the conservative taint analysis over a program."""
+    program.validate()
+    tainted_registers: set[str] = set()
+    memory_tainted = False
+    kinds: list[AnnotationKind] = []
+    #: Remaining instruction count under a tainted branch (structured CF).
+    secret_region_remaining = 0
+
+    for instruction in program:
+        kind = AnnotationKind.NONE
+        in_secret_region = secret_region_remaining > 0
+        if in_secret_region:
+            secret_region_remaining -= 1
+            kind |= AnnotationKind.SECRET_CONTROL
+
+        opcode = instruction.opcode
+        if opcode is Opcode.READ_SECRET:
+            assert instruction.dst is not None
+            tainted_registers.add(instruction.dst)
+        elif opcode is Opcode.READ_PUBLIC:
+            if instruction.dst in tainted_registers and not in_secret_region:
+                tainted_registers.discard(instruction.dst)
+            if in_secret_region and instruction.dst is not None:
+                # A write under secret control carries implicit flow.
+                tainted_registers.add(instruction.dst)
+        elif opcode is Opcode.CONST:
+            assert instruction.dst is not None
+            if in_secret_region:
+                tainted_registers.add(instruction.dst)
+            else:
+                tainted_registers.discard(instruction.dst)
+        elif opcode is Opcode.ALU:
+            assert instruction.dst is not None
+            if in_secret_region or any(
+                s in tainted_registers for s in instruction.sources
+            ):
+                tainted_registers.add(instruction.dst)
+            else:
+                tainted_registers.discard(instruction.dst)
+        elif opcode is Opcode.LOAD:
+            assert instruction.dst is not None
+            address_tainted = instruction.address_register in tainted_registers
+            if address_tainted:
+                kind |= AnnotationKind.SECRET_RESOURCE_USE
+            if address_tainted or memory_tainted or in_secret_region:
+                tainted_registers.add(instruction.dst)
+            else:
+                tainted_registers.discard(instruction.dst)
+        elif opcode is Opcode.STORE:
+            address_tainted = instruction.address_register in tainted_registers
+            if address_tainted:
+                kind |= AnnotationKind.SECRET_RESOURCE_USE
+            if in_secret_region or any(
+                s in tainted_registers for s in instruction.sources
+            ):
+                memory_tainted = True
+        elif opcode is Opcode.BRANCH:
+            condition_tainted = (
+                instruction.sources[0] in tainted_registers or in_secret_region
+            )
+            if condition_tainted:
+                # The whole body becomes secret-control-dependent.
+                secret_region_remaining = max(
+                    secret_region_remaining, instruction.body_len
+                )
+
+        kinds.append(kind)
+
+    return TaintReport(kinds=kinds)
+
+
+def annotate(program: Program) -> AnnotationVector:
+    """Convenience: analyze and return the annotation vector directly."""
+    return analyze(program).annotation_vector()

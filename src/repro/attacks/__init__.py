@@ -1,0 +1,29 @@
+"""Attacker models: idealized observer, active squeezer, replay, channel."""
+
+from repro.attacks.active import (
+    RechargeResult,
+    recharge_unoptimized,
+    squeezing_workload,
+)
+from repro.attacks.channel_sim import ChannelSimulationResult, CovertChannelSimulator
+from repro.attacks.observer import (
+    EmpiricalLeakage,
+    ObservedTrace,
+    measure_empirical_leakage,
+    observe,
+)
+from repro.attacks.replay import ReplayCampaign, ReplayRun
+
+__all__ = [
+    "observe",
+    "ObservedTrace",
+    "EmpiricalLeakage",
+    "measure_empirical_leakage",
+    "squeezing_workload",
+    "recharge_unoptimized",
+    "RechargeResult",
+    "ReplayCampaign",
+    "ReplayRun",
+    "CovertChannelSimulator",
+    "ChannelSimulationResult",
+]

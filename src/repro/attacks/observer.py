@@ -1,0 +1,113 @@
+"""The idealized attacker of the threat model (Section 4).
+
+The attacker directly observes the victim's resizing trace — what
+visible actions are taken and when. This module implements that observer
+plus an *empirical leakage estimator*: run the victim under a scheme for
+each possible secret value (with its probability), collect the observed
+traces, and compute the entropy of the observation distribution /
+the mutual information between secret and observation.
+
+This is the experimental counterpart of Section 3.2's definition: the
+exhaustive-enumeration leakage that is infeasible for real programs but
+exact for the small Figure 1 demos — and therefore perfect for testing
+that annotations eliminate action leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.trace import ResizingTrace
+from repro.errors import TraceError
+from repro.info.distributions import DiscreteDistribution, joint_from_conditional
+from repro.info.entropy import entropy, mutual_information
+
+
+@dataclass(frozen=True)
+class ObservedTrace:
+    """What the idealized attacker sees of one execution."""
+
+    #: (new_size, timestamp) of every visible action, in order.
+    events: tuple[tuple[int, int], ...]
+
+    @property
+    def action_part(self) -> tuple[int, ...]:
+        """The visible action sequence (sizes only)."""
+        return tuple(size for size, _ in self.events)
+
+    @property
+    def timing_part(self) -> tuple[int, ...]:
+        """The visible timing sequence."""
+        return tuple(timestamp for _, timestamp in self.events)
+
+
+def observe(trace: ResizingTrace) -> ObservedTrace:
+    """Project a full resizing trace onto the attacker's view.
+
+    Maintain actions are invisible (Section 5.3.4); everything else —
+    the new size and the (delayed) application time — is visible.
+    """
+    return ObservedTrace(
+        events=tuple(
+            (event.action.new_size, event.timestamp)
+            for event in trace.visible_events
+        )
+    )
+
+
+@dataclass(frozen=True)
+class EmpiricalLeakage:
+    """Observed-leakage estimates over a secret distribution."""
+
+    #: Entropy of the full observation (actions and timing), in bits.
+    observation_entropy_bits: float
+    #: Mutual information between secret and visible action sequence.
+    action_information_bits: float
+    #: Mutual information between secret and full observation.
+    total_information_bits: float
+
+
+def measure_empirical_leakage(
+    secrets: DiscreteDistribution,
+    run_victim: Callable[[Hashable], ResizingTrace],
+    *,
+    timing_resolution: int = 1,
+) -> EmpiricalLeakage:
+    """Exhaustively measure what an observer learns about the secret.
+
+    ``run_victim(secret)`` must execute the victim deterministically for
+    the given secret and return its resizing trace. ``timing_resolution``
+    coarsens observed timestamps (an attacker with 1-cycle resolution is
+    the worst case).
+    """
+    if timing_resolution < 1:
+        raise TraceError("timing resolution must be >= 1")
+
+    observations: dict[Hashable, ObservedTrace] = {}
+    for secret in secrets.support:
+        observed = observe(run_victim(secret))
+        observations[secret] = ObservedTrace(
+            events=tuple(
+                (size, timestamp // timing_resolution)
+                for size, timestamp in observed.events
+            )
+        )
+
+    full_joint = joint_from_conditional(
+        secrets,
+        lambda secret: DiscreteDistribution.delta(
+            (observations[secret].action_part, observations[secret].timing_part)
+        ),
+    )
+    action_joint = joint_from_conditional(
+        secrets,
+        lambda secret: DiscreteDistribution.delta(observations[secret].action_part),
+    )
+    observation_marginal = full_joint.map(lambda pair: pair[1])
+
+    return EmpiricalLeakage(
+        observation_entropy_bits=entropy(observation_marginal),
+        action_information_bits=mutual_information(action_joint),
+        total_information_bits=mutual_information(full_joint),
+    )

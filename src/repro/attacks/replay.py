@@ -1,0 +1,101 @@
+"""Replay attacks and cross-run budget enforcement (Section 6.2).
+
+"A powerful attacker can replay the victim program many times, gaining
+additional information at every replay from the scheduling leakage.
+However, the operating system can use the upper bound of the victim
+program's leakage rate ... to keep accumulating the victim program
+leakage across the multiple runs."
+
+:class:`ReplayCampaign` drives that scenario: the same victim is run
+repeatedly against one persistent :class:`~repro.core.accountant.LeakageAccountant`;
+once the accumulated leakage reaches the victim's threshold, further
+resizes are denied and subsequent runs leak nothing more (they only lose
+performance) — the guarantee the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.accountant import LeakageAccountant
+from repro.errors import SimulationError
+
+
+@dataclass
+class ReplayRun:
+    """Summary of one replayed victim execution."""
+
+    index: int
+    bits_charged: float
+    assessments: int
+    resizes_allowed: int
+    resizes_denied: int
+    budget_exhausted_after: bool
+
+
+@dataclass
+class ReplayCampaign:
+    """Replays a victim against one cross-run leakage budget.
+
+    Parameters
+    ----------
+    accountant:
+        The persistent accountant holding the victim's threshold.
+    run_victim:
+        Callable executing one victim run. It receives the accountant
+        (already advanced to a fresh run) and must perform its
+        assessments through it, returning the list of per-assessment
+        ``(timestamp, wants_visible)`` decisions it made.
+    """
+
+    accountant: LeakageAccountant
+    run_victim: Callable[[LeakageAccountant], list[tuple[int, bool]]]
+    runs: list[ReplayRun] = field(default_factory=list)
+
+    def replay(self, times: int) -> list[ReplayRun]:
+        """Execute ``times`` victim runs, accumulating leakage."""
+        if times < 1:
+            raise SimulationError("need at least one replay")
+        for _ in range(times):
+            index = len(self.runs)
+            if index > 0:
+                self.accountant.start_new_run()
+            before = self.accountant.total_bits
+            decisions = self.run_victim(self.accountant)
+            allowed = sum(
+                1 for _, visible in decisions if visible
+            )
+            denied = sum(
+                1 for _, wanted in decisions if not wanted
+            )
+            self.runs.append(
+                ReplayRun(
+                    index=index,
+                    bits_charged=self.accountant.total_bits - before,
+                    assessments=len(decisions),
+                    resizes_allowed=allowed,
+                    resizes_denied=denied,
+                    budget_exhausted_after=self.accountant.budget_exhausted,
+                )
+            )
+        return list(self.runs)
+
+    @property
+    def total_bits(self) -> float:
+        return self.accountant.total_bits
+
+    @property
+    def threshold_ever_exceeded(self) -> bool:
+        """Whether any run pushed the accumulated leakage past threshold.
+
+        The accountant clamps resizing once the threshold is *reached*;
+        leakage can exceed it only by the residue of the final charging
+        interval, never by further resizes.
+        """
+        threshold = self.accountant.threshold_bits
+        if threshold is None:
+            return False
+        # One final-interval overshoot is permitted by the model.
+        last_charge = max((run.bits_charged for run in self.runs), default=0.0)
+        return self.accountant.total_bits > threshold + last_charge

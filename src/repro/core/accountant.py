@@ -1,0 +1,313 @@
+"""Runtime leakage accounting (Sections 4, 6.2 and 7 of the paper).
+
+The victim sets a leakage threshold; the scheme measures runtime leakage
+and guarantees it never exceeds that threshold — when the budget is
+exhausted, further resizing is disallowed (performance degrades, security
+does not). :class:`LeakageAccountant` implements this bookkeeping for an
+Untangle domain, including:
+
+* the Maintain-aware charging policy of Section 7 (charge interval at
+  rate ``R_max_m``; retroactively lower the charge when the next action
+  turns out to be another Maintain);
+* cross-run accumulation against replay attackers (Section 6.2).
+
+:class:`ConservativeAccountant` implements the prior-work policy used for
+the Time scheme: a flat ``log2 |A|`` bits at every assessment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.rates import RmaxTable
+from repro.errors import LeakageBudgetExceeded, SimulationError
+
+
+@dataclass
+class AssessmentCharge:
+    """Record of the leakage charged for one assessment."""
+
+    timestamp: int
+    visible: bool
+    maintain_run_before: int
+    bits: float
+
+
+@dataclass
+class AccountantReport:
+    """Summary statistics of an accountant after a run."""
+
+    total_bits: float
+    assessments: int
+    visible_actions: int
+    bits_per_assessment: float
+    maintain_fraction: float
+    budget_exhausted: bool
+
+
+class LeakageAccountant:
+    """Untangle's runtime leakage meter for one security domain.
+
+    Parameters
+    ----------
+    table:
+        Precomputed :class:`~repro.core.rates.RmaxTable` of certified rates.
+    threshold_bits:
+        The victim's leakage budget. ``None`` disables enforcement (the
+        evaluation runs with no threshold: "We do not set a leakage
+        threshold for a workload; we allow it to freely resize and then
+        measure its leakage", Section 8).
+    """
+
+    def __init__(self, table: RmaxTable, threshold_bits: float | None = None):
+        if threshold_bits is not None and threshold_bits < 0:
+            raise SimulationError("leakage threshold must be non-negative")
+        self._table = table
+        self._threshold = threshold_bits
+        self._total_bits = 0.0
+        self._carried_bits = 0.0
+        self._charges: list[AssessmentCharge] = []
+        self._maintain_run = 0
+        self._last_event_time: int | None = None
+        self._pending_interval = 0
+        self._pending_bits = 0.0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> float:
+        """Accumulated leakage, including leakage carried from prior runs."""
+        return self._carried_bits + self._total_bits
+
+    @property
+    def run_bits(self) -> float:
+        """Leakage accumulated in the current run only."""
+        return self._total_bits
+
+    @property
+    def threshold_bits(self) -> float | None:
+        return self._threshold
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the threshold has been reached (resizing disallowed)."""
+        return self._threshold is not None and self.total_bits >= self._threshold
+
+    @property
+    def resizing_allowed(self) -> bool:
+        """Whether the scheme may still perform visible resizes."""
+        return not self.budget_exhausted
+
+    @property
+    def charges(self) -> list[AssessmentCharge]:
+        return list(self._charges)
+
+    @property
+    def current_maintain_run(self) -> int:
+        """Consecutive Maintains since the last visible action."""
+        return self._maintain_run
+
+    # ------------------------------------------------------------------
+    # Charging (Section 7 policy)
+    # ------------------------------------------------------------------
+    def _effective_level(self, span: int) -> int:
+        """Rate-table level justified by a transmission span.
+
+        A run of ``n`` consecutive Maintains stretches the effective
+        cooldown of the enclosing transmission to ``(n + 1) T_c``
+        (Section 5.3.4). The same argument applies whenever the realized
+        gap between visible actions is long for *any* reason (e.g. slow
+        progress): a gap of ``span`` certifies every inter-action time of
+        this channel use is at least ``span``, so the rate bound for
+        cooldown ``floor(span / T_c) * T_c`` applies. Levels clamp to the
+        table capacity (conservative — rates decrease with level).
+        """
+        if span <= 0:
+            return 0
+        return max(0, span // self._table.cooldown - 1)
+
+    def on_assessment(self, timestamp: int, visible: bool) -> float:
+        """Record one assessment and return the *net* bits charged for it.
+
+        The transmission pending since the last visible action spans
+        ``s`` time units; its total charge is ``R_max_e * s`` with ``e``
+        the effective level of ``s``. At each assessment the pending
+        charge is brought up to date (conservatively assuming the action
+        is visible, per Section 7); if the action turns out to be another
+        Maintain the span simply keeps growing and later re-pricings use
+        the lower rate of the higher level — the runtime switch from
+        ``R_max_m`` to ``R_max_{m+1}`` the paper describes.
+        """
+        if self._last_event_time is not None and timestamp < self._last_event_time:
+            raise SimulationError(
+                f"assessment timestamps must be non-decreasing "
+                f"({timestamp} after {self._last_event_time})"
+            )
+        if self.budget_exhausted:
+            # The threshold froze the partition permanently: no visible
+            # action can ever occur again, so the channel is closed and
+            # assessments stop leaking ("hurting the performance of its
+            # subsequent execution, but not its security", Section 4).
+            self._last_event_time = timestamp
+            self._charges.append(
+                AssessmentCharge(
+                    timestamp=timestamp,
+                    visible=False,
+                    maintain_run_before=self._maintain_run,
+                    bits=0.0,
+                )
+            )
+            self._maintain_run += 1
+            return 0.0
+        interval = (
+            timestamp - self._last_event_time
+            if self._last_event_time is not None
+            else self._table.cooldown
+        )
+        self._last_event_time = timestamp
+
+        m = self._maintain_run
+        before_total = self._total_bits
+        span = self._pending_interval + max(interval, 1)
+        level = self._effective_level(span)
+        repriced = self._table.bits_for_interval(level, span)
+        # Charges never decrease: the attacker has already observed time
+        # passing, so previously-counted bits cannot be taken back.
+        new_pending = max(self._pending_bits, repriced)
+        self._total_bits += new_pending - self._pending_bits
+        if visible:
+            self._pending_interval = 0
+            self._pending_bits = 0.0
+            self._maintain_run = 0
+        else:
+            self._pending_interval = span
+            self._pending_bits = new_pending
+            self._maintain_run += 1
+
+        net = self._total_bits - before_total
+        self._charges.append(
+            AssessmentCharge(
+                timestamp=timestamp,
+                visible=visible,
+                maintain_run_before=m,
+                bits=net,
+            )
+        )
+        return net
+
+    def check_resize_allowed(self, strict: bool = False) -> bool:
+        """Whether a visible resize may proceed under the budget.
+
+        With ``strict=True`` raises :class:`LeakageBudgetExceeded` instead
+        of returning ``False``.
+        """
+        if self.resizing_allowed:
+            return True
+        if strict:
+            raise LeakageBudgetExceeded(
+                f"leakage budget exhausted: {self.total_bits:.3f} bits "
+                f">= threshold {self._threshold} bits"
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # Cross-run accumulation (replay attacker, Section 6.2)
+    # ------------------------------------------------------------------
+    def start_new_run(self) -> None:
+        """Carry the accumulated leakage into a fresh run of the victim.
+
+        The OS keeps accumulating leakage across replays of the program;
+        the threshold applies to the accumulated total.
+        """
+        self._carried_bits += self._total_bits
+        self._total_bits = 0.0
+        self._charges = []
+        self._maintain_run = 0
+        self._last_event_time = None
+        self._pending_interval = 0
+        self._pending_bits = 0.0
+
+    # ------------------------------------------------------------------
+    def report(self) -> AccountantReport:
+        """Summary of the current run's charges."""
+        assessments = len(self._charges)
+        visible = sum(1 for c in self._charges if c.visible)
+        per_assessment = self._total_bits / assessments if assessments else 0.0
+        maintain_fraction = (
+            (assessments - visible) / assessments if assessments else 0.0
+        )
+        return AccountantReport(
+            total_bits=self._total_bits,
+            assessments=assessments,
+            visible_actions=visible,
+            bits_per_assessment=per_assessment,
+            maintain_fraction=maintain_fraction,
+            budget_exhausted=self.budget_exhausted,
+        )
+
+
+class ConservativeAccountant:
+    """Prior-work accounting: a flat ``log2 |A|`` bits per assessment.
+
+    Models the leakage overestimation described in Section 3.3 and applied
+    to the Time scheme in the evaluation. Maintains are charged like any
+    other action because, without Untangle's principles, the assessment's
+    action choice itself is assumed to carry ``log2 |A|`` bits.
+    """
+
+    def __init__(self, num_actions: int, threshold_bits: float | None = None):
+        if num_actions < 1:
+            raise SimulationError("need at least one action")
+        self._bits_per_assessment = math.log2(num_actions)
+        self._threshold = threshold_bits
+        self._total_bits = 0.0
+        self._assessments = 0
+        self._visible = 0
+
+    @property
+    def total_bits(self) -> float:
+        return self._total_bits
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self._threshold is not None and self._total_bits >= self._threshold
+
+    @property
+    def resizing_allowed(self) -> bool:
+        return not self.budget_exhausted
+
+    def on_assessment(self, timestamp: int, visible: bool) -> float:
+        self._assessments += 1
+        if visible:
+            self._visible += 1
+        self._total_bits += self._bits_per_assessment
+        return self._bits_per_assessment
+
+    def check_resize_allowed(self, strict: bool = False) -> bool:
+        if self.resizing_allowed:
+            return True
+        if strict:
+            raise LeakageBudgetExceeded(
+                f"leakage budget exhausted: {self._total_bits:.3f} bits"
+            )
+        return False
+
+    def report(self) -> AccountantReport:
+        per_assessment = (
+            self._total_bits / self._assessments if self._assessments else 0.0
+        )
+        maintain_fraction = (
+            (self._assessments - self._visible) / self._assessments
+            if self._assessments
+            else 0.0
+        )
+        return AccountantReport(
+            total_bits=self._total_bits,
+            assessments=self._assessments,
+            visible_actions=self._visible,
+            bits_per_assessment=per_assessment,
+            maintain_fraction=maintain_fraction,
+            budget_exhausted=self.budget_exhausted,
+        )

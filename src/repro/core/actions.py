@@ -1,0 +1,175 @@
+"""Resizing actions and action alphabets (Section 3.1 of the paper).
+
+A dynamic partitioning scheme defines a set of *resizing actions*. The
+paper considers two styles:
+
+* Relative actions: ``Expand`` / ``Shrink`` / ``Maintain``.
+* Absolute actions: "set the partition size to one of a pre-defined list
+  of supported sizes" — the style used in the LLC evaluation (Section 8),
+  where the list has 9 entries and Time therefore leaks ``log2 9 ≈ 3.17``
+  bits per assessment.
+
+Both styles are represented here by :class:`ResizingAction`. An action is
+*visible* to the attacker exactly when it changes the partition size
+(Section 5.3.4: Maintain timing is invisible).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ActionKind(enum.Enum):
+    """The three relative action kinds from Table 2 of the paper."""
+
+    EXPAND = "expand"
+    SHRINK = "shrink"
+    MAINTAIN = "maintain"
+
+
+@dataclass(frozen=True, order=True)
+class ResizingAction:
+    """One resizing action: the partition size used after the assessment.
+
+    Attributes
+    ----------
+    new_size:
+        The partition size (in the scheme's capacity unit, e.g. cache
+        lines) the domain uses after this action takes effect.
+    old_size:
+        The size in effect before the action.
+    """
+
+    new_size: int
+    old_size: int
+
+    def __post_init__(self) -> None:
+        if self.new_size <= 0 or self.old_size <= 0:
+            raise ConfigurationError(
+                f"partition sizes must be positive, got {self.old_size}->{self.new_size}"
+            )
+
+    @property
+    def kind(self) -> ActionKind:
+        """Relative classification of this action."""
+        if self.new_size > self.old_size:
+            return ActionKind.EXPAND
+        if self.new_size < self.old_size:
+            return ActionKind.SHRINK
+        return ActionKind.MAINTAIN
+
+    @property
+    def is_maintain(self) -> bool:
+        """Whether the action keeps the partition size unchanged."""
+        return self.new_size == self.old_size
+
+    @property
+    def is_visible(self) -> bool:
+        """Whether an attacker observing partition sizes can see this action.
+
+        Per the threat model (Section 4), the attacker observes the victim's
+        partition size; only size *changes* are observable events.
+        """
+        return not self.is_maintain
+
+    def __str__(self) -> str:
+        if self.is_maintain:
+            return f"Maintain({self.new_size})"
+        return f"{self.kind.name.capitalize()}({self.old_size}->{self.new_size})"
+
+
+def maintain(size: int) -> ResizingAction:
+    """Convenience constructor for a Maintain action at ``size``."""
+    return ResizingAction(new_size=size, old_size=size)
+
+
+def resize(old_size: int, new_size: int) -> ResizingAction:
+    """Convenience constructor for a resize from ``old_size`` to ``new_size``."""
+    return ResizingAction(new_size=new_size, old_size=old_size)
+
+
+class ActionAlphabet:
+    """The set of actions a scheme supports at one assessment.
+
+    For an absolute-size scheme this is the list of supported partition
+    sizes; ``log2(len(alphabet))`` is the conservative per-assessment
+    leakage that prior work charges (Section 3.3) and that the Time scheme
+    is charged in the evaluation.
+    """
+
+    def __init__(self, supported_sizes: Sequence[int]):
+        sizes = sorted(set(int(s) for s in supported_sizes))
+        if not sizes:
+            raise ConfigurationError("action alphabet needs at least one size")
+        if sizes[0] <= 0:
+            raise ConfigurationError("supported sizes must be positive")
+        self._sizes = sizes
+
+    @property
+    def sizes(self) -> list[int]:
+        """Supported partition sizes in increasing order."""
+        return list(self._sizes)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, size: int) -> bool:
+        return size in self._sizes
+
+    def __iter__(self):
+        return iter(self._sizes)
+
+    @property
+    def min_size(self) -> int:
+        return self._sizes[0]
+
+    @property
+    def max_size(self) -> int:
+        return self._sizes[-1]
+
+    def conservative_bits_per_assessment(self) -> float:
+        """``log2 |A|`` — the prior-work worst-case charge (Section 3.3)."""
+        return math.log2(len(self._sizes))
+
+    def clamp(self, size: int) -> int:
+        """The largest supported size that is <= ``size``.
+
+        Falls back to the minimum supported size when ``size`` is below it.
+        """
+        feasible = [s for s in self._sizes if s <= size]
+        return feasible[-1] if feasible else self._sizes[0]
+
+    def round_nearest(self, size: int) -> int:
+        """The supported size closest to ``size`` (ties toward the smaller)."""
+        return min(self._sizes, key=lambda s: (abs(s - size), s))
+
+    def step_toward(self, current: int, target: int) -> int:
+        """Move one alphabet step from ``current`` toward ``target``."""
+        if current not in self._sizes:
+            raise ConfigurationError(f"current size {current} not in alphabet")
+        index = self._sizes.index(current)
+        if target > current and index + 1 < len(self._sizes):
+            return self._sizes[index + 1]
+        if target < current and index > 0:
+            return self._sizes[index - 1]
+        return current
+
+    @classmethod
+    def paper_llc_sizes_bytes(cls) -> "ActionAlphabet":
+        """The paper's nine supported LLC partition sizes, in bytes (Table 3)."""
+        kib = 1024
+        mib = 1024 * kib
+        return cls(
+            [128 * kib, 256 * kib, 512 * kib, 1 * mib, 2 * mib,
+             3 * mib, 4 * mib, 6 * mib, 8 * mib]
+        )
+
+
+def action_sequence_key(actions: Iterable[ResizingAction]) -> tuple[int, ...]:
+    """Canonical hashable key for an action sequence (its size trajectory)."""
+    return tuple(a.new_size for a in actions)

@@ -1,0 +1,167 @@
+"""Secret-dependence annotations (Sections 4, 5.2, 6.1 of the paper).
+
+Untangle assumes sound annotations of two kinds of instructions:
+
+1. Instructions that *use the partitioned resource* and are data- or
+   control-dependent on secrets — their contribution is excluded from the
+   utilization metric.
+2. Instructions that are *control-dependent on secrets* (whether or not
+   they use the resource) — they are excluded from execution-progress
+   counting.
+
+Section 6.1 extends the same mechanism to timing-dependent dynamic
+instruction sequences (spin loops, time checks): those regions get both
+annotations.
+
+This module defines the annotation vocabulary used by the workload models
+(:mod:`repro.workloads`) and produced by the toy static analysis
+(:mod:`repro.analysis`). Annotations are carried per dynamic instruction
+as compact boolean arrays, matching how the simulator consumes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnnotationError
+
+
+class AnnotationKind(enum.Flag):
+    """Bit flags describing why an instruction is excluded."""
+
+    NONE = 0
+    #: Secret-dependent use of the partitioned resource (data or control).
+    SECRET_RESOURCE_USE = enum.auto()
+    #: Control-dependence on a secret (excluded from progress counting).
+    SECRET_CONTROL = enum.auto()
+    #: Timing-dependent dynamic instruction sequence (Section 6.1).
+    TIMING_DEPENDENT = enum.auto()
+
+
+@dataclass(frozen=True)
+class AnnotationSummary:
+    """Aggregate statistics of an annotation vector."""
+
+    total_instructions: int
+    excluded_from_metric: int
+    excluded_from_progress: int
+
+    @property
+    def metric_exclusion_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.excluded_from_metric / self.total_instructions
+
+    @property
+    def progress_exclusion_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.excluded_from_progress / self.total_instructions
+
+
+class AnnotationVector:
+    """Per-dynamic-instruction annotations for an instruction stream.
+
+    Internally stores two boolean numpy arrays aligned with the stream:
+
+    * ``metric_excluded`` — instruction must not contribute to the
+      utilization metric (annotation kind 1 or 3 above).
+    * ``progress_excluded`` — instruction must not count toward execution
+      progress (annotation kind 2 or 3 above).
+
+    The conservative whole-region annotation the paper mentions ("annotate
+    all the instructions from the part of the program that handles
+    secrets", Section 4) corresponds to setting both arrays over a region.
+    """
+
+    __slots__ = ("metric_excluded", "progress_excluded")
+
+    def __init__(
+        self,
+        metric_excluded: np.ndarray,
+        progress_excluded: np.ndarray,
+    ):
+        metric_excluded = np.asarray(metric_excluded, dtype=bool)
+        progress_excluded = np.asarray(progress_excluded, dtype=bool)
+        if metric_excluded.shape != progress_excluded.shape:
+            raise AnnotationError(
+                "metric and progress annotation arrays must have equal length"
+            )
+        if metric_excluded.ndim != 1:
+            raise AnnotationError("annotation arrays must be one-dimensional")
+        self.metric_excluded = metric_excluded
+        self.progress_excluded = progress_excluded
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def public(cls, length: int) -> "AnnotationVector":
+        """All-public stream: nothing excluded."""
+        return cls(np.zeros(length, dtype=bool), np.zeros(length, dtype=bool))
+
+    @classmethod
+    def fully_secret(cls, length: int) -> "AnnotationVector":
+        """Conservative whole-stream annotation: everything excluded.
+
+        This is what the evaluation applies to the crypto benchmarks
+        ("we conservatively assume that all instructions from the
+        cryptographic benchmark are secret-dependent", Section 8).
+        """
+        return cls(np.ones(length, dtype=bool), np.ones(length, dtype=bool))
+
+    @classmethod
+    def from_kinds(cls, kinds: list[AnnotationKind]) -> "AnnotationVector":
+        """Build from a per-instruction list of :class:`AnnotationKind` flags."""
+        n = len(kinds)
+        metric = np.zeros(n, dtype=bool)
+        progress = np.zeros(n, dtype=bool)
+        for i, kind in enumerate(kinds):
+            if kind & (AnnotationKind.SECRET_RESOURCE_USE | AnnotationKind.TIMING_DEPENDENT):
+                metric[i] = True
+            if kind & (AnnotationKind.SECRET_CONTROL | AnnotationKind.TIMING_DEPENDENT):
+                progress[i] = True
+            # Control-dependence on a secret also taints any resource use
+            # performed by the instruction, so it is metric-excluded too.
+            if kind & AnnotationKind.SECRET_CONTROL:
+                metric[i] = True
+        return cls(metric, progress)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.metric_excluded.shape[0])
+
+    def concatenate(self, other: "AnnotationVector") -> "AnnotationVector":
+        """Annotations for the concatenation of two streams."""
+        return AnnotationVector(
+            np.concatenate([self.metric_excluded, other.metric_excluded]),
+            np.concatenate([self.progress_excluded, other.progress_excluded]),
+        )
+
+    def slice(self, start: int, stop: int) -> "AnnotationVector":
+        """Annotations for a sub-stream."""
+        return AnnotationVector(
+            self.metric_excluded[start:stop], self.progress_excluded[start:stop]
+        )
+
+    def summary(self) -> AnnotationSummary:
+        """Aggregate statistics for reporting."""
+        return AnnotationSummary(
+            total_instructions=len(self),
+            excluded_from_metric=int(self.metric_excluded.sum()),
+            excluded_from_progress=int(self.progress_excluded.sum()),
+        )
+
+    def public_progress_count(self) -> int:
+        """Number of instructions that count toward execution progress."""
+        return int((~self.progress_excluded).sum())
+
+
+def concatenate_annotations(vectors: list[AnnotationVector]) -> AnnotationVector:
+    """Concatenate a list of annotation vectors into one."""
+    if not vectors:
+        raise AnnotationError("cannot concatenate an empty list of annotations")
+    metric = np.concatenate([v.metric_excluded for v in vectors])
+    progress = np.concatenate([v.progress_excluded for v in vectors])
+    return AnnotationVector(metric, progress)

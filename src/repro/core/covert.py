@@ -1,0 +1,298 @@
+"""Covert-channel model of scheduling leakage (Section 5.3 of the paper).
+
+The scheduling leakage of an Untangle scheme is upper-bounded by the
+maximum data rate of a cooperative covert channel in which:
+
+* the **sender** (victim) encodes an input symbol ``x`` as the duration
+  ``d_x`` it remains at the current partition size before the next visible
+  resizing action, with every duration at least the cooldown time ``T_c``
+  (Mechanism 1, Section 5.3.2);
+* the **receiver** (attacker) observes durations perturbed by the random
+  action delays ``delta`` (Mechanism 2):
+  ``d_y = d_x + delta_i - delta_{i-1}`` (Equation 5.8).
+
+Timestamps have finite resolution; the model works on an integer grid
+whose step is ``resolution`` time units, matching the paper's assumption
+that the attacker measures time at finite resolution.
+
+The channel's data rate for an input distribution ``p(x)`` is
+``R = I(X^n; Y^n) / (n * T_avg)`` (Equation 5.9); Appendix A bounds
+``I(X^n; Y^n) <= n (H(Y) - H(delta))`` so the rate objective optimized by
+:mod:`repro.core.dinkelbach` is ``(H(Y) - H(delta)) / T_avg``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelModelError
+from repro.info.distributions import DiscreteDistribution
+from repro.info.entropy import entropy_bits_vec
+
+
+def uniform_delay(cooldown: int, resolution: int) -> DiscreteDistribution:
+    """The evaluation's delay distribution: uniform over ``[0, T_c)``.
+
+    Section 8: "The random delay in Untangle follows a uniform
+    distribution between [0, 1 ms)". Delays are quantized to the model
+    resolution.
+    """
+    if cooldown <= 0:
+        raise ChannelModelError(f"cooldown {cooldown} must be positive")
+    if resolution <= 0 or cooldown % resolution != 0:
+        raise ChannelModelError(
+            f"resolution {resolution} must be positive and divide cooldown {cooldown}"
+        )
+    return DiscreteDistribution.uniform(range(0, cooldown, resolution))
+
+
+def no_delay() -> DiscreteDistribution:
+    """Degenerate delay (always zero) — disables Mechanism 2."""
+    return DiscreteDistribution.delta(0)
+
+
+@dataclass(frozen=True)
+class StrategyRate:
+    """Result of evaluating one fixed transmission strategy."""
+
+    bits_per_transmission: float
+    average_transmission_time: float
+
+    @property
+    def rate(self) -> float:
+        """Bits per time unit."""
+        return self.bits_per_transmission / self.average_transmission_time
+
+
+class CovertChannelModel:
+    """The duration-encoding covert channel of Section 5.3.3.
+
+    Parameters
+    ----------
+    cooldown:
+        Minimum duration ``T_c`` between consecutive visible actions, in
+        time units. Every input duration satisfies ``d_x >= T_c``.
+    resolution:
+        Attacker timing resolution in time units. Durations and delays
+        live on this grid; it must divide ``cooldown``.
+    max_duration:
+        Horizon ``D_max``: the largest input duration the sender may use.
+        The optimizer's alphabet is ``{T_c, T_c + res, ..., D_max}``.
+        A finite horizon is required for a finite alphabet; because longer
+        durations cost transmission time, the optimal distribution decays
+        with duration and the bound is insensitive to the horizon once it
+        is a few cooldowns wide (verified in tests).
+    delay:
+        Distribution of the random action delay ``delta`` (Mechanism 2).
+        Support must be non-negative multiples of ``resolution``.
+    """
+
+    def __init__(
+        self,
+        cooldown: int,
+        resolution: int,
+        max_duration: int,
+        delay: DiscreteDistribution | None = None,
+    ):
+        if resolution <= 0:
+            raise ChannelModelError(f"resolution {resolution} must be positive")
+        if cooldown <= 0 or cooldown % resolution != 0:
+            raise ChannelModelError(
+                f"cooldown {cooldown} must be a positive multiple of resolution"
+            )
+        if max_duration < cooldown:
+            raise ChannelModelError(
+                f"max_duration {max_duration} must be >= cooldown {cooldown}"
+            )
+        if delay is None:
+            delay = no_delay()
+        for value in delay.support:
+            if not isinstance(value, int) or value < 0 or value % resolution != 0:
+                raise ChannelModelError(
+                    f"delay outcome {value!r} must be a non-negative multiple of the resolution"
+                )
+        self.cooldown = cooldown
+        self.resolution = resolution
+        self.max_duration = max_duration
+        self.delay = delay
+
+        # Internal integer grid: everything in units of `resolution`.
+        self._durations = np.arange(
+            cooldown, max_duration + 1, resolution, dtype=np.int64
+        )
+        self._delay_values = np.array(sorted(delay.support), dtype=np.int64)
+        self._delay_probs = np.array(
+            [delay.probability(int(v)) for v in self._delay_values], dtype=np.float64
+        )
+        self._delta_diff = self._compute_delta_difference()
+        self._transition = self._compute_transition_matrix()
+
+    # ------------------------------------------------------------------
+    # Model construction
+    # ------------------------------------------------------------------
+    def _compute_delta_difference(self) -> tuple[np.ndarray, np.ndarray]:
+        """Support and pmf of ``Delta = delta_i - delta_{i-1}`` on the grid."""
+        values: dict[int, float] = {}
+        for a, pa in zip(self._delay_values, self._delay_probs):
+            for b, pb in zip(self._delay_values, self._delay_probs):
+                diff = int(a - b)
+                values[diff] = values.get(diff, 0.0) + float(pa * pb)
+        support = np.array(sorted(values), dtype=np.int64)
+        probs = np.array([values[int(v)] for v in support], dtype=np.float64)
+        return support, probs
+
+    def _compute_transition_matrix(self) -> np.ndarray:
+        """Column-stochastic matrix ``A[y_index, x_index] = p(y | x)``.
+
+        Output values ``y = d_x + Delta`` lie on the resolution grid; the
+        output alphabet is the union over all inputs.
+        """
+        diff_support, diff_probs = self._delta_diff
+        y_min = int(self._durations[0] + diff_support[0])
+        y_max = int(self._durations[-1] + diff_support[-1])
+        self._outputs = np.arange(y_min, y_max + 1, self.resolution, dtype=np.int64)
+        index_of = {int(y): i for i, y in enumerate(self._outputs)}
+        matrix = np.zeros((len(self._outputs), len(self._durations)), dtype=np.float64)
+        for xi, d in enumerate(self._durations):
+            for diff, p in zip(diff_support, diff_probs):
+                matrix[index_of[int(d + diff)], xi] += float(p)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Alphabets
+    # ------------------------------------------------------------------
+    @property
+    def durations(self) -> np.ndarray:
+        """Input alphabet: the duration ``d_x`` of each input symbol."""
+        return self._durations.copy()
+
+    @property
+    def outputs(self) -> np.ndarray:
+        """Output alphabet: possible observed durations ``d_y``."""
+        return self._outputs.copy()
+
+    @property
+    def num_inputs(self) -> int:
+        return int(self._durations.shape[0])
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """``p(y | x)`` as a dense (|Y|, |X|) matrix (copy)."""
+        return self._transition.copy()
+
+    def delay_entropy_bits(self) -> float:
+        """``H(delta)`` in bits — the subtracted term of Equation A.10."""
+        return entropy_bits_vec(self._delay_probs)
+
+    def delta_difference_distribution(self) -> DiscreteDistribution:
+        """Distribution of ``delta_i - delta_{i-1}`` (for inspection/tests)."""
+        support, probs = self._delta_diff
+        return DiscreteDistribution(
+            {int(v): float(p) for v, p in zip(support, probs)}
+        )
+
+    # ------------------------------------------------------------------
+    # Rate components for an input distribution p(x)
+    # ------------------------------------------------------------------
+    def _check_input(self, p_x: np.ndarray) -> np.ndarray:
+        p_x = np.asarray(p_x, dtype=np.float64)
+        if p_x.shape != (self.num_inputs,):
+            raise ChannelModelError(
+                f"input distribution must have length {self.num_inputs}, got {p_x.shape}"
+            )
+        if np.any(p_x < -1e-12) or abs(float(p_x.sum()) - 1.0) > 1e-6:
+            raise ChannelModelError("input distribution must be a probability vector")
+        return np.clip(p_x, 0.0, None)
+
+    def output_distribution(self, p_x: np.ndarray) -> np.ndarray:
+        """``p(y) = sum_x p(y | x) p(x)`` over the output alphabet."""
+        return self._transition @ self._check_input(p_x)
+
+    def output_entropy_bits(self, p_x: np.ndarray) -> float:
+        """``H(Y)`` in bits for input distribution ``p_x``."""
+        return entropy_bits_vec(self.output_distribution(p_x))
+
+    def average_transmission_time(self, p_x: np.ndarray) -> float:
+        """``T_avg = sum_x p(x) d_x`` (Equation 5.7), in time units."""
+        return float(self._durations @ self._check_input(p_x))
+
+    def per_transmission_bits(self, p_x: np.ndarray) -> float:
+        """Upper bound ``H(Y) - H(delta)`` on bits per transmission (Eq. A.10)."""
+        return self.output_entropy_bits(p_x) - self.delay_entropy_bits()
+
+    def rate(self, p_x: np.ndarray) -> float:
+        """Rate objective ``(H(Y) - H(delta)) / T_avg`` in bits per time unit."""
+        return self.per_transmission_bits(p_x) / self.average_transmission_time(p_x)
+
+    def uniform_input(self) -> np.ndarray:
+        """Uniform input distribution over the duration alphabet."""
+        return np.full(self.num_inputs, 1.0 / self.num_inputs)
+
+    # ------------------------------------------------------------------
+    # Fixed noiseless strategies (Section 5.3.1 example)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def strategy_rate(
+        durations: list[int], probabilities: list[float] | None = None
+    ) -> StrategyRate:
+        """Evaluate a fixed noiseless transmission strategy.
+
+        With no random delay the receiver decodes symbols exactly, so the
+        information per transmission is ``H(X)`` and the rate is
+        ``H(X) / T_avg``. This reproduces the Section 5.3.1 example:
+        4 symbols at 1..4 ms beat 8 symbols at 1..8 ms (800 vs ~667 bits/s).
+        """
+        if not durations:
+            raise ChannelModelError("strategy needs at least one duration")
+        if probabilities is None:
+            probabilities = [1.0 / len(durations)] * len(durations)
+        if len(probabilities) != len(durations):
+            raise ChannelModelError("durations and probabilities must align")
+        dist = DiscreteDistribution(
+            {int(d): p for d, p in zip(durations, probabilities)}
+        )
+        bits = dist.entropy_bits()
+        t_avg = sum(p * d for d, p in zip(durations, probabilities))
+        return StrategyRate(bits_per_transmission=bits, average_transmission_time=t_avg)
+
+    # ------------------------------------------------------------------
+    def with_cooldown(self, cooldown: int, max_duration: int | None = None) -> "CovertChannelModel":
+        """A copy of this model with a different cooldown.
+
+        Used by the Maintain optimization (Section 5.3.4): ``n`` consecutive
+        Maintains act like a cooldown of ``(n + 1) T_c``. The duration
+        horizon scales proportionally unless overridden, and the delay
+        distribution is unchanged (the delay mechanism is per-action).
+        """
+        if max_duration is None:
+            span = self.max_duration - self.cooldown
+            max_duration = cooldown + span
+        return CovertChannelModel(
+            cooldown=cooldown,
+            resolution=self.resolution,
+            max_duration=max_duration,
+            delay=self.delay,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CovertChannelModel(cooldown={self.cooldown}, "
+            f"resolution={self.resolution}, max_duration={self.max_duration}, "
+            f"|X|={self.num_inputs}, |Y|={len(self._outputs)}, "
+            f"H(delta)={self.delay_entropy_bits():.3f} bits)"
+        )
+
+
+def worst_case_bits_per_assessment(num_actions: int) -> float:
+    """Prior-work conservative charge: ``log2 |A|`` bits per assessment.
+
+    This is how the evaluation measures the Time scheme's leakage
+    (Section 8: "We measure the leakage in Time with log |A| bits per
+    assessment").
+    """
+    if num_actions < 1:
+        raise ChannelModelError("need at least one action")
+    return math.log2(num_actions)

@@ -1,0 +1,90 @@
+"""Leakage decomposition (Section 5.1, Equations 5.1–5.6).
+
+Untangle's first formal contribution: the leakage of a victim program —
+the joint entropy of its realizable resizing traces — splits exactly into
+
+``L = H(S, T_S) = H(S) + E[H(T_s | S = s)]``
+
+where ``H(S)`` is the *action leakage* (entropy of the action-sequence
+marginal) and ``E[H(T_s | S = s)]`` is the *scheduling leakage* (expected
+entropy of the per-sequence timing conditionals).
+
+The functions here compute each term from a :class:`~repro.core.trace.TraceEnsemble`
+and verify the chain-rule identity, reproducing the worked example of
+Figure 3 exactly (see ``tests/core/test_decomposition.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trace import TraceEnsemble
+from repro.info.entropy import (
+    entropy,
+    expected_conditional_entropy,
+    joint_entropy,
+)
+
+
+@dataclass(frozen=True)
+class LeakageBreakdown:
+    """The decomposed leakage of a trace ensemble, in bits.
+
+    Attributes
+    ----------
+    action_bits:
+        Action leakage ``H(S)``.
+    scheduling_bits:
+        Scheduling leakage ``E[H(T_s | S = s)]``.
+    total_bits:
+        Total leakage ``H(S, T_S)`` computed directly from the joint; by
+        the chain rule it equals ``action_bits + scheduling_bits`` up to
+        floating-point residue.
+    per_sequence_timing_bits:
+        ``H(T_s | S = s)`` for each realizable action-sequence key — the
+        inner terms of Equation 5.5, useful for diagnosis.
+    """
+
+    action_bits: float
+    scheduling_bits: float
+    total_bits: float
+    per_sequence_timing_bits: dict[tuple[int, ...], float]
+
+    @property
+    def chain_rule_residual(self) -> float:
+        """``|H(S,T_S) - (H(S) + E[H(T_s|S=s)])|`` — should be ~0."""
+        return abs(self.total_bits - (self.action_bits + self.scheduling_bits))
+
+
+def action_leakage(ensemble: TraceEnsemble) -> float:
+    """Action leakage ``H(S)`` in bits."""
+    return entropy(ensemble.action_distribution())
+
+
+def scheduling_leakage(ensemble: TraceEnsemble) -> float:
+    """Scheduling leakage ``E[H(T_s | S = s)]`` in bits (Equation 5.6)."""
+    marginal = ensemble.action_distribution()
+    conditionals = ensemble.timing_conditionals()
+    return expected_conditional_entropy(marginal, conditionals)
+
+
+def total_leakage(ensemble: TraceEnsemble) -> float:
+    """Total leakage ``H(S, T_S)`` in bits, from the joint (Equation 5.1)."""
+    return joint_entropy(ensemble.joint_distribution())
+
+
+def decompose(ensemble: TraceEnsemble) -> LeakageBreakdown:
+    """Full decomposition of an ensemble's leakage (Equations 5.1–5.6)."""
+    marginal = ensemble.action_distribution()
+    conditionals = ensemble.timing_conditionals()
+    per_sequence = {
+        key: dist.entropy_bits() for key, dist in conditionals.items()
+    }
+    action_bits = entropy(marginal)
+    scheduling_bits = expected_conditional_entropy(marginal, conditionals)
+    return LeakageBreakdown(
+        action_bits=action_bits,
+        scheduling_bits=scheduling_bits,
+        total_bits=joint_entropy(ensemble.joint_distribution()),
+        per_sequence_timing_bits=per_sequence,
+    )

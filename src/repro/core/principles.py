@@ -1,0 +1,124 @@
+"""Untangle's design principles and compliance checking (Section 5.2).
+
+Principle 1 — *timing-independent utilization metric*: the metric value
+may depend only on the architectural semantics of the executed program
+(its retired dynamic instruction sequence), never on instruction timing.
+
+Principle 2 — *progress-based resizing schedule*: assessments are tied to
+execution progress (e.g. every ``N`` retired instructions), not elapsed
+time.
+
+Following both principles (plus annotations) makes the resizing action
+sequence depend only on the *public portion* of the retired instruction
+sequence, eliminating action leakage.
+
+This module offers two enforcement layers:
+
+1. Static declarations: metric and schedule objects expose a boolean
+   ``timing_independent`` / ``progress_based`` attribute which
+   :func:`require_untangle_compliant` checks before a scheme is allowed
+   to claim zero action leakage.
+2. A dynamic differential check, :func:`check_timing_independence`, which
+   replays the same program under perturbed timing and verifies the action
+   sequence is bit-for-bit identical — the empirical counterpart of
+   removing Edge 3 in Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import PrincipleViolation
+
+
+@runtime_checkable
+class UtilizationMetricLike(Protocol):
+    """Anything usable as a utilization metric (Table 2, first component)."""
+
+    @property
+    def timing_independent(self) -> bool:
+        """Whether the metric satisfies Principle 1."""
+        ...
+
+
+@runtime_checkable
+class ScheduleLike(Protocol):
+    """Anything usable as a resizing schedule (Table 2, third component)."""
+
+    @property
+    def progress_based(self) -> bool:
+        """Whether the schedule satisfies Principle 2."""
+        ...
+
+
+def require_timing_independent_metric(metric: UtilizationMetricLike) -> None:
+    """Raise :class:`PrincipleViolation` unless the metric satisfies P1."""
+    if not getattr(metric, "timing_independent", False):
+        raise PrincipleViolation(
+            f"{type(metric).__name__} is timing-dependent; Untangle requires a "
+            "timing-independent utilization metric (Principle 1, Section 5.2)"
+        )
+
+
+def require_progress_based_schedule(schedule: ScheduleLike) -> None:
+    """Raise :class:`PrincipleViolation` unless the schedule satisfies P2."""
+    if not getattr(schedule, "progress_based", False):
+        raise PrincipleViolation(
+            f"{type(schedule).__name__} is time-based; Untangle requires a "
+            "progress-based resizing schedule (Principle 2, Section 5.2)"
+        )
+
+
+def require_untangle_compliant(
+    metric: UtilizationMetricLike, schedule: ScheduleLike
+) -> None:
+    """Check both principles at scheme-construction time."""
+    require_timing_independent_metric(metric)
+    require_progress_based_schedule(schedule)
+
+
+@dataclass(frozen=True)
+class TimingIndependenceReport:
+    """Outcome of a differential timing-independence check."""
+
+    runs: int
+    action_sequences: list[tuple[int, ...]]
+    independent: bool
+    first_divergence: int | None
+
+    def __bool__(self) -> bool:
+        return self.independent
+
+
+def check_timing_independence(
+    run_with_timing_seed: Callable[[int], Sequence[int]],
+    timing_seeds: Iterable[int],
+) -> TimingIndependenceReport:
+    """Differentially test that an action sequence ignores program timing.
+
+    ``run_with_timing_seed(seed)`` must execute the *same program with the
+    same inputs* but with timing perturbed by ``seed`` (e.g. randomized
+    memory latencies) and return the resulting action-sequence key.
+
+    Untangle-compliant schemes must produce identical sequences for every
+    seed; Time-style schemes generally will not (their assessment points
+    fall at different places in the instruction stream).
+    """
+    sequences: list[tuple[int, ...]] = []
+    for seed in timing_seeds:
+        sequences.append(tuple(run_with_timing_seed(seed)))
+    if not sequences:
+        raise PrincipleViolation("timing-independence check needs at least one run")
+    reference = sequences[0]
+    first_divergence = None
+    for index, sequence in enumerate(sequences[1:], start=1):
+        if sequence != reference:
+            first_divergence = index
+            break
+    return TimingIndependenceReport(
+        runs=len(sequences),
+        action_sequences=sequences,
+        independent=first_divergence is None,
+        first_divergence=first_divergence,
+    )

@@ -1,0 +1,192 @@
+"""Resizing traces (Section 3.2 of the paper).
+
+A *resizing trace* is a sequence of tuples, each containing a resizing
+action and the time at which the action occurs. The leakage of a victim
+program under a partitioning scheme is the entropy of the set of traces
+that are *realizable* for that program across its inputs (Equation 5.1).
+
+:class:`ResizingTrace` is one trace; :class:`TraceEnsemble` is a
+probability distribution over realizable traces, with helpers to extract
+the action-sequence marginal ``p(s)`` and the per-sequence timing
+conditionals ``p(tau_s | s)`` used by the decomposition in Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.actions import ResizingAction, action_sequence_key
+from repro.errors import TraceError
+from repro.info.distributions import DiscreteDistribution
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of a resizing trace: an action and its timestamp."""
+
+    action: ResizingAction
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise TraceError(f"timestamp {self.timestamp} must be non-negative")
+
+
+@dataclass(frozen=True)
+class ResizingTrace:
+    """An ordered sequence of resizing events with strictly increasing times.
+
+    The paper represents timestamps as finite-resolution integers
+    (Section 5.1); we do the same.
+    """
+
+    events: tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        previous = -1
+        for event in self.events:
+            if event.timestamp <= previous:
+                raise TraceError(
+                    "trace timestamps must be strictly increasing, "
+                    f"saw {event.timestamp} after {previous}"
+                )
+            previous = event.timestamp
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[ResizingAction, int]]
+    ) -> "ResizingTrace":
+        """Build a trace from ``(action, timestamp)`` pairs."""
+        return cls(tuple(TraceEvent(action, ts) for action, ts in pairs))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def action_sequence(self) -> tuple[ResizingAction, ...]:
+        """The actions of the trace, in order (the value of ``S``)."""
+        return tuple(event.action for event in self.events)
+
+    @property
+    def action_key(self) -> tuple[int, ...]:
+        """Hashable canonical key of the action sequence."""
+        return action_sequence_key(self.action_sequence)
+
+    @property
+    def timing_sequence(self) -> tuple[int, ...]:
+        """The timestamps of the trace, in order (the value of ``T_s``)."""
+        return tuple(event.timestamp for event in self.events)
+
+    @property
+    def visible_events(self) -> tuple[TraceEvent, ...]:
+        """Events whose action is attacker-visible (changes the size)."""
+        return tuple(e for e in self.events if e.action.is_visible)
+
+    def visible_view(self) -> "ResizingTrace":
+        """The trace as the idealized attacker observes it.
+
+        Maintain actions are invisible (Section 5.3.4), so the attacker's
+        view contains only the size-changing events.
+        """
+        return ResizingTrace(self.visible_events)
+
+    def inter_event_gaps(self) -> tuple[int, ...]:
+        """Durations between consecutive events (first gap from time 0)."""
+        gaps = []
+        previous = 0
+        for event in self.events:
+            gaps.append(event.timestamp - previous)
+            previous = event.timestamp
+        return tuple(gaps)
+
+    def maintain_run_lengths(self) -> tuple[int, ...]:
+        """Lengths of the consecutive-Maintain runs preceding visible actions.
+
+        Used by the optimized covert-channel model (Section 5.3.4): ``n``
+        consecutive Maintains before a visible action stretch the effective
+        cooldown of that action to ``(n + 1) T_c``.
+        """
+        runs = []
+        current = 0
+        for event in self.events:
+            if event.action.is_maintain:
+                current += 1
+            else:
+                runs.append(current)
+                current = 0
+        return tuple(runs)
+
+
+class TraceEnsemble:
+    """A probability distribution over realizable resizing traces.
+
+    This is the object whose entropy *is* the program's leakage
+    (Equation 5.1). The ensemble also exposes the two marginal views the
+    decomposition needs:
+
+    * :meth:`action_distribution` — ``p(s)`` over action-sequence keys.
+    * :meth:`timing_conditionals` — ``p(tau_s | s)`` for every ``s``.
+    """
+
+    def __init__(self, traces: Mapping[ResizingTrace, float]):
+        if not traces:
+            raise TraceError("trace ensemble must contain at least one trace")
+        self._distribution = DiscreteDistribution(dict(traces))
+
+    @classmethod
+    def equally_likely(cls, traces: Sequence[ResizingTrace]) -> "TraceEnsemble":
+        """Uniform ensemble over the given traces.
+
+        Duplicate traces accumulate probability mass — two inputs that
+        produce the same trace make that trace twice as likely, exactly
+        the semantics of enumerating inputs (Section 3.2).
+        """
+        if not traces:
+            raise TraceError("trace ensemble must contain at least one trace")
+        p = 1.0 / len(traces)
+        pmf: dict[ResizingTrace, float] = {}
+        for trace in traces:
+            pmf[trace] = pmf.get(trace, 0.0) + p
+        return cls(pmf)
+
+    @property
+    def distribution(self) -> DiscreteDistribution:
+        """The underlying distribution over :class:`ResizingTrace` objects."""
+        return self._distribution
+
+    def traces(self) -> list[ResizingTrace]:
+        """The realizable traces (the support)."""
+        return list(self._distribution.support)
+
+    def probability(self, trace: ResizingTrace) -> float:
+        return self._distribution.probability(trace)
+
+    def action_distribution(self) -> DiscreteDistribution:
+        """Marginal distribution ``p(s)`` over action-sequence keys."""
+        return self._distribution.map(lambda trace: trace.action_key)
+
+    def timing_conditionals(self) -> dict[tuple[int, ...], DiscreteDistribution]:
+        """``p(tau_s | s)`` for each realizable action sequence ``s``.
+
+        Keys are action-sequence keys; values are distributions over timing
+        sequences (tuples of timestamps).
+        """
+        grouped: dict[tuple[int, ...], dict[tuple[int, ...], float]] = {}
+        for trace, p in self._distribution.items():
+            bucket = grouped.setdefault(trace.action_key, {})
+            timing = trace.timing_sequence
+            bucket[timing] = bucket.get(timing, 0.0) + p
+        return {
+            key: DiscreteDistribution.from_counts(bucket)
+            for key, bucket in grouped.items()
+        }
+
+    def joint_distribution(self) -> DiscreteDistribution:
+        """Joint distribution over ``(action_key, timing_sequence)`` pairs."""
+        return self._distribution.map(
+            lambda trace: (trace.action_key, trace.timing_sequence)
+        )

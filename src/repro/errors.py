@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Untangle reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DistributionError(ReproError):
+    """A probability distribution is malformed (negative mass, sum != 1, ...)."""
+
+
+class TraceError(ReproError):
+    """A resizing trace is malformed (non-increasing timestamps, ...)."""
+
+
+class ChannelModelError(ReproError):
+    """A covert-channel model is misconfigured (duration < cooldown, ...)."""
+
+
+class OptimizationError(ReproError):
+    """The Dinkelbach / concave-programming solver failed to converge."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture, scheme, or workload configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class PrincipleViolation(ReproError):
+    """A scheme component violates one of Untangle's design principles.
+
+    Raised by :mod:`repro.core.principles` when a utilization metric or a
+    resizing schedule declares (or is detected) to be timing-dependent but
+    is used in a context that requires timing independence.
+    """
+
+
+class LeakageBudgetExceeded(ReproError):
+    """An operation would push accumulated leakage past the user threshold.
+
+    Untangle never raises this during normal accounting (it clamps resizing
+    instead); it is raised only when client code explicitly asks for a
+    resize after the budget is exhausted with ``strict=True``.
+    """
+
+
+class AnnotationError(ReproError):
+    """Secret-dependence annotations are inconsistent with the program."""

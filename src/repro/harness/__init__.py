@@ -1,0 +1,66 @@
+"""Experiment harness: profiles, mix experiments, figures, tables."""
+
+from repro.harness.experiment import (
+    MixResult,
+    SchemeRunResult,
+    WorkloadResult,
+    make_scheme,
+    run_custom_mix,
+    run_mix,
+    run_mix_scheme,
+)
+from repro.harness.figures import FigureGroup, WorkloadRow, figure11_data, figure_group
+from repro.harness.runconfig import LARGE, PROFILES, SCALED, TEST, RunProfile
+from repro.harness.sensitivity import (
+    SensitivityCurve,
+    classify_benchmarks,
+    run_sensitivity_curve,
+    run_sensitivity_study,
+)
+from repro.harness.tables import (
+    ActiveAttackerSummary,
+    Table6,
+    Table6Row,
+    active_attacker_summary,
+    table6,
+)
+from repro.harness.report import (
+    render_active_attacker,
+    render_figure_group,
+    render_sensitivity,
+    render_table6,
+    size_label,
+)
+
+__all__ = [
+    "RunProfile",
+    "SCALED",
+    "TEST",
+    "LARGE",
+    "PROFILES",
+    "run_mix",
+    "run_mix_scheme",
+    "run_custom_mix",
+    "make_scheme",
+    "MixResult",
+    "SchemeRunResult",
+    "WorkloadResult",
+    "figure_group",
+    "figure11_data",
+    "FigureGroup",
+    "WorkloadRow",
+    "SensitivityCurve",
+    "run_sensitivity_curve",
+    "run_sensitivity_study",
+    "classify_benchmarks",
+    "Table6",
+    "Table6Row",
+    "table6",
+    "ActiveAttackerSummary",
+    "active_attacker_summary",
+    "render_figure_group",
+    "render_sensitivity",
+    "render_table6",
+    "render_active_attacker",
+    "size_label",
+]

@@ -1,0 +1,217 @@
+"""Mix experiments: run one workload mix under the Table 4 schemes.
+
+This is the engine behind Figures 10 and 12-17 and Table 6. A mix of
+eight ``SPEC + crypto`` workloads is simulated under Static, Time,
+Untangle, and Shared; per-workload IPC (normalized to Static), leakage
+per assessment, total leakage, and partition-size distributions are
+extracted, matching the panels of each figure group.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.harness.runconfig import RunProfile, SCALED
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.shared import SharedScheme
+from repro.schemes.static import StaticScheme
+from repro.schemes.timebased import TimeScheme
+from repro.schemes.untangle import UntangleScheme, default_channel_model
+from repro.core.rates import worst_case_table
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.workloads.mixes import get_mix
+from repro.workloads.workload import build_workload
+
+#: Scheme names accepted by :func:`run_mix_scheme`.
+SCHEME_NAMES = ("static", "time", "untangle", "untangle-unopt", "shared")
+
+
+@dataclass
+class WorkloadResult:
+    """Per-workload outcome under one scheme."""
+
+    label: str
+    ipc: float
+    assessments: int
+    visible_actions: int
+    leakage_bits: float
+    partition_quartiles: tuple[int, int, int, int, int]
+
+    @property
+    def bits_per_assessment(self) -> float:
+        return self.leakage_bits / self.assessments if self.assessments else 0.0
+
+    @property
+    def maintain_fraction(self) -> float:
+        if not self.assessments:
+            return 0.0
+        return (self.assessments - self.visible_actions) / self.assessments
+
+
+@dataclass
+class SchemeRunResult:
+    """Outcome of one mix under one scheme."""
+
+    scheme: str
+    workloads: list[WorkloadResult]
+    total_cycles: int
+
+    def workload(self, label: str) -> WorkloadResult:
+        for result in self.workloads:
+            if result.label == label:
+                return result
+        raise ConfigurationError(f"no workload {label!r} in this run")
+
+    @property
+    def mean_bits_per_assessment(self) -> float:
+        values = [w.bits_per_assessment for w in self.workloads if w.assessments]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_total_leakage(self) -> float:
+        values = [w.leakage_bits for w in self.workloads]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def maintain_fraction(self) -> float:
+        assessments = sum(w.assessments for w in self.workloads)
+        visible = sum(w.visible_actions for w in self.workloads)
+        if not assessments:
+            return 0.0
+        return (assessments - visible) / assessments
+
+
+@dataclass
+class MixResult:
+    """Outcome of one mix under all requested schemes."""
+
+    mix_id: int | None
+    labels: list[str]
+    runs: dict[str, SchemeRunResult] = field(default_factory=dict)
+
+    def normalized_ipc(self, scheme: str) -> dict[str, float]:
+        """Per-workload IPC normalized to Static (a figure's bottom row)."""
+        if "static" not in self.runs:
+            raise ConfigurationError("normalization requires a static run")
+        baseline = {w.label: w.ipc for w in self.runs["static"].workloads}
+        return {
+            w.label: (w.ipc / baseline[w.label] if baseline[w.label] > 0 else 0.0)
+            for w in self.runs[scheme].workloads
+        }
+
+    def geomean_speedup(self, scheme: str) -> float:
+        """System-wide speedup over Static (geometric mean of IPC ratios)."""
+        ratios = [r for r in self.normalized_ipc(scheme).values() if r > 0]
+        if not ratios:
+            return 0.0
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def make_scheme(name: str, profile: RunProfile, num_domains: int):
+    """Instantiate a scheme by name for the given profile."""
+    arch = profile.arch(num_domains)
+    if name == "static":
+        return StaticScheme(arch)
+    if name == "shared":
+        return SharedScheme(arch)
+    if name == "time":
+        return TimeScheme(
+            arch,
+            interval=profile.time_interval,
+            monitor_window=profile.monitor_window,
+            monitor_sampling_shift=profile.monitor_sampling_shift,
+            hysteresis=profile.hysteresis,
+        )
+    if name in ("untangle", "untangle-unopt"):
+        model = default_channel_model(profile.cooldown)
+        schedule = ProgressSchedule(
+            instructions_per_assessment=profile.untangle_instructions,
+            cooldown=model.cooldown,
+            delay=model.delay,
+            seed=profile.seed + 17,
+        )
+        table = None
+        if name == "untangle-unopt":
+            # Active-attacker accounting (Section 9): every assessment
+            # charged at the single-cooldown rate — no Maintain credit.
+            table = worst_case_table(model)
+        return UntangleScheme(
+            arch,
+            schedule,
+            rmax_table=table,
+            monitor_window=profile.monitor_window,
+            monitor_sampling_shift=profile.monitor_sampling_shift,
+            hysteresis=profile.hysteresis,
+        )
+    raise ConfigurationError(f"unknown scheme {name!r}; known: {SCHEME_NAMES}")
+
+
+def run_mix_scheme(
+    pairs: list[tuple[str, str]],
+    scheme_name: str,
+    profile: RunProfile = SCALED,
+) -> SchemeRunResult:
+    """Simulate one mix under one scheme."""
+    workloads = [
+        build_workload(
+            spec, crypto, profile.workload_scale, seed=profile.seed + index
+        )
+        for index, (spec, crypto) in enumerate(pairs)
+    ]
+    domains = [
+        DomainSpec(w.label, w.stream, w.core_config) for w in workloads
+    ]
+    scheme = make_scheme(scheme_name, profile, len(domains))
+    system = MultiDomainSystem(
+        profile.arch(len(domains)),
+        domains,
+        scheme,
+        quantum=profile.quantum,
+        sample_interval=profile.sample_interval,
+    )
+    outcome = system.run(max_cycles=profile.max_cycles)
+    results = [
+        WorkloadResult(
+            label=workloads[i].label,
+            ipc=stats.ipc,
+            assessments=stats.assessments,
+            visible_actions=stats.visible_actions,
+            leakage_bits=stats.leakage_bits,
+            partition_quartiles=stats.partition_size_quartiles(),
+        )
+        for i, stats in enumerate(outcome.stats)
+    ]
+    return SchemeRunResult(
+        scheme=scheme_name,
+        workloads=results,
+        total_cycles=outcome.total_cycles,
+    )
+
+
+def run_mix(
+    mix_id: int,
+    profile: RunProfile = SCALED,
+    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+) -> MixResult:
+    """Simulate one paper mix under the requested schemes."""
+    pairs = get_mix(mix_id)
+    result = MixResult(
+        mix_id=mix_id, labels=[f"{s}+{c}" for s, c in pairs]
+    )
+    for scheme_name in schemes:
+        result.runs[scheme_name] = run_mix_scheme(pairs, scheme_name, profile)
+    return result
+
+
+def run_custom_mix(
+    pairs: list[tuple[str, str]],
+    profile: RunProfile = SCALED,
+    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+) -> MixResult:
+    """Simulate an arbitrary mix of (spec, crypto) pairs."""
+    result = MixResult(mix_id=None, labels=[f"{s}+{c}" for s, c in pairs])
+    for scheme_name in schemes:
+        result.runs[scheme_name] = run_mix_scheme(pairs, scheme_name, profile)
+    return result

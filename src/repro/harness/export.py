@@ -1,0 +1,115 @@
+"""JSON export of experiment results.
+
+Downstream users (plotting scripts, regression dashboards) need the raw
+numbers behind the text renderings. These functions flatten the harness
+result objects into JSON-serializable dictionaries with explicit units.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.config import ArchConfig
+from repro.harness.experiment import MixResult, SchemeRunResult
+from repro.harness.sensitivity import SensitivityCurve
+from repro.harness.tables import Table6
+
+_ARCH = ArchConfig.scaled()
+
+
+def scheme_run_to_dict(run: SchemeRunResult) -> dict[str, Any]:
+    """One scheme's mix run as plain data."""
+    return {
+        "scheme": run.scheme,
+        "total_cycles": run.total_cycles,
+        "mean_bits_per_assessment": run.mean_bits_per_assessment,
+        "mean_total_leakage_bits": run.mean_total_leakage,
+        "maintain_fraction": run.maintain_fraction,
+        "workloads": [
+            {
+                "label": w.label,
+                "ipc": w.ipc,
+                "assessments": w.assessments,
+                "visible_actions": w.visible_actions,
+                "leakage_bits": w.leakage_bits,
+                "bits_per_assessment": w.bits_per_assessment,
+                "partition_quartiles_lines": list(w.partition_quartiles),
+                "partition_quartiles_paper_mb": [
+                    _ARCH.lines_to_paper_mb(q) for q in w.partition_quartiles
+                ],
+            }
+            for w in run.workloads
+        ],
+    }
+
+
+def mix_result_to_dict(result: MixResult) -> dict[str, Any]:
+    """A full mix result (all schemes) as plain data."""
+    payload: dict[str, Any] = {
+        "mix_id": result.mix_id,
+        "labels": list(result.labels),
+        "runs": {
+            name: scheme_run_to_dict(run) for name, run in result.runs.items()
+        },
+    }
+    if "static" in result.runs:
+        payload["normalized_ipc"] = {
+            scheme: result.normalized_ipc(scheme)
+            for scheme in result.runs
+            if scheme != "static"
+        }
+        payload["geomean_speedups"] = {
+            scheme: result.geomean_speedup(scheme)
+            for scheme in result.runs
+            if scheme != "static"
+        }
+    return payload
+
+
+def sensitivity_to_dict(
+    curves: dict[str, SensitivityCurve]
+) -> dict[str, Any]:
+    """The Figure 11 study as plain data."""
+    return {
+        name: {
+            "sizes_lines": list(curve.sizes_lines),
+            "sizes_paper_mb": [
+                _ARCH.lines_to_paper_mb(s) for s in curve.sizes_lines
+            ],
+            "ipc": list(curve.ipc),
+            "normalized_ipc": list(curve.normalized_ipc),
+            "adequate_size_lines": curve.adequate_size_lines(),
+            "llc_sensitive": curve.llc_sensitive(
+                _ARCH.default_partition_lines
+            ),
+        }
+        for name, curve in curves.items()
+    }
+
+
+def table6_to_dict(table: Table6) -> dict[str, Any]:
+    """Table 6 as plain data."""
+    return {
+        "rows": [
+            {
+                "mix_id": row.mix_id,
+                "time_bits_per_assessment": row.time_bits_per_assessment,
+                "time_total_bits": row.time_total_bits,
+                "untangle_bits_per_assessment": row.untangle_bits_per_assessment,
+                "untangle_total_bits": row.untangle_total_bits,
+                "per_assessment_reduction": row.per_assessment_reduction,
+            }
+            for row in table.rows
+        ],
+        "average_reduction": table.average_reduction,
+    }
+
+
+def write_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write a payload to disk as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,101 @@
+"""Figure data generators (Figures 10 and 12-17 of the paper).
+
+Each paper figure group shows, for one mix: the distribution of
+partition sizes (top), the leakage per assessment of Time and Untangle
+(middle), and per-workload IPC normalized to Static (bottom).
+:func:`figure_group` computes all three panels for one mix;
+:func:`figure11_data` is the sensitivity study of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiment import MixResult, run_mix
+from repro.harness.runconfig import RunProfile, SCALED
+from repro.harness.sensitivity import SensitivityCurve, run_sensitivity_study
+from repro.workloads.mixes import mix_demand_mb, mix_sensitive_count
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class WorkloadRow:
+    """One workload's column across a figure group's three panels."""
+
+    label: str
+    llc_sensitive: bool
+    normalized_ipc: dict[str, float]
+    time_bits_per_assessment: float
+    untangle_bits_per_assessment: float
+    time_partition_quartiles: tuple[int, int, int, int, int]
+    untangle_partition_quartiles: tuple[int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class FigureGroup:
+    """All panels of one figure group (one mix)."""
+
+    mix_id: int
+    sensitive_count: int
+    total_demand_mb: float
+    rows: list[WorkloadRow]
+    geomean_speedups: dict[str, float]
+    maintain_fraction_untangle: float
+
+    @property
+    def title(self) -> str:
+        return (
+            f"Mix {self.mix_id}: {self.sensitive_count} LLC-sensitive benchmarks; "
+            f"Total LLC size: 16MB; Total LLC demand: {self.total_demand_mb:.1f}MB"
+        )
+
+
+def figure_group(
+    mix_id: int,
+    profile: RunProfile = SCALED,
+    mix_result: MixResult | None = None,
+) -> FigureGroup:
+    """Compute one figure group (runs the mix unless given a result)."""
+    result = mix_result if mix_result is not None else run_mix(mix_id, profile)
+    time_run = result.runs["time"]
+    untangle_run = result.runs["untangle"]
+    schemes = [name for name in result.runs if name != "static"]
+    normalized = {scheme: result.normalized_ipc(scheme) for scheme in schemes}
+
+    rows = []
+    for label in result.labels:
+        spec_name = label.split("+")[0]
+        rows.append(
+            WorkloadRow(
+                label=label,
+                llc_sensitive=SPEC_BENCHMARKS[spec_name].llc_sensitive,
+                normalized_ipc={
+                    scheme: normalized[scheme][label] for scheme in schemes
+                },
+                time_bits_per_assessment=time_run.workload(label).bits_per_assessment,
+                untangle_bits_per_assessment=untangle_run.workload(
+                    label
+                ).bits_per_assessment,
+                time_partition_quartiles=time_run.workload(label).partition_quartiles,
+                untangle_partition_quartiles=untangle_run.workload(
+                    label
+                ).partition_quartiles,
+            )
+        )
+    return FigureGroup(
+        mix_id=mix_id,
+        sensitive_count=mix_sensitive_count(mix_id),
+        total_demand_mb=mix_demand_mb(mix_id),
+        rows=rows,
+        geomean_speedups={
+            scheme: result.geomean_speedup(scheme) for scheme in schemes
+        },
+        maintain_fraction_untangle=untangle_run.maintain_fraction,
+    )
+
+
+def figure11_data(
+    profile: RunProfile = SCALED, names: list[str] | None = None
+) -> dict[str, SensitivityCurve]:
+    """The Figure 11 LLC sensitivity study (all 36 benchmarks)."""
+    return run_sensitivity_study(names, profile)

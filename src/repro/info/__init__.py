@@ -1,0 +1,39 @@
+"""Information-theory substrate (Section 2.2 of the paper)."""
+
+from repro.info.distributions import (
+    DiscreteDistribution,
+    joint_from_conditional,
+    marginals,
+)
+from repro.info.entropy import (
+    binary_entropy,
+    conditional_entropy,
+    entropy,
+    entropy_bits_vec,
+    entropy_gradient_vec,
+    expected_conditional_entropy,
+    joint_entropy,
+    kl_divergence_bits,
+    max_entropy,
+    mutual_information,
+    normalize_vec,
+    uniform_vec,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "joint_from_conditional",
+    "marginals",
+    "entropy",
+    "joint_entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "binary_entropy",
+    "max_entropy",
+    "expected_conditional_entropy",
+    "entropy_bits_vec",
+    "entropy_gradient_vec",
+    "kl_divergence_bits",
+    "normalize_vec",
+    "uniform_vec",
+]

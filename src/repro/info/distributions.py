@@ -1,0 +1,245 @@
+"""Discrete probability distributions.
+
+This module provides a small, explicit representation of finite discrete
+distributions used throughout the leakage framework: resizing-trace
+distributions (Section 5.1 of the paper), input-symbol distributions
+``p(x)`` and random-delay distributions ``p(delta)`` of the covert channel
+(Section 5.3.3), and the derived output distribution ``p(y)``.
+
+Outcomes may be any hashable value. For integer-valued distributions
+(timestamps, durations, delays) the class additionally supports
+convolution and difference, which are what Equation 5.8 of the paper
+(``d_y = d_x + delta_i - delta_{i-1}``) needs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from typing import Callable, Hashable
+
+from repro.errors import DistributionError
+
+#: Tolerance used when checking that probability masses sum to one.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+class DiscreteDistribution:
+    """A finite discrete probability distribution over hashable outcomes.
+
+    The distribution is immutable after construction. Probabilities must be
+    non-negative and sum to 1 within :data:`PROBABILITY_TOLERANCE`.
+
+    Parameters
+    ----------
+    pmf:
+        Mapping from outcome to probability. Outcomes with zero probability
+        are dropped from the support.
+    """
+
+    __slots__ = ("_pmf",)
+
+    def __init__(self, pmf: Mapping[Hashable, float]):
+        cleaned: dict[Hashable, float] = {}
+        total = 0.0
+        for outcome, probability in pmf.items():
+            if probability < -PROBABILITY_TOLERANCE:
+                raise DistributionError(
+                    f"negative probability {probability!r} for outcome {outcome!r}"
+                )
+            if probability > 0.0:
+                cleaned[outcome] = cleaned.get(outcome, 0.0) + probability
+                total += probability
+        if not cleaned:
+            raise DistributionError("distribution has empty support")
+        if abs(total - 1.0) > 1e-6:
+            raise DistributionError(f"probabilities sum to {total!r}, expected 1.0")
+        # Renormalize away the tiny numerical residue so downstream entropy
+        # computations see an exactly-normalized distribution.
+        self._pmf = {outcome: p / total for outcome, p in cleaned.items()}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, outcomes: Iterable[Hashable]) -> "DiscreteDistribution":
+        """Uniform distribution over ``outcomes`` (duplicates collapse)."""
+        unique = list(dict.fromkeys(outcomes))
+        if not unique:
+            raise DistributionError("cannot build uniform distribution over nothing")
+        p = 1.0 / len(unique)
+        return cls({outcome: p for outcome in unique})
+
+    @classmethod
+    def delta(cls, outcome: Hashable) -> "DiscreteDistribution":
+        """Point-mass distribution at ``outcome``."""
+        return cls({outcome: 1.0})
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Hashable, int | float]) -> "DiscreteDistribution":
+        """Empirical distribution from observation counts."""
+        total = float(sum(counts.values()))
+        if total <= 0:
+            raise DistributionError("counts must have positive total")
+        return cls({outcome: count / total for outcome, count in counts.items()})
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[Hashable]) -> "DiscreteDistribution":
+        """Empirical distribution of an iterable of observed samples."""
+        counts: dict[Hashable, int] = {}
+        for sample in samples:
+            counts[sample] = counts.get(sample, 0) + 1
+        return cls.from_counts(counts)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> list[Hashable]:
+        """Outcomes with strictly positive probability."""
+        return list(self._pmf)
+
+    def probability(self, outcome: Hashable) -> float:
+        """Probability of ``outcome`` (0.0 if outside the support)."""
+        return self._pmf.get(outcome, 0.0)
+
+    def items(self):
+        """Iterate over ``(outcome, probability)`` pairs."""
+        return self._pmf.items()
+
+    def as_dict(self) -> dict[Hashable, float]:
+        """A copy of the underlying pmf mapping."""
+        return dict(self._pmf)
+
+    def __len__(self) -> int:
+        return len(self._pmf)
+
+    def __contains__(self, outcome: Hashable) -> bool:
+        return outcome in self._pmf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = ", ".join(f"{o!r}: {p:.4g}" for o, p in list(self._pmf.items())[:6])
+        suffix = ", ..." if len(self._pmf) > 6 else ""
+        return f"DiscreteDistribution({{{shown}{suffix}}})"
+
+    def almost_equal(self, other: "DiscreteDistribution", tol: float = 1e-9) -> bool:
+        """Whether the two distributions agree within ``tol`` pointwise."""
+        outcomes = set(self._pmf) | set(other._pmf)
+        return all(
+            abs(self.probability(o) - other.probability(o)) <= tol for o in outcomes
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def expectation(self, value: Callable[[Hashable], float] | None = None) -> float:
+        """Expected value of ``value(outcome)`` (identity by default).
+
+        Outcomes must be numeric when ``value`` is ``None``.
+        """
+        if value is None:
+            return sum(float(o) * p for o, p in self._pmf.items())  # type: ignore[arg-type]
+        return sum(value(o) * p for o, p in self._pmf.items())
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy in bits (Equation 2.1 of the paper)."""
+        return -sum(p * math.log2(p) for p in self._pmf.values())
+
+    def max_outcome(self) -> Hashable:
+        """The outcome with the highest probability (ties broken arbitrarily)."""
+        return max(self._pmf, key=lambda o: self._pmf[o])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Hashable], Hashable]) -> "DiscreteDistribution":
+        """Push-forward distribution of ``fn(outcome)``."""
+        pushed: dict[Hashable, float] = {}
+        for outcome, p in self._pmf.items():
+            image = fn(outcome)
+            pushed[image] = pushed.get(image, 0.0) + p
+        return DiscreteDistribution(pushed)
+
+    def condition(self, predicate: Callable[[Hashable], bool]) -> "DiscreteDistribution":
+        """Distribution conditioned on ``predicate(outcome)`` being true."""
+        kept = {o: p for o, p in self._pmf.items() if predicate(o)}
+        if not kept:
+            raise DistributionError("conditioning event has zero probability")
+        return DiscreteDistribution.from_counts(kept)
+
+    def mix(self, other: "DiscreteDistribution", weight: float) -> "DiscreteDistribution":
+        """Mixture ``weight * self + (1 - weight) * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise DistributionError(f"mixture weight {weight!r} outside [0, 1]")
+        mixed: dict[Hashable, float] = {}
+        for outcome, p in self._pmf.items():
+            mixed[outcome] = mixed.get(outcome, 0.0) + weight * p
+        for outcome, p in other._pmf.items():
+            mixed[outcome] = mixed.get(outcome, 0.0) + (1.0 - weight) * p
+        return DiscreteDistribution(mixed)
+
+    # ------------------------------------------------------------------
+    # Integer-valued operations (timestamps / durations / delays)
+    # ------------------------------------------------------------------
+    def _require_integer_support(self, operation: str) -> None:
+        for outcome in self._pmf:
+            if not isinstance(outcome, int):
+                raise DistributionError(
+                    f"{operation} requires integer outcomes, found {outcome!r}"
+                )
+
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of the sum of two independent integer variables."""
+        self._require_integer_support("convolve")
+        other._require_integer_support("convolve")
+        summed: dict[int, float] = {}
+        for a, pa in self._pmf.items():
+            for b, pb in other._pmf.items():
+                summed[a + b] = summed.get(a + b, 0.0) + pa * pb  # type: ignore[operator]
+        return DiscreteDistribution(summed)
+
+    def negate(self) -> "DiscreteDistribution":
+        """Distribution of ``-X`` for an integer-valued variable ``X``."""
+        self._require_integer_support("negate")
+        return self.map(lambda o: -o)  # type: ignore[operator,arg-type]
+
+    def difference(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of ``X - Y`` for independent integer variables.
+
+        This is exactly the ``delta_i - delta_{i-1}`` term of Equation 5.8.
+        """
+        return self.convolve(other.negate())
+
+    def shift(self, offset: int) -> "DiscreteDistribution":
+        """Distribution of ``X + offset`` for an integer-valued variable."""
+        self._require_integer_support("shift")
+        return self.map(lambda o: o + offset)  # type: ignore[operator,arg-type]
+
+
+def joint_from_conditional(
+    marginal: DiscreteDistribution,
+    conditional: Callable[[Hashable], DiscreteDistribution],
+) -> DiscreteDistribution:
+    """Build the joint distribution ``p(x, y) = p(x) p(y | x)``.
+
+    ``conditional(x)`` must return the distribution of ``Y`` given ``X = x``.
+    Outcomes of the joint are ``(x, y)`` tuples.
+    """
+    joint: dict[Hashable, float] = {}
+    for x, px in marginal.items():
+        for y, py in conditional(x).items():
+            joint[(x, y)] = joint.get((x, y), 0.0) + px * py
+    return DiscreteDistribution(joint)
+
+
+def marginals(joint: DiscreteDistribution) -> tuple[DiscreteDistribution, DiscreteDistribution]:
+    """Marginal distributions of a joint over ``(x, y)`` tuples."""
+    px: dict[Hashable, float] = {}
+    py: dict[Hashable, float] = {}
+    for outcome, p in joint.items():
+        if not (isinstance(outcome, tuple) and len(outcome) == 2):
+            raise DistributionError("joint outcomes must be (x, y) tuples")
+        x, y = outcome
+        px[x] = px.get(x, 0.0) + p
+        py[y] = py.get(y, 0.0) + p
+    return DiscreteDistribution(px), DiscreteDistribution(py)

@@ -1,0 +1,152 @@
+"""Entropy and mutual information (Section 2.2 of the paper).
+
+Two API layers are provided:
+
+* Object-level functions that take :class:`~repro.info.distributions.DiscreteDistribution`
+  instances — used in the leakage decomposition where outcomes are traces.
+* Array-level functions on numpy probability vectors — used in the hot path
+  of the Dinkelbach optimizer (Appendix A), where the distribution is a
+  dense vector over an integer alphabet.
+
+All entropies are measured in bits (log base 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.info.distributions import DiscreteDistribution, marginals
+
+_LOG2E = math.log2(math.e)
+
+
+# ----------------------------------------------------------------------
+# Object-level API
+# ----------------------------------------------------------------------
+def entropy(distribution: DiscreteDistribution) -> float:
+    """Shannon entropy ``H(X)`` in bits (Equation 2.1)."""
+    return distribution.entropy_bits()
+
+
+def joint_entropy(joint: DiscreteDistribution) -> float:
+    """Joint entropy ``H(X, Y)`` of a distribution over pairs (Equation 2.2)."""
+    return joint.entropy_bits()
+
+
+def conditional_entropy(joint: DiscreteDistribution) -> float:
+    """Conditional entropy ``H(Y | X)`` from a joint over ``(x, y)`` pairs.
+
+    Uses ``H(Y | X) = H(X, Y) - H(X)`` (chain rule, Equation 2.3).
+    """
+    px, _ = marginals(joint)
+    return joint.entropy_bits() - px.entropy_bits()
+
+def mutual_information(joint: DiscreteDistribution) -> float:
+    """Mutual information ``I(X; Y)`` from a joint over pairs (Equation 2.4).
+
+    Computed as ``H(X) + H(Y) - H(X, Y)``; clamped at zero to absorb
+    floating-point residue (mutual information is always non-negative).
+    """
+    px, py = marginals(joint)
+    value = px.entropy_bits() + py.entropy_bits() - joint.entropy_bits()
+    return max(value, 0.0)
+
+
+def binary_entropy(p: float) -> float:
+    """Entropy of a Bernoulli(p) variable in bits."""
+    if not 0.0 <= p <= 1.0:
+        raise DistributionError(f"probability {p!r} outside [0, 1]")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def max_entropy(alphabet_size: int) -> float:
+    """Upper bound ``log2 |X|`` on the entropy over an alphabet.
+
+    The paper uses this bound to describe the conservative prior-work
+    leakage estimate (Section 3.3): ``log2 |A|`` bits per assessment.
+    """
+    if alphabet_size < 1:
+        raise DistributionError(f"alphabet size {alphabet_size!r} must be >= 1")
+    return math.log2(alphabet_size)
+
+
+def expected_conditional_entropy(
+    marginal: DiscreteDistribution,
+    conditionals: dict[Hashable, DiscreteDistribution],
+) -> float:
+    """``E[H(Y | X = x)] = sum_x p(x) H(Y | X = x)``.
+
+    This is exactly the scheduling-leakage term of Equation 5.6: ``marginal``
+    is the action-sequence distribution ``p(s)`` and ``conditionals[s]`` is
+    the timing distribution ``T_s`` for sequence ``s``.
+    """
+    total = 0.0
+    for x, px in marginal.items():
+        if x not in conditionals:
+            raise DistributionError(f"no conditional distribution for outcome {x!r}")
+        total += px * conditionals[x].entropy_bits()
+    return total
+
+
+# ----------------------------------------------------------------------
+# Array-level API (numpy vectors)
+# ----------------------------------------------------------------------
+def entropy_bits_vec(p: np.ndarray) -> float:
+    """Entropy in bits of a probability vector (zeros contribute nothing)."""
+    p = np.asarray(p, dtype=np.float64)
+    mask = p > 0.0
+    return float(-np.sum(p[mask] * np.log2(p[mask])))
+
+
+def entropy_gradient_vec(p: np.ndarray) -> np.ndarray:
+    """Gradient of ``H(p)`` in bits with respect to ``p``.
+
+    ``dH/dp_i = -(log2 p_i + log2 e)``. Entries with ``p_i == 0`` get the
+    one-sided limit clamped to a large finite value so gradient ascent can
+    move mass back onto them.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    grad = np.empty_like(p)
+    mask = p > 0.0
+    grad[mask] = -(np.log2(p[mask]) + _LOG2E)
+    grad[~mask] = -(np.log2(1e-300) + _LOG2E)
+    return grad
+
+
+def kl_divergence_bits(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback-Leibler divergence ``D(p || q)`` in bits.
+
+    Returns ``inf`` when ``p`` puts mass where ``q`` does not.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise DistributionError("KL divergence requires equal-length vectors")
+    mask = p > 0.0
+    if np.any(q[mask] <= 0.0):
+        return math.inf
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+def normalize_vec(weights: np.ndarray) -> np.ndarray:
+    """Normalize non-negative weights into a probability vector."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0.0):
+        raise DistributionError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0.0:
+        raise DistributionError("weights must have positive total")
+    return weights / total
+
+
+def uniform_vec(n: int) -> np.ndarray:
+    """Uniform probability vector of length ``n``."""
+    if n < 1:
+        raise DistributionError(f"vector length {n!r} must be >= 1")
+    return np.full(n, 1.0 / n, dtype=np.float64)

@@ -1,0 +1,60 @@
+"""Memory-footprint utilization metric.
+
+Section 5.2's worked example of a timing-independent metric: "the memory
+footprint (i.e., the number of unique memory lines accessed) of the past
+N retired memory instructions, regardless of what level in the cache
+hierarchy the memory requests were served from."
+
+This metric is simpler than the UMON monitor (it produces a single
+demand number rather than a hits-per-size curve) and is used by the
+examples and by threshold-style action heuristics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+
+class FootprintMetric:
+    """Unique lines among the last ``window`` retired memory instructions."""
+
+    #: Principle 1 compliance: depends only on the retired access sequence.
+    timing_independent = True
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ConfigurationError("footprint window must be >= 1")
+        self._window = window
+        self._recent: deque[int] = deque()
+        self._counts: dict[int, int] = {}
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    def observe(self, line_addr: int) -> None:
+        """Record one retired memory access."""
+        self._recent.append(line_addr)
+        self._counts[line_addr] = self._counts.get(line_addr, 0) + 1
+        if len(self._recent) > self._window:
+            evicted = self._recent.popleft()
+            remaining = self._counts[evicted] - 1
+            if remaining:
+                self._counts[evicted] = remaining
+            else:
+                del self._counts[evicted]
+
+    @property
+    def value(self) -> int:
+        """Current footprint: unique lines in the window."""
+        return len(self._counts)
+
+    @property
+    def accesses_in_window(self) -> int:
+        return len(self._recent)
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._counts.clear()

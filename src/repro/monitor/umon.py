@@ -1,0 +1,142 @@
+"""UMON-style LLC utilization monitor (Section 7 of the paper).
+
+For each security domain, the monitor estimates how many LLC hits the
+domain's recent accesses would have achieved under *each* supported
+partition size. The hardware realization is a tag-only shadow table over
+sampled sets; the software model here uses the equivalent Mattson stack
+analysis (see :mod:`repro.monitor.window`): hits at size ``C`` = number
+of monitored accesses with reuse distance below ``C`` lines.
+
+Two operating modes matter for the paper:
+
+* **Untangle mode** (``timing_independent=True``): the monitor is fed
+  only *retired, public* post-L1 accesses in program order — secret-
+  annotated accesses are filtered out upstream (Principle 1 plus
+  annotations, Section 5.2).
+* **Conventional mode** (``timing_independent=False``): every post-L1
+  access is monitored, including secret-dependent ones. The scheme's
+  actions then depend on secrets — the leakage Untangle eliminates.
+
+Set sampling (``sampling_shift``) monitors only lines whose address
+hashes into ``1 / 2**shift`` of the space and scales counts back up,
+like UMON's sampled shadow sets.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.monitor.window import COLD_DISTANCE, ReuseDistanceTracker
+
+
+class UMONMonitor:
+    """Per-domain shadow monitor producing hits-per-candidate-size curves.
+
+    Parameters
+    ----------
+    candidate_sizes:
+        Ascending partition sizes (in lines) to evaluate — the scheme's
+        action alphabet.
+    window:
+        Monitor window ``M_w``: the approximate number of recent monitored
+        accesses summarized by a snapshot ("the monitor only considers the
+        past M_w retired memory instructions", Section 8). Implemented as
+        exponential aging: when the epoch exceeds the window, accumulated
+        counts are halved.
+    sampling_shift:
+        Monitor only addresses with ``hash(addr) % 2**shift == 0``;
+        counts are scaled by ``2**shift``. Zero monitors everything.
+    timing_independent:
+        Declared compliance with Principle 1; checked by
+        :func:`repro.core.principles.require_timing_independent_metric`.
+    """
+
+    def __init__(
+        self,
+        candidate_sizes: tuple[int, ...] | list[int],
+        window: int = 100_000,
+        sampling_shift: int = 0,
+        timing_independent: bool = True,
+    ):
+        sizes = list(candidate_sizes)
+        if not sizes or sizes != sorted(set(sizes)):
+            raise ConfigurationError("candidate sizes must be unique and ascending")
+        if window < 1:
+            raise ConfigurationError("monitor window must be >= 1")
+        if sampling_shift < 0:
+            raise ConfigurationError("sampling shift must be non-negative")
+        self._sizes = sizes
+        self._window = window
+        self._sampling_shift = sampling_shift
+        self._sampling_mask = (1 << sampling_shift) - 1
+        self._scale = float(1 << sampling_shift)
+        self.timing_independent = timing_independent
+        self._tracker = ReuseDistanceTracker()
+        # _bins[i] counts accesses whose smallest hitting size is sizes[i];
+        # the last bin collects accesses that miss at every candidate size.
+        self._bins = np.zeros(len(sizes) + 1, dtype=np.float64)
+        self._epoch_accesses = 0.0
+        self.total_observed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def candidate_sizes(self) -> list[int]:
+        return list(self._sizes)
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    # ------------------------------------------------------------------
+    def observe(self, line_addr: int) -> None:
+        """Feed one post-L1 access (already annotation-filtered upstream)."""
+        self.total_observed += 1
+        if self._sampling_mask and (line_addr & self._sampling_mask):
+            return
+        distance = self._tracker.observe(line_addr)
+        if distance == COLD_DISTANCE:
+            bin_index = len(self._sizes)
+        else:
+            # Smallest candidate size C with distance < C; past the last
+            # candidate the access misses at every size (the last bin).
+            bin_index = bisect.bisect_right(self._sizes, distance)
+        self._bins[bin_index] += 1.0
+        self._epoch_accesses += 1.0
+        if self._epoch_accesses * self._scale > self._window:
+            # Exponential aging keeps the snapshot focused on roughly the
+            # last `window` monitored accesses.
+            self._bins *= 0.5
+            self._epoch_accesses *= 0.5
+
+    def hits_per_size(self) -> np.ndarray:
+        """Estimated hits at each candidate size over the current window.
+
+        ``result[k]`` is the (scaled) number of recent accesses that would
+        hit in a partition of ``candidate_sizes[k]`` lines. The curve is
+        non-decreasing in size by construction (stack inclusion).
+        """
+        cumulative = np.cumsum(self._bins[:-1])
+        return cumulative * self._scale
+
+    def misses_at_size(self, size_index: int) -> float:
+        """Estimated misses at candidate size ``size_index`` this window."""
+        total = float(self._bins.sum()) * self._scale
+        return total - float(self.hits_per_size()[size_index])
+
+    def epoch_accesses(self) -> float:
+        """Scaled number of accesses in the current aging window."""
+        return self._epoch_accesses * self._scale
+
+    def reset_window(self) -> None:
+        """Clear the windowed counters (the LRU stack state persists)."""
+        self._bins[:] = 0.0
+        self._epoch_accesses = 0.0
+
+    def clear(self) -> None:
+        """Forget everything, including the stack state."""
+        self.reset_window()
+        self._tracker.reset()
+        self.total_observed = 0

@@ -1,0 +1,127 @@
+"""Reuse-distance tracking for the utility monitor.
+
+The UMON-style monitor (Section 7) must know, for each candidate
+partition size, how many recent accesses *would have hit* in a partition
+of that size. For an LRU-managed cache this is classical Mattson stack
+analysis: an access hits in a cache of capacity ``C`` lines exactly when
+its *reuse distance* — the number of distinct lines touched since the
+previous access to the same line — is smaller than ``C``. One pass over
+the access stream therefore yields hit counts for *all* candidate sizes
+simultaneously, which is exactly the property UMON's single shadow-tag
+array exploits in hardware.
+
+:class:`ReuseDistanceTracker` computes reuse distances online in
+O(log n) per access with a Fenwick tree over access timestamps holding
+one marker at each line's last-access position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class FenwickTree:
+    """A binary indexed tree over a growable range of positions."""
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise SimulationError("Fenwick capacity must be >= 1")
+        self._size = capacity
+        self._tree = [0] * (capacity + 1)
+
+    def _grow(self, needed: int) -> None:
+        new_size = self._size
+        while new_size < needed:
+            new_size *= 2
+        # Rebuild from per-position values (O(n log n), amortized by doubling).
+        values = [0] * (self._size + 1)
+        for i in range(1, self._size + 1):
+            values[i] += self._tree[i]
+            parent = i + (i & -i)
+            if parent <= self._size:
+                self._tree[parent] -= values[i]
+        new_tree = [0] * (new_size + 1)
+        for i in range(1, self._size + 1):
+            if values[i]:
+                j = i
+                while j <= new_size:
+                    new_tree[j] += values[i]
+                    j += j & -j
+        self._tree = new_tree
+        self._size = new_size
+
+    def add(self, position: int, delta: int) -> None:
+        """Add ``delta`` at a 1-based position."""
+        if position < 1:
+            raise SimulationError("Fenwick positions are 1-based")
+        if position > self._size:
+            self._grow(position)
+        tree = self._tree
+        while position <= self._size:
+            tree[position] += delta
+            position += position & -position
+
+    def prefix_sum(self, position: int) -> int:
+        """Sum of values at positions ``1..position``."""
+        if position > self._size:
+            position = self._size
+        total = 0
+        tree = self._tree
+        while position > 0:
+            total += tree[position]
+            position -= position & -position
+        return total
+
+    def range_sum(self, low: int, high: int) -> int:
+        """Sum of values at positions ``low..high`` inclusive."""
+        if high < low:
+            return 0
+        return self.prefix_sum(high) - self.prefix_sum(low - 1)
+
+
+#: Sentinel reuse distance for a first-touch (cold) access.
+COLD_DISTANCE = -1
+
+
+class ReuseDistanceTracker:
+    """Online LRU reuse distances over a line-address stream."""
+
+    __slots__ = ("_fenwick", "_last_position", "_clock")
+
+    def __init__(self):
+        self._fenwick = FenwickTree()
+        self._last_position: dict[int, int] = {}
+        self._clock = 0
+
+    @property
+    def distinct_lines(self) -> int:
+        """Number of distinct lines observed so far."""
+        return len(self._last_position)
+
+    def observe(self, line_addr: int) -> int:
+        """Record one access; returns its reuse distance.
+
+        Returns :data:`COLD_DISTANCE` for the first access to a line.
+        The reuse distance is the number of *distinct other* lines
+        accessed since the previous access to ``line_addr``; the access
+        hits in an LRU cache of capacity ``C`` iff ``0 <= distance < C``.
+        """
+        self._clock += 1
+        now = self._clock
+        previous = self._last_position.get(line_addr)
+        if previous is None:
+            distance = COLD_DISTANCE
+        else:
+            distance = self._fenwick.range_sum(previous + 1, now - 1)
+            self._fenwick.add(previous, -1)
+        self._fenwick.add(now, 1)
+        self._last_position[line_addr] = now
+        return distance
+
+    def reset(self) -> None:
+        """Forget all history (used when a monitor is cleared)."""
+        self._fenwick = FenwickTree()
+        self._last_position.clear()
+        self._clock = 0

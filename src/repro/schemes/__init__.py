@@ -1,0 +1,27 @@
+"""Partitioning schemes: the four configurations of Table 4 plus plumbing."""
+
+from repro.schemes.allocation import AllocationResult, GreedyHitMaximizer
+from repro.schemes.base import BaseScheme
+from repro.schemes.schedule import ProgressSchedule, TimeSchedule
+from repro.schemes.shared import SharedScheme
+from repro.schemes.static import StaticScheme
+from repro.schemes.threshold import ThresholdScheme
+from repro.schemes.tiered import TierAssignment, TieredAccountingPolicy
+from repro.schemes.timebased import TimeScheme
+from repro.schemes.untangle import UntangleScheme, default_channel_model
+
+__all__ = [
+    "BaseScheme",
+    "StaticScheme",
+    "SharedScheme",
+    "TimeScheme",
+    "UntangleScheme",
+    "ThresholdScheme",
+    "TierAssignment",
+    "TieredAccountingPolicy",
+    "default_channel_model",
+    "TimeSchedule",
+    "ProgressSchedule",
+    "GreedyHitMaximizer",
+    "AllocationResult",
+]

@@ -1,0 +1,162 @@
+"""Base machinery shared by all partitioning schemes.
+
+A scheme implements the :class:`repro.sim.system.SchemeProtocol` hooks.
+:class:`BaseScheme` provides the common plumbing: building per-domain
+memory hierarchies over a chosen LLC organization, a min-heap of delayed
+resizing actions, and trace/stat recording helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.core.actions import ActionAlphabet, ResizingAction
+from repro.errors import SimulationError
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.partition import PartitionedLLC, SharedLLC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MultiDomainSystem
+
+
+class BaseScheme:
+    """Common scheme plumbing. Subclasses implement policy."""
+
+    name = "base"
+
+    def __init__(self, arch: ArchConfig):
+        self.arch = arch
+        self.alphabet = ActionAlphabet(arch.supported_partition_lines)
+        self.llc: PartitionedLLC | SharedLLC | None = None
+        self.monitors: list = []
+        #: Min-heap of (apply_time, sequence, domain, new_size) events.
+        self._pending: list[tuple[int, int, int, int]] = []
+        self._pending_sequence = 0
+
+    # ------------------------------------------------------------------
+    # SchemeProtocol defaults
+    # ------------------------------------------------------------------
+    def build(self, system: "MultiDomainSystem") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def progress_target(self, domain: int) -> int | None:
+        return None
+
+    def on_progress(self, system: "MultiDomainSystem", domain: int, now: int) -> None:
+        raise SimulationError(f"{self.name} scheme does not use progress events")
+
+    def on_quantum(self, system: "MultiDomainSystem", now: int) -> None:
+        self.apply_pending(system, now)
+
+    def partition_size(self, domain: int) -> int:
+        if self.llc is None:
+            raise SimulationError("scheme not built yet")
+        return self.llc.size_of(domain)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _build_partitioned(
+        self,
+        system: "MultiDomainSystem",
+        monitors: list | None,
+        monitor_respects_annotations: bool,
+        organization: str = "set",
+    ) -> None:
+        """Create a partitioned LLC plus per-domain memories/monitors.
+
+        ``organization`` selects set partitioning (the paper's choice,
+        Section 8) or way partitioning (the classic alternative; see
+        :mod:`repro.sim.waypart`). Both expose the same interface, so
+        every scheme runs over either.
+        """
+        arch = self.arch
+        if organization == "set":
+            llc_class = PartitionedLLC
+        elif organization == "way":
+            from repro.sim.waypart import WayPartitionedLLC
+
+            llc_class = WayPartitionedLLC
+        else:
+            raise SimulationError(f"unknown LLC organization {organization!r}")
+        self.llc = llc_class(
+            total_lines=arch.llc_lines,
+            associativity=arch.llc_associativity,
+            num_domains=arch.num_cores,
+            initial_lines=arch.default_partition_lines,
+        )
+        self.monitors = monitors if monitors is not None else [None] * arch.num_cores
+        system.memories = [
+            DomainMemory(
+                arch,
+                self.llc.view(domain),
+                monitor=self.monitors[domain],
+                monitor_respects_annotations=monitor_respects_annotations,
+            )
+            for domain in range(arch.num_cores)
+        ]
+
+    def schedule_resize(self, apply_time: int, domain: int, new_size: int) -> None:
+        """Queue a resize for application at ``apply_time``."""
+        heapq.heappush(
+            self._pending, (apply_time, self._pending_sequence, domain, new_size)
+        )
+        self._pending_sequence += 1
+
+    def apply_pending(self, system: "MultiDomainSystem", now: int) -> None:
+        """Apply queued resizes whose time has come.
+
+        Resizes are committed (capacity-reserved) at assessment time but
+        applied with a delay; an expand can therefore momentarily wait on
+        a shrink that frees its lines. Such expands are deferred and
+        retried, preserving the physical capacity invariant — in hardware
+        the set reassignment would likewise complete only after the donor
+        sets drain.
+        """
+        assert self.llc is not None and not isinstance(self.llc, SharedLLC)
+        deferred: list[tuple[int, int, int, int]] = []
+        while self._pending and self._pending[0][0] <= now:
+            event = heapq.heappop(self._pending)
+            _, _, domain, new_size = event
+            if self.llc.size_of(domain) == new_size:
+                continue
+            if new_size > self.llc.available_for(domain):
+                deferred.append(event)
+                continue
+            self.llc.resize(domain, new_size)
+            # A shrink may have unblocked a deferred expand: retry them.
+            still_deferred = []
+            for pending_event in deferred:
+                _, _, d, size = pending_event
+                if size <= self.llc.available_for(d):
+                    self.llc.resize(d, size)
+                else:
+                    still_deferred.append(pending_event)
+            deferred = still_deferred
+        for event in deferred:
+            heapq.heappush(self._pending, event)
+
+    def record_assessment(
+        self,
+        system: "MultiDomainSystem",
+        domain: int,
+        action: ResizingAction,
+        timestamp: int,
+        leakage_bits: float,
+    ) -> None:
+        """Log one assessment into the trace and the domain statistics.
+
+        Statistics stop accumulating once the domain's slice has finished
+        (the paper's methodology), but the trace keeps recording — the
+        attacker keeps observing.
+        """
+        system.record_action(domain, action, timestamp)
+        stats = system.stats[domain]
+        if stats.finished:
+            return
+        stats.assessments += 1
+        if action.is_visible:
+            stats.visible_actions += 1
+        stats.leakage_bits += leakage_bits

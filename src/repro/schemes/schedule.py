@@ -1,0 +1,109 @@
+"""Resizing schedules (Table 2, third component; Section 5.2 Principle 2).
+
+* :class:`TimeSchedule` — assess at fixed wall-clock intervals. Used by
+  prior schemes (UMON every 5M cycles, Jigsaw every 50M, Jumanji every
+  100 ms, SecSMT every 100K — Table 1) and by the Time baseline here.
+* :class:`ProgressSchedule` — assess every ``N`` retired public
+  instructions, with a cooldown ``T_c`` enforcing a minimum time between
+  consecutive assessments (Mechanism 1) and a random per-action delay
+  ``delta`` (Mechanism 2). This is Untangle's schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.info.distributions import DiscreteDistribution
+
+
+@dataclass(frozen=True)
+class TimeSchedule:
+    """Fixed-interval schedule: assessments at ``interval, 2*interval, ...``."""
+
+    interval: int
+
+    #: Principle 2 compliance flag (checked by repro.core.principles).
+    progress_based = False
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ConfigurationError("assessment interval must be >= 1 cycle")
+
+    def next_time(self, last_time: int) -> int:
+        """Time of the assessment following one at ``last_time``."""
+        return last_time + self.interval
+
+
+class ProgressSchedule:
+    """Progress-based schedule with cooldown and random action delays.
+
+    Parameters
+    ----------
+    instructions_per_assessment:
+        ``N``: public (progress-counted) retired instructions between
+        consecutive assessments.
+    cooldown:
+        ``T_c`` in cycles: minimum time between consecutive assessments.
+        The schedule clamps assessment times to honor it even if the core
+        retires ``N`` instructions faster (Section 5.3.2, Mechanism 1).
+    delay:
+        Distribution of the random action delay ``delta`` (Mechanism 2).
+        ``None`` means no delay.
+    seed:
+        Seed of the per-scheme delay RNG. Delays are the *only* random
+        element of an Untangle scheme, and they never influence which
+        action is chosen — only when it is applied.
+    """
+
+    progress_based = True
+
+    def __init__(
+        self,
+        instructions_per_assessment: int,
+        cooldown: int,
+        delay: DiscreteDistribution | None = None,
+        seed: int = 0,
+    ):
+        if instructions_per_assessment < 1:
+            raise ConfigurationError("need at least one instruction per assessment")
+        if cooldown < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+        self.instructions_per_assessment = instructions_per_assessment
+        self.cooldown = cooldown
+        self.delay = delay
+        self._rng = np.random.default_rng(seed)
+        if delay is not None:
+            self._delay_values = [int(v) for v in delay.support]
+            self._delay_probs = [delay.probability(v) for v in self._delay_values]
+        else:
+            self._delay_values = [0]
+            self._delay_probs = [1.0]
+
+    def first_target(self) -> int:
+        """Public-progress count of the first assessment."""
+        return self.instructions_per_assessment
+
+    def next_target(self, progress_at_assessment: int) -> int:
+        """Progress count of the next assessment.
+
+        Counting restarts from the progress at the current assessment
+        ("right after Assessment i is made, we start counting progress
+        towards Assessment i+1", Section 5.3.2).
+        """
+        return progress_at_assessment + self.instructions_per_assessment
+
+    def assessment_time(self, reached_at: int, last_assessment: int | None) -> int:
+        """Actual assessment time honoring the cooldown."""
+        if last_assessment is None:
+            return reached_at
+        return max(reached_at, last_assessment + self.cooldown)
+
+    def draw_delay(self) -> int:
+        """Sample one random action delay ``delta``."""
+        if len(self._delay_values) == 1:
+            return self._delay_values[0]
+        index = self._rng.choice(len(self._delay_values), p=self._delay_probs)
+        return self._delay_values[int(index)]

@@ -1,0 +1,49 @@
+"""Unpartitioned sharing (the Shared baseline of Table 4).
+
+All domains share the whole LLC with no isolation. This is the insecure
+upper-adaptivity baseline: maximal flexibility, classic cache side
+channels wide open. The evaluation shows it can even *lose* to dynamic
+partitioning under pressure because of inter-workload conflict misses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.schemes.base import BaseScheme
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.partition import SharedLLC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MultiDomainSystem
+
+
+class SharedScheme(BaseScheme):
+    """One shared LLC, no partitions, no assessments."""
+
+    name = "shared"
+
+    def __init__(self, arch: ArchConfig):
+        super().__init__(arch)
+
+    def build(self, system: "MultiDomainSystem") -> None:
+        arch = self.arch
+        self.llc = SharedLLC(
+            total_lines=arch.llc_lines,
+            associativity=arch.llc_associativity,
+            num_domains=arch.num_cores,
+        )
+        self.monitors = [None] * arch.num_cores
+        system.memories = [
+            DomainMemory(arch, self.llc.view(domain))
+            for domain in range(arch.num_cores)
+        ]
+
+    def on_quantum(self, system: "MultiDomainSystem", now: int) -> None:
+        return None
+
+    def partition_size(self, domain: int) -> int:
+        # Nominally the whole LLC; reported as such in size distributions.
+        assert self.llc is not None
+        return self.llc.size_of(domain)

@@ -1,0 +1,71 @@
+"""Static partitioning (the Static baseline of Table 4).
+
+Every domain keeps a fixed partition (the paper's 2 MB equivalent) for
+the whole execution. Static partitioning is the fully secure baseline:
+no resizing actions exist, so nothing is observable and the leakage is
+exactly zero — but performance suffers whenever demand differs from the
+fixed allocation (Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.errors import ConfigurationError
+from repro.schemes.base import BaseScheme
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.partition import PartitionedLLC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MultiDomainSystem
+
+
+class StaticScheme(BaseScheme):
+    """Fixed equal partitions; zero assessments, zero leakage."""
+
+    name = "static"
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        partition_lines: int | None = None,
+        organization: str = "set",
+    ):
+        super().__init__(arch)
+        self._partition_lines = (
+            partition_lines
+            if partition_lines is not None
+            else arch.default_partition_lines
+        )
+        if self._partition_lines * arch.num_cores > arch.llc_lines:
+            raise ConfigurationError("static partitions exceed the LLC")
+        self._organization = organization
+
+    @property
+    def partition_lines(self) -> int:
+        return self._partition_lines
+
+    def build(self, system: "MultiDomainSystem") -> None:
+        arch = self.arch
+        if self._organization == "way":
+            from repro.sim.waypart import WayPartitionedLLC
+
+            llc_class = WayPartitionedLLC
+        else:
+            llc_class = PartitionedLLC
+        self.llc = llc_class(
+            total_lines=arch.llc_lines,
+            associativity=arch.llc_associativity,
+            num_domains=arch.num_cores,
+            initial_lines=self._partition_lines,
+        )
+        self.monitors = [None] * arch.num_cores
+        system.memories = [
+            DomainMemory(arch, self.llc.view(domain))
+            for domain in range(arch.num_cores)
+        ]
+
+    def on_quantum(self, system: "MultiDomainSystem", now: int) -> None:
+        # No assessments, no pending actions.
+        return None

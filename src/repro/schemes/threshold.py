@@ -1,0 +1,146 @@
+"""Threshold-based action heuristic with relative actions.
+
+Table 2 lists relative resizing actions (Expand / Shrink / Maintain) and
+threshold comparison as a common action heuristic — Jumanji compares
+tail latency to static thresholds, SecSMT counts "full" events. This
+module provides that scheme style under Untangle's principles:
+
+* the metric is the timing-independent *footprint* of Section 5.2 (the
+  unique lines among the last N retired public memory instructions);
+* the schedule is progress-based with cooldown and random delays;
+* the action moves one step up the size alphabet when the footprint
+  exceeds ``expand_fraction`` of the current partition, one step down
+  when it falls below ``shrink_fraction`` of the next smaller size, and
+  Maintains otherwise.
+
+Because the heuristic needs no global allocator it suits single-domain
+resources (and is the natural fit for the TLB example of Section 6.3).
+Leakage accounting is identical to the main Untangle scheme: an
+``RmaxTable`` plus a :class:`~repro.core.accountant.LeakageAccountant`
+per domain.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.core.accountant import LeakageAccountant
+from repro.core.actions import ResizingAction
+from repro.core.principles import require_untangle_compliant
+from repro.core.rates import RmaxTable
+from repro.errors import ConfigurationError
+from repro.monitor.footprint import FootprintMetric
+from repro.schemes.base import BaseScheme
+from repro.schemes.schedule import ProgressSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MultiDomainSystem
+
+
+class FootprintMonitorAdapter:
+    """Adapts :class:`FootprintMetric` to the hierarchy's monitor sink."""
+
+    def __init__(self, window: int):
+        self.metric = FootprintMetric(window)
+        self.timing_independent = True
+
+    def observe(self, line_addr: int) -> None:
+        self.metric.observe(line_addr)
+
+    @property
+    def value(self) -> int:
+        return self.metric.value
+
+
+class ThresholdScheme(BaseScheme):
+    """Expand/Shrink/Maintain by footprint thresholds, Untangle-compliant."""
+
+    name = "threshold"
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        schedule: ProgressSchedule,
+        rmax_table: RmaxTable,
+        *,
+        footprint_window: int = 10_000,
+        expand_fraction: float = 0.9,
+        shrink_fraction: float = 0.6,
+        leakage_threshold_bits: float | None = None,
+    ):
+        super().__init__(arch)
+        if not 0.0 < shrink_fraction < expand_fraction <= 1.5:
+            raise ConfigurationError(
+                "need 0 < shrink_fraction < expand_fraction"
+            )
+        self.schedule = schedule
+        self.rmax_table = rmax_table
+        self._footprint_window = footprint_window
+        self.expand_fraction = expand_fraction
+        self.shrink_fraction = shrink_fraction
+        self.accountants = [
+            LeakageAccountant(rmax_table, leakage_threshold_bits)
+            for _ in range(arch.num_cores)
+        ]
+        self._targets = [schedule.first_target()] * arch.num_cores
+        self._last_assessment: list[int | None] = [None] * arch.num_cores
+        self._committed = [arch.default_partition_lines] * arch.num_cores
+
+    # ------------------------------------------------------------------
+    def build(self, system: "MultiDomainSystem") -> None:
+        monitors = [
+            FootprintMonitorAdapter(self._footprint_window)
+            for _ in range(self.arch.num_cores)
+        ]
+        require_untangle_compliant(monitors[0], self.schedule)
+        self._build_partitioned(
+            system, monitors=monitors, monitor_respects_annotations=True
+        )
+
+    # ------------------------------------------------------------------
+    def decide(self, footprint: int, current: int) -> int:
+        """The pure action heuristic: next size from footprint and size.
+
+        Exposed separately so tests can exercise it exhaustively.
+        """
+        if footprint > self.expand_fraction * current:
+            return self.alphabet.step_toward(current, self.alphabet.max_size)
+        index = self.alphabet.sizes.index(current)
+        if index > 0:
+            smaller = self.alphabet.sizes[index - 1]
+            if footprint < self.shrink_fraction * smaller:
+                return smaller
+        return current
+
+    def progress_target(self, domain: int) -> int | None:
+        return self._targets[domain]
+
+    def on_progress(self, system: "MultiDomainSystem", domain: int, now: int) -> None:
+        assert self.llc is not None
+        core = system.cores[domain]
+        assessment_time = self.schedule.assessment_time(
+            now, self._last_assessment[domain]
+        )
+        current = self._committed[domain]
+        new_size = self.decide(self.monitors[domain].value, current)
+        # Capacity check against committed sizes (as in UntangleScheme).
+        committed_available = (
+            self.llc.total_lines - sum(self._committed) + current
+        )
+        if new_size > committed_available:
+            new_size = current
+
+        accountant = self.accountants[domain]
+        if not accountant.resizing_allowed:
+            new_size = current
+        action = ResizingAction(new_size=new_size, old_size=current)
+        bits = accountant.on_assessment(assessment_time, action.is_visible)
+
+        apply_time = assessment_time + self.schedule.draw_delay()
+        if action.is_visible:
+            self._committed[domain] = new_size
+            self.schedule_resize(apply_time, domain, new_size)
+        self.record_assessment(system, domain, action, apply_time, bits)
+        self._targets[domain] = self.schedule.next_target(core.public_retired)
+        self._last_assessment[domain] = assessment_time

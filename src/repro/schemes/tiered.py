@@ -1,0 +1,113 @@
+"""Tiered security model extension (Section 6.4 of the paper).
+
+Untangle's base threat model is peer-to-peer: every domain mutually
+distrusts every other, and every visible resize of a domain is charged
+against that domain's budget. Section 6.4 sketches an extension to a
+*tiered* lattice: information may flow from a lower tier ``L`` to a
+higher tier ``H`` but not back. Consequently:
+
+* a resize in which ``L`` claims capacity from (or frees capacity to)
+  strictly-higher-tier domains reveals nothing ``H`` was not allowed to
+  learn, and is **not charged** against ``L``'s budget;
+* resizes observable by peers or by *lower* tiers are charged normally;
+* the residual caveat the paper notes — ``L`` observing ``H`` through
+  timing changes caused by ``H``'s own resource fluctuations — is
+  covered by charging ``H`` for actions visible to lower tiers.
+
+:class:`TieredAccountingPolicy` encapsulates this chargeability logic;
+it layers on top of the normal per-domain accountants, and the tests
+exercise the full matrix of tier relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TierAssignment:
+    """Security tier of every domain (higher number = more trusted)."""
+
+    tiers: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ConfigurationError("need at least one domain")
+        if any(t < 0 for t in self.tiers):
+            raise ConfigurationError("tiers must be non-negative")
+
+    def tier_of(self, domain: int) -> int:
+        return self.tiers[domain]
+
+    def peers_of(self, domain: int) -> list[int]:
+        """Domains at the same tier (excluding the domain itself)."""
+        tier = self.tiers[domain]
+        return [
+            d for d, t in enumerate(self.tiers) if t == tier and d != domain
+        ]
+
+    def lower_than(self, domain: int) -> list[int]:
+        """Domains at strictly lower tiers (they must learn nothing)."""
+        tier = self.tiers[domain]
+        return [d for d, t in enumerate(self.tiers) if t < tier]
+
+    def strictly_higher(self, domain: int) -> list[int]:
+        tier = self.tiers[domain]
+        return [d for d, t in enumerate(self.tiers) if t > tier]
+
+
+class TieredAccountingPolicy:
+    """Decides which resizes are chargeable under a tier lattice."""
+
+    def __init__(self, assignment: TierAssignment):
+        self.assignment = assignment
+
+    def observers_of(self, actor: int, counterparties: list[int]) -> list[int]:
+        """Domains whose view of this resize constitutes leakage.
+
+        A resize by ``actor`` exchanging capacity with ``counterparties``
+        is observable (via partition-size probing) by the counterparties
+        and, indirectly, by anyone sharing the structure. Leakage only
+        *counts* toward the budget for observers that are peers of or
+        lower-tier than the actor — flows upward are permitted.
+        """
+        actor_tier = self.assignment.tier_of(actor)
+        observers = []
+        for domain in range(len(self.assignment.tiers)):
+            if domain == actor:
+                continue
+            if self.assignment.tier_of(domain) <= actor_tier:
+                observers.append(domain)
+        return observers
+
+    def chargeable(self, actor: int, counterparties: list[int]) -> bool:
+        """Whether the actor's budget is charged for this resize.
+
+        Free exactly when the capacity moves only between the actor and
+        strictly-higher-tier domains AND no peer or lower-tier domain
+        exists to observe the size change by probing ("program L can
+        take resizing actions that claim resources from or free
+        resources to H without counting towards the leakage thresholds",
+        Section 6.4).
+        """
+        return self.charge_factor(actor, counterparties) > 0.0
+
+    def charge_factor(self, actor: int, counterparties: list[int]) -> float:
+        """1.0 for chargeable resizes, 0.0 for free upward flows."""
+        actor_tier = self.assignment.tier_of(actor)
+        # Counterparties at or below the actor's tier always charge.
+        if any(
+            self.assignment.tier_of(c) <= actor_tier for c in counterparties
+        ):
+            return 1.0
+        # All counterparties are higher-tier. If some *other* peer or
+        # lower-tier domain could still observe the size change by
+        # probing, the action remains chargeable; with none, it is free.
+        peers_or_lower = [
+            d
+            for d in range(len(self.assignment.tiers))
+            if d != actor and self.assignment.tier_of(d) <= actor_tier
+        ]
+        return 1.0 if peers_or_lower else 0.0

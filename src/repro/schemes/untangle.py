@@ -1,0 +1,255 @@
+"""The Untangle scheme (Section 5 of the paper; "Untangle" row of Table 4).
+
+Construction follows the two design principles plus annotations:
+
+* **Principle 1** — the utilization metric is the UMON monitor fed only
+  with *retired, public* post-L1 accesses in program order
+  (``timing_independent=True``; annotation filtering happens in
+  :class:`repro.sim.hierarchy.DomainMemory`).
+* **Principle 2** — assessments happen every ``N`` retired public
+  instructions (:class:`repro.schemes.schedule.ProgressSchedule`), with a
+  cooldown ``T_c`` (Mechanism 1) and a uniform random action delay
+  (Mechanism 2).
+
+Consequently the resizing *action sequence* is a deterministic function
+of the public retired instruction sequence — zero action leakage — and
+the only leakage is scheduling leakage, charged at runtime from the
+precomputed :class:`~repro.core.rates.RmaxTable` using the
+consecutive-Maintain optimization of Sections 5.3.4 and 7.
+
+Both principles are mechanically checked at construction via
+:func:`repro.core.principles.require_untangle_compliant`; building an
+Untangle scheme over a timing-dependent metric raises
+:class:`~repro.errors.PrincipleViolation`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.config import ArchConfig
+from repro.core.accountant import LeakageAccountant
+from repro.core.actions import ResizingAction
+from repro.core.covert import CovertChannelModel, uniform_delay
+from repro.core.principles import require_untangle_compliant
+from repro.core.rates import RmaxTable, worst_case_table
+from repro.monitor.umon import UMONMonitor
+from repro.schemes.allocation import GreedyHitMaximizer
+from repro.schemes.base import BaseScheme
+from repro.schemes.schedule import ProgressSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import MultiDomainSystem
+
+
+@lru_cache(maxsize=32)
+def get_rate_table(
+    cooldown: int,
+    resolution_divisor: int = 16,
+    horizon_cooldowns: int = 4,
+    capacity: int = 48,
+) -> RmaxTable:
+    """A process-wide cached, fully materialized rate table.
+
+    Computing the table runs the Dinkelbach solver once per entry
+    (~0.1 s each); experiments share tables across scheme instances the
+    way the paper's hardware would ship one precomputed table.
+    """
+    model = default_channel_model(cooldown, resolution_divisor, horizon_cooldowns)
+    table = RmaxTable(model, capacity=capacity)
+    table.entries()
+    return table
+
+
+def default_channel_model(
+    cooldown: int,
+    resolution_divisor: int = 16,
+    horizon_cooldowns: int = 4,
+) -> CovertChannelModel:
+    """The evaluation's covert-channel model for a given cooldown.
+
+    Resolution is ``T_c / resolution_divisor`` (the attacker's timing
+    granularity relative to the cooldown) and the sender's duration
+    horizon spans ``horizon_cooldowns`` cooldowns; the max rate is
+    insensitive to the horizon beyond a few cooldowns because long
+    durations are rate-inefficient (Section 5.3.1).
+    """
+    resolution = max(1, cooldown // resolution_divisor)
+    cooldown = (cooldown // resolution) * resolution
+    return CovertChannelModel(
+        cooldown=cooldown,
+        resolution=resolution,
+        max_duration=horizon_cooldowns * cooldown,
+        delay=uniform_delay(cooldown, resolution),
+    )
+
+
+class UntangleScheme(BaseScheme):
+    """Progress-scheduled, annotation-aware dynamic partitioning."""
+
+    name = "untangle"
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        schedule: ProgressSchedule,
+        rmax_table: RmaxTable | None = None,
+        *,
+        monitor_window: int = 100_000,
+        monitor_sampling_shift: int = 0,
+        hysteresis: float = 0.0,
+        leakage_threshold_bits: float | None = None,
+        optimized_accounting: bool = True,
+        table_capacity: int = 48,
+        organization: str = "set",
+    ):
+        super().__init__(arch)
+        self.schedule = schedule
+        if rmax_table is None:
+            if optimized_accounting:
+                rmax_table = get_rate_table(
+                    schedule.cooldown, capacity=table_capacity
+                )
+            else:
+                rmax_table = worst_case_table(
+                    default_channel_model(schedule.cooldown)
+                )
+        self.rmax_table = rmax_table
+        self._monitor_window = monitor_window
+        self._monitor_sampling_shift = monitor_sampling_shift
+        self.allocator = GreedyHitMaximizer(
+            arch.supported_partition_lines, arch.llc_lines, hysteresis
+        )
+        self.accountants = [
+            LeakageAccountant(rmax_table, leakage_threshold_bits)
+            for _ in range(arch.num_cores)
+        ]
+        self._targets = [schedule.first_target()] * arch.num_cores
+        self._last_assessment: list[int | None] = [None] * arch.num_cores
+        #: Capacity committed by assessments (may lead the physical sizes
+        #: while delayed actions are in flight).
+        self._committed = [arch.default_partition_lines] * arch.num_cores
+        #: Debounce state: last assessment's allocator target per domain.
+        #: A resize is taken only when two consecutive assessments agree —
+        #: hysteresis against epoch noise. Pure function of monitor
+        #: snapshots, so it preserves timing independence.
+        self._last_targets: list[int | None] = [None] * arch.num_cores
+        #: Monitored-access-rate estimates (accesses per retired public
+        #: instruction), updated at each domain's own assessments. Used to
+        #: normalize demand curves to a common per-N-instructions basis:
+        #: the monitor window holds a fixed number of accesses, so an
+        #: idle domain's stale window would otherwise look as demanding
+        #: as a busy one's.
+        self._access_rate: list[float | None] = [None] * arch.num_cores
+        self._last_observed: list[int] = [0] * arch.num_cores
+        self._organization = organization
+
+    # ------------------------------------------------------------------
+    def build(self, system: "MultiDomainSystem") -> None:
+        monitors = [
+            UMONMonitor(
+                self.arch.supported_partition_lines,
+                window=self._monitor_window,
+                sampling_shift=self._monitor_sampling_shift,
+                timing_independent=True,
+            )
+            for _ in range(self.arch.num_cores)
+        ]
+        # Construction-time principle check (Section 5.2): a
+        # timing-dependent metric or time-based schedule is rejected.
+        require_untangle_compliant(monitors[0], self.schedule)
+        self._build_partitioned(
+            system,
+            monitors=monitors,
+            monitor_respects_annotations=True,
+            organization=self._organization,
+        )
+
+    # ------------------------------------------------------------------
+    def progress_target(self, domain: int) -> int | None:
+        return self._targets[domain]
+
+    def on_progress(self, system: "MultiDomainSystem", domain: int, now: int) -> None:
+        """One per-domain resizing assessment at an exact progress point."""
+        assert self.llc is not None
+        core = system.cores[domain]
+        assessment_time = self.schedule.assessment_time(
+            now, self._last_assessment[domain]
+        )
+
+        # Update this domain's access-rate estimate (accesses per public
+        # instruction over the last epoch — a pure function of its
+        # retired instruction stream).
+        observed = self.monitors[domain].total_observed
+        epoch_rate = (
+            (observed - self._last_observed[domain])
+            / self.schedule.instructions_per_assessment
+        )
+        previous_rate = self._access_rate[domain]
+        self._access_rate[domain] = (
+            epoch_rate
+            if previous_rate is None
+            else 0.5 * previous_rate + 0.5 * epoch_rate
+        )
+        self._last_observed[domain] = observed
+
+        # Action heuristic: global hit-maximizing allocation over the
+        # timing-independent monitor snapshots, normalized to expected
+        # hits per N public instructions so domains compete on live
+        # demand rather than window volume.
+        curves = {}
+        for d in range(self.arch.num_cores):
+            curve = self.monitors[d].hits_per_size()
+            in_window = max(self.monitors[d].epoch_accesses(), 1.0)
+            rate = self._access_rate[d]
+            if rate is None:
+                weight = 1.0
+            else:
+                expected = rate * self.schedule.instructions_per_assessment
+                weight = expected / in_window
+            curves[d] = curve * weight
+        allocation = self.allocator.allocate(curves)
+        current = self._committed[domain]
+        target = allocation.target_sizes[domain]
+        new_size = current
+        if target != current and target == self._last_targets[domain]:
+            # Feasibility against *committed* capacity: decisions reserve
+            # lines immediately even though the visible resize is delayed.
+            committed_available = (
+                self.allocator.total_lines - sum(self._committed) + current
+            )
+            new_size = self.allocator.feasible_size(
+                target, current, committed_available
+            )
+        self._last_targets[domain] = target
+
+        accountant = self.accountants[domain]
+        if not accountant.resizing_allowed:
+            # Budget exhausted: the victim may not resize any further
+            # (Section 4) — performance may suffer, security does not.
+            new_size = current
+
+        action = ResizingAction(new_size=new_size, old_size=current)
+        bits = accountant.on_assessment(assessment_time, action.is_visible)
+
+        delay = self.schedule.draw_delay()
+        apply_time = assessment_time + delay
+        if action.is_visible:
+            self._committed[domain] = new_size
+            self.schedule_resize(apply_time, domain, new_size)
+        self.record_assessment(system, domain, action, apply_time, bits)
+
+        # Progress toward the next assessment restarts now (Figure 6).
+        # The monitor window is NOT reset: it ages continuously over the
+        # last M_w monitored accesses (Section 8's sliding window), so a
+        # domain's demand curve is stable no matter when another domain's
+        # staggered assessment samples it. The window contents remain a
+        # pure function of the retired public access sequence.
+        self._targets[domain] = self.schedule.next_target(core.public_retired)
+        self._last_assessment[domain] = assessment_time
+
+    # ------------------------------------------------------------------
+    def accountant_report(self, domain: int):
+        """The domain's leakage report (Section 7 accounting)."""
+        return self.accountants[domain].report()

@@ -1,0 +1,72 @@
+"""Simulation substrate: caches, partitioned LLC, cores, system driver.
+
+This package replaces the paper's gem5 setup (Section 8) with an
+instruction-level timing model — see DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.sim.cache import CacheStats, SetAssociativeCache
+from repro.sim.cpu import Core, CoreConfig, InstructionStream, StopReason
+from repro.sim.hierarchy import DomainMemory, MemoryLevel
+from repro.sim.partition import (
+    PartitionedLLC,
+    PartitionView,
+    ResizeOutcome,
+    SharedLLC,
+    SharedView,
+    sets_for_lines,
+)
+from repro.sim.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.sim.smt import (
+    MixFractionMetric,
+    SMTPipeline,
+    SMTThreadStats,
+    SMTWorkload,
+    synthetic_smt_workload,
+)
+from repro.sim.stats import DomainStats, PartitionSample
+from repro.sim.system import DomainSpec, MultiDomainSystem, SystemResult
+from repro.sim.waypart import (
+    WayPartitionedLLC,
+    WayPartitionView,
+    way_alphabet_lines,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "PartitionedLLC",
+    "PartitionView",
+    "SharedLLC",
+    "SharedView",
+    "ResizeOutcome",
+    "sets_for_lines",
+    "DomainMemory",
+    "MemoryLevel",
+    "InstructionStream",
+    "Core",
+    "CoreConfig",
+    "StopReason",
+    "DomainStats",
+    "PartitionSample",
+    "DomainSpec",
+    "MultiDomainSystem",
+    "SystemResult",
+    "WayPartitionedLLC",
+    "WayPartitionView",
+    "way_alphabet_lines",
+    "SMTPipeline",
+    "SMTWorkload",
+    "SMTThreadStats",
+    "MixFractionMetric",
+    "synthetic_smt_workload",
+]

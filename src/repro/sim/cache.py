@@ -1,0 +1,208 @@
+"""Set-associative cache model.
+
+The basic building block of the memory hierarchy: a tag-only
+set-associative cache with LRU replacement (fast path) or a pluggable
+policy (slow path). Addresses are *line* addresses — the byte-offset
+within a line never matters to this model.
+
+Resizing support: partitions change their number of sets at runtime
+(set partitioning, Section 8). :meth:`SetAssociativeCache.resize_sets`
+re-hashes surviving lines into the new geometry, preserving per-set
+recency order and evicting overflow — modeling a partition reconfiguration
+in which lines whose set index is unchanged survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.replacement import LRUPolicy, ReplacementPolicy
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class SetAssociativeCache:
+    """A tag-only set-associative cache.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of sets (any positive integer; non-power-of-two values are
+        supported because 3 MB / 6 MB partitions produce them).
+    associativity:
+        Ways per set.
+    policy:
+        Replacement policy object; ``None`` selects the fast LRU path.
+    """
+
+    __slots__ = ("num_sets", "associativity", "_sets", "_policy", "_lru", "stats")
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int,
+        policy: ReplacementPolicy | None = None,
+    ):
+        if num_sets < 1:
+            raise ConfigurationError(f"num_sets {num_sets} must be >= 1")
+        if associativity < 1:
+            raise ConfigurationError(f"associativity {associativity} must be >= 1")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._policy = policy
+        self._lru = policy is None or isinstance(policy, LRUPolicy)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_lines(self) -> int:
+        """Total lines the cache can hold."""
+        return self.num_sets * self.associativity
+
+    @property
+    def resident_lines(self) -> int:
+        """Lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def set_index(self, line_addr: int) -> int:
+        """The set a line address maps to."""
+        return line_addr % self.num_sets
+
+    def contains(self, line_addr: int) -> bool:
+        """Whether the line is resident (no state update)."""
+        return line_addr in self._sets[line_addr % self.num_sets]
+
+    def resident_addresses(self) -> list[int]:
+        """All resident line addresses (LRU-first within each set)."""
+        resident: list[int] = []
+        for ways in self._sets:
+            resident.extend(ways)
+        return resident
+
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int) -> bool:
+        """Access a line; returns ``True`` on hit.
+
+        On a miss the line is installed, evicting the policy's victim if
+        the set is full.
+        """
+        ways = self._sets[line_addr % self.num_sets]
+        if self._lru:
+            # Fast path: membership scan over <= associativity entries.
+            try:
+                ways.remove(line_addr)
+            except ValueError:
+                self.stats.misses += 1
+                if len(ways) >= self.associativity:
+                    ways.pop(0)
+                    self.stats.evictions += 1
+                ways.append(line_addr)
+                return False
+            ways.append(line_addr)
+            self.stats.hits += 1
+            return True
+
+        # Generic path with a pluggable policy.
+        assert self._policy is not None
+        try:
+            index = ways.index(line_addr)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.associativity:
+                victim = self._policy.victim_index(ways)
+                ways.pop(victim)
+                self.stats.evictions += 1
+            ways.append(line_addr)
+            return False
+        self._policy.on_hit(ways, index)
+        self.stats.hits += 1
+        return True
+
+    def probe(self, line_addr: int) -> bool:
+        """Non-allocating lookup: hit status without installing on miss."""
+        ways = self._sets[line_addr % self.num_sets]
+        if line_addr in ways:
+            if self._lru:
+                ways.remove(line_addr)
+                ways.append(line_addr)
+            return True
+        return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove one line if resident; returns whether it was."""
+        ways = self._sets[line_addr % self.num_sets]
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_all(self) -> int:
+        """Flush the cache; returns the number of lines dropped."""
+        dropped = self.resident_lines
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    def resize_sets(self, new_num_sets: int) -> int:
+        """Change the number of sets, re-hashing surviving lines.
+
+        Lines are re-inserted in global LRU-first order so that per-set
+        recency is preserved as well as possible; lines overflowing their
+        new set are dropped. Returns the number of lines lost.
+        """
+        if new_num_sets < 1:
+            raise ConfigurationError(f"num_sets {new_num_sets} must be >= 1")
+        if new_num_sets == self.num_sets:
+            return 0
+        survivors: list[int] = []
+        # Interleave sets preserving intra-set LRU order: take the i-th
+        # most-recent line of every set in rounds, oldest round first.
+        max_depth = max((len(w) for w in self._sets), default=0)
+        for depth in range(max_depth):
+            for ways in self._sets:
+                if depth < len(ways):
+                    survivors.append(ways[depth])
+        lost = 0
+        self.num_sets = new_num_sets
+        self._sets = [[] for _ in range(new_num_sets)]
+        for line_addr in survivors:
+            ways = self._sets[line_addr % new_num_sets]
+            if len(ways) >= self.associativity:
+                lost += 1
+                continue
+            ways.append(line_addr)
+        self.stats.invalidations += lost
+        return lost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(sets={self.num_sets}, ways={self.associativity}, "
+            f"resident={self.resident_lines}/{self.capacity_lines})"
+        )

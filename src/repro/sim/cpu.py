@@ -1,0 +1,297 @@
+"""Core execution and timing model.
+
+Replaces gem5's cycle-level OoO core with a deterministic instruction-
+level cost model that preserves the one coupling the evaluation needs:
+IPC responds to LLC partition size through cache hits and misses.
+
+Model
+-----
+* Every retired instruction costs ``1 / issue_width`` cycles of pipeline
+  occupancy.
+* A memory instruction additionally stalls the core for
+  ``latency / mlp`` cycles, where ``latency`` is the round-trip latency
+  of the serving level and ``mlp`` is the workload's memory-level
+  parallelism factor (how many misses it typically overlaps).
+* Optional per-access timing jitter models microarchitectural
+  non-determinism (DRAM scheduling, prefetcher interference). Jitter
+  changes *when* things happen but never *what* retires — exactly the
+  separation Untangle's principles rely on, and what the differential
+  timing-independence tests exploit.
+
+Instruction streams are numpy arrays; the core walks them memory-access
+by memory-access, retiring non-memory blocks in bulk, so simulation cost
+is proportional to the number of memory accesses, not instructions.
+
+After a stream's slice finishes, the core keeps re-running the stream
+(wrapping around) to maintain LLC pressure, per the paper's methodology,
+while its statistics stay frozen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.core.annotations import AnnotationVector
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.stats import DomainStats
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`Core.run` returned control to the system driver."""
+
+    #: The cycle budget of the current quantum was reached.
+    QUANTUM = "quantum"
+    #: The public-progress target was reached (Untangle assessment point).
+    PROGRESS = "progress"
+
+
+class InstructionStream:
+    """A dynamic instruction stream with secret-dependence annotations.
+
+    Parameters
+    ----------
+    addresses:
+        int64 array, one entry per instruction: the cache-line address
+        accessed by a memory instruction, or ``-1`` for a non-memory
+        instruction.
+    annotations:
+        Per-instruction :class:`~repro.core.annotations.AnnotationVector`;
+        defaults to all-public.
+    """
+
+    __slots__ = (
+        "addresses",
+        "annotations",
+        "stall_cycles",
+        "length",
+        "mem_positions",
+        "event_positions",
+        "cum_public",
+        "public_per_pass",
+    )
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        annotations: AnnotationVector | None = None,
+        stall_cycles: np.ndarray | None = None,
+    ):
+        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        if addresses.ndim != 1 or addresses.shape[0] == 0:
+            raise ConfigurationError("instruction stream must be a non-empty 1-D array")
+        if annotations is None:
+            annotations = AnnotationVector.public(addresses.shape[0])
+        if len(annotations) != addresses.shape[0]:
+            raise ConfigurationError(
+                "annotations must align with the instruction stream"
+            )
+        if stall_cycles is not None:
+            stall_cycles = np.ascontiguousarray(stall_cycles, dtype=np.int64)
+            if stall_cycles.shape != addresses.shape:
+                raise ConfigurationError("stall cycles must align with the stream")
+            if np.any(stall_cycles < 0):
+                raise ConfigurationError("stall cycles must be non-negative")
+        self.addresses = addresses
+        self.annotations = annotations
+        self.stall_cycles = stall_cycles
+        self.length = int(addresses.shape[0])
+        self.mem_positions = np.flatnonzero(addresses >= 0)
+        # Positions the core must handle one at a time: memory accesses
+        # plus explicit stalls (e.g. the usleep of Figure 1c).
+        if stall_cycles is None:
+            self.event_positions = self.mem_positions
+        else:
+            self.event_positions = np.flatnonzero(
+                (addresses >= 0) | (stall_cycles > 0)
+            )
+        # cum_public[i] = number of progress-counted instructions among the
+        # first i instructions of one pass of the stream.
+        counted = (~annotations.progress_excluded).astype(np.int64)
+        self.cum_public = np.concatenate(([0], np.cumsum(counted)))
+        self.public_per_pass = int(self.cum_public[-1])
+
+    @property
+    def memory_instruction_count(self) -> int:
+        return int(self.mem_positions.shape[0])
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.memory_instruction_count / self.length
+
+
+@dataclass
+class CoreConfig:
+    """Per-core execution parameters derived from the workload."""
+
+    mlp: float = 2.0
+    slice_instructions: int = 100_000
+    warmup_instructions: int = 0
+    timing_jitter: int = 0
+    timing_jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mlp <= 0:
+            raise ConfigurationError("mlp must be positive")
+        if self.slice_instructions < 1:
+            raise ConfigurationError("slice must be at least one instruction")
+        if self.warmup_instructions < 0 or self.timing_jitter < 0:
+            raise ConfigurationError("warmup and jitter must be non-negative")
+
+
+class Core:
+    """One core executing one domain's instruction stream."""
+
+    def __init__(
+        self,
+        domain: int,
+        stream: InstructionStream,
+        memory: DomainMemory,
+        arch: ArchConfig,
+        core_config: CoreConfig,
+        stats: DomainStats,
+    ):
+        self.domain = domain
+        self.stream = stream
+        self.memory = memory
+        self.stats = stats
+        self._cpi = 1.0 / arch.issue_width
+        self._inv_mlp = 1.0 / core_config.mlp
+        self._warmup_end = core_config.warmup_instructions
+        self._slice_end = (
+            core_config.warmup_instructions + core_config.slice_instructions
+        )
+        self._jitter = core_config.timing_jitter
+        self._jitter_rng = (
+            np.random.default_rng(core_config.timing_jitter_seed)
+            if core_config.timing_jitter > 0
+            else None
+        )
+
+        self.cycles: float = 0.0
+        self.retired: int = 0
+        self.public_retired: int = 0
+        self._rel_pos: int = 0
+        self._mem_cursor: int = 0
+        self._pass_public_base: int = 0
+        self._measuring = self._warmup_end == 0
+        if self._measuring:
+            self.stats.begin_measurement(0.0, 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the measured slice has completed."""
+        return self.stats.finished
+
+    @property
+    def now(self) -> int:
+        """Current local time as an integer timestamp."""
+        return int(self.cycles)
+
+    # ------------------------------------------------------------------
+    def _check_boundaries(self) -> None:
+        if not self._measuring and self.retired >= self._warmup_end:
+            self._measuring = True
+            self.stats.begin_measurement(self.cycles, self.retired)
+        if self._measuring and not self.stats.finished and self.retired >= self._slice_end:
+            self.stats.end_measurement(self.cycles, self.retired)
+
+    def _advance_nonmem(self, count: int) -> None:
+        """Retire ``count`` instructions starting at the current position.
+
+        The range must not contain a memory instruction (callers guarantee
+        this by stopping at the next memory position).
+        """
+        if count <= 0:
+            return
+        start = self._rel_pos
+        end = start + count
+        self.cycles += count * self._cpi
+        self.retired += count
+        cum = self.stream.cum_public
+        self.public_retired += int(cum[end] - cum[start])
+        self._rel_pos = end
+        self._check_boundaries()
+
+    def _execute_event(self, rel_pos: int) -> None:
+        """Retire the memory or stall instruction at ``rel_pos``."""
+        stream = self.stream
+        addr = int(stream.addresses[rel_pos])
+        extra = 0.0
+        if addr >= 0:
+            latency = self.memory.access(
+                addr, bool(stream.annotations.metric_excluded[rel_pos])
+            )
+            extra = latency * self._inv_mlp
+            if self._jitter_rng is not None:
+                extra += float(self._jitter_rng.integers(0, self._jitter + 1))
+        if stream.stall_cycles is not None:
+            extra += float(stream.stall_cycles[rel_pos])
+        self.cycles += self._cpi + extra
+        self.retired += 1
+        if not stream.annotations.progress_excluded[rel_pos]:
+            self.public_retired += 1
+        self._rel_pos = rel_pos + 1
+        self._check_boundaries()
+
+    def _wrap_pass(self) -> None:
+        """Start a fresh pass of the stream (pressure-maintenance loop)."""
+        if self._rel_pos != self.stream.length:
+            raise SimulationError("pass wrap before the stream tail retired")
+        self._rel_pos = 0
+        self._mem_cursor = 0
+        self._pass_public_base = self.public_retired
+
+    def _public_crossing_rel(self, progress_target: int) -> int | None:
+        """Pass-relative position where public progress reaches the target.
+
+        Returns the smallest ``i`` such that retiring the first ``i``
+        instructions of the current pass reaches ``progress_target``
+        public instructions in total, or ``None`` if the target is not
+        reached within this pass.
+        """
+        needed = progress_target - self._pass_public_base
+        if needed > self.stream.public_per_pass:
+            return None
+        index = int(np.searchsorted(self.stream.cum_public, needed, side="left"))
+        return index if index <= self.stream.length else None
+
+    # ------------------------------------------------------------------
+    def run(self, until_cycle: float, progress_target: int | None = None) -> StopReason:
+        """Execute until the cycle budget or the public-progress target.
+
+        The core stops *exactly* at the instruction where the public
+        progress counter reaches ``progress_target`` — this precision is
+        what makes Untangle's assessment points (and hence its utilization
+        metric snapshots) functions of the instruction stream alone.
+        """
+        stream = self.stream
+        event_positions = stream.event_positions
+        num_events = event_positions.shape[0]
+        length = stream.length
+        while self.cycles < until_cycle:
+            if progress_target is not None and self.public_retired >= progress_target:
+                return StopReason.PROGRESS
+            next_event = (
+                int(event_positions[self._mem_cursor])
+                if self._mem_cursor < num_events
+                else length
+            )
+            if progress_target is not None:
+                crossing = self._public_crossing_rel(progress_target)
+                if crossing is not None and crossing <= next_event:
+                    self._advance_nonmem(crossing - self._rel_pos)
+                    return StopReason.PROGRESS
+            if next_event >= length:
+                self._advance_nonmem(length - self._rel_pos)
+                self._wrap_pass()
+                continue
+            self._advance_nonmem(next_event - self._rel_pos)
+            self._execute_event(next_event)
+            self._mem_cursor += 1
+        return StopReason.QUANTUM

@@ -1,0 +1,106 @@
+"""Per-domain memory hierarchy: private L1 -> LLC view -> DRAM.
+
+Each access walks the hierarchy and returns the round-trip latency of the
+level that served it. On an L1 miss the access is also offered to the
+domain's utilization monitor (the paper's UMON-style hardware table
+filters out "memory accesses that would hit in the private caches",
+Section 7); secret-annotated accesses are excluded from the monitor when
+the hierarchy is configured to respect annotations (Principle 1 plus
+annotations, Section 5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+from repro.config import ArchConfig
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.partition import LLCView
+
+
+class MemoryLevel(enum.IntEnum):
+    """The level of the hierarchy that served an access."""
+
+    L1 = 1
+    LLC = 2
+    DRAM = 3
+
+
+class MonitorSink(Protocol):
+    """Destination for monitored (L1-filtered) memory accesses."""
+
+    def observe(self, line_addr: int) -> None:
+        """Record one public post-L1 access."""
+        ...
+
+
+class DomainMemory:
+    """One domain's private L1 plus its LLC view.
+
+    Parameters
+    ----------
+    config:
+        Machine parameters (latencies, L1 geometry).
+    llc_view:
+        This domain's LLC access object (partitioned or shared).
+    monitor:
+        Optional utilization-monitor sink fed with L1-missing accesses.
+    monitor_respects_annotations:
+        When ``True`` (Untangle), secret-annotated accesses never reach
+        the monitor. When ``False`` (conventional schemes), every access
+        is monitored — which is what makes their metric secret-dependent.
+    """
+
+    __slots__ = (
+        "l1",
+        "llc_view",
+        "monitor",
+        "monitor_respects_annotations",
+        "_l1_latency",
+        "_llc_latency",
+        "_dram_latency",
+        "level_counts",
+    )
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        llc_view: LLCView,
+        monitor: MonitorSink | None = None,
+        monitor_respects_annotations: bool = True,
+    ):
+        l1_sets = max(1, config.l1_lines // config.l1_associativity)
+        self.l1 = SetAssociativeCache(l1_sets, config.l1_associativity)
+        self.llc_view = llc_view
+        self.monitor = monitor
+        self.monitor_respects_annotations = monitor_respects_annotations
+        self._l1_latency = config.l1_latency
+        self._llc_latency = config.llc_latency
+        self._dram_latency = config.dram_latency
+        self.level_counts = {level: 0 for level in MemoryLevel}
+
+    def access(self, line_addr: int, metric_excluded: bool = False) -> int:
+        """Perform one memory access; returns its round-trip latency.
+
+        ``metric_excluded`` marks secret-annotated accesses: they traverse
+        the caches normally (the data still moves!) but are hidden from
+        the monitor when annotations are respected.
+        """
+        if self.l1.access(line_addr):
+            self.level_counts[MemoryLevel.L1] += 1
+            return self._l1_latency
+        if self.monitor is not None and (
+            not self.monitor_respects_annotations or not metric_excluded
+        ):
+            self.monitor.observe(line_addr)
+        if self.llc_view.access(line_addr):
+            self.level_counts[MemoryLevel.LLC] += 1
+            return self._llc_latency
+        self.level_counts[MemoryLevel.DRAM] += 1
+        return self._dram_latency
+
+    def reset_level_counts(self) -> None:
+        """Zero the per-level service counters (used at warmup end)."""
+        for level in MemoryLevel:
+            self.level_counts[level] = 0

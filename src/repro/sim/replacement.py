@@ -1,0 +1,82 @@
+"""Cache replacement policies.
+
+The set-associative cache in :mod:`repro.sim.cache` hard-codes a fast LRU
+path (the paper's caches are LRU-managed and LRU is what the UMON-style
+monitor models). The policy classes here exist for the generic slow path,
+used by tests that verify LRU equivalence and by ablation experiments on
+replacement behaviour.
+
+A policy operates on one cache set, represented as a list of tags ordered
+from least to most recently used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses a victim way index within one set and orders residents."""
+
+    name: str
+
+    def victim_index(self, ways: list[int]) -> int:
+        """Index of the line to evict from a full set."""
+        ...
+
+    def on_hit(self, ways: list[int], index: int) -> None:
+        """Update recency state after a hit on ``ways[index]``."""
+        ...
+
+
+class LRUPolicy:
+    """Least-recently-used: evict the front, move hits to the back."""
+
+    name = "lru"
+
+    def victim_index(self, ways: list[int]) -> int:
+        return 0
+
+    def on_hit(self, ways: list[int], index: int) -> None:
+        ways.append(ways.pop(index))
+
+
+class FIFOPolicy:
+    """First-in-first-out: evict the front, hits do not reorder."""
+
+    name = "fifo"
+
+    def victim_index(self, ways: list[int]) -> int:
+        return 0
+
+    def on_hit(self, ways: list[int], index: int) -> None:
+        return None
+
+
+class RandomPolicy:
+    """Random replacement with an explicit seed for determinism."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def victim_index(self, ways: list[int]) -> int:
+        return self._rng.randrange(len(ways))
+
+    def on_hit(self, ways: list[int], index: int) -> None:
+        return None
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory for policies by name (``lru``, ``fifo``, ``random``)."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    raise ConfigurationError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,228 @@
+"""SMT pipeline-resource partitioning substrate (Table 1's SecSMT row).
+
+Section 6.3: "Another example of resource of interest is functional
+units shared by two SMT threads, where we can use the fraction of the
+retired instructions that utilize a certain type of function unit as a
+metric."
+
+This module models the relevant slice of an SMT core: two hardware
+threads share a pool of pipeline resources (modeled after SecSMT's
+partitioned structures — think reorder-buffer/scheduler entries or
+functional-unit slots). Each thread owns a partition of the pool; a
+thread whose demand exceeds its partition stalls ("full" events, the
+utilization signal SecSMT counts).
+
+The execution model is deliberately simple but preserves the coupling
+the framework needs: per-cycle, each thread's issue bandwidth is the
+minimum of its demand and its partition, so throughput responds to
+partition size; demand is derived from the thread's instruction mix,
+which is architectural (timing-independent) — enabling an
+Untangle-compliant metric (:class:`MixFractionMetric`) alongside the
+conventional full-event heuristic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class SMTWorkload:
+    """A thread's demand model.
+
+    ``unit_demand[i]`` is the number of pool slots instruction ``i``
+    wants (0 for instructions that bypass the partitioned structure).
+    """
+
+    name: str
+    unit_demand: np.ndarray
+
+    def __post_init__(self) -> None:
+        demand = np.asarray(self.unit_demand)
+        if demand.ndim != 1 or demand.shape[0] == 0:
+            raise ConfigurationError("unit demand must be a non-empty 1-D array")
+        if np.any(demand < 0):
+            raise ConfigurationError("unit demand must be non-negative")
+
+    @property
+    def length(self) -> int:
+        return int(np.asarray(self.unit_demand).shape[0])
+
+    def unit_fraction(self) -> float:
+        """Fraction of instructions that use the partitioned unit.
+
+        This is Section 6.3's timing-independent metric: it depends only
+        on the instruction mix.
+        """
+        demand = np.asarray(self.unit_demand)
+        return float((demand > 0).mean())
+
+
+def synthetic_smt_workload(
+    name: str,
+    instructions: int,
+    unit_fraction: float,
+    burstiness: int = 1,
+    seed: int = 0,
+) -> SMTWorkload:
+    """Generate a thread whose unit usage is phased/bursty.
+
+    ``burstiness`` > 1 clusters the unit-using instructions into runs,
+    creating the demand spikes dynamic partitioning exploits.
+    """
+    if not 0.0 <= unit_fraction <= 1.0:
+        raise ConfigurationError("unit fraction must be within [0, 1]")
+    if burstiness < 1:
+        raise ConfigurationError("burstiness must be >= 1")
+    rng = np.random.default_rng(seed)
+    uses = rng.random(max(1, instructions // burstiness)) < unit_fraction
+    demand = np.repeat(uses.astype(np.int64), burstiness)[:instructions]
+    if demand.shape[0] < instructions:
+        demand = np.pad(demand, (0, instructions - demand.shape[0]))
+    return SMTWorkload(name=name, unit_demand=demand)
+
+
+@dataclass
+class SMTThreadStats:
+    """Per-thread outcome counters."""
+
+    retired: int = 0
+    cycles: int = 0
+    full_events: int = 0
+    partition_samples: list[int] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+class SMTPipeline:
+    """Two threads sharing a partitioned pool of pipeline slots.
+
+    Per cycle, a thread may retire up to ``issue_width`` instructions,
+    but every slot-demanding instruction consumes one pool slot from the
+    thread's partition for that cycle; when the partition is exhausted
+    the thread stalls and a *full event* is recorded — SecSMT's resizing
+    signal.
+    """
+
+    def __init__(
+        self,
+        total_slots: int,
+        issue_width: int = 4,
+        num_threads: int = 2,
+    ):
+        if total_slots < num_threads:
+            raise ConfigurationError("need at least one slot per thread")
+        if issue_width < 1:
+            raise ConfigurationError("issue width must be >= 1")
+        self.total_slots = total_slots
+        self.issue_width = issue_width
+        self.num_threads = num_threads
+        self._quota = [total_slots // num_threads] * num_threads
+        self.stats = [SMTThreadStats() for _ in range(num_threads)]
+
+    # ------------------------------------------------------------------
+    def quota_of(self, thread: int) -> int:
+        return self._quota[thread]
+
+    def set_quota(self, thread: int, slots: int) -> None:
+        """Resize a thread's slot partition (capacity-checked)."""
+        if slots < 1:
+            raise ConfigurationError("every thread needs at least one slot")
+        others = sum(q for t, q in enumerate(self._quota) if t != thread)
+        if others + slots > self.total_slots:
+            raise SimulationError(
+                f"quota {slots} for thread {thread} exceeds the pool"
+            )
+        self._quota[thread] = slots
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workloads: list[SMTWorkload],
+        max_cycles: int = 1_000_000,
+        on_cycle=None,
+    ) -> list[SMTThreadStats]:
+        """Execute both threads to completion (or the cycle cap).
+
+        ``on_cycle(cycle, pipeline)`` is an optional hook for schemes to
+        observe progress and resize between cycles.
+        """
+        if len(workloads) != self.num_threads:
+            raise ConfigurationError("one workload per thread required")
+        cursors = [0] * self.num_threads
+        demands = [np.asarray(w.unit_demand) for w in workloads]
+        cycle = 0
+        while cycle < max_cycles:
+            all_done = all(
+                cursors[t] >= demands[t].shape[0] for t in range(self.num_threads)
+            )
+            if all_done:
+                break
+            for thread in range(self.num_threads):
+                demand = demands[thread]
+                if cursors[thread] >= demand.shape[0]:
+                    continue
+                stats = self.stats[thread]
+                slots_left = self._quota[thread]
+                issued = 0
+                stalled = False
+                while issued < self.issue_width and cursors[thread] < demand.shape[0]:
+                    need = int(demand[cursors[thread]])
+                    if need > slots_left:
+                        stalled = True
+                        break
+                    slots_left -= need
+                    cursors[thread] += 1
+                    issued += 1
+                stats.retired += issued
+                stats.cycles += 1
+                if stalled:
+                    stats.full_events += 1
+            cycle += 1
+            if on_cycle is not None:
+                on_cycle(cycle, self)
+        return self.stats
+
+
+class MixFractionMetric:
+    """Section 6.3's timing-independent SMT metric.
+
+    Tracks, over a window of retired instructions, the fraction using
+    the partitioned unit — a pure function of the retired mix. The
+    recommended quota is that fraction scaled to the thread's peak
+    per-cycle demand.
+    """
+
+    timing_independent = True
+
+    def __init__(self, window: int = 1_000):
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self._window = window
+        self._recent: deque[int] = deque()
+        self._using = 0
+
+    def observe(self, unit_demand: int) -> None:
+        self._recent.append(unit_demand)
+        if unit_demand > 0:
+            self._using += 1
+        if len(self._recent) > self._window:
+            if self._recent.popleft() > 0:
+                self._using -= 1
+
+    @property
+    def fraction(self) -> float:
+        if not self._recent:
+            return 0.0
+        return self._using / len(self._recent)
+
+    def recommended_slots(self, issue_width: int) -> int:
+        """Slots needed to sustain the observed mix at full issue width."""
+        return max(1, round(self.fraction * issue_width))

@@ -1,0 +1,109 @@
+"""Per-domain runtime statistics.
+
+Collects what the paper's evaluation reports per workload: IPC over the
+measured slice, partition-size samples (for the distribution charts in
+Figure 10's top row), assessment/action counts, and leakage bits.
+
+Measurement honors the paper's protocol (Section 8): a warmup period is
+excluded, and once a workload finishes its slice it keeps running (to
+maintain LLC pressure) but stops updating statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PartitionSample:
+    """One sample of a domain's partition size at a point in time."""
+
+    cycle: int
+    lines: int
+
+
+@dataclass
+class DomainStats:
+    """Statistics for one domain (one core + workload)."""
+
+    domain: int
+    #: Cycle at which measurement started (end of warmup).
+    measure_start_cycle: float | None = None
+    measure_start_instructions: int = 0
+    #: Cycle at which the slice finished (stats frozen).
+    measure_end_cycle: float | None = None
+    measure_end_instructions: int = 0
+    finished: bool = False
+    partition_samples: list[PartitionSample] = field(default_factory=list)
+    assessments: int = 0
+    visible_actions: int = 0
+    leakage_bits: float = 0.0
+
+    # ------------------------------------------------------------------
+    def begin_measurement(self, cycle: float, instructions: int) -> None:
+        self.measure_start_cycle = cycle
+        self.measure_start_instructions = instructions
+
+    def end_measurement(self, cycle: float, instructions: int) -> None:
+        if self.finished:
+            return
+        self.measure_end_cycle = cycle
+        self.measure_end_instructions = instructions
+        self.finished = True
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_instructions(self) -> int:
+        if self.measure_start_cycle is None or self.measure_end_cycle is None:
+            return 0
+        return self.measure_end_instructions - self.measure_start_instructions
+
+    @property
+    def measured_cycles(self) -> float:
+        if self.measure_start_cycle is None or self.measure_end_cycle is None:
+            return 0.0
+        return self.measure_end_cycle - self.measure_start_cycle
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the measured slice."""
+        cycles = self.measured_cycles
+        return self.measured_instructions / cycles if cycles > 0 else 0.0
+
+    @property
+    def bits_per_assessment(self) -> float:
+        return self.leakage_bits / self.assessments if self.assessments else 0.0
+
+    @property
+    def maintain_fraction(self) -> float:
+        if not self.assessments:
+            return 0.0
+        return (self.assessments - self.visible_actions) / self.assessments
+
+    # ------------------------------------------------------------------
+    def record_partition_sample(self, cycle: int, lines: int) -> None:
+        if not self.finished:
+            self.partition_samples.append(PartitionSample(cycle, lines))
+
+    def partition_size_quartiles(self) -> tuple[int, int, int, int, int]:
+        """(min, q1, median, q3, max) of sampled partition sizes.
+
+        These are the five numbers behind each bar of the paper's
+        partition-size distribution charts.
+        """
+        if not self.partition_samples:
+            return (0, 0, 0, 0, 0)
+        values = sorted(s.lines for s in self.partition_samples)
+        n = len(values)
+
+        def percentile(fraction: float) -> int:
+            index = min(n - 1, max(0, round(fraction * (n - 1))))
+            return values[index]
+
+        return (
+            values[0],
+            percentile(0.25),
+            percentile(0.5),
+            percentile(0.75),
+            values[-1],
+        )

@@ -1,0 +1,185 @@
+"""Way-partitioned LLC — the classic alternative to set partitioning.
+
+The paper's evaluation uses set partitioning (following Bespoke/Chunked
+Cache-style designs), but the canonical partitioned cache — and the one
+its Background cites for static isolation (Catalyst [28]) — partitions
+by *ways*: every domain uses all sets but owns a disjoint subset of the
+ways in each set.
+
+:class:`WayPartitionedLLC` implements that organization behind the same
+interface as :class:`~repro.sim.partition.PartitionedLLC`, so any scheme
+can drive either. Differences that matter to experiments:
+
+* allocation granularity is one way across all sets (128 lines of the
+  scaled LLC), coarser than set partitioning's one set (16 lines);
+* a domain's partition keeps the full set count, so high-associativity
+  conflict behaviour differs from an equal-capacity set partition;
+* resizing reassigns whole ways: a shrinking domain loses the lines in
+  its surrendered ways, and growth adds empty ways — no re-hash.
+
+Partition sizes are expressed in lines (``ways * num_sets``) so action
+alphabets remain comparable across organizations; sizes must therefore
+be multiples of ``num_sets``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.cache import CacheStats
+from repro.sim.partition import LLCView, ResizeOutcome
+
+
+class _WaySet:
+    """One cache set whose ways are split between domains.
+
+    Per domain we keep an LRU-ordered list of resident tags, bounded by
+    the domain's current way quota in this set.
+    """
+
+    __slots__ = ("ways_of",)
+
+    def __init__(self, num_domains: int):
+        self.ways_of: list[list[int]] = [[] for _ in range(num_domains)]
+
+
+class WayPartitionedLLC:
+    """An LLC partitioned by ways with per-domain quotas."""
+
+    def __init__(
+        self,
+        total_lines: int,
+        associativity: int,
+        num_domains: int,
+        initial_lines: int,
+    ):
+        if num_domains < 1:
+            raise ConfigurationError("need at least one domain")
+        if total_lines % associativity != 0:
+            raise ConfigurationError("total lines must be a whole number of ways")
+        self.total_lines = total_lines
+        self.associativity = associativity
+        self.num_domains = num_domains
+        self.num_sets = total_lines // associativity
+        initial_ways = self._ways_for_lines(initial_lines)
+        if initial_ways * num_domains > associativity:
+            raise ConfigurationError(
+                f"{num_domains} domains x {initial_ways} ways exceed the "
+                f"{associativity}-way LLC"
+            )
+        self._way_quota = [initial_ways] * num_domains
+        self._sets = [_WaySet(num_domains) for _ in range(self.num_sets)]
+        self._stats = [CacheStats() for _ in range(num_domains)]
+        self.resizes: list[ResizeOutcome] = []
+
+    # ------------------------------------------------------------------
+    def _ways_for_lines(self, lines: int) -> int:
+        if lines < self.num_sets:
+            raise ConfigurationError(
+                f"partition of {lines} lines is below one way "
+                f"({self.num_sets} lines)"
+            )
+        if lines % self.num_sets != 0:
+            raise ConfigurationError(
+                f"partition of {lines} lines is not a whole number of ways"
+            )
+        return lines // self.num_sets
+
+    def lines_for_ways(self, ways: int) -> int:
+        """Partition size in lines for a way quota."""
+        return ways * self.num_sets
+
+    def size_of(self, domain: int) -> int:
+        """Current partition size in lines."""
+        return self._way_quota[domain] * self.num_sets
+
+    @property
+    def allocated_lines(self) -> int:
+        return sum(self._way_quota) * self.num_sets
+
+    @property
+    def free_lines(self) -> int:
+        return self.total_lines - self.allocated_lines
+
+    def available_for(self, domain: int) -> int:
+        return self.free_lines + self.size_of(domain)
+
+    def stats_of(self, domain: int) -> CacheStats:
+        return self._stats[domain]
+
+    # ------------------------------------------------------------------
+    def view(self, domain: int) -> "WayPartitionView":
+        if not 0 <= domain < self.num_domains:
+            raise ConfigurationError(f"domain {domain} out of range")
+        return WayPartitionView(self, domain)
+
+    def access(self, domain: int, line_addr: int) -> bool:
+        quota = self._way_quota[domain]
+        stats = self._stats[domain]
+        if quota == 0:
+            # A domain stripped of every way bypasses the LLC entirely.
+            stats.misses += 1
+            return False
+        ways = self._sets[line_addr % self.num_sets].ways_of[domain]
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            stats.misses += 1
+            if len(ways) >= quota:
+                ways.pop(0)
+                stats.evictions += 1
+            ways.append(line_addr)
+            return False
+        ways.append(line_addr)
+        stats.hits += 1
+        return True
+
+    def resize(self, domain: int, new_lines: int) -> ResizeOutcome:
+        """Change a domain's way quota; surrendered ways lose their lines."""
+        new_ways = self._ways_for_lines(new_lines)
+        old_ways = self._way_quota[domain]
+        old_lines = self.size_of(domain)
+        if new_ways == old_ways:
+            outcome = ResizeOutcome(domain, old_lines, new_lines, 0)
+            self.resizes.append(outcome)
+            return outcome
+        others = sum(q for d, q in enumerate(self._way_quota) if d != domain)
+        if others + new_ways > self.associativity:
+            raise SimulationError(
+                f"resizing domain {domain} to {new_ways} ways would exceed "
+                f"the {self.associativity}-way LLC"
+            )
+        lost = 0
+        if new_ways < old_ways:
+            for way_set in self._sets:
+                ways = way_set.ways_of[domain]
+                while len(ways) > new_ways:
+                    ways.pop(0)  # evict LRU lines of the surrendered ways
+                    lost += 1
+        self._way_quota[domain] = new_ways
+        if lost:
+            self._stats[domain].invalidations += lost
+        outcome = ResizeOutcome(domain, old_lines, new_lines, lost)
+        self.resizes.append(outcome)
+        return outcome
+
+
+class WayPartitionView(LLCView):
+    """A single domain's view of a :class:`WayPartitionedLLC`."""
+
+    __slots__ = ("_llc", "_domain")
+
+    def __init__(self, llc: WayPartitionedLLC, domain: int):
+        self._llc = llc
+        self._domain = domain
+
+    def access(self, line_addr: int) -> bool:
+        return self._llc.access(self._domain, line_addr)
+
+    @property
+    def partition_lines(self) -> int:
+        return self._llc.size_of(self._domain)
+
+
+def way_alphabet_lines(num_sets: int, associativity: int) -> tuple[int, ...]:
+    """The natural action alphabet of a way-partitioned LLC: 1..A-1 ways."""
+    return tuple(num_sets * ways for ways in range(1, associativity))

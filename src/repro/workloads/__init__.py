@@ -1,0 +1,45 @@
+"""Workload models: SPEC17-like benchmarks, crypto benchmarks, mixes."""
+
+from repro.workloads.crypto import (
+    CRYPTO_BENCHMARKS,
+    CryptoBenchmark,
+    get_crypto_benchmark,
+)
+from repro.workloads.mixes import (
+    PAPER_MIXES,
+    get_mix,
+    mix_demand_mb,
+    mix_labels,
+    mix_sensitive_count,
+)
+from repro.workloads.spec import (
+    DEFAULT_LINES_PER_MB,
+    LLC_SENSITIVE_NAMES,
+    SPEC_BENCHMARKS,
+    SpecBenchmark,
+    get_spec_benchmark,
+)
+from repro.workloads.workload import (
+    BuiltWorkload,
+    WorkloadScale,
+    build_workload,
+)
+
+__all__ = [
+    "SpecBenchmark",
+    "SPEC_BENCHMARKS",
+    "LLC_SENSITIVE_NAMES",
+    "DEFAULT_LINES_PER_MB",
+    "get_spec_benchmark",
+    "CryptoBenchmark",
+    "CRYPTO_BENCHMARKS",
+    "get_crypto_benchmark",
+    "PAPER_MIXES",
+    "get_mix",
+    "mix_demand_mb",
+    "mix_sensitive_count",
+    "mix_labels",
+    "WorkloadScale",
+    "BuiltWorkload",
+    "build_workload",
+]

@@ -1,0 +1,128 @@
+"""Synthetic models of the OpenSSL cryptographic benchmarks (Table 5).
+
+In the evaluation the crypto benchmarks play one role: they are the
+*secret-handling* part of each workload. All of their instructions are
+conservatively annotated secret-dependent (Section 8), so under Untangle
+they contribute neither to the utilization metric nor to execution
+progress. Their models therefore need small working sets (key schedules,
+S-boxes, precomputed tables), realistic memory intensity, and — for the
+leakage demonstrations — an optional *secret* parameter that changes
+either their demand or their duration, mirroring Figure 1's three leak
+shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.annotations import AnnotationVector
+from repro.errors import ConfigurationError
+from repro.workloads import patterns
+
+#: Crypto state/tables live far away from any SPEC region.
+_CRYPTO_BASE = 8 << 22
+
+
+@dataclass(frozen=True)
+class CryptoBenchmark:
+    """One synthetic crypto benchmark model.
+
+    Attributes
+    ----------
+    table_lines:
+        Cache lines of key-dependent tables/state (the benchmark's whole
+        data footprint — tiny compared with any LLC partition).
+    mem_fraction:
+        Fraction of instructions that are memory accesses.
+    mlp:
+        Memory-level parallelism (crypto is mostly dependent chains).
+    secret_demand_lines:
+        Additional distinct lines touched *per set bit of the secret* —
+        the knob used to demonstrate secret-dependent demand (Figure 1b).
+    secret_stall_cycles:
+        Extra stall cycles inserted per set bit of the secret — the knob
+        for secret-dependent timing (Figure 1c).
+    """
+
+    name: str
+    table_lines: int
+    mem_fraction: float
+    mlp: float
+    secret_demand_lines: int = 0
+    secret_stall_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.table_lines < 1:
+            raise ConfigurationError(f"{self.name}: need at least one table line")
+        if not 0 < self.mem_fraction <= 1:
+            raise ConfigurationError(f"{self.name}: bad memory fraction")
+        if self.mlp <= 0:
+            raise ConfigurationError(f"{self.name}: mlp must be positive")
+
+    # ------------------------------------------------------------------
+    def generate_accesses(
+        self, count: int, rng: np.random.Generator, secret: int = 0
+    ) -> np.ndarray:
+        """Generate ``count`` memory accesses, optionally secret-shaped.
+
+        With a non-zero secret and a non-zero ``secret_demand_lines``,
+        part of the accesses spread over extra lines proportional to the
+        secret's popcount — different secrets, different footprints.
+        """
+        base_accesses = patterns.uniform_random(
+            self.table_lines, count, rng, base=_CRYPTO_BASE
+        )
+        extra_lines = self.secret_demand_lines * int(secret).bit_count()
+        if extra_lines <= 0:
+            return base_accesses
+        extra_region = patterns.uniform_random(
+            extra_lines, count, rng, base=_CRYPTO_BASE + self.table_lines
+        )
+        take_extra = rng.random(count) < 0.5
+        return np.where(take_extra, extra_region, base_accesses)
+
+    def annotations_for(self, length: int) -> AnnotationVector:
+        """Whole-benchmark conservative annotation (Section 8)."""
+        return AnnotationVector.fully_secret(length)
+
+
+#: The eight OpenSSL 3.0.5 benchmarks of Table 5. Table sizes reflect the
+#: real algorithms' data footprints (S-boxes, key schedules, window
+#: tables) in cache lines.
+CRYPTO_BENCHMARKS: dict[str, CryptoBenchmark] = {
+    b.name: b
+    for b in [
+        CryptoBenchmark("Chacha20", table_lines=4, mem_fraction=0.18, mlp=2.0),
+        CryptoBenchmark("AES-128", table_lines=20, mem_fraction=0.30, mlp=1.8),
+        CryptoBenchmark("AES-256", table_lines=24, mem_fraction=0.30, mlp=1.8),
+        CryptoBenchmark("SHA-256", table_lines=6, mem_fraction=0.16, mlp=1.5),
+        CryptoBenchmark(
+            "RSA-2048", table_lines=40, mem_fraction=0.26, mlp=1.3,
+            secret_demand_lines=8, secret_stall_cycles=40,
+        ),
+        CryptoBenchmark(
+            "RSA-4096", table_lines=72, mem_fraction=0.26, mlp=1.3,
+            secret_demand_lines=12, secret_stall_cycles=60,
+        ),
+        CryptoBenchmark(
+            "ECDSA", table_lines=32, mem_fraction=0.24, mlp=1.4,
+            secret_demand_lines=6, secret_stall_cycles=30,
+        ),
+        CryptoBenchmark(
+            "EdDSA", table_lines=28, mem_fraction=0.24, mlp=1.4,
+            secret_demand_lines=4, secret_stall_cycles=20,
+        ),
+    ]
+}
+
+
+def get_crypto_benchmark(name: str) -> CryptoBenchmark:
+    """Look up a crypto benchmark model by its Table 5 name."""
+    try:
+        return CRYPTO_BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown crypto benchmark {name!r}; known: {sorted(CRYPTO_BENCHMARKS)}"
+        ) from None

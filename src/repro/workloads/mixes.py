@@ -1,0 +1,147 @@
+"""The 16 workload mixes of the paper's evaluation (Figures 10, 12-17).
+
+Each mix pairs eight SPEC17 benchmarks with the eight crypto benchmarks
+of Table 5, exactly as the figures list them (left to right). The mixes
+progress from 2 LLC-sensitive benchmarks up to all 8, replacing two
+LLC-insensitive workloads at a time (Section 8).
+
+``mix_demand_mb`` computes the mix's *total LLC demand* — the sum of the
+adequate LLC sizes of its members — which reproduces the demand numbers
+printed in each figure's title (14.6 MB for Mix 1, 39.0 MB for Mix 4,
+and so on) to within the fitting tolerance documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+#: Mix id -> list of (spec benchmark, crypto benchmark) pairs, in the
+#: left-to-right order of the paper's figures.
+PAPER_MIXES: dict[int, list[tuple[str, str]]] = {
+    1: [
+        ("blender_0", "AES-128"), ("bwaves_1", "AES-256"),
+        ("deepsjeng_0", "Chacha20"), ("gcc_2", "EdDSA"),
+        ("gcc_3", "RSA-2048"), ("imagick_0", "RSA-4096"),
+        ("parest_0", "ECDSA"), ("xz_0", "SHA-256"),
+    ],
+    2: [
+        ("blender_0", "AES-128"), ("bwaves_1", "AES-256"),
+        ("gcc_2", "Chacha20"), ("imagick_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"), ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("xz_0", "SHA-256"),
+    ],
+    3: [
+        ("blender_0", "AES-128"), ("gcc_2", "AES-256"),
+        ("imagick_0", "Chacha20"), ("lbm_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"), ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    4: [
+        ("cam4_0", "AES-128"), ("gcc_2", "AES-256"),
+        ("gcc_4", "Chacha20"), ("lbm_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"), ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    5: [
+        ("exchange2_0", "AES-128"), ("lbm_0", "AES-256"),
+        ("perlbench_0", "Chacha20"), ("wrf_0", "EdDSA"),
+        ("x264_1", "RSA-2048"), ("x264_2", "RSA-4096"),
+        ("xalancbmk_0", "ECDSA"), ("xz_1", "SHA-256"),
+    ],
+    6: [
+        ("lbm_0", "AES-128"), ("mcf_0", "AES-256"),
+        ("parest_0", "Chacha20"), ("perlbench_0", "EdDSA"),
+        ("wrf_0", "RSA-2048"), ("x264_2", "RSA-4096"),
+        ("xalancbmk_0", "ECDSA"), ("xz_1", "SHA-256"),
+    ],
+    7: [
+        ("gcc_2", "AES-128"), ("gcc_4", "AES-256"),
+        ("lbm_0", "Chacha20"), ("mcf_0", "EdDSA"),
+        ("parest_0", "RSA-2048"), ("wrf_0", "RSA-4096"),
+        ("x264_2", "ECDSA"), ("xalancbmk_0", "SHA-256"),
+    ],
+    8: [
+        ("bwaves_0", "AES-128"), ("cactuBSSN_0", "AES-256"),
+        ("cam4_0", "Chacha20"), ("gcc_1", "EdDSA"),
+        ("nab_0", "RSA-2048"), ("perlbench_2", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("xz_2", "SHA-256"),
+    ],
+    9: [
+        ("bwaves_0", "AES-128"), ("cactuBSSN_0", "AES-256"),
+        ("cam4_0", "Chacha20"), ("gcc_1", "EdDSA"),
+        ("gcc_4", "RSA-2048"), ("nab_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    10: [
+        ("bwaves_0", "AES-128"), ("cam4_0", "AES-256"),
+        ("gcc_1", "Chacha20"), ("gcc_2", "EdDSA"),
+        ("gcc_4", "RSA-2048"), ("lbm_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    11: [
+        ("bwaves_2", "AES-128"), ("fotonik3d_0", "AES-256"),
+        ("gcc_4", "Chacha20"), ("lbm_0", "EdDSA"),
+        ("leela_0", "RSA-2048"), ("namd_0", "RSA-4096"),
+        ("omnetpp_0", "ECDSA"), ("x264_0", "SHA-256"),
+    ],
+    12: [
+        ("fotonik3d_0", "AES-128"), ("gcc_4", "AES-256"),
+        ("lbm_0", "Chacha20"), ("leela_0", "EdDSA"),
+        ("namd_0", "RSA-2048"), ("omnetpp_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    13: [
+        ("gcc_4", "AES-128"), ("lbm_0", "AES-256"),
+        ("leela_0", "Chacha20"), ("mcf_0", "EdDSA"),
+        ("namd_0", "RSA-2048"), ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"), ("wrf_0", "SHA-256"),
+    ],
+    14: [
+        ("bwaves_3", "AES-128"), ("cam4_0", "AES-256"),
+        ("gcc_0", "Chacha20"), ("imagick_0", "EdDSA"),
+        ("nab_0", "RSA-2048"), ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"), ("roms_0", "SHA-256"),
+    ],
+    15: [
+        ("bwaves_3", "AES-128"), ("cam4_0", "AES-256"),
+        ("gcc_2", "Chacha20"), ("imagick_0", "EdDSA"),
+        ("lbm_0", "RSA-2048"), ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"), ("roms_0", "SHA-256"),
+    ],
+    16: [
+        ("cam4_0", "AES-128"), ("gcc_2", "AES-256"),
+        ("lbm_0", "Chacha20"), ("mcf_0", "EdDSA"),
+        ("parest_0", "RSA-2048"), ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"), ("roms_0", "SHA-256"),
+    ],
+}
+
+
+def get_mix(mix_id: int) -> list[tuple[str, str]]:
+    """The (spec, crypto) pairs of one paper mix."""
+    try:
+        return list(PAPER_MIXES[mix_id])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mix {mix_id!r}; known: 1..{len(PAPER_MIXES)}"
+        ) from None
+
+
+def mix_demand_mb(mix_id: int) -> float:
+    """Total LLC demand: sum of members' adequate sizes (figure titles)."""
+    return sum(
+        SPEC_BENCHMARKS[spec].adequate_mb for spec, _ in get_mix(mix_id)
+    )
+
+
+def mix_sensitive_count(mix_id: int) -> int:
+    """Number of LLC-sensitive benchmarks in the mix (2, 4, 6, or 8)."""
+    return sum(
+        1 for spec, _ in get_mix(mix_id) if SPEC_BENCHMARKS[spec].llc_sensitive
+    )
+
+
+def mix_labels(mix_id: int) -> list[str]:
+    """Workload labels in figure order (``spec+crypto``)."""
+    return [f"{spec}+{crypto}" for spec, crypto in get_mix(mix_id)]

@@ -1,0 +1,148 @@
+"""Memory access-pattern primitives for synthetic workloads.
+
+Workload models are built by mixing a small vocabulary of patterns, each
+producing an array of cache-line addresses. The patterns are chosen for
+their distinct, well-understood LRU behaviour, which is what shapes the
+hits-versus-partition-size curves the evaluation depends on:
+
+* :func:`sequential_scan` — cyclic scan of a working set: 0% LLC hits
+  until the partition covers the whole set, then ~100% (a sharp knee —
+  the canonical LLC-sensitive benchmark shape).
+* :func:`uniform_random` — uniform reuse over a working set: hit rate
+  grows roughly linearly with partition size (a soft ramp).
+* :func:`geometric_reuse` — temporally local reuse with geometric stack
+  distances (hits concentrate at small sizes).
+* :func:`strided_stream` — no reuse at all: compulsory misses regardless
+  of partition size (LLC-insensitive traffic).
+* :func:`hot_set` — a tiny set served by the L1 (cache-friendly traffic).
+
+All generators are deterministic given their RNG, and produce *line*
+addresses inside a caller-provided region so different pattern components
+of one workload never alias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _check(count: int, region_lines: int | None = None) -> None:
+    if count < 0:
+        raise ConfigurationError("access count must be non-negative")
+    if region_lines is not None and region_lines < 1:
+        raise ConfigurationError("region must hold at least one line")
+
+
+def sequential_scan(
+    working_set_lines: int, count: int, base: int = 0, start: int = 0
+) -> np.ndarray:
+    """Cyclic sequential scan over ``working_set_lines`` lines.
+
+    Under LRU, every access misses when the cache is smaller than the
+    working set (each line is evicted just before its reuse) and hits once
+    the cache covers it — the sharp-knee pattern of scan-dominated
+    benchmarks like lbm.
+    """
+    _check(count, working_set_lines)
+    return (np.arange(start, start + count, dtype=np.int64) % working_set_lines) + base
+
+
+def uniform_random(
+    working_set_lines: int, count: int, rng: np.random.Generator, base: int = 0
+) -> np.ndarray:
+    """Uniform random reuse over a working set (soft ramp of hits)."""
+    _check(count, working_set_lines)
+    return rng.integers(0, working_set_lines, size=count, dtype=np.int64) + base
+
+
+def geometric_reuse(
+    working_set_lines: int,
+    count: int,
+    rng: np.random.Generator,
+    mean_distance: float,
+    base: int = 0,
+) -> np.ndarray:
+    """Reuse with geometrically distributed stack distances.
+
+    Each access references the line written ``g`` steps ago in a sliding
+    cursor over the working set, with ``g`` geometric of the given mean —
+    so most reuse is near-immediate and hit rates saturate at small sizes.
+    """
+    _check(count, working_set_lines)
+    if mean_distance < 1:
+        raise ConfigurationError("mean reuse distance must be >= 1")
+    cursor = np.arange(count, dtype=np.int64)
+    distances = rng.geometric(1.0 / mean_distance, size=count).astype(np.int64)
+    return ((cursor - distances) % working_set_lines) + base
+
+
+def strided_stream(count: int, base: int = 0, start: int = 0) -> np.ndarray:
+    """A never-reusing stream: compulsory misses at any partition size."""
+    _check(count)
+    return np.arange(start, start + count, dtype=np.int64) + base
+
+
+def hot_set(
+    hot_lines: int, count: int, rng: np.random.Generator, base: int = 0
+) -> np.ndarray:
+    """Accesses to a tiny hot set (absorbed by the private L1)."""
+    _check(count, hot_lines)
+    return rng.integers(0, hot_lines, size=count, dtype=np.int64) + base
+
+
+def interleave(
+    components: list[tuple[np.ndarray, float]],
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mix pattern components into one access stream.
+
+    ``components`` is a list of ``(addresses, weight)``; each output
+    access is drawn from component ``i`` with probability proportional to
+    ``weight_i``, consuming that component's addresses in order (cyclic if
+    it runs out). The mixing choices are random but the per-component
+    orders are preserved, so each pattern keeps its reuse structure.
+    """
+    if not components:
+        raise ConfigurationError("need at least one pattern component")
+    weights = np.array([w for _, w in components], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ConfigurationError("component weights must be non-negative, not all zero")
+    weights = weights / weights.sum()
+    choice = rng.choice(len(components), size=count, p=weights)
+    out = np.empty(count, dtype=np.int64)
+    for i, (addresses, _) in enumerate(components):
+        mask = choice == i
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        if len(addresses) == 0:
+            raise ConfigurationError(f"component {i} has no addresses")
+        indices = np.arange(n, dtype=np.int64) % len(addresses)
+        out[mask] = addresses[indices]
+    return out
+
+
+def place_memory_instructions(
+    mem_addresses: np.ndarray, memory_fraction: float
+) -> np.ndarray:
+    """Expand memory accesses into a full instruction-address stream.
+
+    Returns an int64 array where memory instructions carry their line
+    address and non-memory instructions are ``-1``, with memory
+    instructions evenly spaced so the stream has approximately the given
+    memory fraction. Deterministic spacing keeps progress arithmetic
+    exact and reproducible.
+    """
+    if not 0.0 < memory_fraction <= 1.0:
+        raise ConfigurationError("memory fraction must be in (0, 1]")
+    m = int(mem_addresses.shape[0])
+    if m == 0:
+        raise ConfigurationError("need at least one memory access")
+    period = max(1, round(1.0 / memory_fraction))
+    total = m * period
+    stream = np.full(total, -1, dtype=np.int64)
+    stream[period - 1 :: period] = mem_addresses
+    return stream

@@ -1,0 +1,152 @@
+"""The three leaking code snippets of Figure 1 as executable victims.
+
+Each builder returns an :class:`~repro.sim.cpu.InstructionStream` for a
+given secret value:
+
+* :func:`figure_1a` — *control-flow leak*: the secret gates a large-array
+  traversal, so the cache demand (and hence the resizing action) depends
+  on the secret.
+* :func:`figure_1b` — *data-flow leak*: the secret scales the traversal's
+  indices, so the number of distinct lines touched depends on the secret.
+* :func:`figure_1c` — *timing leak*: the traversal always runs, but a
+  secret-gated sleep shifts *when* it (and the triggered expansion)
+  happens.
+
+Two annotation modes are provided for each snippet: ``annotated=True``
+marks the secret-dependent instructions the way Untangle requires
+(Section 5.2), and ``annotated=False`` leaves the stream bare, modeling a
+conventional scheme. The demos and tests run both modes to show that
+annotations remove the action leakage of 1a/1b, and that only the covert-
+channel bound covers 1c.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.annotations import AnnotationVector
+from repro.sim.cpu import InstructionStream
+from repro.workloads.patterns import place_memory_instructions, sequential_scan
+
+#: The snippet array region (distinct from anything else in examples).
+_ARRAY_BASE = 16 << 22
+
+#: Default traversal size: "a 4MB array" at the scaled 128 lines/MB.
+DEFAULT_ARRAY_LINES = 512
+
+#: Default surrounding public work (keeps the stream from being all-leak).
+DEFAULT_PADDING_INSTRUCTIONS = 2_000
+
+#: Figure 1c's usleep(1000): 1 ms expressed in scaled cycles.
+DEFAULT_SLEEP_CYCLES = 1_000
+
+
+def _traversal_stream(array_lines: int, memory_fraction: float = 0.5) -> np.ndarray:
+    accesses = sequential_scan(array_lines, array_lines, base=_ARRAY_BASE)
+    return place_memory_instructions(accesses, memory_fraction)
+
+
+def _padding_stream(count: int) -> np.ndarray:
+    return np.full(count, -1, dtype=np.int64)
+
+
+def figure_1a(
+    secret: bool,
+    *,
+    annotated: bool = True,
+    array_lines: int = DEFAULT_ARRAY_LINES,
+    padding: int = DEFAULT_PADDING_INSTRUCTIONS,
+) -> InstructionStream:
+    """``if (secret) traverse(arr)`` — control-flow-dependent demand.
+
+    The traversal instructions are control-dependent on the secret, so in
+    annotated mode they are excluded from both the metric and progress
+    counting; different secrets then produce identical public streams.
+    """
+    pad = _padding_stream(padding)
+    if secret:
+        traversal = _traversal_stream(array_lines)
+        addresses = np.concatenate([pad, traversal, pad])
+        if annotated:
+            annotations = (
+                AnnotationVector.public(len(pad))
+                .concatenate(AnnotationVector.fully_secret(len(traversal)))
+                .concatenate(AnnotationVector.public(len(pad)))
+            )
+        else:
+            annotations = AnnotationVector.public(len(addresses))
+    else:
+        addresses = np.concatenate([pad, pad])
+        annotations = AnnotationVector.public(len(addresses))
+    return InstructionStream(addresses, annotations)
+
+
+def figure_1b(
+    secret: int,
+    *,
+    annotated: bool = True,
+    array_lines: int = DEFAULT_ARRAY_LINES,
+    padding: int = DEFAULT_PADDING_INSTRUCTIONS,
+) -> InstructionStream:
+    """``access(&arr[i * secret])`` — data-flow-dependent demand.
+
+    The traversal always executes the same instructions, but the secret
+    stride changes how many distinct lines it touches (stride 0 touches
+    one line; stride ``s`` touches ``min(array_lines, ...)`` lines). The
+    accesses are data-dependent on the secret, so annotated mode excludes
+    them from the metric (they still count toward progress — the control
+    flow is public).
+    """
+    pad = _padding_stream(padding)
+    indices = (np.arange(array_lines, dtype=np.int64) * int(secret)) % max(
+        array_lines, 1
+    )
+    traversal = place_memory_instructions(indices + _ARRAY_BASE, 0.5)
+    addresses = np.concatenate([pad, traversal, pad])
+    if annotated:
+        metric = np.concatenate(
+            [
+                np.zeros(len(pad), dtype=bool),
+                np.ones(len(traversal), dtype=bool),
+                np.zeros(len(pad), dtype=bool),
+            ]
+        )
+        progress = np.zeros(len(addresses), dtype=bool)
+        annotations = AnnotationVector(metric, progress)
+    else:
+        annotations = AnnotationVector.public(len(addresses))
+    return InstructionStream(addresses, annotations)
+
+
+def figure_1c(
+    secret: bool,
+    *,
+    annotated: bool = True,
+    array_lines: int = DEFAULT_ARRAY_LINES,
+    padding: int = DEFAULT_PADDING_INSTRUCTIONS,
+    sleep_cycles: int = DEFAULT_SLEEP_CYCLES,
+) -> InstructionStream:
+    """``if (secret) usleep(1000); traverse(arr)`` — timing-only leak.
+
+    Regardless of the secret the same public traversal retires and the
+    same expansion is triggered — but a secret-gated stall shifts *when*.
+    Annotations cannot remove this leak (Section 3.4); it is exactly what
+    the covert-channel model of Section 5.3 bounds. The sleep instruction
+    itself is annotated (its execution is secret-control-dependent).
+    """
+    pad = _padding_stream(padding)
+    traversal = _traversal_stream(array_lines)
+    sleep_marker = np.full(1, -1, dtype=np.int64)
+    addresses = np.concatenate([pad, sleep_marker, traversal, pad])
+    stalls = np.zeros(len(addresses), dtype=np.int64)
+    if secret:
+        stalls[len(pad)] = sleep_cycles
+    if annotated:
+        metric = np.zeros(len(addresses), dtype=bool)
+        progress = np.zeros(len(addresses), dtype=bool)
+        metric[len(pad)] = True
+        progress[len(pad)] = True
+        annotations = AnnotationVector(metric, progress)
+    else:
+        annotations = AnnotationVector.public(len(addresses))
+    return InstructionStream(addresses, annotations, stall_cycles=stalls)

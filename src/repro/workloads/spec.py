@@ -1,0 +1,244 @@
+"""Synthetic models of the 36 SPEC CPU2017 benchmarks (Section 8).
+
+The evaluation does not depend on SPEC semantics — only on each
+benchmark's *LLC behaviour*: its hits-versus-partition-size curve (which
+determines the Figure 11 sensitivity study and the allocator's decisions)
+and its memory intensity (which determines how strongly IPC responds).
+Each benchmark is therefore modeled as a deterministic mix of access
+patterns (see :mod:`repro.workloads.patterns`) parameterized by:
+
+* ``adequate_mb`` — the paper-scale *adequate LLC size*: the minimal size
+  reaching >= 0.9 normalized IPC (Section 8). Values were fitted so that
+  all 16 paper mixes reproduce their published total-LLC-demand numbers
+  within ~1 MB (see DESIGN.md). Benchmarks with adequate size > 2 MB are
+  LLC-sensitive — the same 8 benchmarks the paper bolds.
+* memory intensity, memory-level parallelism, and pattern weights, which
+  give each benchmark a distinct IPC level and curve shape.
+
+Working sets scale with ``lines_per_mb`` so the same models drive both
+the scaled and paper configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads import patterns
+
+#: Scaled lines per paper-scale MB (16 MB LLC -> 2048 lines).
+DEFAULT_LINES_PER_MB = 128
+
+#: The scan working set is this fraction of the adequate size, leaving
+#: headroom for the footprint the other pattern components add on top
+#: (calibrated so measured adequate sizes match the fitted targets).
+SCAN_KNEE_FACTOR = 0.85
+
+#: Region bases keep pattern components from aliasing.
+_HOT_BASE = 0
+_SCAN_BASE = 1 << 22
+_RANDOM_BASE = 2 << 22
+_GEOMETRIC_BASE = 3 << 22
+_STREAM_BASE = 4 << 22
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One synthetic SPEC17-like benchmark model.
+
+    Pattern weights need not sum to one; they are normalized when mixing.
+    """
+
+    name: str
+    adequate_mb: float
+    mem_fraction: float
+    mlp: float
+    scan_weight: float
+    random_weight: float
+    geometric_weight: float
+    hot_weight: float
+    stream_weight: float
+    #: Scan working set as a fraction of the adequate size; class-specific
+    #: headroom for stream/hot pollution and set-conflict effects.
+    knee_factor: float = SCAN_KNEE_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.adequate_mb <= 0:
+            raise ConfigurationError(f"{self.name}: adequate size must be positive")
+        if not 0 < self.mem_fraction <= 1:
+            raise ConfigurationError(f"{self.name}: bad memory fraction")
+        if self.mlp <= 0:
+            raise ConfigurationError(f"{self.name}: mlp must be positive")
+
+    @property
+    def llc_sensitive(self) -> bool:
+        """Adequate LLC size above the 2 MB static partition (Section 8)."""
+        return self.adequate_mb > 2.0
+
+    # ------------------------------------------------------------------
+    def working_set_lines(self, lines_per_mb: int = DEFAULT_LINES_PER_MB) -> int:
+        """Scan working set in lines at the given scale."""
+        return max(8, int(self.adequate_mb * lines_per_mb * self.knee_factor))
+
+    def generate_accesses(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        lines_per_mb: int = DEFAULT_LINES_PER_MB,
+    ) -> np.ndarray:
+        """Generate ``count`` memory accesses (line addresses).
+
+        The scan, random, and geometric components all address the *same*
+        working-set region, so the benchmark's total LLC footprint — and
+        hence its sensitivity knee — is set by ``working_set_lines`` and
+        not by the sum of per-component footprints. The streaming and
+        hot-set components use separate regions by design: streaming adds
+        size-independent misses, the hot set adds L1-served traffic.
+        """
+        ws = self.working_set_lines(lines_per_mb)
+        hot_lines = 8
+        components: list[tuple[np.ndarray, float]] = []
+        if self.scan_weight > 0:
+            share = int(count * self.scan_weight) + 1
+            components.append(
+                (patterns.sequential_scan(ws, share, base=_SCAN_BASE), self.scan_weight)
+            )
+        if self.random_weight > 0:
+            share = int(count * self.random_weight) + 1
+            components.append(
+                (
+                    patterns.uniform_random(ws, share, rng, base=_SCAN_BASE),
+                    self.random_weight,
+                )
+            )
+        if self.geometric_weight > 0:
+            share = int(count * self.geometric_weight) + 1
+            mean = max(2.0, ws / 8)
+            components.append(
+                (
+                    patterns.geometric_reuse(ws, share, rng, mean, base=_SCAN_BASE),
+                    self.geometric_weight,
+                )
+            )
+        if self.hot_weight > 0:
+            share = int(count * self.hot_weight) + 1
+            components.append(
+                (patterns.hot_set(hot_lines, share, rng, base=_HOT_BASE), self.hot_weight)
+            )
+        if self.stream_weight > 0:
+            share = int(count * self.stream_weight) + 1
+            components.append(
+                (patterns.strided_stream(share, base=_STREAM_BASE), self.stream_weight)
+            )
+        return patterns.interleave(components, count, rng)
+
+
+def _sensitive(name: str, adequate_mb: float, mem: float, mlp: float) -> SpecBenchmark:
+    """LLC-sensitive shape: dominated by a working-set scan."""
+    return SpecBenchmark(
+        name=name,
+        adequate_mb=adequate_mb,
+        mem_fraction=mem,
+        mlp=mlp,
+        scan_weight=0.62,
+        random_weight=0.10,
+        geometric_weight=0.08,
+        hot_weight=0.18,
+        stream_weight=0.02,
+    )
+
+
+def _moderate(name: str, adequate_mb: float, mem: float, mlp: float) -> SpecBenchmark:
+    """Insensitive but cache-using shape: local reuse plus a small scan."""
+    return SpecBenchmark(
+        name=name,
+        adequate_mb=adequate_mb,
+        mem_fraction=mem,
+        mlp=mlp,
+        scan_weight=0.30,
+        random_weight=0.20,
+        geometric_weight=0.20,
+        hot_weight=0.27,
+        stream_weight=0.03,
+        knee_factor=0.70,
+    )
+
+
+def _compute(name: str, adequate_mb: float, mem: float, mlp: float) -> SpecBenchmark:
+    """Compute-bound shape: mostly hot-set and light streaming."""
+    return SpecBenchmark(
+        name=name,
+        adequate_mb=adequate_mb,
+        mem_fraction=mem,
+        mlp=mlp,
+        scan_weight=0.10,
+        random_weight=0.10,
+        geometric_weight=0.15,
+        hot_weight=0.55,
+        stream_weight=0.10,
+        knee_factor=0.70,
+    )
+
+
+#: All 36 benchmarks. Adequate sizes (paper-scale MB) were fitted against
+#: the 16 published mix demands; the 8 LLC-sensitive ones match the
+#: paper's bolded set: cam4_0, gcc_2, gcc_4, lbm_0, mcf_0, parest_0,
+#: roms_0, wrf_0.
+SPEC_BENCHMARKS: dict[str, SpecBenchmark] = {
+    b.name: b
+    for b in [
+        _moderate("blender_0", 2.0, 0.28, 3.0),
+        _compute("bwaves_0", 0.125, 0.33, 4.0),
+        _moderate("bwaves_1", 2.0, 0.33, 4.0),
+        _compute("bwaves_2", 0.125, 0.33, 4.0),
+        _compute("bwaves_3", 0.125, 0.33, 4.0),
+        _compute("cactuBSSN_0", 0.125, 0.30, 3.5),
+        _sensitive("cam4_0", 4.0, 0.27, 2.5),
+        _moderate("deepsjeng_0", 0.5, 0.24, 2.0),
+        _compute("exchange2_0", 0.125, 0.18, 1.5),
+        _compute("fotonik3d_0", 0.125, 0.35, 4.5),
+        _moderate("gcc_0", 0.5, 0.26, 2.0),
+        _moderate("gcc_1", 1.0, 0.26, 2.0),
+        _sensitive("gcc_2", 6.0, 0.26, 2.0),
+        _moderate("gcc_3", 0.5, 0.26, 2.0),
+        _sensitive("gcc_4", 4.0, 0.26, 2.0),
+        _compute("imagick_0", 0.125, 0.22, 2.5),
+        _sensitive("lbm_0", 8.0, 0.38, 3.0),
+        _moderate("leela_0", 0.5, 0.22, 1.8),
+        _sensitive("mcf_0", 4.0, 0.34, 1.6),
+        _compute("nab_0", 0.125, 0.26, 2.5),
+        _moderate("namd_0", 0.5, 0.28, 3.0),
+        _moderate("omnetpp_0", 0.25, 0.30, 1.8),
+        _sensitive("parest_0", 3.0, 0.30, 2.2),
+        _compute("perlbench_0", 0.125, 0.24, 1.8),
+        _moderate("perlbench_1", 1.0, 0.24, 1.8),
+        _compute("perlbench_2", 0.125, 0.24, 1.8),
+        _moderate("povray_0", 0.5, 0.20, 2.0),
+        _sensitive("roms_0", 6.0, 0.33, 3.2),
+        _sensitive("wrf_0", 4.0, 0.31, 2.8),
+        _compute("x264_0", 0.125, 0.25, 3.0),
+        _compute("x264_1", 0.125, 0.25, 3.0),
+        _compute("x264_2", 0.125, 0.25, 3.0),
+        _compute("xalancbmk_0", 0.125, 0.29, 1.7),
+        _moderate("xz_0", 0.5, 0.27, 2.0),
+        _moderate("xz_1", 0.5, 0.27, 2.0),
+        _moderate("xz_2", 2.0, 0.27, 2.0),
+    ]
+}
+
+#: The eight LLC-sensitive benchmark names (paper Section 8: 8 of 36).
+LLC_SENSITIVE_NAMES: tuple[str, ...] = tuple(
+    sorted(name for name, b in SPEC_BENCHMARKS.items() if b.llc_sensitive)
+)
+
+
+def get_spec_benchmark(name: str) -> SpecBenchmark:
+    """Look up a benchmark model by its paper name (e.g. ``"gcc_2"``)."""
+    try:
+        return SPEC_BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown SPEC benchmark {name!r}; known: {sorted(SPEC_BENCHMARKS)}"
+        ) from None

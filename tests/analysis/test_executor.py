@@ -1,0 +1,110 @@
+"""Tests for the IR executor (analysis -> simulation pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.executor import execute
+from repro.analysis.ir import Program, branch, const, load, read_secret
+from repro.analysis.programs import (
+    secret_gated_traversal,
+    secret_strided_traversal,
+)
+from repro.errors import AnnotationError
+
+
+class TestBasics:
+    def test_load_emits_memory_instruction(self):
+        program = Program([const("a", 77), load("v", "a")])
+        result = execute(program, secret_inputs=[])
+        assert result.stream.addresses.tolist() == [-1, 77]
+
+    def test_line_shift(self):
+        program = Program([const("a", 128), load("v", "a")])
+        result = execute(program, secret_inputs=[], line_shift=6)
+        assert result.stream.addresses[1] == 2
+
+    def test_branch_taken_and_untaken(self):
+        program = Program(
+            [read_secret("s"), branch("s", 1), const("x", 5)]
+        )
+        taken = execute(program, secret_inputs=[1])
+        skipped = execute(program, secret_inputs=[0])
+        assert taken.executed_instructions == 3
+        assert skipped.executed_instructions == 2
+        assert taken.registers.get("x") == 5
+        assert "x" not in skipped.registers
+
+    def test_repeat(self):
+        program = Program([read_secret("s"), const("a", 3), load("v", "a")])
+        result = execute(program, secret_inputs=[1], repeat=3)
+        assert result.executed_instructions == 9
+
+    def test_missing_secret_rejected(self):
+        program = Program([read_secret("s")])
+        with pytest.raises(AnnotationError):
+            execute(program, secret_inputs=[])
+
+    def test_missing_public_rejected(self):
+        from repro.analysis.ir import read_public
+
+        program = Program([read_public("p")])
+        with pytest.raises(AnnotationError):
+            execute(program, secret_inputs=[], public_inputs=[])
+
+    def test_bad_repeat(self):
+        with pytest.raises(AnnotationError):
+            execute(Program([const("x", 1)]), secret_inputs=[], repeat=0)
+
+    def test_store_load_roundtrip(self):
+        from repro.analysis.ir import store
+
+        program = Program(
+            [
+                const("v", 42),
+                const("a", 10),
+                store("v", "a"),
+                load("w", "a"),
+            ]
+        )
+        result = execute(program, secret_inputs=[])
+        assert result.registers["w"] == 42
+
+
+class TestAnnotatedExecution:
+    def test_figure_1a_dynamic_annotations(self):
+        """Executed traversal instructions carry their static annotations."""
+        program = secret_gated_traversal(4)
+        result = execute(program, secret_inputs=[1])
+        stream = result.stream
+        mem_mask = stream.addresses >= 0
+        assert mem_mask.sum() == 4
+        assert stream.annotations.metric_excluded[mem_mask].all()
+        assert stream.annotations.progress_excluded[mem_mask].all()
+
+    def test_figure_1a_public_progress_secret_independent(self):
+        """The core property: public progress ignores the secret."""
+        program = secret_gated_traversal(4)
+        with_secret = execute(program, secret_inputs=[1])
+        without = execute(program, secret_inputs=[0])
+        assert (
+            with_secret.stream.public_per_pass
+            == without.stream.public_per_pass
+        )
+
+    def test_figure_1b_footprint_depends_on_secret(self):
+        program = secret_strided_traversal(8)
+        narrow = execute(program, secret_inputs=[0])
+        wide = execute(program, secret_inputs=[3])
+        def footprint(result):
+            addresses = result.stream.addresses
+            return len(np.unique(addresses[addresses >= 0]))
+        assert footprint(wide) > footprint(narrow)
+
+    def test_figure_1b_metric_excluded_hides_the_difference(self):
+        """Metric-visible accesses are identical across secrets."""
+        program = secret_strided_traversal(8)
+        a = execute(program, secret_inputs=[0])
+        b = execute(program, secret_inputs=[3])
+        visible_a = a.stream.addresses[~a.stream.annotations.metric_excluded]
+        visible_b = b.stream.addresses[~b.stream.annotations.metric_excluded]
+        assert np.array_equal(visible_a, visible_b)

@@ -1,0 +1,72 @@
+"""Tests for the miniature IR."""
+
+import pytest
+
+from repro.analysis.ir import (
+    Instruction,
+    Opcode,
+    Program,
+    alu,
+    branch,
+    const,
+    load,
+    read_public,
+    read_secret,
+    store,
+)
+from repro.errors import AnnotationError
+
+
+class TestInstruction:
+    def test_load_requires_address_register(self):
+        with pytest.raises(AnnotationError):
+            Instruction(Opcode.LOAD, dst="r")
+
+    def test_store_requires_address_register(self):
+        with pytest.raises(AnnotationError):
+            Instruction(Opcode.STORE, sources=("r",))
+
+    def test_branch_requires_condition(self):
+        with pytest.raises(AnnotationError):
+            Instruction(Opcode.BRANCH)
+
+    def test_branch_negative_body_rejected(self):
+        with pytest.raises(AnnotationError):
+            Instruction(Opcode.BRANCH, sources=("c",), body_len=-1)
+
+    def test_is_memory(self):
+        assert load("r", "a").is_memory
+        assert store("r", "a").is_memory
+        assert not alu("r", "x").is_memory
+
+
+class TestProgram:
+    def test_validate_accepts_in_bounds_branch(self):
+        program = Program([read_secret("s"), branch("s", 1), const("x", 1)])
+        program.validate()
+
+    def test_validate_rejects_overrunning_branch(self):
+        program = Program([read_secret("s"), branch("s", 5), const("x", 1)])
+        with pytest.raises(AnnotationError):
+            program.validate()
+
+    def test_len_and_iter(self):
+        program = Program([const("x", 1), const("y", 2)])
+        assert len(program) == 2
+        assert [i.opcode for i in program] == [Opcode.CONST, Opcode.CONST]
+
+
+class TestHelpers:
+    def test_const_stores_value_in_offset(self):
+        assert const("x", 42).offset == 42
+
+    def test_alu_sources(self):
+        assert alu("d", "a", "b").sources == ("a", "b")
+
+    def test_load_store_offsets(self):
+        assert load("d", "a", offset=8).offset == 8
+        assert store("s", "a", offset=4).sources == ("s",)
+
+    def test_io_opcodes(self):
+        assert read_secret("s").opcode is Opcode.READ_SECRET
+        assert read_public("p").opcode is Opcode.READ_PUBLIC

@@ -1,0 +1,138 @@
+"""Tests for the taint analysis producing Untangle annotations."""
+
+from repro.analysis.ir import (
+    Program,
+    alu,
+    branch,
+    const,
+    load,
+    read_public,
+    read_secret,
+    store,
+)
+from repro.analysis.programs import (
+    public_traversal,
+    secret_gated_traversal,
+    secret_strided_traversal,
+    tainted_store_then_load,
+)
+from repro.analysis.taint import analyze, annotate
+from repro.core.annotations import AnnotationKind
+
+
+class TestDataFlow:
+    def test_secret_load_address_is_resource_use(self):
+        program = Program([read_secret("s"), load("v", "s")])
+        kinds = analyze(program).kinds
+        assert kinds[1] & AnnotationKind.SECRET_RESOURCE_USE
+
+    def test_public_load_unannotated(self):
+        program = Program([const("a", 100), load("v", "a")])
+        kinds = analyze(program).kinds
+        assert kinds[1] is AnnotationKind.NONE
+
+    def test_taint_propagates_through_alu(self):
+        program = Program(
+            [read_secret("s"), alu("t", "s"), alu("u", "t"), load("v", "u")]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[3] & AnnotationKind.SECRET_RESOURCE_USE
+
+    def test_overwrite_clears_taint(self):
+        program = Program(
+            [read_secret("s"), const("s", 0), load("v", "s")]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[2] is AnnotationKind.NONE
+
+    def test_loaded_secret_taints_register(self):
+        program = Program(
+            [
+                read_secret("s"),
+                const("slot", 50),
+                store("s", "slot"),
+                const("a", 50),
+                load("v", "a"),
+                load("w", "v"),
+            ]
+        )
+        kinds = analyze(program).kinds
+        # The load-through-tainted-memory value used as an address.
+        assert kinds[5] & AnnotationKind.SECRET_RESOURCE_USE
+
+    def test_tainted_store_address_flagged(self):
+        program = Program([read_secret("s"), store("s", "s")])
+        kinds = analyze(program).kinds
+        assert kinds[1] & AnnotationKind.SECRET_RESOURCE_USE
+
+
+class TestControlFlow:
+    def test_branch_body_is_secret_control(self):
+        program = Program(
+            [read_secret("s"), branch("s", 2), const("x", 1), load("v", "x")]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[2] & AnnotationKind.SECRET_CONTROL
+        assert kinds[3] & AnnotationKind.SECRET_CONTROL
+
+    def test_instruction_after_body_unannotated(self):
+        program = Program(
+            [read_secret("s"), branch("s", 1), const("x", 1), const("y", 2)]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[3] is AnnotationKind.NONE
+
+    def test_public_branch_unannotated(self):
+        program = Program(
+            [read_public("p"), branch("p", 1), const("x", 1)]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[2] is AnnotationKind.NONE
+
+    def test_writes_under_secret_control_carry_implicit_flow(self):
+        program = Program(
+            [
+                read_secret("s"),
+                branch("s", 1),
+                const("x", 1),  # x now reveals the branch outcome
+                load("v", "x"),
+            ]
+        )
+        kinds = analyze(program).kinds
+        assert kinds[3] & AnnotationKind.SECRET_RESOURCE_USE
+
+
+class TestPaperPrograms:
+    def test_figure_1a_annotations(self):
+        report = analyze(secret_gated_traversal(4))
+        vector = report.annotation_vector()
+        # The traversal (everything after the branch) is progress-excluded.
+        assert vector.progress_excluded[2:].all()
+        assert vector.metric_excluded[2:].all()
+
+    def test_figure_1b_annotations(self):
+        report = analyze(secret_strided_traversal(4))
+        vector = report.annotation_vector()
+        load_positions = [
+            i
+            for i, inst in enumerate(secret_strided_traversal(4).instructions)
+            if inst.is_memory
+        ]
+        # The first load is arr[0 * secret] = arr[0]: genuinely public.
+        # Every later load's address accumulates the secret stride.
+        assert not vector.metric_excluded[load_positions[0]]
+        assert all(vector.metric_excluded[i] for i in load_positions[1:])
+        # Nothing is progress-excluded (the control flow is public).
+        assert not vector.progress_excluded.any()
+
+    def test_figure_1c_public_part_clean(self):
+        report = analyze(public_traversal(4))
+        assert report.annotated_count == 0
+
+    def test_memory_taint_example(self):
+        report = analyze(tainted_store_then_load())
+        assert report.annotated_count > 0
+
+    def test_annotate_convenience(self):
+        vector = annotate(secret_gated_traversal(2))
+        assert vector.metric_excluded.any()

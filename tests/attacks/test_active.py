@@ -1,0 +1,73 @@
+"""Tests for the active-attacker artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.active import (
+    recharge_unoptimized,
+    squeezing_workload,
+)
+from repro.core.rates import worst_case_table
+
+
+class TestSqueezingWorkload:
+    def test_stream_length(self):
+        stream, config = squeezing_workload(2_000, working_set_lines=256)
+        assert stream.length == pytest.approx(2_000, rel=0.2)
+        assert config.slice_instructions == stream.length
+
+    def test_pulses_alternate_with_idle(self):
+        stream, _ = squeezing_workload(
+            4_000, working_set_lines=128, pulse_instructions=500
+        )
+        mem_mask = stream.addresses >= 0
+        # There must be whole idle regions with no memory traffic.
+        halves = np.array_split(mem_mask, 8)
+        densities = [h.mean() for h in halves]
+        assert min(densities) == 0.0
+        assert max(densities) > 0.3
+
+    def test_large_working_set(self):
+        stream, _ = squeezing_workload(2_000, working_set_lines=1024)
+        addresses = stream.addresses[stream.addresses >= 0]
+        assert len(np.unique(addresses)) > 200
+
+    def test_deterministic(self):
+        a, _ = squeezing_workload(1_000, 64, seed=5)
+        b, _ = squeezing_workload(1_000, 64, seed=5)
+        assert np.array_equal(a.addresses, b.addresses)
+
+
+class TestRecharge:
+    def test_empty_timeline(self, small_channel_model):
+        worst = worst_case_table(small_channel_model, solver_iterations=100)
+        result = recharge_unoptimized([], 1.0, worst)
+        assert result.assessments == 0
+        assert result.unoptimized_bits == 0.0
+
+    def test_recharge_exceeds_optimized(
+        self, small_channel_model, small_rate_table
+    ):
+        """Worst-case pricing dominates Maintain-optimized pricing."""
+        from repro.core.accountant import LeakageAccountant
+
+        worst = worst_case_table(small_channel_model, solver_iterations=100)
+        cooldown = small_rate_table.cooldown
+        times = [cooldown * (i + 1) for i in range(10)]
+        accountant = LeakageAccountant(small_rate_table)
+        for i, t in enumerate(times):
+            accountant.on_assessment(t, visible=(i == 9))
+        result = recharge_unoptimized(times, accountant.total_bits, worst)
+        assert result.unoptimized_bits > result.optimized_bits
+        assert (
+            result.unoptimized_bits_per_assessment
+            > result.optimized_bits_per_assessment
+        )
+
+    def test_per_assessment_math(self, small_channel_model):
+        worst = worst_case_table(small_channel_model, solver_iterations=100)
+        times = [32, 64]
+        result = recharge_unoptimized(times, 0.1, worst)
+        expected = worst.bits_for_interval(0, 32) * 2
+        assert result.unoptimized_bits == pytest.approx(expected)
+        assert result.assessments == 2

@@ -1,0 +1,77 @@
+"""Empirical covert-channel simulation vs. the certified bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.channel_sim import CovertChannelSimulator
+from repro.core.covert import CovertChannelModel, no_delay, uniform_delay
+from repro.core.dinkelbach import solve_rmax
+from repro.errors import ChannelModelError
+
+
+class TestSimulator:
+    def test_noiseless_channel_decodes_perfectly(self):
+        model = CovertChannelModel(
+            cooldown=32, resolution=4, max_duration=64, delay=no_delay()
+        )
+        simulator = CovertChannelSimulator(model, seed=0)
+        result = simulator.transmit(model.uniform_input(), 400)
+        assert result.decode_accuracy == 1.0
+        # Empirical information approaches H(X) = log2 |X|.
+        assert result.empirical_information_bits == pytest.approx(
+            np.log2(model.num_inputs), abs=0.4
+        )
+
+    def test_noisy_channel_confuses_receiver(self, small_channel_model):
+        simulator = CovertChannelSimulator(small_channel_model, seed=1)
+        result = simulator.transmit(small_channel_model.uniform_input(), 400)
+        assert result.decode_accuracy < 1.0
+
+    def test_zero_transmissions_rejected(self, small_channel_model):
+        simulator = CovertChannelSimulator(small_channel_model)
+        with pytest.raises(ChannelModelError):
+            simulator.transmit(small_channel_model.uniform_input(), 0)
+
+    def test_shape_mismatch_rejected(self, small_channel_model):
+        simulator = CovertChannelSimulator(small_channel_model)
+        with pytest.raises(ChannelModelError):
+            simulator.transmit(np.array([1.0]), 10)
+
+    def test_deterministic(self, small_channel_model):
+        a = CovertChannelSimulator(small_channel_model, seed=9).transmit(
+            small_channel_model.uniform_input(), 100
+        )
+        b = CovertChannelSimulator(small_channel_model, seed=9).transmit(
+            small_channel_model.uniform_input(), 100
+        )
+        assert a.empirical_information_bits == b.empirical_information_bits
+
+
+class TestBoundHolds:
+    def test_uniform_sender_below_bound(self, small_channel_model):
+        """The empirical rate never beats the certified R'_max."""
+        bound = solve_rmax(small_channel_model, inner_iterations=300)
+        simulator = CovertChannelSimulator(small_channel_model, seed=2)
+        result = simulator.transmit(small_channel_model.uniform_input(), 1_500)
+        # Finite-sample MI estimates are biased upward; allow slack.
+        assert result.empirical_rate <= bound.rate_upper_bound * 1.5
+
+    def test_optimal_sender_near_but_below_bound(self, small_channel_model):
+        solution = solve_rmax(small_channel_model, inner_iterations=300)
+        simulator = CovertChannelSimulator(small_channel_model, seed=3)
+        result = simulator.transmit(solution.input_distribution, 2_000)
+        assert result.empirical_rate <= solution.rate_upper_bound * 1.5
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_random_senders_never_exceed_bound(seed, small_channel_model):
+    """Property: no sender strategy beats the certified bound."""
+    bound = solve_rmax(small_channel_model, inner_iterations=300)
+    rng = np.random.default_rng(seed)
+    p = rng.dirichlet(np.ones(small_channel_model.num_inputs))
+    simulator = CovertChannelSimulator(small_channel_model, seed=seed)
+    result = simulator.transmit(p, 1_000)
+    assert result.empirical_rate <= bound.rate_upper_bound * 1.6

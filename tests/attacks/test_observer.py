@@ -1,0 +1,84 @@
+"""Tests for the idealized observer and empirical leakage measurement."""
+
+import pytest
+
+from repro.attacks.observer import measure_empirical_leakage, observe
+from repro.core.actions import maintain, resize
+from repro.core.trace import ResizingTrace
+from repro.info.distributions import DiscreteDistribution
+
+
+def trace_with(events):
+    return ResizingTrace.from_pairs(events)
+
+
+class TestObserve:
+    def test_maintains_invisible(self):
+        trace = trace_with(
+            [(maintain(2), 10), (resize(2, 4), 20), (maintain(4), 30)]
+        )
+        observed = observe(trace)
+        assert observed.events == ((4, 20),)
+
+    def test_action_and_timing_parts(self):
+        trace = trace_with([(resize(2, 4), 20), (resize(4, 2), 50)])
+        observed = observe(trace)
+        assert observed.action_part == (4, 2)
+        assert observed.timing_part == (20, 50)
+
+
+class TestEmpiricalLeakage:
+    def test_secret_independent_victim_leaks_nothing(self):
+        secrets = DiscreteDistribution.uniform([0, 1, 2, 3])
+        fixed = trace_with([(resize(2, 4), 100)])
+        leakage = measure_empirical_leakage(secrets, lambda s: fixed)
+        assert leakage.total_information_bits == pytest.approx(0.0, abs=1e-12)
+        assert leakage.observation_entropy_bits == pytest.approx(0.0, abs=1e-12)
+
+    def test_action_dependent_victim_leaks_action_bits(self):
+        """Figure 1a-style: the secret decides whether an Expand happens."""
+        secrets = DiscreteDistribution.uniform([0, 1])
+
+        def run(secret):
+            if secret:
+                return trace_with([(resize(2, 4), 100)])
+            return trace_with([(maintain(2), 100)])
+
+        leakage = measure_empirical_leakage(secrets, run)
+        assert leakage.action_information_bits == pytest.approx(1.0)
+        assert leakage.total_information_bits == pytest.approx(1.0)
+
+    def test_timing_dependent_victim_leaks_timing_bits(self):
+        """Figure 1c-style: same action, secret-shifted time."""
+        secrets = DiscreteDistribution.uniform([0, 1])
+
+        def run(secret):
+            return trace_with([(resize(2, 4), 100 + 50 * secret)])
+
+        leakage = measure_empirical_leakage(secrets, run)
+        assert leakage.action_information_bits == pytest.approx(0.0, abs=1e-12)
+        assert leakage.total_information_bits == pytest.approx(1.0)
+
+    def test_timing_resolution_coarsens_observation(self):
+        """A low-resolution attacker cannot distinguish close timings."""
+        secrets = DiscreteDistribution.uniform([0, 1])
+
+        def run(secret):
+            return trace_with([(resize(2, 4), 100 + secret)])
+
+        sharp = measure_empirical_leakage(secrets, run, timing_resolution=1)
+        blurred = measure_empirical_leakage(secrets, run, timing_resolution=64)
+        assert sharp.total_information_bits == pytest.approx(1.0)
+        assert blurred.total_information_bits == pytest.approx(0.0, abs=1e-12)
+
+    def test_weighted_secrets(self):
+        secrets = DiscreteDistribution({0: 0.75, 1: 0.25})
+
+        def run(secret):
+            return trace_with([(resize(2, 4 if secret else 8), 100)])
+
+        leakage = measure_empirical_leakage(secrets, run)
+        # Information equals the secret's entropy (deterministic mapping).
+        assert leakage.total_information_bits == pytest.approx(
+            secrets.entropy_bits()
+        )

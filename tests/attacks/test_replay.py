@@ -1,0 +1,68 @@
+"""Tests for replay campaigns and cross-run budgets (Section 6.2)."""
+
+import pytest
+
+from repro.attacks.replay import ReplayCampaign
+from repro.core.accountant import LeakageAccountant
+from repro.errors import SimulationError
+
+
+def make_victim(cooldown):
+    """A victim that wants a visible resize at every assessment."""
+
+    def run(accountant: LeakageAccountant):
+        decisions = []
+        for i in range(1, 6):
+            wants_visible = True
+            allowed = accountant.check_resize_allowed()
+            visible = wants_visible and allowed
+            accountant.on_assessment(i * cooldown, visible)
+            decisions.append((i * cooldown, visible))
+        return decisions
+
+    return run
+
+
+class TestReplayCampaign:
+    def test_leakage_accumulates_across_runs(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table)
+        campaign = ReplayCampaign(accountant, make_victim(small_rate_table.cooldown))
+        runs = campaign.replay(3)
+        assert len(runs) == 3
+        assert campaign.total_bits == pytest.approx(
+            sum(run.bits_charged for run in runs)
+        )
+        # Each run leaks roughly the same amount (same behaviour).
+        assert runs[1].bits_charged == pytest.approx(runs[0].bits_charged, rel=0.3)
+
+    def test_budget_eventually_stops_resizes(self, small_rate_table):
+        threshold = 4.0
+        accountant = LeakageAccountant(small_rate_table, threshold_bits=threshold)
+        campaign = ReplayCampaign(accountant, make_victim(small_rate_table.cooldown))
+        campaign.replay(20)
+        last = campaign.runs[-1]
+        # In the final runs the victim is denied every resize...
+        assert last.resizes_allowed == 0
+        # ...and the accumulated leakage never blows past the threshold.
+        assert not campaign.threshold_ever_exceeded
+
+    def test_exhausted_runs_leak_almost_nothing(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table, threshold_bits=3.0)
+        campaign = ReplayCampaign(accountant, make_victim(small_rate_table.cooldown))
+        campaign.replay(15)
+        first = campaign.runs[0].bits_charged
+        last = campaign.runs[-1].bits_charged
+        # Maintain-only runs are priced at the deep-maintain rate.
+        assert last < first
+
+    def test_zero_replays_rejected(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table)
+        campaign = ReplayCampaign(accountant, make_victim(small_rate_table.cooldown))
+        with pytest.raises(SimulationError):
+            campaign.replay(0)
+
+    def test_no_threshold_never_flags(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table)
+        campaign = ReplayCampaign(accountant, make_victim(small_rate_table.cooldown))
+        campaign.replay(2)
+        assert not campaign.threshold_ever_exceeded

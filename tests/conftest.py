@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import CovertChannelModel, uniform_delay
+from repro.core.rates import RmaxTable
+
+
+@pytest.fixture(scope="session")
+def tiny_arch() -> ArchConfig:
+    """A 2-core machine small enough for fast unit tests."""
+    return ArchConfig.tiny(num_cores=2)
+
+
+@pytest.fixture(scope="session")
+def scaled_arch() -> ArchConfig:
+    """The default 8-core scaled machine."""
+    return ArchConfig.scaled()
+
+
+@pytest.fixture(scope="session")
+def small_channel_model() -> CovertChannelModel:
+    """A small covert-channel model (fast to optimize)."""
+    return CovertChannelModel(
+        cooldown=32,
+        resolution=4,
+        max_duration=96,
+        delay=uniform_delay(32, 4),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_rate_table(small_channel_model) -> RmaxTable:
+    """A fully materialized table over the small model."""
+    table = RmaxTable(small_channel_model, capacity=6, solver_iterations=150)
+    table.entries()
+    return table
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,163 @@
+"""Tests for runtime leakage accounting (Section 7)."""
+
+import math
+
+import pytest
+
+from repro.core.accountant import ConservativeAccountant, LeakageAccountant
+from repro.errors import LeakageBudgetExceeded, SimulationError
+
+
+@pytest.fixture()
+def accountant(small_rate_table):
+    return LeakageAccountant(small_rate_table)
+
+
+class TestLeakageAccountant:
+    def test_starts_at_zero(self, accountant):
+        assert accountant.total_bits == 0.0
+        assert accountant.resizing_allowed
+
+    def test_visible_action_charges_rate_times_span(
+        self, accountant, small_rate_table
+    ):
+        cooldown = small_rate_table.cooldown
+        bits = accountant.on_assessment(cooldown, visible=True)
+        assert bits == pytest.approx(
+            small_rate_table.bits_for_interval(0, cooldown)
+        )
+
+    def test_timestamps_must_be_nondecreasing(self, accountant):
+        accountant.on_assessment(100, visible=True)
+        with pytest.raises(SimulationError):
+            accountant.on_assessment(50, visible=True)
+
+    def test_maintain_run_counter(self, accountant, small_rate_table):
+        cooldown = small_rate_table.cooldown
+        accountant.on_assessment(cooldown, visible=False)
+        accountant.on_assessment(2 * cooldown, visible=False)
+        assert accountant.current_maintain_run == 2
+        accountant.on_assessment(3 * cooldown, visible=True)
+        assert accountant.current_maintain_run == 0
+
+    def test_maintain_run_total_equals_final_repricing(
+        self, accountant, small_rate_table
+    ):
+        """n Maintains then a visible action: total = rate(n) * (n+1)T_c.
+
+        This is the Section 5.3.4 equivalence: the transmission behaves
+        like one with cooldown (n+1) T_c.
+        """
+        cooldown = small_rate_table.cooldown
+        n = 3
+        for i in range(n):
+            accountant.on_assessment((i + 1) * cooldown, visible=False)
+        accountant.on_assessment((n + 1) * cooldown, visible=True)
+        expected = small_rate_table.bits_for_interval(n, (n + 1) * cooldown)
+        assert accountant.total_bits == pytest.approx(expected)
+
+    def test_maintains_cost_less_per_assessment_than_visible(
+        self, small_rate_table
+    ):
+        cooldown = small_rate_table.cooldown
+        all_visible = LeakageAccountant(small_rate_table)
+        mostly_maintain = LeakageAccountant(small_rate_table)
+        for i in range(1, 7):
+            all_visible.on_assessment(i * cooldown, visible=True)
+            mostly_maintain.on_assessment(i * cooldown, visible=(i == 6))
+        assert mostly_maintain.total_bits < all_visible.total_bits
+
+    def test_charges_never_negative(self, accountant, small_rate_table):
+        cooldown = small_rate_table.cooldown
+        for i in range(1, 20):
+            bits = accountant.on_assessment(i * cooldown, visible=(i % 5 == 0))
+            assert bits >= -1e-12
+
+    def test_budget_enforcement(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table, threshold_bits=1.0)
+        cooldown = small_rate_table.cooldown
+        t = 0
+        while accountant.resizing_allowed:
+            t += cooldown
+            accountant.on_assessment(t, visible=True)
+        assert accountant.budget_exhausted
+        assert not accountant.check_resize_allowed()
+        with pytest.raises(LeakageBudgetExceeded):
+            accountant.check_resize_allowed(strict=True)
+
+    def test_negative_threshold_rejected(self, small_rate_table):
+        with pytest.raises(SimulationError):
+            LeakageAccountant(small_rate_table, threshold_bits=-1.0)
+
+    def test_replay_carries_leakage_across_runs(self, small_rate_table):
+        accountant = LeakageAccountant(small_rate_table, threshold_bits=100.0)
+        cooldown = small_rate_table.cooldown
+        accountant.on_assessment(cooldown, visible=True)
+        first_run = accountant.total_bits
+        accountant.start_new_run()
+        assert accountant.run_bits == 0.0
+        assert accountant.total_bits == pytest.approx(first_run)
+        accountant.on_assessment(cooldown, visible=True)
+        assert accountant.total_bits == pytest.approx(2 * first_run)
+
+    def test_report(self, accountant, small_rate_table):
+        cooldown = small_rate_table.cooldown
+        accountant.on_assessment(cooldown, visible=False)
+        accountant.on_assessment(2 * cooldown, visible=True)
+        report = accountant.report()
+        assert report.assessments == 2
+        assert report.visible_actions == 1
+        assert report.maintain_fraction == pytest.approx(0.5)
+        assert report.bits_per_assessment == pytest.approx(
+            report.total_bits / 2
+        )
+
+    def test_charge_log_records_everything(self, accountant, small_rate_table):
+        cooldown = small_rate_table.cooldown
+        accountant.on_assessment(cooldown, visible=False)
+        accountant.on_assessment(2 * cooldown, visible=True)
+        charges = accountant.charges
+        assert len(charges) == 2
+        assert charges[0].visible is False
+        assert charges[1].maintain_run_before == 1
+
+    def test_long_span_uses_lower_rate(self, small_rate_table):
+        """A 4-cooldown gap charges at the level-3 rate, not level-0."""
+        accountant = LeakageAccountant(small_rate_table)
+        cooldown = small_rate_table.cooldown
+        bits = accountant.on_assessment(4 * cooldown, visible=True)
+        # First assessment uses a default cooldown-interval; the charge is
+        # at least the minimum transmission and far below rate0 * 4Tc.
+        assert bits <= small_rate_table.bits_for_interval(0, 4 * cooldown)
+
+
+class TestConservativeAccountant:
+    def test_flat_charge(self):
+        accountant = ConservativeAccountant(num_actions=9)
+        bits = accountant.on_assessment(100, visible=False)
+        assert bits == pytest.approx(math.log2(9))
+        bits = accountant.on_assessment(200, visible=True)
+        assert bits == pytest.approx(math.log2(9))
+        assert accountant.total_bits == pytest.approx(2 * math.log2(9))
+
+    def test_budget(self):
+        accountant = ConservativeAccountant(num_actions=4, threshold_bits=3.0)
+        accountant.on_assessment(1, visible=True)  # 2 bits
+        assert accountant.resizing_allowed
+        accountant.on_assessment(2, visible=True)  # 4 bits total
+        assert accountant.budget_exhausted
+        with pytest.raises(LeakageBudgetExceeded):
+            accountant.check_resize_allowed(strict=True)
+
+    def test_report(self):
+        accountant = ConservativeAccountant(num_actions=2)
+        accountant.on_assessment(1, visible=True)
+        accountant.on_assessment(2, visible=False)
+        report = accountant.report()
+        assert report.assessments == 2
+        assert report.bits_per_assessment == pytest.approx(1.0)
+        assert report.maintain_fraction == pytest.approx(0.5)
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(SimulationError):
+            ConservativeAccountant(num_actions=0)

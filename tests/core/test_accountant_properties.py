@@ -1,0 +1,107 @@
+"""Property-based tests of the leakage accountant's soundness invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accountant import LeakageAccountant
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=st.lists(st.booleans(), min_size=1, max_size=40),
+    gaps=st.lists(st.integers(1, 6), min_size=40, max_size=40),
+)
+def test_total_equals_sum_of_charges(pattern, gaps, small_rate_table):
+    accountant = LeakageAccountant(small_rate_table)
+    cooldown = small_rate_table.cooldown
+    t = 0
+    charged = 0.0
+    for visible, gap in zip(pattern, gaps):
+        t += gap * cooldown
+        charged += accountant.on_assessment(t, visible)
+    assert accountant.total_bits == pytest.approx(charged)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=st.lists(st.booleans(), min_size=1, max_size=40),
+    gaps=st.lists(st.integers(1, 6), min_size=40, max_size=40),
+)
+def test_charges_nonnegative_and_bounded_by_worst_case(
+    pattern, gaps, small_rate_table
+):
+    """0 <= each charge, and total <= rate(0) * elapsed time.
+
+    The level-0 rate is the highest in the table, so charging the whole
+    timeline at it is an upper bound on any Maintain-aware charging.
+    """
+    accountant = LeakageAccountant(small_rate_table)
+    cooldown = small_rate_table.cooldown
+    t = 0
+    for visible, gap in zip(pattern, gaps):
+        t += gap * cooldown
+        bits = accountant.on_assessment(t, visible)
+        assert bits >= -1e-12
+    worst = small_rate_table.rate(0) * t
+    assert accountant.total_bits <= worst + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    visibles=st.lists(st.booleans(), min_size=2, max_size=30),
+)
+def test_more_maintains_never_leak_more(visibles, small_rate_table):
+    """Flipping any visible action to Maintain cannot increase the total."""
+    cooldown = small_rate_table.cooldown
+
+    def total_for(pattern):
+        accountant = LeakageAccountant(small_rate_table)
+        for i, visible in enumerate(pattern, start=1):
+            accountant.on_assessment(i * cooldown, visible)
+        return accountant.total_bits
+
+    baseline = total_for(visibles)
+    if any(visibles):
+        first_visible = visibles.index(True)
+        flipped = list(visibles)
+        flipped[first_visible] = False
+        assert total_for(flipped) <= baseline + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pattern=st.lists(st.booleans(), min_size=1, max_size=25),
+    threshold=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_threshold_overshoot_bounded_by_one_charge(
+    pattern, threshold, small_rate_table
+):
+    """The total may pass the threshold by at most the final charge."""
+    accountant = LeakageAccountant(small_rate_table, threshold_bits=threshold)
+    cooldown = small_rate_table.cooldown
+    max_charge = 0.0
+    for i, wanted in enumerate(pattern, start=1):
+        visible = wanted and accountant.resizing_allowed
+        bits = accountant.on_assessment(i * cooldown, visible)
+        max_charge = max(max_charge, bits)
+    assert accountant.total_bits <= threshold + max_charge + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    runs=st.integers(1, 5),
+    pattern=st.lists(st.booleans(), min_size=1, max_size=10),
+)
+def test_replay_total_is_sum_of_run_totals(runs, pattern, small_rate_table):
+    accountant = LeakageAccountant(small_rate_table)
+    cooldown = small_rate_table.cooldown
+    run_totals = []
+    for run in range(runs):
+        if run > 0:
+            accountant.start_new_run()
+        before = accountant.total_bits
+        for i, visible in enumerate(pattern, start=1):
+            accountant.on_assessment(i * cooldown, visible)
+        run_totals.append(accountant.total_bits - before)
+    assert accountant.total_bits == pytest.approx(sum(run_totals))

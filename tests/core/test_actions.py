@@ -1,0 +1,111 @@
+"""Tests for repro.core.actions."""
+
+import math
+
+import pytest
+
+from repro.core.actions import (
+    ActionAlphabet,
+    ActionKind,
+    ResizingAction,
+    action_sequence_key,
+    maintain,
+    resize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResizingAction:
+    def test_expand_kind(self):
+        assert resize(2, 4).kind is ActionKind.EXPAND
+
+    def test_shrink_kind(self):
+        assert resize(4, 2).kind is ActionKind.SHRINK
+
+    def test_maintain_kind(self):
+        assert maintain(4).kind is ActionKind.MAINTAIN
+
+    def test_maintain_is_invisible(self):
+        assert not maintain(4).is_visible
+
+    def test_resize_is_visible(self):
+        assert resize(2, 4).is_visible
+        assert resize(4, 2).is_visible
+
+    def test_non_positive_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResizingAction(new_size=0, old_size=1)
+        with pytest.raises(ConfigurationError):
+            ResizingAction(new_size=1, old_size=-1)
+
+    def test_str_forms(self):
+        assert str(maintain(4)) == "Maintain(4)"
+        assert "Expand" in str(resize(2, 4))
+        assert "Shrink" in str(resize(4, 2))
+
+    def test_ordering_and_hash(self):
+        actions = {resize(2, 4), resize(2, 4), maintain(2)}
+        assert len(actions) == 2
+
+
+class TestActionAlphabet:
+    def test_paper_alphabet_has_nine_sizes(self):
+        alphabet = ActionAlphabet.paper_llc_sizes_bytes()
+        assert len(alphabet) == 9
+
+    def test_paper_leakage_is_log2_9(self):
+        alphabet = ActionAlphabet.paper_llc_sizes_bytes()
+        assert alphabet.conservative_bits_per_assessment() == pytest.approx(
+            math.log2(9)
+        )
+
+    def test_sizes_sorted_and_deduped(self):
+        alphabet = ActionAlphabet([4, 2, 4, 8])
+        assert alphabet.sizes == [2, 4, 8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionAlphabet([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionAlphabet([0, 2])
+
+    def test_contains_and_bounds(self):
+        alphabet = ActionAlphabet([2, 4, 8])
+        assert 4 in alphabet
+        assert 5 not in alphabet
+        assert alphabet.min_size == 2
+        assert alphabet.max_size == 8
+
+    def test_clamp(self):
+        alphabet = ActionAlphabet([2, 4, 8])
+        assert alphabet.clamp(7) == 4
+        assert alphabet.clamp(8) == 8
+        assert alphabet.clamp(1) == 2
+
+    def test_round_nearest(self):
+        alphabet = ActionAlphabet([2, 4, 8])
+        assert alphabet.round_nearest(5) == 4
+        assert alphabet.round_nearest(7) == 8
+        assert alphabet.round_nearest(3) == 2  # tie goes small
+
+    def test_step_toward(self):
+        alphabet = ActionAlphabet([2, 4, 8])
+        assert alphabet.step_toward(4, 8) == 8
+        assert alphabet.step_toward(4, 2) == 2
+        assert alphabet.step_toward(4, 4) == 4
+        assert alphabet.step_toward(8, 100) == 8
+
+    def test_step_toward_requires_member(self):
+        alphabet = ActionAlphabet([2, 4, 8])
+        with pytest.raises(ConfigurationError):
+            alphabet.step_toward(3, 8)
+
+    def test_iteration(self):
+        assert list(ActionAlphabet([2, 4])) == [2, 4]
+
+
+def test_action_sequence_key():
+    actions = [resize(2, 4), maintain(4), resize(4, 2)]
+    assert action_sequence_key(actions) == (4, 4, 2)

@@ -1,0 +1,99 @@
+"""Tests for secret-dependence annotations."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationVector,
+    concatenate_annotations,
+)
+from repro.errors import AnnotationError
+
+
+class TestConstruction:
+    def test_public(self):
+        v = AnnotationVector.public(5)
+        assert len(v) == 5
+        assert not v.metric_excluded.any()
+        assert not v.progress_excluded.any()
+
+    def test_fully_secret(self):
+        v = AnnotationVector.fully_secret(4)
+        assert v.metric_excluded.all()
+        assert v.progress_excluded.all()
+        assert v.public_progress_count() == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnnotationError):
+            AnnotationVector(np.zeros(2, dtype=bool), np.zeros(3, dtype=bool))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(AnnotationError):
+            AnnotationVector(
+                np.zeros((2, 2), dtype=bool), np.zeros((2, 2), dtype=bool)
+            )
+
+
+class TestFromKinds:
+    def test_resource_use_excludes_metric_only(self):
+        v = AnnotationVector.from_kinds([AnnotationKind.SECRET_RESOURCE_USE])
+        assert v.metric_excluded[0]
+        assert not v.progress_excluded[0]
+
+    def test_secret_control_excludes_both(self):
+        """Control-dependence taints resource use AND progress counting."""
+        v = AnnotationVector.from_kinds([AnnotationKind.SECRET_CONTROL])
+        assert v.metric_excluded[0]
+        assert v.progress_excluded[0]
+
+    def test_timing_dependent_excludes_both(self):
+        """Section 6.1: timing-dependent regions are excluded from both."""
+        v = AnnotationVector.from_kinds([AnnotationKind.TIMING_DEPENDENT])
+        assert v.metric_excluded[0]
+        assert v.progress_excluded[0]
+
+    def test_none_excludes_nothing(self):
+        v = AnnotationVector.from_kinds([AnnotationKind.NONE])
+        assert not v.metric_excluded[0]
+        assert not v.progress_excluded[0]
+
+    def test_combined_flags(self):
+        kind = AnnotationKind.SECRET_RESOURCE_USE | AnnotationKind.SECRET_CONTROL
+        v = AnnotationVector.from_kinds([kind])
+        assert v.metric_excluded[0] and v.progress_excluded[0]
+
+
+class TestOperations:
+    def test_concatenate(self):
+        v = AnnotationVector.public(2).concatenate(AnnotationVector.fully_secret(3))
+        assert len(v) == 5
+        assert v.public_progress_count() == 2
+
+    def test_slice(self):
+        v = AnnotationVector.public(2).concatenate(AnnotationVector.fully_secret(2))
+        tail = v.slice(2, 4)
+        assert tail.metric_excluded.all()
+
+    def test_concatenate_annotations_helper(self):
+        v = concatenate_annotations(
+            [AnnotationVector.public(1), AnnotationVector.fully_secret(1)]
+        )
+        assert len(v) == 2
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(AnnotationError):
+            concatenate_annotations([])
+
+    def test_summary(self):
+        v = AnnotationVector.public(3).concatenate(AnnotationVector.fully_secret(1))
+        summary = v.summary()
+        assert summary.total_instructions == 4
+        assert summary.excluded_from_metric == 1
+        assert summary.metric_exclusion_fraction == pytest.approx(0.25)
+        assert summary.progress_exclusion_fraction == pytest.approx(0.25)
+
+    def test_empty_summary_fractions(self):
+        # Zero-length vectors are legal intermediate states.
+        v = AnnotationVector(np.zeros(0, dtype=bool), np.zeros(0, dtype=bool))
+        assert v.summary().metric_exclusion_fraction == 0.0

@@ -1,0 +1,145 @@
+"""Exact verification of Appendix A's bound: I(X^n; Y^n) <= n(H(Y) - H(delta)).
+
+The subtlety the appendix handles: consecutive observations are NOT
+independent — ``Y_i = d_{X_i} + delta_i - delta_{i-1}`` shares each
+``delta_i`` between ``Y_i`` and ``Y_{i+1}``. Equations A.3-A.9 bound the
+joint mutual information anyway:
+
+* ``H(Y^n) <= sum_i H(Y_i) = n H(Y)``  (chain rule + conditioning),
+* ``H(Y^n | X^n) = H(delta^n) = n H(delta)``  (delays are IID and
+  independent of inputs).
+
+These tests build the *exact* joint distribution of ``(X^n, Y^n)`` for
+``n = 2, 3`` over small channels by enumerating inputs and delay
+sequences, and verify every step of the chain, for uniform and random
+input distributions. This is the kind of check that is infeasible at
+evaluation scale but airtight at toy scale.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert import CovertChannelModel, uniform_delay
+from repro.info.distributions import DiscreteDistribution
+from repro.info.entropy import entropy, joint_entropy, mutual_information
+
+
+def small_channel() -> CovertChannelModel:
+    return CovertChannelModel(
+        cooldown=4, resolution=1, max_duration=7, delay=uniform_delay(4, 1)
+    )
+
+
+def exact_joint_n_transmissions(
+    model: CovertChannelModel, p_x: np.ndarray, n: int
+) -> DiscreteDistribution:
+    """The exact joint of (x^n, y^n), marginalizing the delay chain.
+
+    Delay ``delta_0`` precedes the first transmission; ``y_i = d_{x_i} +
+    delta_{i+1} - delta_i`` with all deltas IID from the model's delay
+    distribution.
+    """
+    delays = [(int(v), model.delay.probability(int(v))) for v in model.delay.support]
+    durations = model.durations
+    joint: dict[tuple, float] = {}
+    for xs in itertools.product(range(model.num_inputs), repeat=n):
+        p_inputs = float(np.prod([p_x[x] for x in xs]))
+        if p_inputs == 0.0:
+            continue
+        for delta_seq in itertools.product(delays, repeat=n + 1):
+            p_delta = float(np.prod([p for _, p in delta_seq]))
+            ys = tuple(
+                int(durations[xs[i]]) + delta_seq[i + 1][0] - delta_seq[i][0]
+                for i in range(n)
+            )
+            key = (xs, ys)
+            joint[key] = joint.get(key, 0.0) + p_inputs * p_delta
+    return DiscreteDistribution(joint)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_bound_holds_for_uniform_inputs(n):
+    model = small_channel()
+    p_x = model.uniform_input()
+    joint = exact_joint_n_transmissions(model, p_x, n)
+    information = mutual_information(joint)
+    bound = n * model.per_transmission_bits(p_x)
+    assert information <= bound + 1e-9
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_observations_are_genuinely_correlated(n):
+    """H(Y^n) < n H(Y): shared deltas correlate consecutive observations.
+
+    This is why the appendix needs the chain-rule inequality rather than
+    simple independence — and why the bound is conservative.
+    """
+    model = small_channel()
+    p_x = model.uniform_input()
+    joint = exact_joint_n_transmissions(model, p_x, n)
+    y_marginal_joint = joint.map(lambda pair: pair[1])
+    h_y_n = entropy(y_marginal_joint)
+    h_y_single = model.output_entropy_bits(p_x)
+    assert h_y_n < n * h_y_single - 1e-6
+
+
+def test_conditional_entropy_equals_delay_chain_entropy():
+    """H(Y^n | X^n) = H(delta^{n+1} projected) — here checked as A.9's
+    consequence: H(Y^n | X^n) is input-independent and equals the entropy
+    of the observable delay differences."""
+    model = small_channel()
+    n = 2
+    p_x = model.uniform_input()
+    joint = exact_joint_n_transmissions(model, p_x, n)
+    x_marginal = joint.map(lambda pair: pair[0])
+    h_joint = joint_entropy(joint)
+    h_x = entropy(x_marginal)
+    h_y_given_x = h_joint - h_x
+    # Compare against the entropy of (y1 - d_x1, y2 - d_x2) = the
+    # difference process of the delay chain, computed directly.
+    delays = [(int(v), model.delay.probability(int(v))) for v in model.delay.support]
+    differences: dict[tuple, float] = {}
+    for delta_seq in itertools.product(delays, repeat=n + 1):
+        p = float(np.prod([pr for _, pr in delta_seq]))
+        key = tuple(
+            delta_seq[i + 1][0] - delta_seq[i][0] for i in range(n)
+        )
+        differences[key] = differences.get(key, 0.0) + p
+    h_difference_process = DiscreteDistribution(differences).entropy_bits()
+    assert h_y_given_x == pytest.approx(h_difference_process, abs=1e-9)
+    # And the appendix's A.9 replacement bounds it from below:
+    # H(difference process) >= n H(delta) ... actually A.5-A.9 show
+    # H(Y^n|X^n) = H(delta^n) = n H(delta) under the appendix's
+    # conservative treatment; the exact value here is at least that.
+    assert h_difference_process >= n * model.delay_entropy_bits() - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_bound_holds_for_random_inputs(seed):
+    model = small_channel()
+    p_x = np.random.default_rng(seed).dirichlet(np.ones(model.num_inputs))
+    joint = exact_joint_n_transmissions(model, p_x, 2)
+    information = mutual_information(joint)
+    bound = 2 * model.per_transmission_bits(p_x)
+    assert information <= bound + 1e-9
+
+
+def test_rate_bound_dominates_exact_rate():
+    """R'_max certified >= exact I(X^n;Y^n)/(n T_avg) for sampled inputs."""
+    from repro.core.dinkelbach import solve_rmax
+
+    model = small_channel()
+    solution = solve_rmax(model, inner_iterations=300)
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        p_x = rng.dirichlet(np.ones(model.num_inputs))
+        joint = exact_joint_n_transmissions(model, p_x, 2)
+        exact_rate = mutual_information(joint) / (
+            2 * model.average_transmission_time(p_x)
+        )
+        assert exact_rate <= solution.rate_upper_bound + 1e-9

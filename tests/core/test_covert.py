@@ -1,0 +1,200 @@
+"""Tests for the covert-channel model (Section 5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert import (
+    CovertChannelModel,
+    no_delay,
+    uniform_delay,
+    worst_case_bits_per_assessment,
+)
+from repro.errors import ChannelModelError
+
+
+def small_model(**overrides):
+    kwargs = dict(cooldown=32, resolution=4, max_duration=96, delay=uniform_delay(32, 4))
+    kwargs.update(overrides)
+    return CovertChannelModel(**kwargs)
+
+
+class TestConstruction:
+    def test_duration_alphabet(self):
+        m = small_model()
+        assert m.durations[0] == 32
+        assert m.durations[-1] == 96
+        assert np.all(np.diff(m.durations) == 4)
+
+    def test_resolution_must_divide_cooldown(self):
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel(cooldown=30, resolution=4, max_duration=60)
+
+    def test_max_duration_below_cooldown_rejected(self):
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel(cooldown=32, resolution=4, max_duration=16)
+
+    def test_delay_off_grid_rejected(self):
+        from repro.info.distributions import DiscreteDistribution
+
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel(
+                cooldown=32,
+                resolution=4,
+                max_duration=64,
+                delay=DiscreteDistribution.uniform([0, 3]),
+            )
+
+    def test_negative_delay_rejected(self):
+        from repro.info.distributions import DiscreteDistribution
+
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel(
+                cooldown=32,
+                resolution=4,
+                max_duration=64,
+                delay=DiscreteDistribution.uniform([-4, 0]),
+            )
+
+    def test_no_delay_default(self):
+        m = CovertChannelModel(cooldown=32, resolution=4, max_duration=64)
+        assert m.delay_entropy_bits() == 0.0
+
+
+class TestUniformDelay:
+    def test_support_spans_cooldown(self):
+        d = uniform_delay(32, 4)
+        assert sorted(d.support) == list(range(0, 32, 4))
+
+    def test_entropy(self):
+        assert uniform_delay(32, 4).entropy_bits() == pytest.approx(3.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ChannelModelError):
+            uniform_delay(30, 4)
+
+
+class TestChannelMath:
+    def test_transition_matrix_columns_stochastic(self):
+        m = small_model()
+        sums = m.transition_matrix.sum(axis=0)
+        assert np.allclose(sums, 1.0)
+
+    def test_delta_difference_symmetric_zero_mean(self):
+        m = small_model()
+        diff = m.delta_difference_distribution()
+        assert diff.expectation() == pytest.approx(0.0, abs=1e-12)
+        assert diff.probability(4) == pytest.approx(diff.probability(-4))
+
+    def test_output_distribution_normalized(self):
+        m = small_model()
+        p_y = m.output_distribution(m.uniform_input())
+        assert p_y.sum() == pytest.approx(1.0)
+
+    def test_output_entropy_at_least_delay_entropy(self):
+        """H(Y) >= H(delta): the numerator of the rate is non-negative."""
+        m = small_model()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            p = rng.dirichlet(np.ones(m.num_inputs))
+            assert m.per_transmission_bits(p) >= -1e-9
+
+    def test_no_delay_channel_output_entropy_is_input_entropy(self):
+        m = CovertChannelModel(cooldown=32, resolution=4, max_duration=64, delay=no_delay())
+        p = m.uniform_input()
+        expected = math.log2(m.num_inputs)
+        assert m.output_entropy_bits(p) == pytest.approx(expected)
+
+    def test_average_transmission_time_is_expectation(self):
+        m = small_model()
+        p = np.zeros(m.num_inputs)
+        p[0] = 1.0
+        assert m.average_transmission_time(p) == pytest.approx(32)
+
+    def test_average_time_at_least_cooldown(self):
+        """Mechanism 1: every duration >= T_c, so T_avg >= T_c."""
+        m = small_model()
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            p = rng.dirichlet(np.ones(m.num_inputs))
+            assert m.average_transmission_time(p) >= m.cooldown - 1e-9
+
+    def test_input_shape_checked(self):
+        m = small_model()
+        with pytest.raises(ChannelModelError):
+            m.output_distribution(np.array([0.5, 0.5]))
+
+    def test_bad_input_distribution_rejected(self):
+        m = small_model()
+        bad = np.zeros(m.num_inputs)
+        bad[0] = 2.0
+        with pytest.raises(ChannelModelError):
+            m.rate(bad)
+
+    def test_with_cooldown_scales_alphabet(self):
+        m = small_model()
+        stretched = m.with_cooldown(64)
+        assert stretched.cooldown == 64
+        assert stretched.durations[0] == 64
+        assert stretched.max_duration - stretched.cooldown == (
+            m.max_duration - m.cooldown
+        )
+        # The delay mechanism is unchanged.
+        assert stretched.delay_entropy_bits() == m.delay_entropy_bits()
+
+
+class TestStrategyExamples:
+    def test_paper_section_531_example(self):
+        """Strategy 1 (4 symbols at 1-4 ms) beats Strategy 2 (8 at 1-8 ms)."""
+        s1 = CovertChannelModel.strategy_rate([1, 2, 3, 4])
+        s2 = CovertChannelModel.strategy_rate(list(range(1, 9)))
+        assert s1.bits_per_transmission == pytest.approx(2.0)
+        assert s1.average_transmission_time == pytest.approx(2.5)
+        assert s1.rate == pytest.approx(0.8)  # 800 bits/s in ms units
+        assert s2.bits_per_transmission == pytest.approx(3.0)
+        assert s2.average_transmission_time == pytest.approx(4.5)
+        assert s2.rate == pytest.approx(2 / 3)  # ~667 bits/s
+        assert s1.rate > s2.rate
+
+    def test_strategy_with_explicit_probabilities(self):
+        s = CovertChannelModel.strategy_rate([1, 3], [0.5, 0.5])
+        assert s.average_transmission_time == pytest.approx(2.0)
+        assert s.bits_per_transmission == pytest.approx(1.0)
+
+    def test_strategy_rejects_empty(self):
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel.strategy_rate([])
+
+    def test_strategy_rejects_mismatched_probs(self):
+        with pytest.raises(ChannelModelError):
+            CovertChannelModel.strategy_rate([1, 2], [1.0])
+
+
+def test_worst_case_bits():
+    assert worst_case_bits_per_assessment(9) == pytest.approx(math.log2(9))
+    with pytest.raises(ChannelModelError):
+        worst_case_bits_per_assessment(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cooldown_units=st.integers(4, 12),
+    horizon_factor=st.integers(2, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_rate_positive_and_bounded(cooldown_units, horizon_factor, seed):
+    """Random models: rates are finite, non-negative, bounded by H(Y)/T_c."""
+    res = 4
+    cooldown = cooldown_units * res
+    m = CovertChannelModel(
+        cooldown=cooldown,
+        resolution=res,
+        max_duration=horizon_factor * cooldown,
+        delay=uniform_delay(cooldown, res),
+    )
+    p = np.random.default_rng(seed).dirichlet(np.ones(m.num_inputs))
+    rate = m.rate(p)
+    assert 0.0 <= rate <= math.log2(len(m.outputs)) / m.cooldown + 1e-9

@@ -1,0 +1,108 @@
+"""Tests for the leakage decomposition (Section 5.1, Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import maintain, resize
+from repro.core.decomposition import (
+    action_leakage,
+    decompose,
+    scheduling_leakage,
+    total_leakage,
+)
+from repro.core.trace import ResizingTrace, TraceEnsemble
+
+
+def figure3_ensemble() -> TraceEnsemble:
+    """The worked example of Figure 3."""
+    s1_fast = ResizingTrace.from_pairs([(resize(1, 2), 100), (maintain(2), 200)])
+    s1_slow = ResizingTrace.from_pairs([(resize(1, 2), 150), (maintain(2), 300)])
+    s2 = ResizingTrace.from_pairs([(maintain(1), 120), (maintain(1), 240)])
+    return TraceEnsemble({s1_fast: 0.25, s1_slow: 0.25, s2: 0.5})
+
+
+class TestFigure3:
+    """The paper's numbers, exactly."""
+
+    def test_action_leakage_is_one_bit(self):
+        assert action_leakage(figure3_ensemble()) == pytest.approx(1.0)
+
+    def test_scheduling_leakage_is_half_bit(self):
+        assert scheduling_leakage(figure3_ensemble()) == pytest.approx(0.5)
+
+    def test_total_leakage_is_one_and_a_half_bits(self):
+        assert total_leakage(figure3_ensemble()) == pytest.approx(1.5)
+
+    def test_decompose_consistency(self):
+        breakdown = decompose(figure3_ensemble())
+        assert breakdown.action_bits == pytest.approx(1.0)
+        assert breakdown.scheduling_bits == pytest.approx(0.5)
+        assert breakdown.total_bits == pytest.approx(1.5)
+        assert breakdown.chain_rule_residual < 1e-12
+
+    def test_per_sequence_timing_bits(self):
+        breakdown = decompose(figure3_ensemble())
+        assert breakdown.per_sequence_timing_bits[(2, 2)] == pytest.approx(1.0)
+        assert breakdown.per_sequence_timing_bits[(1, 1)] == pytest.approx(0.0)
+
+
+class TestDegenerateCases:
+    def test_single_trace_leaks_nothing(self):
+        trace = ResizingTrace.from_pairs([(resize(1, 2), 10)])
+        ensemble = TraceEnsemble({trace: 1.0})
+        breakdown = decompose(ensemble)
+        assert breakdown.total_bits == pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_action_leakage(self):
+        """Same timing, different actions: all leakage is action leakage."""
+        a = ResizingTrace.from_pairs([(resize(1, 2), 10)])
+        b = ResizingTrace.from_pairs([(resize(1, 4), 10)])
+        breakdown = decompose(TraceEnsemble.equally_likely([a, b]))
+        assert breakdown.action_bits == pytest.approx(1.0)
+        assert breakdown.scheduling_bits == pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_scheduling_leakage(self):
+        """Same actions, different timing: all leakage is scheduling."""
+        a = ResizingTrace.from_pairs([(resize(1, 2), 10)])
+        b = ResizingTrace.from_pairs([(resize(1, 2), 20)])
+        breakdown = decompose(TraceEnsemble.equally_likely([a, b]))
+        assert breakdown.action_bits == pytest.approx(0.0, abs=1e-12)
+        assert breakdown.scheduling_bits == pytest.approx(1.0)
+
+    def test_fixed_schedule_has_zero_scheduling_leakage(self):
+        """A fixed-time schedule (Section 5.3): |T[s]| = 1 for every s."""
+        traces = [
+            ResizingTrace.from_pairs([(resize(1, size), 100), (maintain(size), 200)])
+            for size in (2, 4, 8)
+        ]
+        breakdown = decompose(TraceEnsemble.equally_likely(traces))
+        assert breakdown.scheduling_bits == pytest.approx(0.0, abs=1e-12)
+        assert breakdown.action_bits == pytest.approx(np.log2(3))
+
+
+@settings(max_examples=40)
+@given(
+    num_sequences=st.integers(1, 4),
+    timings_per_sequence=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_chain_rule_holds_on_random_ensembles(
+    num_sequences, timings_per_sequence, seed
+):
+    """H(S, T_S) = H(S) + E[H(T_s | S=s)] for arbitrary ensembles (Eq 5.6)."""
+    rng = np.random.default_rng(seed)
+    traces = {}
+    sizes = [2, 4, 8, 16]
+    for s in range(num_sequences):
+        action = resize(1, sizes[s])
+        for t in range(timings_per_sequence):
+            timestamp = int(10 + 10 * s + rng.integers(0, 5) + 100 * t)
+            trace = ResizingTrace.from_pairs([(action, timestamp)])
+            traces[trace] = traces.get(trace, 0.0) + float(rng.random()) + 0.01
+    total = sum(traces.values())
+    ensemble = TraceEnsemble({k: v / total for k, v in traces.items()})
+    breakdown = decompose(ensemble)
+    assert breakdown.chain_rule_residual < 1e-9
+    assert breakdown.total_bits >= breakdown.action_bits - 1e-9

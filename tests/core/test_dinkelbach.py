@@ -1,0 +1,167 @@
+"""Tests for the Dinkelbach solver and rate certification (Appendix A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert import CovertChannelModel, no_delay, uniform_delay
+from repro.core.dinkelbach import (
+    certified_rate_upper_bound,
+    maximize_concave_on_simplex,
+    solve_fractional,
+    solve_rmax,
+)
+from repro.errors import OptimizationError
+from repro.info.entropy import entropy_bits_vec, entropy_gradient_vec
+
+
+class TestSimplexMaximizer:
+    def test_maximizes_entropy_to_uniform(self):
+        """max H(p) over the simplex is the uniform distribution."""
+        n = 8
+        p, value = maximize_concave_on_simplex(
+            entropy_bits_vec, entropy_gradient_vec, n, iterations=500
+        )
+        assert value == pytest.approx(3.0, abs=1e-3)
+        assert np.allclose(p, 1.0 / n, atol=1e-2)
+
+    def test_linear_objective_concentrates_mass(self):
+        weights = np.array([1.0, 5.0, 2.0])
+        p, value = maximize_concave_on_simplex(
+            lambda p: float(weights @ p),
+            lambda p: weights,
+            3,
+            iterations=600,
+        )
+        assert value == pytest.approx(5.0, abs=1e-2)
+        assert p[1] > 0.99
+
+    def test_dimension_one(self):
+        p, value = maximize_concave_on_simplex(
+            lambda p: 7.0, lambda p: np.zeros(1), 1
+        )
+        assert p.tolist() == [1.0]
+        assert value == 7.0
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(OptimizationError):
+            maximize_concave_on_simplex(lambda p: 0.0, lambda p: p, 0)
+
+
+class TestSolveFractional:
+    def test_linear_ratio_has_vertex_optimum(self):
+        """max (a.p)/(b.p) over the simplex = max_i a_i/b_i."""
+        a = np.array([1.0, 4.0, 2.0])
+        b = np.array([1.0, 2.0, 1.0])
+        result = solve_fractional(
+            lambda p: float(a @ p),
+            lambda p: float(b @ p),
+            lambda p: a,
+            lambda p: b,
+            3,
+            inner_iterations=600,
+        )
+        assert result.optimum == pytest.approx(2.0, abs=1e-2)
+        assert result.converged
+
+    def test_q_history_monotone_nondecreasing(self):
+        a = np.array([3.0, 1.0])
+        b = np.array([2.0, 1.0])
+        result = solve_fractional(
+            lambda p: float(a @ p),
+            lambda p: float(b @ p),
+            lambda p: a,
+            lambda p: b,
+            2,
+        )
+        history = result.q_history
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(history, history[1:])
+        )
+
+    def test_upper_bound_at_least_optimum(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 1.0])
+        result = solve_fractional(
+            lambda p: float(a @ p),
+            lambda p: float(b @ p),
+            lambda p: a,
+            lambda p: b,
+            2,
+        )
+        assert result.upper_bound >= result.optimum - 1e-9
+
+
+class TestCertifiedBound:
+    def test_certificate_dominates_all_inputs(self, small_channel_model):
+        """The dual bound holds for EVERY input distribution (soundness)."""
+        m = small_channel_model
+        transition = m.transition_matrix
+        durations = m.durations.astype(float)
+        h_delta = m.delay_entropy_bits()
+        reference = m.output_distribution(m.uniform_input())
+        bound = certified_rate_upper_bound(transition, durations, h_delta, reference)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            p = rng.dirichlet(np.ones(m.num_inputs))
+            assert m.rate(p) <= bound + 1e-9
+
+    def test_certificate_tight_at_optimum(self, small_channel_model):
+        result = solve_rmax(small_channel_model, inner_iterations=400)
+        # Certified bound within a few percent of the achieved rate.
+        assert result.rate_upper_bound <= result.rate * 1.15
+        assert result.rate_upper_bound >= result.rate - 1e-12
+
+
+class TestSolveRmax:
+    def test_beats_uniform_input(self, small_channel_model):
+        result = solve_rmax(small_channel_model, inner_iterations=300)
+        uniform_rate = small_channel_model.rate(
+            small_channel_model.uniform_input()
+        )
+        assert result.rate >= uniform_rate - 1e-9
+
+    def test_result_fields_consistent(self, small_channel_model):
+        result = solve_rmax(small_channel_model, inner_iterations=300)
+        assert result.rate == pytest.approx(
+            result.bits_per_transmission / result.average_transmission_time
+        )
+        assert result.bound_verified
+        assert result.input_distribution.sum() == pytest.approx(1.0)
+
+    def test_noiseless_channel_rate_exceeds_noisy(self):
+        """Removing the random delay (Mechanism 2) raises the max rate."""
+        noisy = CovertChannelModel(
+            cooldown=32, resolution=4, max_duration=96, delay=uniform_delay(32, 4)
+        )
+        clean = CovertChannelModel(
+            cooldown=32, resolution=4, max_duration=96, delay=no_delay()
+        )
+        r_noisy = solve_rmax(noisy, inner_iterations=300)
+        r_clean = solve_rmax(clean, inner_iterations=300)
+        assert r_clean.rate > r_noisy.rate
+
+    def test_longer_cooldown_lowers_rate(self, small_channel_model):
+        """Mechanism 1: increasing T_c reduces the max rate."""
+        short = solve_rmax(small_channel_model, inner_iterations=300)
+        stretched = solve_rmax(
+            small_channel_model.with_cooldown(64), inner_iterations=300
+        )
+        assert stretched.rate < short.rate
+
+    def test_deterministic_given_seed(self, small_channel_model):
+        a = solve_rmax(small_channel_model, inner_iterations=200, seed=3)
+        b = solve_rmax(small_channel_model, inner_iterations=200, seed=3)
+        assert a.rate == b.rate
+        assert np.array_equal(a.input_distribution, b.input_distribution)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_optimum_dominates_random_inputs(seed, small_channel_model):
+    """No random strategy beats the solved maximum (up to solver slack)."""
+    result = solve_rmax(small_channel_model, inner_iterations=300)
+    p = np.random.default_rng(seed).dirichlet(np.ones(small_channel_model.num_inputs))
+    assert small_channel_model.rate(p) <= result.rate_upper_bound + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for the design-principle enforcement (Section 5.2)."""
+
+import pytest
+
+from repro.core.principles import (
+    check_timing_independence,
+    require_progress_based_schedule,
+    require_timing_independent_metric,
+    require_untangle_compliant,
+)
+from repro.errors import PrincipleViolation
+
+
+class FakeMetric:
+    def __init__(self, timing_independent):
+        self.timing_independent = timing_independent
+
+
+class FakeSchedule:
+    def __init__(self, progress_based):
+        self.progress_based = progress_based
+
+
+class TestStaticChecks:
+    def test_compliant_metric_passes(self):
+        require_timing_independent_metric(FakeMetric(True))
+
+    def test_timing_dependent_metric_rejected(self):
+        with pytest.raises(PrincipleViolation):
+            require_timing_independent_metric(FakeMetric(False))
+
+    def test_object_without_flag_rejected(self):
+        with pytest.raises(PrincipleViolation):
+            require_timing_independent_metric(object())
+
+    def test_progress_schedule_passes(self):
+        require_progress_based_schedule(FakeSchedule(True))
+
+    def test_time_schedule_rejected(self):
+        with pytest.raises(PrincipleViolation):
+            require_progress_based_schedule(FakeSchedule(False))
+
+    def test_combined_check(self):
+        require_untangle_compliant(FakeMetric(True), FakeSchedule(True))
+        with pytest.raises(PrincipleViolation):
+            require_untangle_compliant(FakeMetric(False), FakeSchedule(True))
+        with pytest.raises(PrincipleViolation):
+            require_untangle_compliant(FakeMetric(True), FakeSchedule(False))
+
+
+class TestDifferentialCheck:
+    def test_identical_sequences_pass(self):
+        report = check_timing_independence(lambda seed: (1, 2, 3), range(5))
+        assert report.independent
+        assert report.runs == 5
+        assert bool(report)
+
+    def test_divergent_sequences_fail(self):
+        report = check_timing_independence(
+            lambda seed: (1, 2, seed), range(3)
+        )
+        assert not report.independent
+        assert report.first_divergence == 1
+
+    def test_single_run_trivially_independent(self):
+        report = check_timing_independence(lambda seed: (1,), [0])
+        assert report.independent
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(PrincipleViolation):
+            check_timing_independence(lambda seed: (), [])

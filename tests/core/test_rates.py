@@ -1,0 +1,79 @@
+"""Tests for the precomputed rate tables (Sections 5.3.4 and 7)."""
+
+import pytest
+
+from repro.core.rates import RmaxTable, worst_case_table
+from repro.errors import ChannelModelError
+
+
+class TestRmaxTable:
+    def test_rates_decrease_with_maintains(self, small_rate_table):
+        """More consecutive Maintains -> longer effective cooldown -> lower rate."""
+        rates = [small_rate_table.rate(m) for m in range(small_rate_table.capacity)]
+        assert all(
+            later <= earlier + 1e-12 for earlier, later in zip(rates, rates[1:])
+        )
+
+    def test_effective_cooldown_scaling(self, small_rate_table):
+        for m in range(small_rate_table.capacity):
+            entry = small_rate_table.entry(m)
+            assert entry.effective_cooldown >= (m + 1) * small_rate_table.cooldown or (
+                entry.effective_cooldown == (entry.maintains + 1) * small_rate_table.cooldown
+            )
+
+    def test_clamps_beyond_capacity(self, small_rate_table):
+        last = small_rate_table.rate(small_rate_table.capacity - 1)
+        assert small_rate_table.rate(small_rate_table.capacity + 100) == last
+
+    def test_negative_maintains_rejected(self, small_rate_table):
+        with pytest.raises(ChannelModelError):
+            small_rate_table.rate(-1)
+
+    def test_bits_for_interval_linear(self, small_rate_table):
+        bits_one = small_rate_table.bits_for_interval(0, 100)
+        bits_two = small_rate_table.bits_for_interval(0, 200)
+        assert bits_two == pytest.approx(2 * bits_one)
+
+    def test_bits_for_negative_interval_rejected(self, small_rate_table):
+        with pytest.raises(ChannelModelError):
+            small_rate_table.bits_for_interval(0, -1)
+
+    def test_capacity_validation(self, small_channel_model):
+        with pytest.raises(ChannelModelError):
+            RmaxTable(small_channel_model, capacity=0)
+
+    def test_level_rounding_is_conservative(self, small_channel_model):
+        """Between materialized levels, the rate rounds to the HIGHER rate."""
+        table = RmaxTable(small_channel_model, capacity=20, solver_iterations=100)
+        levels = table.levels
+        # Pick a maintain count strictly between two levels, if any gap exists.
+        gaps = [
+            (a, b) for a, b in zip(levels, levels[1:]) if b - a > 1
+        ]
+        if gaps:
+            low, high = gaps[0]
+            between = low + 1
+            assert table.rate(between) == table.rate(low)
+            assert table.rate(between) >= table.rate(high) - 1e-12
+
+    def test_entries_materializes_all_levels(self, small_channel_model):
+        table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+        entries = table.entries()
+        assert [e.maintains for e in entries] == table.levels
+
+    def test_len(self, small_rate_table):
+        assert len(small_rate_table) == small_rate_table.capacity
+
+
+class TestWorstCaseTable:
+    def test_single_entry(self, small_channel_model):
+        table = worst_case_table(small_channel_model, solver_iterations=100)
+        assert table.capacity == 1
+        # Every maintain count charges at the level-0 (highest) rate.
+        assert table.rate(5) == table.rate(0)
+
+    def test_worst_case_rate_at_least_optimized(
+        self, small_channel_model, small_rate_table
+    ):
+        worst = worst_case_table(small_channel_model, solver_iterations=150)
+        assert worst.rate(3) >= small_rate_table.rate(3) - 1e-9

@@ -1,0 +1,108 @@
+"""Tests for repro.core.trace."""
+
+import pytest
+
+from repro.core.actions import maintain, resize
+from repro.core.trace import ResizingTrace, TraceEnsemble, TraceEvent
+from repro.errors import TraceError
+
+
+def make_trace(*pairs):
+    return ResizingTrace.from_pairs(list(pairs))
+
+
+class TestTraceEvent:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEvent(maintain(2), -1)
+
+
+class TestResizingTrace:
+    def test_strictly_increasing_enforced(self):
+        with pytest.raises(TraceError):
+            make_trace((maintain(2), 10), (maintain(2), 10))
+        with pytest.raises(TraceError):
+            make_trace((maintain(2), 10), (maintain(2), 5))
+
+    def test_empty_trace_allowed(self):
+        assert len(ResizingTrace()) == 0
+
+    def test_action_and_timing_sequences(self):
+        t = make_trace((resize(2, 4), 10), (maintain(4), 20))
+        assert t.action_key == (4, 4)
+        assert t.timing_sequence == (10, 20)
+
+    def test_visible_view_drops_maintains(self):
+        t = make_trace(
+            (resize(2, 4), 10), (maintain(4), 20), (resize(4, 2), 30)
+        )
+        visible = t.visible_view()
+        assert len(visible) == 2
+        assert visible.timing_sequence == (10, 30)
+
+    def test_inter_event_gaps(self):
+        t = make_trace((maintain(2), 10), (maintain(2), 25))
+        assert t.inter_event_gaps() == (10, 15)
+
+    def test_maintain_run_lengths(self):
+        t = make_trace(
+            (maintain(2), 1),
+            (maintain(2), 2),
+            (resize(2, 4), 3),
+            (resize(4, 2), 4),
+            (maintain(2), 5),
+        )
+        # runs before each visible action: 2 maintains, then 0.
+        assert t.maintain_run_lengths() == (2, 0)
+
+    def test_iteration(self):
+        t = make_trace((maintain(2), 5))
+        events = list(t)
+        assert events[0].timestamp == 5
+
+
+class TestTraceEnsemble:
+    def make_figure3_ensemble(self):
+        t1 = make_trace((resize(1, 2), 100), (maintain(2), 200))
+        t1b = make_trace((resize(1, 2), 150), (maintain(2), 300))
+        t2 = make_trace((maintain(1), 120), (maintain(1), 240))
+        return TraceEnsemble({t1: 0.25, t1b: 0.25, t2: 0.5})
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEnsemble({})
+
+    def test_equally_likely(self):
+        t1 = make_trace((maintain(2), 1))
+        t2 = make_trace((maintain(2), 2))
+        ensemble = TraceEnsemble.equally_likely([t1, t2])
+        assert ensemble.probability(t1) == pytest.approx(0.5)
+
+    def test_equally_likely_empty_rejected(self):
+        with pytest.raises(TraceError):
+            TraceEnsemble.equally_likely([])
+
+    def test_action_distribution_groups_by_key(self):
+        ensemble = self.make_figure3_ensemble()
+        actions = ensemble.action_distribution()
+        assert len(actions) == 2  # s1 (two timings) collapses to one key
+        assert actions.probability((2, 2)) == pytest.approx(0.5)
+
+    def test_timing_conditionals(self):
+        ensemble = self.make_figure3_ensemble()
+        conditionals = ensemble.timing_conditionals()
+        s1 = conditionals[(2, 2)]
+        assert s1.probability((100, 200)) == pytest.approx(0.5)
+        assert s1.probability((150, 300)) == pytest.approx(0.5)
+        s2 = conditionals[(1, 1)]
+        assert s2.probability((120, 240)) == pytest.approx(1.0)
+
+    def test_joint_distribution_entropy_matches_trace_entropy(self):
+        ensemble = self.make_figure3_ensemble()
+        assert ensemble.joint_distribution().entropy_bits() == pytest.approx(
+            ensemble.distribution.entropy_bits()
+        )
+
+    def test_traces_returns_support(self):
+        ensemble = self.make_figure3_ensemble()
+        assert len(ensemble.traces()) == 3

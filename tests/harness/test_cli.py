@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mix_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "17"])
+
+    def test_profile_choices(self):
+        args = build_parser().parse_args(["--profile", "test", "table6"])
+        assert args.profile == "test"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--profile", "huge", "table6"])
+
+    def test_rmax_capacity(self):
+        args = build_parser().parse_args(["rmax", "--capacity", "4"])
+        assert args.capacity == 4
+
+
+class TestExecution:
+    def test_rmax_command(self, capsys):
+        assert main(["--profile", "test", "rmax", "--capacity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "R_max table" in out
+        assert "m=  0" in out
+
+    def test_mix_command_small(self, capsys):
+        assert main(["--profile", "test", "mix", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Mix 1" in out
+        assert "Geo. mean" in out

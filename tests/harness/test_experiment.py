@@ -1,0 +1,91 @@
+"""Tests for the mix-experiment harness (TEST profile: small and fast)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.experiment import (
+    SCHEME_NAMES,
+    make_scheme,
+    run_custom_mix,
+    run_mix_scheme,
+)
+from repro.harness.runconfig import TEST
+
+PAIRS = [("gcc_2", "AES-128"), ("imagick_0", "SHA-256")]
+
+
+@pytest.fixture(scope="module")
+def two_domain_profile():
+    return TEST
+
+
+@pytest.fixture(scope="module")
+def custom_result(two_domain_profile):
+    return run_custom_mix(
+        PAIRS, two_domain_profile, schemes=("static", "time", "untangle")
+    )
+
+
+class TestMakeScheme:
+    def test_all_names_construct(self, two_domain_profile):
+        for name in SCHEME_NAMES:
+            scheme = make_scheme(name, two_domain_profile, 2)
+            assert scheme.arch.num_cores == 2
+
+    def test_unknown_name(self, two_domain_profile):
+        with pytest.raises(ConfigurationError):
+            make_scheme("nope", two_domain_profile, 2)
+
+
+class TestRunMixScheme:
+    def test_static_run(self, two_domain_profile):
+        result = run_mix_scheme(PAIRS, "static", two_domain_profile)
+        assert result.scheme == "static"
+        assert len(result.workloads) == 2
+        assert all(w.ipc > 0 for w in result.workloads)
+        assert all(w.assessments == 0 for w in result.workloads)
+
+    def test_workload_lookup(self, custom_result):
+        run = custom_result.runs["static"]
+        assert run.workload("gcc_2+AES-128").label == "gcc_2+AES-128"
+        with pytest.raises(ConfigurationError):
+            run.workload("missing")
+
+
+class TestMixResult:
+    def test_labels_in_figure_order(self, custom_result):
+        assert custom_result.labels == ["gcc_2+AES-128", "imagick_0+SHA-256"]
+
+    def test_normalized_ipc_static_is_one(self, custom_result):
+        normalized = custom_result.normalized_ipc("static")
+        assert all(v == pytest.approx(1.0) for v in normalized.values())
+
+    def test_geomean_of_static_is_one(self, custom_result):
+        assert custom_result.geomean_speedup("static") == pytest.approx(1.0)
+
+    def test_time_charges_conservative_bits(self, custom_result):
+        run = custom_result.runs["time"]
+        for workload in run.workloads:
+            if workload.assessments:
+                assert workload.bits_per_assessment == pytest.approx(
+                    math.log2(9)
+                )
+
+    def test_untangle_leaks_less_than_time(self, custom_result):
+        time_run = custom_result.runs["time"]
+        untangle_run = custom_result.runs["untangle"]
+        assert (
+            untangle_run.mean_bits_per_assessment
+            < time_run.mean_bits_per_assessment
+        )
+
+    def test_partition_quartiles_are_supported_sizes(
+        self, custom_result, two_domain_profile
+    ):
+        sizes = set(two_domain_profile.arch(2).supported_partition_lines)
+        for run in custom_result.runs.values():
+            for workload in run.workloads:
+                for value in workload.partition_quartiles:
+                    assert value in sizes

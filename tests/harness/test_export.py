@@ -1,0 +1,74 @@
+"""Tests for JSON export of results."""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import run_custom_mix
+from repro.harness.export import (
+    mix_result_to_dict,
+    scheme_run_to_dict,
+    sensitivity_to_dict,
+    table6_to_dict,
+    write_json,
+)
+from repro.harness.runconfig import TEST
+from repro.harness.sensitivity import SensitivityCurve
+from repro.harness.tables import Table6, Table6Row
+
+PAIRS = [("parest_0", "AES-128"), ("xz_0", "SHA-256")]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_custom_mix(PAIRS, TEST, schemes=("static", "untangle"))
+
+
+class TestMixExport:
+    def test_roundtrips_through_json(self, result):
+        payload = mix_result_to_dict(result)
+        text = json.dumps(payload)
+        assert json.loads(text) == payload
+
+    def test_contains_all_schemes_and_workloads(self, result):
+        payload = mix_result_to_dict(result)
+        assert set(payload["runs"]) == {"static", "untangle"}
+        assert payload["labels"] == [
+            "parest_0+AES-128", "xz_0+SHA-256",
+        ]
+        for run in payload["runs"].values():
+            assert len(run["workloads"]) == 2
+
+    def test_normalized_ipc_present_with_static(self, result):
+        payload = mix_result_to_dict(result)
+        assert "untangle" in payload["normalized_ipc"]
+        assert "untangle" in payload["geomean_speedups"]
+
+    def test_paper_mb_conversion(self, result):
+        payload = scheme_run_to_dict(result.runs["static"])
+        workload = payload["workloads"][0]
+        lines = workload["partition_quartiles_lines"][2]
+        mb = workload["partition_quartiles_paper_mb"][2]
+        assert mb == pytest.approx(lines / 128)
+
+
+class TestOtherExports:
+    def test_sensitivity_export(self):
+        curve = SensitivityCurve("x", (16, 1024), (0.2, 1.0))
+        payload = sensitivity_to_dict({"x": curve})
+        assert payload["x"]["llc_sensitive"] is True
+        assert payload["x"]["sizes_paper_mb"] == [0.125, 8.0]
+        json.dumps(payload)
+
+    def test_table6_export(self):
+        table = Table6(
+            rows=[Table6Row(1, 3.17, 100.0, 0.4, 10.0)]
+        )
+        payload = table6_to_dict(table)
+        assert payload["rows"][0]["mix_id"] == 1
+        assert payload["average_reduction"] == pytest.approx(1 - 0.4 / 3.17)
+        json.dumps(payload)
+
+    def test_write_json(self, tmp_path):
+        path = write_json({"a": 1}, tmp_path / "out" / "data.json")
+        assert json.loads(path.read_text()) == {"a": 1}

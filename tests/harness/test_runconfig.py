@@ -1,0 +1,71 @@
+"""Tests for run profiles and the architecture configuration."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.errors import ConfigurationError
+from repro.harness.runconfig import LARGE, PROFILES, SCALED, TEST, RunProfile
+from repro.workloads.workload import WorkloadScale
+
+
+class TestArchConfig:
+    def test_scaled_defaults_match_paper_shape(self):
+        arch = ArchConfig.scaled()
+        assert arch.num_cores == 8
+        assert len(arch.supported_partition_lines) == 9
+        assert arch.llc_lines == 2048
+        assert arch.default_partition_lines == 256  # the 2 MB analog
+
+    def test_paper_config_is_128x_scaled(self):
+        paper = ArchConfig.paper()
+        scaled = ArchConfig.scaled()
+        assert paper.llc_lines == 128 * scaled.llc_lines
+        for p, s in zip(
+            paper.supported_partition_lines, scaled.supported_partition_lines
+        ):
+            assert p == 128 * s
+
+    def test_partition_size_labels(self):
+        arch = ArchConfig.scaled()
+        assert arch.partition_size_labels == [
+            "128kB", "256kB", "512kB", "1MB", "2MB", "3MB", "4MB", "6MB", "8MB",
+        ]
+
+    def test_unit_conversions_roundtrip(self):
+        arch = ArchConfig.scaled()
+        assert arch.lines_to_paper_mb(256) == pytest.approx(2.0)
+        assert arch.paper_mb_to_lines(2.0) == 256
+
+    def test_validation_default_in_alphabet(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(default_partition_lines=100)
+
+    def test_validation_partition_below_set(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(supported_partition_lines=(8, 1024), default_partition_lines=1024)
+
+    def test_with_cores(self):
+        assert ArchConfig.scaled().with_cores(4).num_cores == 4
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["scaled"] is SCALED
+        assert PROFILES["test"] is TEST
+        assert PROFILES["large"] is LARGE
+
+    def test_scaled_time_units_consistent(self):
+        """The 'one ms' quantities agree (interval = cooldown = 1 ms)."""
+        assert SCALED.time_interval == SCALED.cycles_per_ms
+        assert SCALED.cooldown == SCALED.cycles_per_ms
+
+    def test_with_seed(self):
+        assert SCALED.with_seed(7).seed == 7
+        assert SCALED.with_seed(7).name == SCALED.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunProfile(name="bad", workload_scale=WorkloadScale(), quantum=0)
+
+    def test_arch_factory(self):
+        assert SCALED.arch(4).num_cores == 4

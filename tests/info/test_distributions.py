@@ -1,0 +1,224 @@
+"""Tests for repro.info.distributions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.info.distributions import (
+    DiscreteDistribution,
+    joint_from_conditional,
+    marginals,
+)
+
+
+class TestConstruction:
+    def test_basic_pmf(self):
+        d = DiscreteDistribution({"a": 0.25, "b": 0.75})
+        assert d.probability("a") == pytest.approx(0.25)
+        assert d.probability("b") == pytest.approx(0.75)
+
+    def test_zero_mass_outcomes_dropped(self):
+        d = DiscreteDistribution({"a": 1.0, "b": 0.0})
+        assert "b" not in d
+        assert len(d) == 1
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution({"a": 1.2, "b": -0.2})
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution({"a": 0.3, "b": 0.3})
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution({})
+
+    def test_tiny_residue_renormalized(self):
+        d = DiscreteDistribution({"a": 0.5 + 1e-9, "b": 0.5})
+        assert sum(p for _, p in d.items()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_uniform(self):
+        d = DiscreteDistribution.uniform([1, 2, 3, 4])
+        assert all(d.probability(x) == pytest.approx(0.25) for x in [1, 2, 3, 4])
+
+    def test_uniform_collapses_duplicates(self):
+        d = DiscreteDistribution.uniform([1, 1, 2])
+        assert d.probability(1) == pytest.approx(0.5)
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution.uniform([])
+
+    def test_delta(self):
+        d = DiscreteDistribution.delta("x")
+        assert d.probability("x") == 1.0
+        assert len(d) == 1
+
+    def test_from_counts(self):
+        d = DiscreteDistribution.from_counts({"a": 3, "b": 1})
+        assert d.probability("a") == pytest.approx(0.75)
+
+    def test_from_counts_zero_total_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution.from_counts({"a": 0})
+
+    def test_from_samples(self):
+        d = DiscreteDistribution.from_samples("aab")
+        assert d.probability("a") == pytest.approx(2 / 3)
+
+
+class TestInspection:
+    def test_support(self):
+        d = DiscreteDistribution({"a": 0.5, "b": 0.5})
+        assert sorted(d.support) == ["a", "b"]
+
+    def test_contains(self):
+        d = DiscreteDistribution.delta(7)
+        assert 7 in d
+        assert 8 not in d
+
+    def test_max_outcome(self):
+        d = DiscreteDistribution({"a": 0.7, "b": 0.3})
+        assert d.max_outcome() == "a"
+
+    def test_almost_equal(self):
+        a = DiscreteDistribution({"x": 0.5, "y": 0.5})
+        b = DiscreteDistribution({"x": 0.5, "y": 0.5})
+        c = DiscreteDistribution({"x": 0.6, "y": 0.4})
+        assert a.almost_equal(b)
+        assert not a.almost_equal(c)
+
+
+class TestStatistics:
+    def test_expectation_identity(self):
+        d = DiscreteDistribution({1: 0.5, 3: 0.5})
+        assert d.expectation() == pytest.approx(2.0)
+
+    def test_expectation_function(self):
+        d = DiscreteDistribution({1: 0.5, 3: 0.5})
+        assert d.expectation(lambda x: x * x) == pytest.approx(5.0)
+
+    def test_entropy_uniform(self):
+        d = DiscreteDistribution.uniform(range(8))
+        assert d.entropy_bits() == pytest.approx(3.0)
+
+    def test_entropy_delta_is_zero(self):
+        assert DiscreteDistribution.delta("a").entropy_bits() == 0.0
+
+
+class TestTransformations:
+    def test_map_pushforward(self):
+        d = DiscreteDistribution.uniform([0, 1, 2, 3])
+        even = d.map(lambda x: x % 2)
+        assert even.probability(0) == pytest.approx(0.5)
+
+    def test_condition(self):
+        d = DiscreteDistribution.uniform([0, 1, 2, 3])
+        c = d.condition(lambda x: x < 2)
+        assert c.probability(0) == pytest.approx(0.5)
+        assert 3 not in c
+
+    def test_condition_on_null_event_rejected(self):
+        d = DiscreteDistribution.uniform([0, 1])
+        with pytest.raises(DistributionError):
+            d.condition(lambda x: x > 10)
+
+    def test_mix(self):
+        a = DiscreteDistribution.delta("a")
+        b = DiscreteDistribution.delta("b")
+        m = a.mix(b, 0.25)
+        assert m.probability("a") == pytest.approx(0.25)
+        assert m.probability("b") == pytest.approx(0.75)
+
+    def test_mix_bad_weight_rejected(self):
+        a = DiscreteDistribution.delta("a")
+        with pytest.raises(DistributionError):
+            a.mix(a, 1.5)
+
+
+class TestIntegerOperations:
+    def test_convolve_dice(self):
+        die = DiscreteDistribution.uniform(range(1, 7))
+        two = die.convolve(die)
+        assert two.probability(7) == pytest.approx(6 / 36)
+        assert two.probability(2) == pytest.approx(1 / 36)
+
+    def test_convolve_requires_integers(self):
+        d = DiscreteDistribution.delta("a")
+        with pytest.raises(DistributionError):
+            d.convolve(d)
+
+    def test_negate(self):
+        d = DiscreteDistribution({1: 0.5, 2: 0.5})
+        n = d.negate()
+        assert n.probability(-1) == pytest.approx(0.5)
+
+    def test_difference_symmetric_support(self):
+        """delta_i - delta_{i-1} for IID delays is symmetric around 0."""
+        delay = DiscreteDistribution.uniform([0, 1, 2])
+        diff = delay.difference(delay)
+        assert diff.probability(0) == pytest.approx(3 / 9)
+        assert diff.probability(1) == pytest.approx(diff.probability(-1))
+        assert diff.probability(2) == pytest.approx(diff.probability(-2))
+
+    def test_shift(self):
+        d = DiscreteDistribution.delta(5)
+        assert d.shift(3).probability(8) == 1.0
+
+
+class TestJointHelpers:
+    def test_joint_from_conditional_and_marginals(self):
+        px = DiscreteDistribution({0: 0.5, 1: 0.5})
+        joint = joint_from_conditional(
+            px,
+            lambda x: DiscreteDistribution.delta(x + 10),
+        )
+        mx, my = marginals(joint)
+        assert mx.probability(0) == pytest.approx(0.5)
+        assert my.probability(10) == pytest.approx(0.5)
+
+    def test_marginals_rejects_non_pairs(self):
+        with pytest.raises(DistributionError):
+            marginals(DiscreteDistribution.delta("not-a-pair"))
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=12
+    )
+)
+def test_from_counts_normalizes(weights):
+    counts = {i: w for i, w in enumerate(weights)}
+    d = DiscreteDistribution.from_counts(counts)
+    assert sum(p for _, p in d.items()) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=8, unique=True),
+    offset=st.integers(-100, 100),
+)
+def test_shift_preserves_entropy(values, offset):
+    d = DiscreteDistribution.uniform(values)
+    assert d.shift(offset).entropy_bits() == pytest.approx(d.entropy_bits())
+
+
+@given(
+    a=st.lists(st.integers(0, 20), min_size=1, max_size=6, unique=True),
+    b=st.lists(st.integers(0, 20), min_size=1, max_size=6, unique=True),
+)
+def test_convolution_entropy_at_least_max_component(a, b):
+    """H(X + Y) >= max(H(X), H(Y)) for independent X, Y."""
+    da = DiscreteDistribution.uniform(a)
+    db = DiscreteDistribution.uniform(b)
+    conv = da.convolve(db)
+    assert conv.entropy_bits() >= max(da.entropy_bits(), db.entropy_bits()) - 1e-9
+
+
+@given(st.integers(1, 64))
+def test_uniform_entropy_is_log2_n(n):
+    d = DiscreteDistribution.uniform(range(n))
+    assert d.entropy_bits() == pytest.approx(math.log2(n))

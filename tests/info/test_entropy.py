@@ -1,0 +1,189 @@
+"""Tests for repro.info.entropy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.info.distributions import DiscreteDistribution, joint_from_conditional
+from repro.info.entropy import (
+    binary_entropy,
+    conditional_entropy,
+    entropy,
+    entropy_bits_vec,
+    entropy_gradient_vec,
+    expected_conditional_entropy,
+    joint_entropy,
+    kl_divergence_bits,
+    max_entropy,
+    mutual_information,
+    normalize_vec,
+    uniform_vec,
+)
+
+
+def _random_simplex(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.dirichlet(np.ones(n))
+
+
+class TestObjectLevel:
+    def test_entropy_matches_formula(self):
+        d = DiscreteDistribution({"a": 0.25, "b": 0.75})
+        expected = -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        assert entropy(d) == pytest.approx(expected)
+
+    def test_joint_entropy_independent_adds(self):
+        px = DiscreteDistribution.uniform([0, 1])
+        joint = joint_from_conditional(
+            px, lambda x: DiscreteDistribution.uniform(["u", "v"])
+        )
+        assert joint_entropy(joint) == pytest.approx(2.0)
+
+    def test_conditional_entropy_deterministic_is_zero(self):
+        px = DiscreteDistribution.uniform([0, 1, 2, 3])
+        joint = joint_from_conditional(
+            px, lambda x: DiscreteDistribution.delta(x * 2)
+        )
+        assert conditional_entropy(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mutual_information_independent_is_zero(self):
+        px = DiscreteDistribution.uniform([0, 1])
+        joint = joint_from_conditional(
+            px, lambda x: DiscreteDistribution.uniform(["u", "v"])
+        )
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mutual_information_deterministic_equals_entropy(self):
+        px = DiscreteDistribution.uniform([0, 1, 2, 3])
+        joint = joint_from_conditional(
+            px, lambda x: DiscreteDistribution.delta(str(x))
+        )
+        assert mutual_information(joint) == pytest.approx(2.0)
+
+    def test_binary_entropy_half_is_one(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_binary_entropy_edges(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_binary_entropy_rejects_out_of_range(self):
+        with pytest.raises(DistributionError):
+            binary_entropy(1.5)
+
+    def test_max_entropy(self):
+        assert max_entropy(9) == pytest.approx(math.log2(9))
+
+    def test_max_entropy_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            max_entropy(0)
+
+    def test_expected_conditional_entropy_figure3(self):
+        """The scheduling-leakage term of the Figure 3 example: 0.5 bits."""
+        marginal = DiscreteDistribution({"s1": 0.5, "s2": 0.5})
+        conditionals = {
+            "s1": DiscreteDistribution.uniform([(100, 200), (150, 300)]),
+            "s2": DiscreteDistribution.delta((120, 240)),
+        }
+        assert expected_conditional_entropy(marginal, conditionals) == pytest.approx(0.5)
+
+    def test_expected_conditional_entropy_missing_key(self):
+        marginal = DiscreteDistribution.delta("s1")
+        with pytest.raises(DistributionError):
+            expected_conditional_entropy(marginal, {})
+
+
+class TestArrayLevel:
+    def test_entropy_vec_uniform(self):
+        assert entropy_bits_vec(uniform_vec(16)) == pytest.approx(4.0)
+
+    def test_entropy_vec_ignores_zeros(self):
+        p = np.array([0.5, 0.5, 0.0])
+        assert entropy_bits_vec(p) == pytest.approx(1.0)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        p = _random_simplex(rng, 6)
+        grad = entropy_gradient_vec(p)
+        eps = 1e-7
+        for i in range(6):
+            bumped = p.copy()
+            bumped[i] += eps
+            numeric = (entropy_bits_vec(bumped) - entropy_bits_vec(p)) / eps
+            assert grad[i] == pytest.approx(numeric, rel=1e-3)
+
+    def test_gradient_finite_at_zero(self):
+        grad = entropy_gradient_vec(np.array([1.0, 0.0]))
+        assert np.isfinite(grad).all()
+
+    def test_kl_zero_for_identical(self):
+        p = uniform_vec(4)
+        assert kl_divergence_bits(p, p) == pytest.approx(0.0)
+
+    def test_kl_positive_for_different(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence_bits(p, q) > 0
+
+    def test_kl_infinite_on_support_mismatch(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert kl_divergence_bits(p, q) == math.inf
+
+    def test_kl_shape_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            kl_divergence_bits(uniform_vec(2), uniform_vec(3))
+
+    def test_normalize_vec(self):
+        v = normalize_vec(np.array([1.0, 3.0]))
+        assert v.tolist() == pytest.approx([0.25, 0.75])
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            normalize_vec(np.array([1.0, -1.0]))
+
+    def test_normalize_rejects_zero_total(self):
+        with pytest.raises(DistributionError):
+            normalize_vec(np.zeros(3))
+
+    def test_uniform_vec_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            uniform_vec(0)
+
+
+@given(st.integers(2, 32), st.integers(0, 2**31 - 1))
+def test_entropy_bounded_by_log_support(n, seed):
+    p = _random_simplex(np.random.default_rng(seed), n)
+    h = entropy_bits_vec(p)
+    assert -1e-9 <= h <= math.log2(n) + 1e-9
+
+
+@given(st.integers(2, 16), st.integers(0, 2**31 - 1))
+def test_kl_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    p = _random_simplex(rng, n)
+    q = _random_simplex(rng, n) + 1e-9
+    q = q / q.sum()
+    assert kl_divergence_bits(p, q) >= -1e-9
+
+
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1))
+def test_chain_rule_object_level(n, seed):
+    """H(X, Y) = H(X) + H(Y|X) on random joints."""
+    rng = np.random.default_rng(seed)
+    px = DiscreteDistribution.from_counts(
+        {i: float(w) for i, w in enumerate(rng.dirichlet(np.ones(n)))}
+    )
+    conditionals = {
+        i: DiscreteDistribution.from_counts(
+            {j: float(w) for j, w in enumerate(rng.dirichlet(np.ones(3)))}
+        )
+        for i in px.support
+    }
+    joint = joint_from_conditional(px, lambda x: conditionals[x])
+    h_joint = joint_entropy(joint)
+    h_cond = conditional_entropy(joint)
+    assert h_joint == pytest.approx(entropy(px) + h_cond, abs=1e-9)

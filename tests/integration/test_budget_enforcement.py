@@ -1,0 +1,99 @@
+"""Integration: the leakage threshold is enforced end-to-end (Section 4).
+
+"The dynamic partitioning scheme measures the runtime leakage and
+guarantees it cannot exceed this threshold. If and when the threshold is
+reached, the victim is not allowed to perform further resizings —
+hurting the performance of its subsequent execution, but not its
+security."
+"""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.untangle import UntangleScheme
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.workloads.workload import WorkloadScale, build_workload
+
+
+@pytest.fixture(scope="module")
+def rate_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+def run_with_threshold(threshold, rate_table, seed=0):
+    arch = ArchConfig.tiny(num_cores=1)
+    built = build_workload(
+        "parest_0", "AES-128", WorkloadScale.test(), seed=seed
+    )
+    schedule = ProgressSchedule(
+        instructions_per_assessment=300,
+        cooldown=32,
+        delay=uniform_delay(32, 4),
+        seed=seed,
+    )
+    scheme = UntangleScheme(
+        arch,
+        schedule,
+        rmax_table=rate_table,
+        monitor_window=1_000,
+        leakage_threshold_bits=threshold,
+    )
+    system = MultiDomainSystem(
+        arch,
+        [DomainSpec(built.label, built.stream, built.core_config)],
+        scheme,
+        quantum=64,
+    )
+    system.run(max_cycles=3_000_000)
+    return scheme, system
+
+
+class TestBudgetEnforcement:
+    def test_unlimited_budget_resizes_freely(self, rate_table):
+        scheme, system = run_with_threshold(None, rate_table)
+        visible = [
+            action for action, _ in system.trace_logs[0] if action.is_visible
+        ]
+        assert len(visible) >= 1
+
+    def test_tight_budget_caps_total_leakage(self, rate_table):
+        threshold = 0.8
+        scheme, system = run_with_threshold(threshold, rate_table)
+        accountant = scheme.accountants[0]
+        # The total can overshoot by at most the final charging interval.
+        max_single_charge = max(
+            (c.bits for c in accountant.charges), default=0.0
+        )
+        assert accountant.total_bits <= threshold + max_single_charge + 1e-9
+
+    def test_no_visible_actions_after_exhaustion(self, rate_table):
+        scheme, system = run_with_threshold(0.8, rate_table)
+        accountant = scheme.accountants[0]
+        assert accountant.budget_exhausted
+        exhausted_from = None
+        running = 0.0
+        for index, charge in enumerate(accountant.charges):
+            running += charge.bits
+            if running >= 0.8:
+                exhausted_from = index
+                break
+        assert exhausted_from is not None
+        later_visible = [
+            c for c in accountant.charges[exhausted_from + 1 :] if c.visible
+        ]
+        assert later_visible == []
+
+    def test_zero_threshold_means_pure_static_behaviour(self, rate_table):
+        scheme, system = run_with_threshold(0.0, rate_table)
+        visible = [
+            action for action, _ in system.trace_logs[0] if action.is_visible
+        ]
+        assert visible == []
+        arch_default = ArchConfig.tiny(num_cores=1).default_partition_lines
+        assert scheme.llc.size_of(0) == arch_default
+        assert scheme.accountants[0].total_bits == 0.0

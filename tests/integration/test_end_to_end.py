@@ -1,0 +1,89 @@
+"""End-to-end integration: a small mix under all four schemes."""
+
+import math
+
+import pytest
+
+from repro.harness.experiment import run_custom_mix
+from repro.harness.runconfig import TEST
+
+PAIRS = [
+    ("parest_0", "AES-128"),   # LLC-sensitive
+    ("imagick_0", "SHA-256"),  # compute-bound
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_custom_mix(
+        PAIRS, TEST, schemes=("static", "time", "untangle", "shared")
+    )
+
+
+class TestPerformanceShape:
+    def test_all_schemes_complete(self, result):
+        for run in result.runs.values():
+            assert all(w.ipc > 0 for w in run.workloads)
+
+    def test_dynamic_schemes_help_the_sensitive_workload(self, result):
+        """parest wants 3 MB; dynamic schemes can exceed the 2 MB static."""
+        for scheme in ("time", "untangle"):
+            normalized = result.normalized_ipc(scheme)
+            assert normalized["parest_0+AES-128"] > 1.1
+
+    def test_insensitive_workload_not_crushed(self, result):
+        for scheme in ("time", "untangle"):
+            normalized = result.normalized_ipc(scheme)
+            assert normalized["imagick_0+SHA-256"] > 0.7
+
+    def test_untangle_performance_close_to_time(self, result):
+        """The paper's claim: same performance, less leakage."""
+        time_speedup = result.geomean_speedup("time")
+        untangle_speedup = result.geomean_speedup("untangle")
+        assert untangle_speedup == pytest.approx(time_speedup, rel=0.35)
+
+
+class TestLeakageShape:
+    def test_time_leaks_log2_9(self, result):
+        run = result.runs["time"]
+        for workload in run.workloads:
+            assert workload.bits_per_assessment == pytest.approx(
+                math.log2(9), abs=1e-6
+            )
+
+    def test_untangle_leaks_much_less(self, result):
+        time_bits = result.runs["time"].mean_bits_per_assessment
+        untangle_bits = result.runs["untangle"].mean_bits_per_assessment
+        assert untangle_bits < 0.6 * time_bits
+
+    def test_most_untangle_assessments_are_maintain(self, result):
+        assert result.runs["untangle"].maintain_fraction > 0.5
+
+    def test_static_and_shared_leak_nothing(self, result):
+        for scheme in ("static", "shared"):
+            run = result.runs[scheme]
+            assert all(w.leakage_bits == 0.0 for w in run.workloads)
+
+
+class TestTraceValidity:
+    def test_partition_sizes_stay_supported(self, result):
+        sizes = set(TEST.arch(2).supported_partition_lines)
+        run = result.runs["untangle"]
+        for workload in run.workloads:
+            for quartile in workload.partition_quartiles:
+                assert quartile in sizes
+
+    def test_visible_plus_maintain_equals_assessments(self, result):
+        for scheme in ("time", "untangle"):
+            for workload in result.runs[scheme].workloads:
+                assert workload.visible_actions <= workload.assessments
+
+
+class TestDeterminism:
+    def test_identical_profiles_identical_results(self):
+        a = run_custom_mix(PAIRS, TEST, schemes=("untangle",))
+        b = run_custom_mix(PAIRS, TEST, schemes=("untangle",))
+        wa = a.runs["untangle"].workloads
+        wb = b.runs["untangle"].workloads
+        assert [w.ipc for w in wa] == [w.ipc for w in wb]
+        assert [w.leakage_bits for w in wa] == [w.leakage_bits for w in wb]

@@ -1,0 +1,99 @@
+"""Section 6.1: timing-dependent dynamic instruction sequences.
+
+Spin loops and time checks make the *instruction sequence itself* depend
+on timing — e.g. a thread may spin 3 or 300 iterations before acquiring
+a lock. The paper's remedy: annotate those regions so they contribute
+neither to the utilization metric nor to execution progress; the action
+sequence then ignores how long the spinning took AND how many dynamic
+instructions it produced.
+
+We model two executions of "the same program" whose spin region differs
+in length (as real timing variation would produce), annotate the region
+TIMING_DEPENDENT, and assert the Untangle action sequence is identical —
+and that it is NOT identical when the annotation is dropped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.annotations import AnnotationKind, AnnotationVector
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.untangle import UntangleScheme
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+
+
+@pytest.fixture(scope="module")
+def rate_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+def build_program_with_spin(spin_iterations: int, annotated: bool) -> InstructionStream:
+    """Public work, a spin region of variable length, more public work.
+
+    The spin region polls a lock line (one load per iteration); its
+    dynamic length models timing-dependent synchronization outcomes.
+    """
+    rng = np.random.default_rng(5)
+    work_a = np.full(1_500, -1, dtype=np.int64)
+    work_a[::4] = rng.integers(0, 24, size=len(work_a[::4]))
+    spin = np.full(spin_iterations, 777_777, dtype=np.int64)  # poll the lock
+    work_b = np.full(1_500, -1, dtype=np.int64)
+    work_b[::4] = rng.integers(0, 24, size=len(work_b[::4])) + 100
+
+    addresses = np.concatenate([work_a, spin, work_b])
+    if annotated:
+        kinds = (
+            [AnnotationKind.NONE] * len(work_a)
+            + [AnnotationKind.TIMING_DEPENDENT] * len(spin)
+            + [AnnotationKind.NONE] * len(work_b)
+        )
+        annotations = AnnotationVector.from_kinds(kinds)
+    else:
+        annotations = AnnotationVector.public(len(addresses))
+    return InstructionStream(addresses, annotations)
+
+
+def run_actions(stream, rate_table):
+    arch = ArchConfig.tiny(num_cores=1)
+    schedule = ProgressSchedule(
+        instructions_per_assessment=350,
+        cooldown=32,
+        delay=uniform_delay(32, 4),
+        seed=13,
+    )
+    scheme = UntangleScheme(
+        arch, schedule, rmax_table=rate_table, monitor_window=1_000
+    )
+    config = CoreConfig(mlp=2.0, slice_instructions=stream.length * 2)
+    system = MultiDomainSystem(
+        arch, [DomainSpec("spin", stream, config)], scheme, quantum=64
+    )
+    system.run(max_cycles=2_000_000)
+    return tuple(action.new_size for action, _ in system.trace_logs[0])
+
+
+class TestTimingDependentSequences:
+    def test_annotated_spin_regions_do_not_change_actions(self, rate_table):
+        short = run_actions(build_program_with_spin(10, annotated=True), rate_table)
+        long = run_actions(build_program_with_spin(900, annotated=True), rate_table)
+        assert short == long
+        assert len(short) > 2
+
+    def test_unannotated_spin_regions_do_change_actions(self, rate_table):
+        """Without Section 6.1 annotations the sequence length shifts the
+        progress-based assessment points, changing what gets assessed."""
+        short = run_actions(build_program_with_spin(10, annotated=False), rate_table)
+        long = run_actions(build_program_with_spin(900, annotated=False), rate_table)
+        assert short != long
+
+    def test_annotated_spin_excluded_from_metric(self):
+        stream = build_program_with_spin(100, annotated=True)
+        spin_mask = stream.addresses == 777_777
+        assert stream.annotations.metric_excluded[spin_mask].all()
+        assert stream.annotations.progress_excluded[spin_mask].all()

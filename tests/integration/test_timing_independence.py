@@ -1,0 +1,203 @@
+"""Differential tests of Untangle's core security property (Section 5.2).
+
+The claim: following Principles 1 and 2 plus annotations, the resizing
+*action sequence* is a pure function of the public retired instruction
+sequence — independent of program timing and of secrets. We test this
+empirically by running the same victim:
+
+* with perturbed memory-latency timing (Edge 3 of Figure 2), and
+* with different secret inputs (Edge 1),
+
+and asserting Untangle's visible action sequence is bit-for-bit
+identical, while the Time baseline's generally is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.timebased import TimeScheme
+from repro.schemes.untangle import UntangleScheme
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.workloads.workload import WorkloadScale, build_workload
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig.tiny(num_cores=1)
+
+
+@pytest.fixture(scope="module")
+def rate_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+def make_untangle(arch, rate_table, seed=0):
+    schedule = ProgressSchedule(
+        instructions_per_assessment=400,
+        cooldown=32,
+        delay=uniform_delay(32, 4),
+        seed=seed,
+    )
+    return UntangleScheme(
+        arch, schedule, rmax_table=rate_table, monitor_window=1_000
+    )
+
+
+def run_victim(arch, scheme, stream, core_config):
+    system = MultiDomainSystem(
+        arch,
+        [DomainSpec("victim", stream, core_config)],
+        scheme,
+        quantum=64,
+        sample_interval=256,
+    )
+    system.run(max_cycles=3_000_000)
+    return system.trace_logs[0]
+
+
+def action_sequence(log):
+    """The action-decision sequence (sizes at each assessment)."""
+    return tuple(action.new_size for action, _ in log)
+
+
+def visible_timing(log):
+    return tuple(t for action, t in log if action.is_visible)
+
+
+class TestTimingIndependence:
+    """Edge 3: timing perturbations must not change Untangle's actions."""
+
+    def _workload(self, jitter_seed):
+        built = build_workload(
+            "deepsjeng_0",
+            "AES-128",
+            WorkloadScale.test(),
+            seed=11,
+            timing_jitter=20,
+        )
+        config = CoreConfig(
+            mlp=built.core_config.mlp,
+            slice_instructions=built.core_config.slice_instructions,
+            warmup_instructions=0,
+            timing_jitter=20,
+            timing_jitter_seed=jitter_seed,
+        )
+        return built.stream, config
+
+    def test_untangle_actions_invariant_under_jitter(self, arch, rate_table):
+        sequences = []
+        for jitter_seed in range(3):
+            stream, config = self._workload(jitter_seed)
+            scheme = make_untangle(arch, rate_table, seed=99)
+            log = run_victim(arch, scheme, stream, config)
+            sequences.append(action_sequence(log))
+        assert sequences[0] == sequences[1] == sequences[2]
+        assert len(sequences[0]) > 3  # the run actually assessed
+
+    def test_untangle_timing_does_vary_under_jitter(self, arch, rate_table):
+        """Timing is NOT invariant — that residue is the scheduling leakage."""
+        timings = []
+        for jitter_seed in range(2):
+            stream, config = self._workload(jitter_seed)
+            scheme = make_untangle(arch, rate_table, seed=99)
+            log = run_victim(arch, scheme, stream, config)
+            timings.append(tuple(t for _, t in log))
+        assert timings[0] != timings[1]
+
+    def test_time_scheme_actions_vary_under_jitter(self, arch):
+        """The Time baseline's actions DO depend on timing (Edge 3 intact)."""
+        sequences = []
+        for jitter_seed in range(4):
+            stream, config = self._workload(jitter_seed)
+            scheme = TimeScheme(arch, interval=500, monitor_window=1_000)
+            log = run_victim(arch, scheme, stream, config)
+            sequences.append(action_sequence(log))
+        # At least one jitter seed must change the sequence (it will:
+        # assessment points land at different instructions).
+        assert len(set(sequences)) > 1
+
+
+class TestSecretIndependence:
+    """Edge 1: secrets must not change Untangle's actions (annotations)."""
+
+    def _workload(self, secret):
+        built = build_workload(
+            "gcc_0",
+            "RSA-2048",  # secret-demand AND secret-timing sensitive
+            WorkloadScale.test(),
+            seed=21,
+            secret=secret,
+        )
+        return built.stream, built.core_config
+
+    def test_untangle_actions_secret_independent(self, arch, rate_table):
+        sequences = []
+        for secret in (0, 0b1, 0b1111):
+            stream, config = self._workload(secret)
+            scheme = make_untangle(arch, rate_table, seed=55)
+            log = run_victim(arch, scheme, stream, config)
+            sequences.append(action_sequence(log))
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_time_scheme_sees_secret_demand(self, arch):
+        """Without annotations, secret-dependent demand reaches the metric.
+
+        The Time baseline monitors crypto accesses too, so a secret that
+        changes the crypto footprint can change its utilization curves.
+        We assert the weaker, always-true property: the monitor observes
+        different access *sets* across secrets (the leak's root cause),
+        by checking the total observed counts differ or the sequences
+        differ.
+        """
+        observations = []
+        for secret in (0, 0b111111):
+            stream, config = self._workload(secret)
+            scheme = TimeScheme(arch, interval=500, monitor_window=1_000)
+            log = run_victim(arch, scheme, stream, config)
+            monitor = scheme.monitors[0]
+            observations.append(
+                (action_sequence(log), monitor._inner.total_observed)
+            )
+        assert observations[0] != observations[1]
+
+
+class TestAnnotationNecessity:
+    """Dropping annotations re-opens Edge 1 even under Untangle's schedule."""
+
+    def test_unannotated_untangle_leaks_through_actions(self, arch, rate_table):
+        """Same scheme mechanics, but the metric sees secret accesses.
+
+        We simulate the no-annotation case by building the workload with
+        the crypto part unannotated; a strongly secret-dependent demand
+        then shifts utilization and can shift actions or assessment
+        positions (the progress counter includes crypto instructions).
+        """
+        from repro.core.annotations import AnnotationVector
+
+        sequences = []
+        for secret in (0, 0xFFFF):
+            built = build_workload(
+                "gcc_0", "RSA-4096", WorkloadScale.test(), seed=31,
+                secret=secret,
+            )
+            stripped = InstructionStream(
+                built.stream.addresses,
+                AnnotationVector.public(built.stream.length),
+                stall_cycles=built.stream.stall_cycles,
+            )
+            scheme = make_untangle(arch, rate_table, seed=77)
+            log = run_victim(arch, scheme, stripped, built.core_config)
+            sequences.append(
+                (action_sequence(log), tuple(t for _, t in log))
+            )
+        # The traces (actions or timings) differ across secrets.
+        assert sequences[0] != sequences[1]

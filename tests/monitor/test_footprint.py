@@ -1,0 +1,51 @@
+"""Tests for the footprint metric (Section 5.2's example metric)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.footprint import FootprintMetric
+
+
+def test_declared_timing_independent():
+    assert FootprintMetric(4).timing_independent
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        FootprintMetric(0)
+
+
+def test_counts_unique_lines():
+    metric = FootprintMetric(10)
+    for addr in [1, 2, 2, 3]:
+        metric.observe(addr)
+    assert metric.value == 3
+
+
+def test_window_sliding():
+    metric = FootprintMetric(3)
+    for addr in [1, 2, 3, 4]:
+        metric.observe(addr)
+    # 1 fell out of the window.
+    assert metric.value == 3
+    assert metric.accesses_in_window == 3
+
+
+def test_duplicate_within_window_survives_partial_eviction():
+    metric = FootprintMetric(3)
+    for addr in [5, 5, 6, 7]:
+        metric.observe(addr)
+    # The first 5 left the window but the second 5 is still inside.
+    assert metric.value == 3
+
+
+def test_reset():
+    metric = FootprintMetric(3)
+    metric.observe(1)
+    metric.reset()
+    assert metric.value == 0
+    assert metric.accesses_in_window == 0
+
+
+def test_window_property():
+    assert FootprintMetric(7).window == 7

@@ -1,0 +1,45 @@
+"""Tests for the metric protocol and timing-dependence declarations."""
+
+import pytest
+
+from repro.core.principles import require_timing_independent_metric
+from repro.errors import PrincipleViolation
+from repro.monitor.metrics import TimingDependentView, UtilizationMonitor
+from repro.monitor.umon import UMONMonitor
+
+
+def test_umon_satisfies_protocol():
+    monitor = UMONMonitor([4, 8])
+    assert isinstance(monitor, UtilizationMonitor)
+
+
+def test_view_delegates_but_flips_flag():
+    monitor = UMONMonitor([4, 8])
+    view = TimingDependentView(monitor)
+    view.observe(1)
+    view.observe(1)
+    assert monitor.total_observed == 2
+    assert view.hits_per_size()[0] == 1.0
+    assert not view.timing_independent
+    assert view.candidate_sizes == [4, 8]
+
+
+def test_view_fails_principle_check():
+    view = TimingDependentView(UMONMonitor([4, 8]))
+    with pytest.raises(PrincipleViolation):
+        require_timing_independent_metric(view)
+
+
+def test_view_reset_window():
+    monitor = UMONMonitor([4, 8])
+    view = TimingDependentView(monitor)
+    view.observe(1)
+    view.observe(1)
+    view.reset_window()
+    assert view.hits_per_size().sum() == 0.0
+
+
+def test_view_epoch_accesses():
+    view = TimingDependentView(UMONMonitor([4, 8]))
+    view.observe(1)
+    assert view.epoch_accesses() == 1.0

@@ -1,0 +1,127 @@
+"""Tests for the UMON-style utilization monitor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.monitor.umon import UMONMonitor
+from repro.sim.cache import SetAssociativeCache
+
+SIZES = [4, 8, 16, 32]
+
+
+class TestConstruction:
+    def test_sizes_must_be_ascending_unique(self):
+        with pytest.raises(ConfigurationError):
+            UMONMonitor([8, 4])
+        with pytest.raises(ConfigurationError):
+            UMONMonitor([4, 4])
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            UMONMonitor(SIZES, window=0)
+
+    def test_bad_sampling(self):
+        with pytest.raises(ConfigurationError):
+            UMONMonitor(SIZES, sampling_shift=-1)
+
+
+class TestHitCurves:
+    def test_curve_nondecreasing(self):
+        """Stack inclusion: more capacity never means fewer hits."""
+        monitor = UMONMonitor(SIZES)
+        rng = np.random.default_rng(0)
+        for addr in rng.integers(0, 40, size=500):
+            monitor.observe(int(addr))
+        curve = monitor.hits_per_size()
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_scan_curve_is_step(self):
+        """A cyclic scan of 10 lines hits only at sizes > 9."""
+        monitor = UMONMonitor(SIZES)
+        for _ in range(5):
+            for addr in range(10):
+                monitor.observe(addr)
+        curve = monitor.hits_per_size()
+        assert curve[0] == 0  # size 4
+        assert curve[1] == 0  # size 8
+        assert curve[2] > 0  # size 16 captures the scan
+        assert curve[2] == curve[3]
+
+    def test_curve_matches_fa_lru_caches(self):
+        """The monitor's prediction equals real FA LRU caches of each size."""
+        monitor = UMONMonitor(SIZES, window=10_000)
+        caches = [SetAssociativeCache(1, size) for size in SIZES]
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 30, size=800)
+        hits = [0] * len(SIZES)
+        for addr in addresses:
+            monitor.observe(int(addr))
+            for k, cache in enumerate(caches):
+                if cache.access(int(addr)):
+                    hits[k] += 1
+        assert monitor.hits_per_size().tolist() == pytest.approx(hits)
+
+    def test_misses_at_size(self):
+        monitor = UMONMonitor(SIZES, window=10_000)
+        for addr in [1, 1, 2, 2]:
+            monitor.observe(addr)
+        assert monitor.misses_at_size(len(SIZES) - 1) == pytest.approx(2.0)
+
+
+class TestWindowing:
+    def test_reset_window_clears_counts_not_stack(self):
+        monitor = UMONMonitor(SIZES)
+        monitor.observe(1)
+        monitor.reset_window()
+        assert monitor.hits_per_size().sum() == 0
+        monitor.observe(1)  # still warm in the stack: an immediate hit
+        assert monitor.hits_per_size()[0] == 1.0
+
+    def test_clear_forgets_stack(self):
+        monitor = UMONMonitor(SIZES)
+        monitor.observe(1)
+        monitor.clear()
+        monitor.observe(1)
+        assert monitor.hits_per_size().sum() == 0  # cold again
+
+    def test_aging_halves_counts(self):
+        monitor = UMONMonitor(SIZES, window=10)
+        for _ in range(20):
+            monitor.observe(1)
+        # Aging kept the epoch mass near the window size.
+        assert monitor.epoch_accesses() <= 11
+
+    def test_total_observed_counts_everything(self):
+        monitor = UMONMonitor(SIZES, sampling_shift=2)
+        for addr in range(16):
+            monitor.observe(addr)
+        assert monitor.total_observed == 16
+
+
+class TestSampling:
+    def test_sampling_scales_counts(self):
+        dense = UMONMonitor(SIZES, window=100_000)
+        sampled = UMONMonitor(SIZES, window=100_000, sampling_shift=1)
+        rng = np.random.default_rng(2)
+        addresses = rng.integers(0, 16, size=2_000)
+        for addr in addresses:
+            dense.observe(int(addr))
+            sampled.observe(int(addr))
+        dense_curve = dense.hits_per_size()
+        sampled_curve = sampled.hits_per_size()
+        # Sampled estimate within 30% of the dense count at the top size.
+        assert sampled_curve[-1] == pytest.approx(dense_curve[-1], rel=0.3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_curve_never_exceeds_observed_accesses(seed):
+    monitor = UMONMonitor(SIZES, window=100_000)
+    rng = np.random.default_rng(seed)
+    n = 300
+    for addr in rng.integers(0, 20, size=n):
+        monitor.observe(int(addr))
+    assert monitor.hits_per_size()[-1] <= n

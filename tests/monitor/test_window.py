@@ -1,0 +1,128 @@
+"""Tests for the Fenwick tree and reuse-distance tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.monitor.window import COLD_DISTANCE, FenwickTree, ReuseDistanceTracker
+
+
+def naive_reuse_distances(addresses):
+    """Obviously-correct reference: distinct lines since last access."""
+    last_index = {}
+    out = []
+    for i, addr in enumerate(addresses):
+        if addr not in last_index:
+            out.append(COLD_DISTANCE)
+        else:
+            out.append(len(set(addresses[last_index[addr] + 1 : i])))
+        last_index[addr] = i
+    return out
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        tree.add(3, 5)
+        tree.add(5, 2)
+        assert tree.prefix_sum(2) == 0
+        assert tree.prefix_sum(3) == 5
+        assert tree.prefix_sum(8) == 7
+
+    def test_range_sum(self):
+        tree = FenwickTree(8)
+        for i in range(1, 9):
+            tree.add(i, 1)
+        assert tree.range_sum(3, 5) == 3
+        assert tree.range_sum(5, 3) == 0
+
+    def test_growth(self):
+        tree = FenwickTree(2)
+        tree.add(1, 7)
+        tree.add(100, 3)  # forces growth, must preserve prior values
+        assert tree.prefix_sum(1) == 7
+        assert tree.prefix_sum(100) == 10
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FenwickTree(0)
+        with pytest.raises(SimulationError):
+            FenwickTree(4).add(0, 1)
+
+    def test_prefix_beyond_capacity_clamps(self):
+        tree = FenwickTree(4)
+        tree.add(2, 3)
+        assert tree.prefix_sum(1000) == 3
+
+
+class TestReuseDistanceTracker:
+    def test_cold_misses(self):
+        tracker = ReuseDistanceTracker()
+        assert tracker.observe(1) == COLD_DISTANCE
+        assert tracker.observe(2) == COLD_DISTANCE
+
+    def test_immediate_reuse_distance_zero(self):
+        tracker = ReuseDistanceTracker()
+        tracker.observe(1)
+        assert tracker.observe(1) == 0
+
+    def test_one_intervening_line(self):
+        tracker = ReuseDistanceTracker()
+        tracker.observe(1)
+        tracker.observe(2)
+        assert tracker.observe(1) == 1
+
+    def test_repeated_intervening_counts_once(self):
+        tracker = ReuseDistanceTracker()
+        tracker.observe(1)
+        tracker.observe(2)
+        tracker.observe(2)
+        tracker.observe(2)
+        assert tracker.observe(1) == 1
+
+    def test_scan_distance_is_working_set_minus_one(self):
+        tracker = ReuseDistanceTracker()
+        ws = 16
+        for addr in range(ws):
+            tracker.observe(addr)
+        assert tracker.observe(0) == ws - 1
+
+    def test_distinct_lines(self):
+        tracker = ReuseDistanceTracker()
+        for addr in [1, 2, 1, 3]:
+            tracker.observe(addr)
+        assert tracker.distinct_lines == 3
+
+    def test_reset(self):
+        tracker = ReuseDistanceTracker()
+        tracker.observe(1)
+        tracker.reset()
+        assert tracker.observe(1) == COLD_DISTANCE
+        assert tracker.distinct_lines == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(st.integers(0, 25), min_size=1, max_size=250))
+def test_tracker_matches_naive_reference(addresses):
+    tracker = ReuseDistanceTracker()
+    assert [tracker.observe(a) for a in addresses] == naive_reuse_distances(
+        addresses
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 15), min_size=1, max_size=150),
+    capacity=st.sampled_from([1, 2, 4, 8]),
+)
+def test_reuse_distance_predicts_fa_lru_hits(addresses, capacity):
+    """distance < C  <=>  hit in a fully-associative LRU cache of C lines."""
+    from repro.sim.cache import SetAssociativeCache
+
+    tracker = ReuseDistanceTracker()
+    cache = SetAssociativeCache(1, capacity)
+    for addr in addresses:
+        distance = tracker.observe(addr)
+        hit = cache.access(addr)
+        assert hit == (distance != COLD_DISTANCE and distance < capacity)

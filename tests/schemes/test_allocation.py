@@ -1,0 +1,143 @@
+"""Tests for the lookahead hit-maximizing allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.schemes.allocation import GreedyHitMaximizer
+
+SIZES = [4, 8, 16, 32, 64]
+
+
+def make(total=128, hysteresis=0.0):
+    return GreedyHitMaximizer(SIZES, total, hysteresis)
+
+
+class TestValidation:
+    def test_sizes_must_be_ascending(self):
+        with pytest.raises(ConfigurationError):
+            GreedyHitMaximizer([8, 4], 128)
+
+    def test_total_must_fit_smallest(self):
+        with pytest.raises(ConfigurationError):
+            GreedyHitMaximizer(SIZES, 2)
+
+    def test_negative_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            GreedyHitMaximizer(SIZES, 128, -0.1)
+
+    def test_curve_length_checked(self):
+        allocator = make()
+        with pytest.raises(ConfigurationError):
+            allocator.allocate({0: np.zeros(3)})
+
+    def test_too_many_domains(self):
+        allocator = GreedyHitMaximizer(SIZES, 8)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate({0: np.zeros(5), 1: np.zeros(5), 2: np.zeros(5)})
+
+
+class TestAllocation:
+    def test_everyone_gets_minimum(self):
+        allocator = make()
+        result = allocator.allocate({0: np.zeros(5), 1: np.zeros(5)})
+        assert result.target_sizes == {0: 4, 1: 4}
+
+    def test_single_demanding_domain_gets_capacity(self):
+        allocator = make()
+        curve = np.array([0, 0, 0, 0, 1000.0])
+        result = allocator.allocate({0: curve, 1: np.zeros(5)})
+        assert result.target_sizes[0] == 64
+        assert result.target_sizes[1] == 4
+
+    def test_lookahead_crosses_flat_regions(self):
+        """Step-shaped curves (scans) need multi-level jumps."""
+        allocator = make()
+        step = np.array([0.0, 0.0, 0.0, 500.0, 500.0])  # all gain at 32
+        result = allocator.allocate({0: step})
+        assert result.target_sizes[0] == 32  # not 64: no gain past 32
+
+    def test_higher_utility_domain_wins_contention(self):
+        allocator = GreedyHitMaximizer(SIZES, 40)  # room for one 32 + one 4
+        strong = np.array([0, 0, 0, 900.0, 900.0])
+        weak = np.array([0, 0, 0, 300.0, 300.0])
+        result = allocator.allocate({0: strong, 1: weak})
+        assert result.target_sizes[0] == 32
+        assert result.target_sizes[1] == 4
+
+    def test_capacity_never_exceeded(self):
+        allocator = make(total=64)
+        curves = {
+            d: np.array([0, 10, 20, 30, 40.0]) * (d + 1) for d in range(4)
+        }
+        result = allocator.allocate(curves)
+        assert sum(result.target_sizes.values()) <= 64
+        assert result.total_allocated <= 64
+
+    def test_hysteresis_suppresses_marginal_upgrades(self):
+        eager = make(hysteresis=0.0)
+        lazy = make(hysteresis=10.0)
+        curve = np.array([0.0, 1.0, 2.0, 3.0, 4.0])  # utility < 1 everywhere
+        assert eager.allocate({0: curve}).target_sizes[0] == 64
+        assert lazy.allocate({0: curve}).target_sizes[0] == 4
+
+    def test_total_hits_estimate(self):
+        allocator = make()
+        curve = np.array([5.0, 5.0, 5.0, 5.0, 5.0])
+        result = allocator.allocate({0: curve})
+        assert result.total_hits_estimate == pytest.approx(5.0)
+
+    def test_greedy_matches_bruteforce_on_small_cases(self):
+        """Exhaustive check: greedy lookahead finds the optimal total."""
+        import itertools
+
+        allocator = GreedyHitMaximizer([4, 8, 16], 24)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            curves = {
+                d: np.sort(rng.integers(0, 50, size=3)).astype(float)
+                for d in range(2)
+            }
+            result = allocator.allocate(curves)
+            best = -1.0
+            for combo in itertools.product([4, 8, 16], repeat=2):
+                if sum(combo) > 24:
+                    continue
+                total = sum(
+                    float(curves[d][[4, 8, 16].index(size)])
+                    for d, size in enumerate(combo)
+                )
+                best = max(best, total)
+            assert result.total_hits_estimate == pytest.approx(best)
+
+
+class TestFeasibleSize:
+    def test_target_fits(self):
+        allocator = make()
+        assert allocator.feasible_size(32, 8, 64) == 32
+
+    def test_clamps_to_available(self):
+        allocator = make()
+        assert allocator.feasible_size(64, 8, 20) == 16
+
+    def test_falls_back_to_current(self):
+        allocator = make()
+        assert allocator.feasible_size(64, 8, 2) == 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), total=st.sampled_from([16, 40, 100, 128]))
+def test_allocation_invariants(seed, total):
+    allocator = GreedyHitMaximizer(SIZES, total)
+    rng = np.random.default_rng(seed)
+    domains = rng.integers(1, 1 + total // SIZES[0])
+    curves = {
+        d: np.sort(rng.integers(0, 100, size=5)).astype(float)
+        for d in range(domains)
+    }
+    result = allocator.allocate(curves)
+    assert sum(result.target_sizes.values()) <= total
+    assert all(size in SIZES for size in result.target_sizes.values())
+    assert result.total_hits_estimate >= sum(c[0] for c in curves.values()) - 1e-9

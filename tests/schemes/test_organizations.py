@@ -1,0 +1,134 @@
+"""Set vs way partitioning under the same schemes."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.errors import SimulationError
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.static import StaticScheme
+from repro.schemes.untangle import UntangleScheme
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+from repro.sim.waypart import WayPartitionedLLC
+
+
+def way_arch(num_cores=2) -> ArchConfig:
+    """A machine whose partition alphabet is whole ways (128 lines each)."""
+    return ArchConfig(
+        num_cores=num_cores,
+        llc_lines=2048,
+        llc_associativity=16,
+        supported_partition_lines=(128, 256, 384, 512, 768, 1024),
+        default_partition_lines=256,
+    )
+
+
+def make_domains(arch, instructions=4_000, seed=0):
+    rng = np.random.default_rng(seed)
+    domains = []
+    for i in range(arch.num_cores):
+        addresses = np.full(instructions, -1, dtype=np.int64)
+        slots = np.arange(0, instructions, 3)
+        addresses[slots] = rng.integers(0, 300 * (i + 1), size=len(slots)) + i * 10**6
+        domains.append(
+            DomainSpec(
+                f"d{i}",
+                InstructionStream(addresses),
+                CoreConfig(mlp=2.0, slice_instructions=instructions),
+            )
+        )
+    return domains
+
+
+@pytest.fixture(scope="module")
+def rate_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+class TestStaticOverWays:
+    def test_runs_and_uses_way_llc(self):
+        arch = way_arch()
+        scheme = StaticScheme(arch, organization="way")
+        system = MultiDomainSystem(
+            arch, make_domains(arch), scheme, quantum=100
+        )
+        result = system.run(max_cycles=2_000_000)
+        assert result.completed
+        assert isinstance(scheme.llc, WayPartitionedLLC)
+        assert all(s.ipc > 0 for s in result.stats)
+
+    def test_unknown_organization_rejected(self, rate_table):
+        arch = way_arch()
+        schedule = ProgressSchedule(500, 32, uniform_delay(32, 4))
+        scheme = UntangleScheme(
+            arch, schedule, rmax_table=rate_table, organization="diagonal"
+        )
+        with pytest.raises(SimulationError):
+            MultiDomainSystem(arch, make_domains(arch), scheme)
+
+
+class TestUntangleOverWays:
+    def test_untangle_runs_over_way_partitioning(self, rate_table):
+        arch = way_arch()
+        schedule = ProgressSchedule(
+            500, 32, uniform_delay(32, 4), seed=4
+        )
+        scheme = UntangleScheme(
+            arch,
+            schedule,
+            rmax_table=rate_table,
+            monitor_window=1_000,
+            organization="way",
+        )
+        system = MultiDomainSystem(
+            arch, make_domains(arch), scheme, quantum=100
+        )
+        result = system.run(max_cycles=2_000_000)
+        assert result.completed
+        assert all(s.assessments > 0 for s in result.stats)
+        # Capacity invariant in ways.
+        assert scheme.llc.allocated_lines <= arch.llc_lines
+        # Sizes stay on the way-granular alphabet.
+        for stats in result.stats:
+            for sample in stats.partition_samples:
+                assert sample.lines % 128 == 0
+
+    def test_single_domain_action_sequence_organization_independent(
+        self, rate_table
+    ):
+        """For a single domain, the action sequence ignores the LLC org.
+
+        The monitor is fed the L1-filtered retired access stream, which
+        is identical under either organization; with no co-runners there
+        is no cross-domain timing coupling, so the decisions — pure
+        functions of the monitor snapshots at progress points — match.
+        (With co-runners, other domains' monitor contents at a sampling
+        instant depend on their IPC, which the organization does affect;
+        that coupling is environmental, like the paper's active-attacker
+        discussion, not victim-secret leakage.)
+        """
+        arch = way_arch(num_cores=1)
+        logs = {}
+        for organization in ("set", "way"):
+            schedule = ProgressSchedule(500, 32, uniform_delay(32, 4), seed=4)
+            scheme = UntangleScheme(
+                arch,
+                schedule,
+                rmax_table=rate_table,
+                monitor_window=1_000,
+                organization=organization,
+            )
+            system = MultiDomainSystem(
+                arch, make_domains(arch), scheme, quantum=100
+            )
+            system.run(max_cycles=2_000_000)
+            logs[organization] = tuple(
+                action.new_size for action, _ in system.trace_logs[0]
+            )
+        assert logs["set"] == logs["way"]
+        assert len(logs["set"]) > 2

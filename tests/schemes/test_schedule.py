@@ -1,0 +1,70 @@
+"""Tests for the resizing schedules."""
+
+import pytest
+
+from repro.core.covert import uniform_delay
+from repro.errors import ConfigurationError
+from repro.schemes.schedule import ProgressSchedule, TimeSchedule
+
+
+class TestTimeSchedule:
+    def test_flags(self):
+        assert TimeSchedule(100).progress_based is False
+
+    def test_next_time(self):
+        schedule = TimeSchedule(100)
+        assert schedule.next_time(0) == 100
+        assert schedule.next_time(100) == 200
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeSchedule(0)
+
+
+class TestProgressSchedule:
+    def make(self, **overrides):
+        kwargs = dict(
+            instructions_per_assessment=100,
+            cooldown=50,
+            delay=uniform_delay(48, 4),
+            seed=0,
+        )
+        kwargs.update(overrides)
+        return ProgressSchedule(**kwargs)
+
+    def test_flags(self):
+        assert self.make().progress_based is True
+
+    def test_targets(self):
+        schedule = self.make()
+        assert schedule.first_target() == 100
+        assert schedule.next_target(130) == 230
+
+    def test_cooldown_clamp(self):
+        schedule = self.make()
+        assert schedule.assessment_time(10, None) == 10
+        assert schedule.assessment_time(30, 10) == 60  # clamped to 10 + 50
+        assert schedule.assessment_time(200, 10) == 200
+
+    def test_delay_draws_within_support(self):
+        schedule = self.make()
+        support = set(range(0, 48, 4))
+        for _ in range(50):
+            assert schedule.draw_delay() in support
+
+    def test_delay_deterministic_given_seed(self):
+        a = self.make(seed=5)
+        b = self.make(seed=5)
+        assert [a.draw_delay() for _ in range(20)] == [
+            b.draw_delay() for _ in range(20)
+        ]
+
+    def test_no_delay_default(self):
+        schedule = ProgressSchedule(10, 5)
+        assert schedule.draw_delay() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProgressSchedule(0, 5)
+        with pytest.raises(ConfigurationError):
+            ProgressSchedule(10, -1)

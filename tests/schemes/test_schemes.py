@@ -1,0 +1,192 @@
+"""Tests for the four partitioning schemes on small systems."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.principles import require_untangle_compliant
+from repro.core.rates import RmaxTable
+from repro.errors import ConfigurationError, PrincipleViolation
+from repro.schemes.schedule import ProgressSchedule, TimeSchedule
+from repro.schemes.shared import SharedScheme
+from repro.schemes.static import StaticScheme
+from repro.schemes.timebased import TimeScheme
+from repro.schemes.untangle import UntangleScheme
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+
+
+def make_domains(arch, instructions=3_000, working_sets=None, seed=0):
+    """Domains with different working sets so allocation has something to do."""
+    rng = np.random.default_rng(seed)
+    working_sets = working_sets or [16 * (i + 1) for i in range(arch.num_cores)]
+    domains = []
+    for i in range(arch.num_cores):
+        addresses = np.full(instructions, -1, dtype=np.int64)
+        mem_slots = np.arange(0, instructions, 3)
+        addresses[mem_slots] = (
+            rng.integers(0, working_sets[i], size=len(mem_slots)) + i * 100_000
+        )
+        domains.append(
+            DomainSpec(
+                name=f"d{i}",
+                stream=InstructionStream(addresses),
+                core_config=CoreConfig(mlp=2.0, slice_instructions=instructions),
+            )
+        )
+    return domains
+
+
+def run_scheme(arch, scheme, domains=None, max_cycles=2_000_000):
+    system = MultiDomainSystem(
+        arch, domains or make_domains(arch), scheme, quantum=100,
+        sample_interval=200,
+    )
+    return system.run(max_cycles=max_cycles), system
+
+
+@pytest.fixture()
+def small_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+class TestStaticScheme:
+    def test_partitions_never_change(self, tiny_arch):
+        result, system = run_scheme(tiny_arch, StaticScheme(tiny_arch))
+        for stats in result.stats:
+            sizes = {s.lines for s in stats.partition_samples}
+            assert sizes == {tiny_arch.default_partition_lines}
+        assert all(s.leakage_bits == 0.0 for s in result.stats)
+
+    def test_custom_partition_size(self, tiny_arch):
+        scheme = StaticScheme(tiny_arch, partition_lines=64)
+        result, _ = run_scheme(tiny_arch, scheme)
+        assert result.stats[0].partition_samples[0].lines == 64
+
+    def test_oversized_partition_rejected(self, tiny_arch):
+        with pytest.raises(ConfigurationError):
+            StaticScheme(tiny_arch, partition_lines=tiny_arch.llc_lines)
+
+
+class TestSharedScheme:
+    def test_runs_and_reports_full_llc(self, tiny_arch):
+        result, system = run_scheme(tiny_arch, SharedScheme(tiny_arch))
+        assert result.completed
+        assert system.scheme.partition_size(0) == tiny_arch.llc_lines
+        assert all(s.assessments == 0 for s in result.stats)
+
+
+class TestTimeScheme:
+    def make_scheme(self, arch):
+        return TimeScheme(arch, interval=400, monitor_window=1_000)
+
+    def test_charges_log2_alphabet_per_assessment(self, tiny_arch):
+        result, _ = run_scheme(tiny_arch, self.make_scheme(tiny_arch))
+        for stats in result.stats:
+            assert stats.assessments > 0
+            assert stats.bits_per_assessment == pytest.approx(
+                np.log2(len(tiny_arch.supported_partition_lines))
+            )
+
+    def test_all_domains_assess_simultaneously(self, tiny_arch):
+        result, system = run_scheme(tiny_arch, self.make_scheme(tiny_arch))
+        t0 = [t for _, t in system.trace_logs[0]]
+        t1 = [t for _, t in system.trace_logs[1]]
+        # Same assessment times (modulo the strictly-increasing nudge).
+        assert len(t0) == len(t1)
+
+    def test_capacity_invariant_throughout(self, tiny_arch):
+        scheme = self.make_scheme(tiny_arch)
+        result, system = run_scheme(tiny_arch, scheme)
+        assert scheme.llc.allocated_lines <= tiny_arch.llc_lines
+
+    def test_leakage_threshold_stops_resizing(self, tiny_arch):
+        scheme = TimeScheme(
+            tiny_arch, interval=400, monitor_window=1_000,
+            leakage_threshold_bits=10.0,
+        )
+        result, system = run_scheme(tiny_arch, scheme)
+        for accountant in scheme.accountants:
+            # Leakage keeps accruing per assessment (the assessments
+            # themselves continue) but resizes stop.
+            assert accountant.budget_exhausted
+
+
+class TestUntangleScheme:
+    def make_scheme(self, arch, table, **overrides):
+        schedule = ProgressSchedule(
+            instructions_per_assessment=600,
+            cooldown=32,
+            delay=uniform_delay(32, 4),
+            seed=1,
+        )
+        kwargs = dict(monitor_window=1_000)
+        kwargs.update(overrides)
+        return UntangleScheme(arch, schedule, rmax_table=table, **kwargs)
+
+    def test_assessments_follow_progress(self, tiny_arch, small_table):
+        scheme = self.make_scheme(tiny_arch, small_table)
+        result, _ = run_scheme(tiny_arch, scheme)
+        assert all(s.assessments > 0 for s in result.stats)
+
+    def test_rejects_time_based_schedule(self, tiny_arch, small_table):
+        scheme = UntangleScheme.__new__(UntangleScheme)
+        # Constructing with a TimeSchedule must fail the principle check
+        # during build; emulate via require_untangle_compliant directly.
+        from repro.monitor.umon import UMONMonitor
+
+        monitor = UMONMonitor([4, 8], timing_independent=True)
+        with pytest.raises(PrincipleViolation):
+            require_untangle_compliant(monitor, TimeSchedule(100))
+
+    def test_rejects_timing_dependent_metric(self, tiny_arch, small_table):
+        from repro.monitor.metrics import TimingDependentView
+        from repro.monitor.umon import UMONMonitor
+
+        schedule = ProgressSchedule(100, 32)
+        view = TimingDependentView(UMONMonitor([4, 8]))
+        with pytest.raises(PrincipleViolation):
+            require_untangle_compliant(view, schedule)
+
+    def test_committed_capacity_invariant(self, tiny_arch, small_table):
+        scheme = self.make_scheme(tiny_arch, small_table)
+        result, _ = run_scheme(tiny_arch, scheme)
+        assert sum(scheme._committed) <= tiny_arch.llc_lines
+        assert scheme.llc.allocated_lines <= tiny_arch.llc_lines
+
+    def test_leakage_below_conservative_bound(self, tiny_arch, small_table):
+        """Untangle's headline: far below log2(|A|) per assessment."""
+        scheme = self.make_scheme(tiny_arch, small_table)
+        result, _ = run_scheme(tiny_arch, scheme)
+        conservative = np.log2(len(tiny_arch.supported_partition_lines))
+        for stats in result.stats:
+            if stats.assessments >= 5:
+                assert stats.bits_per_assessment < conservative
+
+    def test_budget_forces_maintain(self, tiny_arch, small_table):
+        scheme = self.make_scheme(
+            tiny_arch, small_table, leakage_threshold_bits=0.5
+        )
+        result, system = run_scheme(tiny_arch, scheme)
+        for domain, accountant in enumerate(scheme.accountants):
+            if accountant.budget_exhausted:
+                # After exhaustion every recorded action is Maintain.
+                exhausted_at = None
+                for charge in accountant.charges:
+                    if accountant.threshold_bits is not None:
+                        pass
+                visible_after = [
+                    action
+                    for action, t in system.trace_logs[domain]
+                    if action.is_visible
+                ]
+                # The budget at 0.5 bits allows at most a couple of resizes.
+                assert len(visible_after) <= 2
+
+    def test_delayed_actions_eventually_apply(self, tiny_arch, small_table):
+        scheme = self.make_scheme(tiny_arch, small_table)
+        result, _ = run_scheme(tiny_arch, scheme)
+        assert not scheme._pending  # everything drained by the end

@@ -1,0 +1,117 @@
+"""Tests for the threshold-based relative-action scheme."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.covert import uniform_delay
+from repro.core.rates import RmaxTable
+from repro.errors import ConfigurationError
+from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.threshold import ThresholdScheme
+from repro.sim.cpu import CoreConfig, InstructionStream
+from repro.sim.system import DomainSpec, MultiDomainSystem
+
+
+@pytest.fixture(scope="module")
+def rate_table(small_channel_model):
+    table = RmaxTable(small_channel_model, capacity=4, solver_iterations=100)
+    table.entries()
+    return table
+
+
+def make_scheme(arch, rate_table, **overrides):
+    schedule = ProgressSchedule(
+        instructions_per_assessment=400,
+        cooldown=32,
+        delay=uniform_delay(32, 4),
+        seed=2,
+    )
+    return ThresholdScheme(arch, schedule, rate_table, **overrides)
+
+
+def run_single(arch, scheme, working_set, instructions=6_000):
+    rng = np.random.default_rng(0)
+    addresses = np.full(instructions, -1, dtype=np.int64)
+    slots = np.arange(0, instructions, 3)
+    addresses[slots] = rng.integers(0, working_set, size=len(slots))
+    stream = InstructionStream(addresses)
+    system = MultiDomainSystem(
+        arch,
+        [DomainSpec("w", stream, CoreConfig(mlp=2.0, slice_instructions=instructions))],
+        scheme,
+        quantum=64,
+    )
+    system.run(max_cycles=2_000_000)
+    return system
+
+
+class TestDecide:
+    def test_expand_when_footprint_near_capacity(self, tiny_arch, rate_table):
+        scheme = make_scheme(tiny_arch, rate_table)
+        current = 32
+        assert scheme.decide(int(0.95 * current), current) == 64
+
+    def test_shrink_when_footprint_far_below(self, tiny_arch, rate_table):
+        scheme = make_scheme(tiny_arch, rate_table)
+        assert scheme.decide(2, 32) == 16
+
+    def test_maintain_in_the_deadband(self, tiny_arch, rate_table):
+        scheme = make_scheme(tiny_arch, rate_table)
+        assert scheme.decide(20, 32) == 32
+
+    def test_no_expand_past_max(self, tiny_arch, rate_table):
+        scheme = make_scheme(tiny_arch, rate_table)
+        top = tiny_arch.supported_partition_lines[-1]
+        assert scheme.decide(top, top) == top
+
+    def test_no_shrink_past_min(self, tiny_arch, rate_table):
+        scheme = make_scheme(tiny_arch, rate_table)
+        bottom = tiny_arch.supported_partition_lines[0]
+        assert scheme.decide(0, bottom) == bottom
+
+    def test_hysteresis_deadband_exists(self, tiny_arch, rate_table):
+        """Between the two thresholds no action is taken (anti-ping-pong)."""
+        scheme = make_scheme(tiny_arch, rate_table)
+        for footprint in range(10, 28):
+            assert scheme.decide(footprint, 32) == 32
+
+    def test_threshold_validation(self, tiny_arch, rate_table):
+        schedule = ProgressSchedule(100, 32)
+        with pytest.raises(ConfigurationError):
+            ThresholdScheme(
+                tiny_arch, schedule, rate_table,
+                expand_fraction=0.5, shrink_fraction=0.6,
+            )
+
+
+class TestEndToEnd:
+    def test_large_footprint_grows_partition(self, rate_table):
+        arch = ArchConfig.tiny(num_cores=1)
+        scheme = make_scheme(arch, rate_table)
+        system = run_single(arch, scheme, working_set=100)
+        assert scheme.llc.size_of(0) > arch.default_partition_lines
+
+    def test_small_footprint_shrinks_partition(self, rate_table):
+        arch = ArchConfig.tiny(num_cores=1)
+        scheme = make_scheme(arch, rate_table)
+        system = run_single(arch, scheme, working_set=4)
+        assert scheme.llc.size_of(0) < arch.default_partition_lines
+
+    def test_leakage_accounted(self, rate_table):
+        arch = ArchConfig.tiny(num_cores=1)
+        scheme = make_scheme(arch, rate_table)
+        system = run_single(arch, scheme, working_set=100)
+        stats = system.stats[0]
+        assert stats.assessments > 0
+        assert stats.leakage_bits > 0
+
+    def test_budget_respected(self, rate_table):
+        arch = ArchConfig.tiny(num_cores=1)
+        scheme = make_scheme(
+            arch, rate_table, leakage_threshold_bits=0.4
+        )
+        system = run_single(arch, scheme, working_set=100)
+        accountant = scheme.accountants[0]
+        max_charge = max((c.bits for c in accountant.charges), default=0.0)
+        assert accountant.total_bits <= 0.4 + max_charge + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for the tiered security extension (Section 6.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schemes.tiered import TierAssignment, TieredAccountingPolicy
+
+
+@pytest.fixture()
+def lattice():
+    # Domains 0,1 at tier 0 (low); 2 at tier 1; 3 at tier 2 (high).
+    return TierAssignment(tiers=(0, 0, 1, 2))
+
+
+class TestTierAssignment:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TierAssignment(tiers=())
+        with pytest.raises(ConfigurationError):
+            TierAssignment(tiers=(0, -1))
+
+    def test_relations(self, lattice):
+        assert lattice.peers_of(0) == [1]
+        assert lattice.lower_than(2) == [0, 1]
+        assert lattice.strictly_higher(0) == [2, 3]
+        assert lattice.strictly_higher(3) == []
+
+
+class TestChargeability:
+    def test_peer_exchange_always_charged(self, lattice):
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.charge_factor(0, [1]) == 1.0
+
+    def test_downward_flow_charged(self, lattice):
+        """A high-tier actor resizing against lower tiers is charged."""
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.charge_factor(3, [0]) == 1.0
+
+    def test_upward_flow_free_when_no_lower_observers(self):
+        """Sole low domain exchanging with the high domain: free."""
+        policy = TieredAccountingPolicy(TierAssignment(tiers=(0, 1)))
+        assert policy.charge_factor(0, [1]) == 0.0
+        assert not policy.chargeable(0, [1])
+
+    def test_upward_flow_charged_if_a_peer_can_probe(self, lattice):
+        """Domain 0 resizing against tier-2 domain 3 is still observable
+        by its peer domain 1 — so it charges."""
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.charge_factor(0, [3]) == 1.0
+
+    def test_mixed_counterparties_charged(self, lattice):
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.charge_factor(2, [0, 3]) == 1.0
+
+    def test_top_tier_alone_with_subordinates_charged(self, lattice):
+        """The top domain's every resize is visible below: always charged."""
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.charge_factor(3, [2]) == 1.0
+
+    def test_observers_of(self, lattice):
+        policy = TieredAccountingPolicy(lattice)
+        assert policy.observers_of(2, [3]) == [0, 1]
+        assert policy.observers_of(0, [3]) == [1]
+
+    def test_peer_model_reduces_to_always_charged(self):
+        """With one flat tier, the policy degenerates to the base model."""
+        policy = TieredAccountingPolicy(TierAssignment(tiers=(0, 0, 0)))
+        for actor in range(3):
+            for other in range(3):
+                if other != actor:
+                    assert policy.chargeable(actor, [other])

@@ -1,0 +1,225 @@
+"""Tests for the core execution/timing model."""
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.core.annotations import AnnotationVector
+from repro.errors import ConfigurationError
+from repro.sim.cpu import Core, CoreConfig, InstructionStream, StopReason
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.partition import PartitionedLLC
+from repro.sim.stats import DomainStats
+
+
+def make_memory(arch: ArchConfig) -> DomainMemory:
+    llc = PartitionedLLC(
+        arch.llc_lines,
+        arch.llc_associativity,
+        arch.num_cores,
+        arch.default_partition_lines,
+    )
+    return DomainMemory(arch, llc.view(0))
+
+
+def make_core(
+    arch: ArchConfig,
+    addresses,
+    annotations=None,
+    stall_cycles=None,
+    **config_overrides,
+) -> Core:
+    stream = InstructionStream(
+        np.array(addresses, dtype=np.int64), annotations, stall_cycles
+    )
+    defaults = dict(mlp=1.0, slice_instructions=len(addresses))
+    defaults.update(config_overrides)
+    return Core(
+        domain=0,
+        stream=stream,
+        memory=make_memory(arch),
+        arch=arch,
+        core_config=CoreConfig(**defaults),
+        stats=DomainStats(domain=0),
+    )
+
+
+
+def run_to_completion(core, max_cycles=200_000):
+    """Advance until the measured slice finishes (bounded for safety)."""
+    while not core.finished and core.cycles < max_cycles:
+        core.run(until_cycle=core.cycles + 5_000)
+    return core
+
+
+class TestInstructionStream:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionStream(np.array([], dtype=np.int64))
+
+    def test_misaligned_annotations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionStream(
+                np.array([1, -1]), AnnotationVector.public(3)
+            )
+
+    def test_mem_positions(self):
+        stream = InstructionStream(np.array([-1, 5, -1, 7]))
+        assert stream.mem_positions.tolist() == [1, 3]
+        assert stream.memory_instruction_count == 2
+        assert stream.memory_fraction == pytest.approx(0.5)
+
+    def test_cum_public_excludes_progress_annotated(self):
+        annotations = AnnotationVector(
+            np.array([False, False, True]), np.array([False, False, True])
+        )
+        stream = InstructionStream(np.array([-1, -1, -1]), annotations)
+        assert stream.public_per_pass == 2
+
+    def test_stall_positions_are_events(self):
+        stalls = np.array([0, 10, 0])
+        stream = InstructionStream(np.array([-1, -1, 5]), stall_cycles=stalls)
+        assert stream.event_positions.tolist() == [1, 2]
+
+    def test_negative_stalls_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionStream(
+                np.array([-1]), stall_cycles=np.array([-5])
+            )
+
+
+class TestTimingModel:
+    def test_nonmem_cost_is_cpi(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 40)
+        run_to_completion(core)
+        # 40 instructions at 1/4 CPI = 10 cycles per pass; the core wraps
+        # passes until the budget, so check the measured slice instead.
+        assert core.stats.ipc == pytest.approx(tiny_arch.issue_width)
+
+    def test_memory_latency_added(self, tiny_arch):
+        core = make_core(tiny_arch, [100])
+        run_to_completion(core)
+        # One instruction: cpi + dram latency (mlp 1).
+        expected_cycles = 1 / tiny_arch.issue_width + tiny_arch.dram_latency
+        assert core.stats.measured_cycles == pytest.approx(expected_cycles)
+
+    def test_mlp_divides_latency(self, tiny_arch):
+        slow = make_core(tiny_arch, [100, 101, 102], mlp=1.0)
+        fast = make_core(tiny_arch, [100, 101, 102], mlp=4.0)
+        run_to_completion(slow)
+        run_to_completion(fast)
+        assert fast.stats.measured_cycles < slow.stats.measured_cycles
+
+    def test_stall_cycles_add_time(self, tiny_arch):
+        plain = make_core(tiny_arch, [-1, -1])
+        stalled = make_core(
+            tiny_arch, [-1, -1], stall_cycles=np.array([500, 0])
+        )
+        run_to_completion(plain)
+        run_to_completion(stalled)
+        assert (
+            stalled.stats.measured_cycles
+            >= plain.stats.measured_cycles + 500
+        )
+
+    def test_jitter_changes_timing_not_retirement(self, tiny_arch):
+        a = make_core(tiny_arch, [100, 101, -1, 102], timing_jitter=0)
+        b = make_core(
+            tiny_arch, [100, 101, -1, 102],
+            timing_jitter=50, timing_jitter_seed=1,
+        )
+        run_to_completion(a)
+        run_to_completion(b)
+        assert a.stats.measured_instructions == b.stats.measured_instructions
+        assert a.stats.measured_cycles != b.stats.measured_cycles
+
+
+class TestProgressStops:
+    def test_stops_exactly_at_progress_target(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 100)
+        reason = core.run(until_cycle=1e9, progress_target=37)
+        assert reason is StopReason.PROGRESS
+        assert core.public_retired == 37
+        assert core.retired == 37
+
+    def test_progress_counts_skip_annotated(self, tiny_arch):
+        annotations = AnnotationVector(
+            np.zeros(10, dtype=bool),
+            np.array([False, True] * 5),  # every other excluded
+        )
+        core = make_core(tiny_arch, [-1] * 10, annotations=annotations)
+        reason = core.run(until_cycle=1e9, progress_target=3)
+        assert reason is StopReason.PROGRESS
+        assert core.public_retired == 3
+        assert core.retired == 5  # needed 5 retirements to see 3 public
+
+    def test_progress_crossing_on_memory_instruction(self, tiny_arch):
+        core = make_core(tiny_arch, [-1, 100, -1])
+        reason = core.run(until_cycle=1e9, progress_target=2)
+        assert reason is StopReason.PROGRESS
+        assert core.retired == 2  # stopped right after the memory op
+
+    def test_progress_across_pass_wrap(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 10)
+        reason = core.run(until_cycle=1e9, progress_target=25)
+        assert reason is StopReason.PROGRESS
+        assert core.public_retired == 25
+
+    def test_quantum_stop(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 1000)
+        reason = core.run(until_cycle=5.0)
+        assert reason is StopReason.QUANTUM
+        assert core.cycles >= 5.0
+
+    def test_resume_after_progress(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 100)
+        core.run(until_cycle=1e9, progress_target=10)
+        reason = core.run(until_cycle=1e9, progress_target=20)
+        assert reason is StopReason.PROGRESS
+        assert core.public_retired == 20
+
+
+class TestMeasurement:
+    def test_warmup_excluded(self, tiny_arch):
+        core = make_core(
+            tiny_arch, [-1] * 100, warmup_instructions=50,
+            slice_instructions=100,
+        )
+        run_to_completion(core)
+        assert core.stats.measure_start_instructions >= 50
+        assert core.stats.measured_instructions == pytest.approx(100, abs=2)
+
+    def test_finished_flag(self, tiny_arch):
+        core = make_core(tiny_arch, [-1] * 10, slice_instructions=10)
+        assert not core.finished
+        run_to_completion(core)
+        assert core.finished
+
+    def test_runs_past_slice_for_pressure(self, tiny_arch):
+        """A finished core keeps executing (stats frozen)."""
+        core = make_core(tiny_arch, [-1] * 10, slice_instructions=10)
+        core.run(until_cycle=100.0)
+        assert core.retired > 10
+        assert core.stats.measured_instructions <= 11
+
+    def test_fully_secret_stream_makes_no_progress(self, tiny_arch):
+        annotations = AnnotationVector.fully_secret(10)
+        core = make_core(tiny_arch, [-1] * 10, annotations=annotations)
+        reason = core.run(until_cycle=50.0, progress_target=5)
+        assert reason is StopReason.QUANTUM
+        assert core.public_retired == 0
+        assert core.retired > 0  # it executed, it just never counted
+
+
+class TestConfigValidation:
+    def test_bad_mlp(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(mlp=0.0)
+
+    def test_bad_slice(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(slice_instructions=0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(warmup_instructions=-1)

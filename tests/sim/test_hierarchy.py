@@ -1,0 +1,103 @@
+"""Tests for the per-domain memory hierarchy."""
+
+import pytest
+
+from repro.config import ArchConfig
+from repro.sim.hierarchy import DomainMemory, MemoryLevel
+from repro.sim.partition import PartitionedLLC
+
+
+class RecordingMonitor:
+    def __init__(self):
+        self.observed = []
+
+    def observe(self, line_addr):
+        self.observed.append(line_addr)
+
+
+@pytest.fixture()
+def setup(tiny_arch):
+    llc = PartitionedLLC(
+        tiny_arch.llc_lines,
+        tiny_arch.llc_associativity,
+        tiny_arch.num_cores,
+        tiny_arch.default_partition_lines,
+    )
+    monitor = RecordingMonitor()
+    memory = DomainMemory(tiny_arch, llc.view(0), monitor=monitor)
+    return memory, monitor, tiny_arch
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self, setup):
+        memory, _, arch = setup
+        memory.access(1)  # install
+        assert memory.access(1) == arch.l1_latency
+        assert memory.level_counts[MemoryLevel.L1] == 1
+
+    def test_llc_hit_latency(self, setup):
+        memory, _, arch = setup
+        memory.access(1)  # now in L1 and LLC
+        # Evict from L1 by filling its set, keeping LLC resident.
+        l1_sets = memory.l1.num_sets
+        for i in range(1, arch.l1_associativity + 1):
+            memory.access(1 + i * l1_sets)
+        latency = memory.access(1)
+        assert latency == arch.llc_latency
+
+    def test_dram_latency_on_cold_miss(self, setup):
+        memory, _, arch = setup
+        assert memory.access(12345) == arch.dram_latency
+        assert memory.level_counts[MemoryLevel.DRAM] == 1
+
+    def test_reset_level_counts(self, setup):
+        memory, _, _ = setup
+        memory.access(1)
+        memory.reset_level_counts()
+        assert all(v == 0 for v in memory.level_counts.values())
+
+
+class TestMonitorFeeding:
+    def test_l1_hits_filtered_from_monitor(self, setup):
+        memory, monitor, _ = setup
+        memory.access(1)
+        memory.access(1)  # L1 hit, not monitored
+        assert monitor.observed == [1]
+
+    def test_secret_accesses_hidden_when_respecting_annotations(self, setup):
+        memory, monitor, _ = setup
+        memory.access(10, metric_excluded=True)
+        assert monitor.observed == []
+
+    def test_secret_accesses_visible_when_not_respecting(self, tiny_arch):
+        llc = PartitionedLLC(
+            tiny_arch.llc_lines,
+            tiny_arch.llc_associativity,
+            tiny_arch.num_cores,
+            tiny_arch.default_partition_lines,
+        )
+        monitor = RecordingMonitor()
+        memory = DomainMemory(
+            tiny_arch,
+            llc.view(0),
+            monitor=monitor,
+            monitor_respects_annotations=False,
+        )
+        memory.access(10, metric_excluded=True)
+        assert monitor.observed == [10]
+
+    def test_secret_accesses_still_fill_caches(self, setup):
+        """Annotated accesses move data normally — only the monitor is blind."""
+        memory, _, arch = setup
+        memory.access(10, metric_excluded=True)
+        assert memory.access(10, metric_excluded=True) == arch.l1_latency
+
+    def test_no_monitor_is_fine(self, tiny_arch):
+        llc = PartitionedLLC(
+            tiny_arch.llc_lines,
+            tiny_arch.llc_associativity,
+            tiny_arch.num_cores,
+            tiny_arch.default_partition_lines,
+        )
+        memory = DomainMemory(tiny_arch, llc.view(0))
+        assert memory.access(3) == tiny_arch.dram_latency

@@ -1,0 +1,76 @@
+"""Property tests on the memory hierarchy's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchConfig
+from repro.sim.hierarchy import DomainMemory, MemoryLevel
+from repro.sim.partition import PartitionedLLC
+
+
+def make_memory(arch=None):
+    arch = arch or ArchConfig.tiny(num_cores=1)
+    llc = PartitionedLLC(
+        arch.llc_lines,
+        arch.llc_associativity,
+        arch.num_cores,
+        arch.default_partition_lines,
+    )
+    return DomainMemory(arch, llc.view(0)), arch
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 200), min_size=1, max_size=300))
+def test_latency_always_a_known_level(addresses):
+    memory, arch = make_memory()
+    valid = {arch.l1_latency, arch.llc_latency, arch.dram_latency}
+    for addr in addresses:
+        assert memory.access(addr) in valid
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 200), min_size=1, max_size=300))
+def test_immediate_rereference_hits_l1(addresses):
+    memory, arch = make_memory()
+    for addr in addresses:
+        memory.access(addr)
+        assert memory.access(addr) == arch.l1_latency
+
+
+@settings(max_examples=20, deadline=None)
+@given(addresses=st.lists(st.integers(0, 100), min_size=1, max_size=300))
+def test_level_counts_sum_to_accesses(addresses):
+    memory, _ = make_memory()
+    for addr in addresses:
+        memory.access(addr)
+    assert sum(memory.level_counts.values()) == len(addresses)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 60), min_size=10, max_size=300),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_annotation_flag_never_changes_latencies(addresses, seed):
+    """Annotations hide accesses from the monitor, never from the caches."""
+    rng = np.random.default_rng(seed)
+    flags = rng.random(len(addresses)) < 0.5
+    plain, _ = make_memory()
+    flagged, _ = make_memory()
+    for addr, flag in zip(addresses, flags):
+        latency_plain = plain.access(addr, metric_excluded=False)
+        latency_flagged = flagged.access(addr, metric_excluded=bool(flag))
+        assert latency_plain == latency_flagged
+
+
+@settings(max_examples=20, deadline=None)
+@given(addresses=st.lists(st.integers(0, 500), min_size=1, max_size=200))
+def test_dram_count_equals_llc_misses(addresses):
+    memory, _ = make_memory()
+    for addr in addresses:
+        memory.access(addr)
+    llc_view = memory.llc_view
+    stats = llc_view._llc.stats_of(0)  # noqa: SLF001 - test introspection
+    assert memory.level_counts[MemoryLevel.DRAM] == stats.misses

@@ -1,0 +1,134 @@
+"""Tests for the partitioned and shared LLC organizations."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.partition import (
+    PartitionedLLC,
+    SharedLLC,
+    sets_for_lines,
+)
+
+
+class TestSetsForLines:
+    def test_whole_sets(self):
+        assert sets_for_lines(64, 16) == 4
+
+    def test_partial_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sets_for_lines(65, 16)
+
+    def test_below_one_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sets_for_lines(8, 16)
+
+
+class TestPartitionedLLC:
+    def make(self, total=256, ways=8, domains=2, initial=32):
+        return PartitionedLLC(total, ways, domains, initial)
+
+    def test_initial_sizes(self):
+        llc = self.make()
+        assert llc.size_of(0) == 32
+        assert llc.size_of(1) == 32
+        assert llc.allocated_lines == 64
+        assert llc.free_lines == 192
+
+    def test_overcommitted_initial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedLLC(64, 8, 4, 32)
+
+    def test_domain_isolation(self):
+        """Equal addresses in different domains never interfere."""
+        llc = self.make()
+        llc.access(0, 100)
+        assert not llc.access(1, 100)  # still a miss for domain 1
+        assert llc.access(0, 100)  # still a hit for domain 0
+
+    def test_view_routes_to_domain(self):
+        llc = self.make()
+        view = llc.view(1)
+        view.access(7)
+        assert llc.stats_of(1).misses == 1
+        assert llc.stats_of(0).accesses == 0
+
+    def test_view_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            self.make().view(5)
+
+    def test_resize_updates_capacity(self):
+        llc = self.make()
+        outcome = llc.resize(0, 64)
+        assert outcome.old_lines == 32
+        assert outcome.new_lines == 64
+        assert llc.size_of(0) == 64
+        assert llc.free_lines == 160
+
+    def test_resize_beyond_capacity_rejected(self):
+        llc = self.make(total=64, ways=8, domains=2, initial=24)
+        with pytest.raises(SimulationError):
+            llc.resize(0, 48)  # 48 + 24 > 64
+
+    def test_resize_same_size_records_noop(self):
+        llc = self.make()
+        outcome = llc.resize(0, 32)
+        assert outcome.lines_lost == 0
+        assert llc.resizes[-1] is outcome
+
+    def test_shrink_loses_lines(self):
+        llc = self.make(total=256, ways=8, domains=1, initial=64)
+        for addr in range(64):
+            llc.access(0, addr)
+        outcome = llc.resize(0, 8)
+        assert outcome.lines_lost > 0
+        assert llc.cache_of(0).resident_lines <= 8
+
+    def test_available_for(self):
+        llc = self.make()
+        assert llc.available_for(0) == 192 + 32
+
+
+class TestSharedLLC:
+    def test_domains_conflict(self):
+        """The same hot set pressure from two domains causes evictions."""
+        llc = SharedLLC(total_lines=16, associativity=2, num_domains=2)
+        # Fill the cache from domain 0, then hammer from domain 1.
+        for addr in range(16):
+            llc.access(0, addr)
+        hits_before = llc.stats_of(0).hits
+        for addr in range(64):
+            llc.access(1, addr)
+        for addr in range(16):
+            llc.access(0, addr)
+        # Domain 1 traffic evicted domain 0's lines: re-touching misses.
+        assert llc.stats_of(0).misses > 16
+
+    def test_equal_addresses_do_not_false_share(self):
+        llc = SharedLLC(total_lines=64, associativity=4, num_domains=2)
+        llc.access(0, 5)
+        assert not llc.access(1, 5)
+
+    def test_view(self):
+        llc = SharedLLC(total_lines=64, associativity=4, num_domains=2)
+        view = llc.view(0)
+        view.access(3)
+        assert llc.stats_of(0).accesses == 1
+
+    def test_view_out_of_range(self):
+        llc = SharedLLC(total_lines=64, associativity=4, num_domains=2)
+        with pytest.raises(ConfigurationError):
+            llc.view(2)
+
+    def test_nominal_size_is_whole_llc(self):
+        llc = SharedLLC(total_lines=64, associativity=4, num_domains=2)
+        assert llc.size_of(0) == 64
+
+    def test_domain_addresses_spread_across_sets(self):
+        """The domain fold must not stripe domains into set subsets."""
+        llc = SharedLLC(total_lines=256, associativity=2, num_domains=8)
+        num_sets = llc._cache.num_sets
+        touched = set()
+        for addr in range(num_sets):
+            touched.add((addr + 3 * llc._DOMAIN_STRIDE) % num_sets)
+        # Domain 3's sequential addresses should cover every set.
+        assert len(touched) == num_sets

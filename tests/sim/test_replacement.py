@@ -1,0 +1,55 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def test_lru_victim_is_front():
+    assert LRUPolicy().victim_index([1, 2, 3]) == 0
+
+
+def test_lru_hit_moves_to_back():
+    ways = [1, 2, 3]
+    LRUPolicy().on_hit(ways, 0)
+    assert ways == [2, 3, 1]
+
+
+def test_fifo_victim_is_front_and_hits_noop():
+    ways = [1, 2, 3]
+    policy = FIFOPolicy()
+    assert policy.victim_index(ways) == 0
+    policy.on_hit(ways, 1)
+    assert ways == [1, 2, 3]
+
+
+def test_random_policy_deterministic_with_seed():
+    a = RandomPolicy(seed=1)
+    b = RandomPolicy(seed=1)
+    ways = [1, 2, 3, 4]
+    assert [a.victim_index(ways) for _ in range(10)] == [
+        b.victim_index(ways) for _ in range(10)
+    ]
+
+
+def test_random_victim_in_range():
+    policy = RandomPolicy(seed=0)
+    for _ in range(20):
+        assert 0 <= policy.victim_index([1, 2, 3]) < 3
+
+
+def test_make_policy():
+    assert make_policy("lru").name == "lru"
+    assert make_policy("fifo").name == "fifo"
+    assert make_policy("random", seed=2).name == "random"
+
+
+def test_make_policy_unknown():
+    with pytest.raises(ConfigurationError):
+        make_policy("plru")

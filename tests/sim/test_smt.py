@@ -1,0 +1,155 @@
+"""Tests for the SMT pipeline-partitioning substrate (Section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.smt import (
+    MixFractionMetric,
+    SMTPipeline,
+    SMTWorkload,
+    synthetic_smt_workload,
+)
+
+
+class TestWorkloads:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SMTWorkload("bad", np.array([]))
+        with pytest.raises(ConfigurationError):
+            SMTWorkload("bad", np.array([-1]))
+
+    def test_unit_fraction(self):
+        workload = SMTWorkload("w", np.array([0, 1, 2, 0]))
+        assert workload.unit_fraction() == pytest.approx(0.5)
+
+    def test_synthetic_deterministic(self):
+        a = synthetic_smt_workload("a", 500, 0.4, seed=3)
+        b = synthetic_smt_workload("a", 500, 0.4, seed=3)
+        assert np.array_equal(a.unit_demand, b.unit_demand)
+
+    def test_synthetic_fraction_respected(self):
+        workload = synthetic_smt_workload("w", 5_000, 0.3, seed=1)
+        assert workload.unit_fraction() == pytest.approx(0.3, abs=0.05)
+
+    def test_burstiness_clusters_usage(self):
+        smooth = synthetic_smt_workload("s", 4_000, 0.5, burstiness=1, seed=2)
+        bursty = synthetic_smt_workload("b", 4_000, 0.5, burstiness=20, seed=2)
+        def run_lengths(demand):
+            transitions = int(np.sum(demand[1:] != demand[:-1]))
+            return transitions
+        assert run_lengths(bursty.unit_demand) < run_lengths(smooth.unit_demand)
+
+    def test_synthetic_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_smt_workload("w", 10, 1.5)
+        with pytest.raises(ConfigurationError):
+            synthetic_smt_workload("w", 10, 0.5, burstiness=0)
+
+
+class TestPipeline:
+    def test_quota_management(self):
+        pipeline = SMTPipeline(total_slots=8)
+        assert pipeline.quota_of(0) == 4
+        pipeline.set_quota(1, 2)  # shrink first: capacity is invariant
+        pipeline.set_quota(0, 6)
+        assert pipeline.quota_of(0) == 6
+        with pytest.raises(SimulationError):
+            pipeline.set_quota(1, 3)  # 6 + 3 > 8
+        with pytest.raises(ConfigurationError):
+            pipeline.set_quota(1, 0)
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            SMTPipeline(total_slots=1, num_threads=2)
+        with pytest.raises(ConfigurationError):
+            SMTPipeline(total_slots=8, issue_width=0)
+
+    def test_both_threads_finish(self):
+        pipeline = SMTPipeline(total_slots=8)
+        workloads = [
+            synthetic_smt_workload("a", 1_000, 0.3, seed=1),
+            synthetic_smt_workload("b", 1_000, 0.3, seed=2),
+        ]
+        stats = pipeline.run(workloads)
+        assert all(s.retired == 1_000 for s in stats)
+        assert all(s.ipc > 0 for s in stats)
+
+    def test_bigger_partition_means_higher_ipc(self):
+        """The essential coupling: throughput responds to partition size."""
+        def run_with_quota(quota):
+            pipeline = SMTPipeline(total_slots=8)
+            pipeline.set_quota(1, 1)
+            pipeline.set_quota(0, quota)
+            workloads = [
+                synthetic_smt_workload("hungry", 2_000, 0.9, seed=1),
+                synthetic_smt_workload("light", 2_000, 0.05, seed=2),
+            ]
+            return pipeline.run(workloads)[0].ipc
+
+        assert run_with_quota(6) > run_with_quota(2)
+
+    def test_full_events_counted_under_pressure(self):
+        pipeline = SMTPipeline(total_slots=4, issue_width=4)
+        pipeline.set_quota(0, 1)
+        pipeline.set_quota(1, 3)
+        workloads = [
+            synthetic_smt_workload("hungry", 1_000, 0.9, seed=1),
+            synthetic_smt_workload("light", 1_000, 0.1, seed=2),
+        ]
+        stats = pipeline.run(workloads)
+        assert stats[0].full_events > stats[1].full_events
+
+    def test_workload_count_checked(self):
+        pipeline = SMTPipeline(total_slots=8)
+        with pytest.raises(ConfigurationError):
+            pipeline.run([synthetic_smt_workload("only", 10, 0.5)])
+
+    def test_on_cycle_hook_can_resize(self):
+        pipeline = SMTPipeline(total_slots=8)
+        resized_at = []
+
+        def hook(cycle, pipe):
+            if cycle == 50:
+                pipe.set_quota(1, 2)
+                pipe.set_quota(0, 6)
+                resized_at.append(cycle)
+
+        workloads = [
+            synthetic_smt_workload("a", 2_000, 0.8, seed=1),
+            synthetic_smt_workload("b", 2_000, 0.1, seed=2),
+        ]
+        pipeline.run(workloads, on_cycle=hook)
+        assert resized_at == [50]
+        assert pipeline.quota_of(0) == 6
+
+
+class TestMixFractionMetric:
+    def test_declared_timing_independent(self):
+        assert MixFractionMetric().timing_independent
+
+    def test_fraction_over_window(self):
+        metric = MixFractionMetric(window=4)
+        for demand in [1, 0, 1, 1]:
+            metric.observe(demand)
+        assert metric.fraction == pytest.approx(0.75)
+
+    def test_window_slides(self):
+        metric = MixFractionMetric(window=2)
+        for demand in [1, 1, 0, 0]:
+            metric.observe(demand)
+        assert metric.fraction == 0.0
+
+    def test_recommended_slots(self):
+        metric = MixFractionMetric(window=10)
+        for demand in [1] * 9 + [0]:
+            metric.observe(demand)
+        assert metric.recommended_slots(issue_width=4) == 4
+
+    def test_minimum_one_slot(self):
+        metric = MixFractionMetric()
+        assert metric.recommended_slots(4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixFractionMetric(window=0)

@@ -1,0 +1,73 @@
+"""Tests for per-domain statistics."""
+
+import pytest
+
+from repro.sim.stats import DomainStats
+
+
+class TestMeasurement:
+    def test_ipc(self):
+        stats = DomainStats(domain=0)
+        stats.begin_measurement(100.0, 1000)
+        stats.end_measurement(300.0, 1400)
+        assert stats.measured_instructions == 400
+        assert stats.measured_cycles == pytest.approx(200.0)
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_without_measurement(self):
+        assert DomainStats(domain=0).ipc == 0.0
+
+    def test_end_measurement_idempotent(self):
+        stats = DomainStats(domain=0)
+        stats.begin_measurement(0.0, 0)
+        stats.end_measurement(10.0, 10)
+        stats.end_measurement(20.0, 20)  # ignored: already finished
+        assert stats.measured_instructions == 10
+
+
+class TestLeakageCounters:
+    def test_bits_per_assessment(self):
+        stats = DomainStats(domain=0)
+        stats.assessments = 4
+        stats.leakage_bits = 2.0
+        assert stats.bits_per_assessment == pytest.approx(0.5)
+
+    def test_maintain_fraction(self):
+        stats = DomainStats(domain=0)
+        stats.assessments = 10
+        stats.visible_actions = 3
+        assert stats.maintain_fraction == pytest.approx(0.7)
+
+    def test_fractions_zero_without_assessments(self):
+        stats = DomainStats(domain=0)
+        assert stats.bits_per_assessment == 0.0
+        assert stats.maintain_fraction == 0.0
+
+
+class TestPartitionSamples:
+    def test_samples_stop_after_finish(self):
+        stats = DomainStats(domain=0)
+        stats.record_partition_sample(10, 32)
+        stats.begin_measurement(0.0, 0)
+        stats.end_measurement(20.0, 100)
+        stats.record_partition_sample(30, 64)
+        assert len(stats.partition_samples) == 1
+
+    def test_quartiles_empty(self):
+        assert DomainStats(domain=0).partition_size_quartiles() == (0, 0, 0, 0, 0)
+
+    def test_quartiles_of_known_values(self):
+        stats = DomainStats(domain=0)
+        for i, lines in enumerate([10, 20, 30, 40, 50]):
+            stats.record_partition_sample(i, lines)
+        minimum, q1, median, q3, maximum = stats.partition_size_quartiles()
+        assert minimum == 10
+        assert median == 30
+        assert maximum == 50
+        assert q1 == 20
+        assert q3 == 40
+
+    def test_quartiles_single_sample(self):
+        stats = DomainStats(domain=0)
+        stats.record_partition_sample(0, 42)
+        assert stats.partition_size_quartiles() == (42, 42, 42, 42, 42)

@@ -1,0 +1,31 @@
+"""Every example script must at least parse and compile."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    source = path.read_text()
+    assert '"""' in source.split("\n", 2)[1] or source.startswith(
+        ('"""', "#!/usr/bin/env python3")
+    )
+    assert 'if __name__ == "__main__":' in source

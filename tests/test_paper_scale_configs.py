@@ -1,0 +1,75 @@
+"""Paper-scale configuration constructors (documentation-grade checks).
+
+These configs are never simulated wholesale, but their numbers must
+match Table 3 and Section 8 exactly, since the scaled profiles are
+derived from them.
+"""
+
+import pytest
+
+from repro.config import CAPACITY_SCALE, LINE_BYTES, ArchConfig
+from repro.workloads.workload import WorkloadScale
+
+
+class TestPaperArch:
+    def test_table3_capacities(self):
+        paper = ArchConfig.paper()
+        # 16 MB LLC, 64 B lines.
+        assert paper.llc_lines * LINE_BYTES == 16 * 1024 * 1024
+        # 32 kB L1.
+        assert paper.l1_lines * LINE_BYTES == 32 * 1024
+        assert paper.llc_associativity == 16
+        assert paper.l1_associativity == 8
+
+    def test_table3_partition_sizes(self):
+        paper = ArchConfig.paper()
+        sizes_bytes = [s * LINE_BYTES for s in paper.supported_partition_lines]
+        kib, mib = 1024, 1024 * 1024
+        assert sizes_bytes == [
+            128 * kib, 256 * kib, 512 * kib, 1 * mib, 2 * mib,
+            3 * mib, 4 * mib, 6 * mib, 8 * mib,
+        ]
+
+    def test_static_default_is_2mb(self):
+        paper = ArchConfig.paper()
+        assert paper.default_partition_lines * LINE_BYTES == 2 * 1024 * 1024
+
+    def test_eight_cores_eight_wide(self):
+        paper = ArchConfig.paper()
+        assert paper.num_cores == 8
+        assert paper.issue_width == 8
+
+    def test_capacity_scale_consistency(self):
+        paper = ArchConfig.paper()
+        scaled = ArchConfig.scaled()
+        assert paper.llc_lines == CAPACITY_SCALE * scaled.llc_lines
+        assert paper.default_partition_lines == (
+            CAPACITY_SCALE * scaled.default_partition_lines
+        )
+
+
+class TestPaperWorkloadScale:
+    def test_section8_instruction_counts(self):
+        paper = WorkloadScale.paper()
+        assert paper.spec_instructions == 500_000_000
+        assert paper.crypto_instructions == 50_000_000
+        assert paper.spec_chunk == 10_000_000
+        assert paper.crypto_chunk == 1_000_000
+
+    def test_scaled_preserves_ratios(self):
+        paper = WorkloadScale.paper()
+        scaled = WorkloadScale()
+        assert (
+            paper.spec_instructions / paper.crypto_instructions
+            == scaled.spec_instructions / scaled.crypto_instructions
+        )
+        assert (
+            paper.spec_chunk / paper.crypto_chunk
+            == scaled.spec_chunk / scaled.crypto_chunk
+        )
+
+    def test_scale_factor_magnitude(self):
+        paper = WorkloadScale.paper()
+        scaled = WorkloadScale()
+        factor = paper.spec_instructions / scaled.spec_instructions
+        assert 1_000 <= factor <= 20_000  # the documented ~8000x

@@ -1,0 +1,61 @@
+"""Tests for the crypto benchmark models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.crypto import CRYPTO_BENCHMARKS, get_crypto_benchmark
+
+
+class TestCatalog:
+    def test_all_eight_table5_benchmarks(self):
+        assert set(CRYPTO_BENCHMARKS) == {
+            "Chacha20", "AES-128", "AES-256", "SHA-256",
+            "RSA-2048", "RSA-4096", "ECDSA", "EdDSA",
+        }
+
+    def test_lookup(self):
+        assert get_crypto_benchmark("AES-128").name == "AES-128"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ConfigurationError):
+            get_crypto_benchmark("DES")
+
+    def test_small_footprints(self):
+        """Crypto working sets are tiny relative to any partition."""
+        for benchmark in CRYPTO_BENCHMARKS.values():
+            assert benchmark.table_lines <= 128
+
+
+class TestGeneration:
+    def test_within_table(self):
+        benchmark = get_crypto_benchmark("AES-128")
+        out = benchmark.generate_accesses(200, np.random.default_rng(0))
+        assert len(np.unique(out)) <= benchmark.table_lines
+
+    def test_secret_zero_matches_default(self):
+        benchmark = get_crypto_benchmark("RSA-2048")
+        a = benchmark.generate_accesses(100, np.random.default_rng(3), secret=0)
+        b = benchmark.generate_accesses(100, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_secret_changes_footprint_when_sensitive(self):
+        benchmark = get_crypto_benchmark("RSA-2048")
+        assert benchmark.secret_demand_lines > 0
+        zero = benchmark.generate_accesses(500, np.random.default_rng(4), secret=0)
+        full = benchmark.generate_accesses(
+            500, np.random.default_rng(4), secret=0xFF
+        )
+        assert len(np.unique(full)) > len(np.unique(zero))
+
+    def test_secret_ignored_when_insensitive(self):
+        benchmark = get_crypto_benchmark("SHA-256")
+        a = benchmark.generate_accesses(100, np.random.default_rng(5), secret=0)
+        b = benchmark.generate_accesses(100, np.random.default_rng(5), secret=0xFF)
+        assert np.array_equal(a, b)
+
+    def test_annotations_fully_secret(self):
+        benchmark = get_crypto_benchmark("EdDSA")
+        annotations = benchmark.annotations_for(10)
+        assert annotations.metric_excluded.all()
+        assert annotations.progress_excluded.all()

@@ -1,0 +1,83 @@
+"""Tests for the 16 paper mixes — including demand fidelity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.crypto import CRYPTO_BENCHMARKS
+from repro.workloads.mixes import (
+    PAPER_MIXES,
+    get_mix,
+    mix_demand_mb,
+    mix_labels,
+    mix_sensitive_count,
+)
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+#: The total-LLC-demand numbers printed in the paper's figure titles.
+PAPER_DEMANDS_MB = {
+    1: 14.6, 2: 23.5, 3: 33.4, 4: 39.0, 5: 13.1, 6: 19.9, 7: 28.6, 8: 13.4,
+    9: 19.4, 10: 32.6, 11: 12.6, 12: 24.4, 13: 30.2, 14: 12.4, 15: 25.6,
+    16: 32.4,
+}
+
+#: Sensitive-benchmark counts from the figure titles.
+PAPER_SENSITIVE_COUNTS = {
+    1: 2, 2: 4, 3: 6, 4: 8, 5: 2, 6: 4, 7: 6, 8: 2, 9: 4, 10: 6, 11: 2,
+    12: 4, 13: 6, 14: 2, 15: 4, 16: 6,
+}
+
+
+class TestStructure:
+    def test_sixteen_mixes(self):
+        assert set(PAPER_MIXES) == set(range(1, 17))
+
+    def test_each_mix_has_eight_workloads(self):
+        for mix_id in PAPER_MIXES:
+            assert len(get_mix(mix_id)) == 8
+
+    def test_each_mix_uses_all_eight_crypto_benchmarks(self):
+        for mix_id in PAPER_MIXES:
+            cryptos = {crypto for _, crypto in get_mix(mix_id)}
+            assert cryptos == set(CRYPTO_BENCHMARKS)
+
+    def test_all_spec_names_valid(self):
+        for mix_id in PAPER_MIXES:
+            for spec, _ in get_mix(mix_id):
+                assert spec in SPEC_BENCHMARKS
+
+    def test_no_duplicate_spec_in_a_mix(self):
+        for mix_id in PAPER_MIXES:
+            specs = [spec for spec, _ in get_mix(mix_id)]
+            assert len(set(specs)) == 8
+
+    def test_every_spec_benchmark_appears_somewhere(self):
+        """The paper's mixes jointly cover all 36 benchmarks."""
+        used = {spec for mix in PAPER_MIXES.values() for spec, _ in mix}
+        assert used == set(SPEC_BENCHMARKS)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_mix(17)
+
+    def test_labels(self):
+        labels = mix_labels(1)
+        assert labels[0] == "blender_0+AES-128"
+        assert len(labels) == 8
+
+
+class TestPaperFidelity:
+    @pytest.mark.parametrize("mix_id", sorted(PAPER_MIXES))
+    def test_sensitive_counts_match_paper(self, mix_id):
+        assert mix_sensitive_count(mix_id) == PAPER_SENSITIVE_COUNTS[mix_id]
+
+    @pytest.mark.parametrize("mix_id", sorted(PAPER_MIXES))
+    def test_demand_within_1mb_of_paper(self, mix_id):
+        """The fitted adequate sizes reproduce the published demands."""
+        assert mix_demand_mb(mix_id) == pytest.approx(
+            PAPER_DEMANDS_MB[mix_id], abs=1.1
+        )
+
+    def test_demand_progression_within_family(self):
+        """Mixes 1-4 strictly increase demand as sensitives are added."""
+        demands = [mix_demand_mb(m) for m in (1, 2, 3, 4)]
+        assert demands == sorted(demands)

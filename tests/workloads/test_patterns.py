@@ -1,0 +1,129 @@
+"""Tests for the access-pattern primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import patterns
+
+
+class TestSequentialScan:
+    def test_cycles_through_working_set(self):
+        scan = patterns.sequential_scan(4, 10)
+        assert scan.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_base_offset(self):
+        scan = patterns.sequential_scan(4, 4, base=100)
+        assert scan.min() == 100
+
+    def test_start_continues_phase(self):
+        scan = patterns.sequential_scan(4, 4, start=2)
+        assert scan.tolist() == [2, 3, 0, 1]
+
+
+class TestUniformRandom:
+    def test_within_working_set(self, rng):
+        out = patterns.uniform_random(8, 100, rng, base=50)
+        assert out.min() >= 50
+        assert out.max() < 58
+
+    def test_deterministic_given_rng(self):
+        a = patterns.uniform_random(8, 20, np.random.default_rng(1))
+        b = patterns.uniform_random(8, 20, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestGeometricReuse:
+    def test_within_working_set(self, rng):
+        out = patterns.geometric_reuse(16, 200, rng, mean_distance=4.0)
+        assert out.min() >= 0
+        assert out.max() < 16
+
+    def test_short_distances_dominate(self, rng):
+        out = patterns.geometric_reuse(1000, 5000, rng, mean_distance=3.0)
+        # Most accesses reference something within ~3x the mean.
+        cursor = np.arange(5000)
+        distances = (cursor - out) % 1000
+        assert np.median(distances) <= 9
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            patterns.geometric_reuse(16, 10, rng, mean_distance=0.5)
+
+
+class TestStridedStream:
+    def test_never_reuses(self):
+        out = patterns.strided_stream(100)
+        assert len(set(out.tolist())) == 100
+
+
+class TestHotSet:
+    def test_confined_to_hot_lines(self, rng):
+        out = patterns.hot_set(4, 50, rng)
+        assert set(out.tolist()) <= {0, 1, 2, 3}
+
+
+class TestInterleave:
+    def test_respects_weights_roughly(self, rng):
+        a = np.zeros(1000, dtype=np.int64)
+        b = np.ones(1000, dtype=np.int64)
+        out = patterns.interleave([(a, 0.8), (b, 0.2)], 2000, rng)
+        ones = int(out.sum())
+        assert 250 <= ones <= 550  # ~400 expected
+
+    def test_preserves_component_order(self, rng):
+        ordered = np.arange(100, dtype=np.int64)
+        out = patterns.interleave([(ordered, 1.0)], 100, rng)
+        assert np.array_equal(out, ordered)
+
+    def test_empty_components_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            patterns.interleave([], 10, rng)
+
+    def test_zero_weights_rejected(self, rng):
+        a = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            patterns.interleave([(a, 0.0)], 10, rng)
+
+    def test_component_shorter_than_output_wraps(self, rng):
+        a = np.arange(3, dtype=np.int64)
+        out = patterns.interleave([(a, 1.0)], 10, rng)
+        assert np.array_equal(out, np.arange(10) % 3)
+
+
+class TestPlaceMemoryInstructions:
+    def test_fraction_half(self):
+        accesses = np.arange(4, dtype=np.int64)
+        stream = patterns.place_memory_instructions(accesses, 0.5)
+        assert len(stream) == 8
+        assert (stream >= 0).sum() == 4
+
+    def test_fraction_one(self):
+        accesses = np.arange(4, dtype=np.int64)
+        stream = patterns.place_memory_instructions(accesses, 1.0)
+        assert np.array_equal(stream, accesses)
+
+    def test_memory_order_preserved(self):
+        accesses = np.array([7, 3, 9], dtype=np.int64)
+        stream = patterns.place_memory_instructions(accesses, 0.25)
+        assert stream[stream >= 0].tolist() == [7, 3, 9]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            patterns.place_memory_instructions(np.arange(4), 0.0)
+        with pytest.raises(ConfigurationError):
+            patterns.place_memory_instructions(np.array([], dtype=np.int64), 0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fraction=st.sampled_from([0.1, 0.2, 0.25, 0.5, 1.0]),
+    count=st.integers(1, 200),
+)
+def test_memory_fraction_approximately_respected(fraction, count):
+    accesses = np.arange(count, dtype=np.int64)
+    stream = patterns.place_memory_instructions(accesses, fraction)
+    achieved = (stream >= 0).sum() / len(stream)
+    assert achieved == pytest.approx(fraction, rel=0.25)

@@ -1,0 +1,74 @@
+"""Tests for the Figure 1 leak-demo snippets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import snippets
+
+
+class TestFigure1a:
+    def test_secret_controls_traversal_presence(self):
+        with_traversal = snippets.figure_1a(True, array_lines=32, padding=10)
+        without = snippets.figure_1a(False, array_lines=32, padding=10)
+        assert with_traversal.memory_instruction_count > 0
+        assert without.memory_instruction_count == 0
+
+    def test_annotated_traversal_is_fully_excluded(self):
+        stream = snippets.figure_1a(True, annotated=True, array_lines=32, padding=10)
+        mem_mask = stream.addresses >= 0
+        assert stream.annotations.metric_excluded[mem_mask].all()
+        assert stream.annotations.progress_excluded[mem_mask].all()
+
+    def test_annotated_public_progress_independent_of_secret(self):
+        """The annotation makes public progress equal for both secrets."""
+        a = snippets.figure_1a(True, annotated=True, array_lines=32, padding=10)
+        b = snippets.figure_1a(False, annotated=True, array_lines=32, padding=10)
+        assert a.public_per_pass == b.public_per_pass
+
+    def test_unannotated_leaks_through_length(self):
+        a = snippets.figure_1a(True, annotated=False, array_lines=32, padding=10)
+        b = snippets.figure_1a(False, annotated=False, array_lines=32, padding=10)
+        assert a.public_per_pass != b.public_per_pass
+
+
+class TestFigure1b:
+    def test_same_instructions_different_footprint(self):
+        wide = snippets.figure_1b(1, array_lines=32, padding=10)
+        narrow = snippets.figure_1b(0, array_lines=32, padding=10)
+        assert wide.length == narrow.length
+        wide_lines = np.unique(wide.addresses[wide.addresses >= 0])
+        narrow_lines = np.unique(narrow.addresses[narrow.addresses >= 0])
+        assert len(wide_lines) > len(narrow_lines)
+
+    def test_annotated_excludes_metric_not_progress(self):
+        stream = snippets.figure_1b(1, annotated=True, array_lines=16, padding=4)
+        mem_mask = stream.addresses >= 0
+        assert stream.annotations.metric_excluded[mem_mask].all()
+        assert not stream.annotations.progress_excluded.any()
+
+    def test_progress_same_across_secrets(self):
+        a = snippets.figure_1b(0, array_lines=16, padding=4)
+        b = snippets.figure_1b(7, array_lines=16, padding=4)
+        assert a.public_per_pass == b.public_per_pass
+
+
+class TestFigure1c:
+    def test_secret_adds_stall_only(self):
+        slow = snippets.figure_1c(True, array_lines=16, padding=4)
+        fast = snippets.figure_1c(False, array_lines=16, padding=4)
+        # Identical architectural stream...
+        assert np.array_equal(slow.addresses, fast.addresses)
+        assert slow.public_per_pass == fast.public_per_pass
+        # ...different stalls.
+        assert slow.stall_cycles.sum() > fast.stall_cycles.sum()
+
+    def test_traversal_is_public(self):
+        stream = snippets.figure_1c(True, array_lines=16, padding=4)
+        mem_mask = stream.addresses >= 0
+        assert not stream.annotations.metric_excluded[mem_mask].any()
+
+    def test_sleep_instruction_annotated(self):
+        stream = snippets.figure_1c(True, annotated=True, array_lines=16, padding=4)
+        sleep_index = 4  # right after the leading padding
+        assert stream.annotations.metric_excluded[sleep_index]
+        assert stream.annotations.progress_excluded[sleep_index]

@@ -1,0 +1,79 @@
+"""Tests for the SPEC17 benchmark models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import (
+    LLC_SENSITIVE_NAMES,
+    SPEC_BENCHMARKS,
+    get_spec_benchmark,
+)
+
+
+class TestCatalog:
+    def test_thirty_six_benchmarks(self):
+        """The paper simulates all 36 SPEC17 benchmarks."""
+        assert len(SPEC_BENCHMARKS) == 36
+
+    def test_exactly_eight_sensitive(self):
+        """8 LLC-sensitive, 28 LLC-insensitive (Section 8)."""
+        assert len(LLC_SENSITIVE_NAMES) == 8
+        assert len(SPEC_BENCHMARKS) - len(LLC_SENSITIVE_NAMES) == 28
+
+    def test_sensitive_set_matches_paper_bold_names(self):
+        assert set(LLC_SENSITIVE_NAMES) == {
+            "cam4_0", "gcc_2", "gcc_4", "lbm_0",
+            "mcf_0", "parest_0", "roms_0", "wrf_0",
+        }
+
+    def test_sensitivity_definition(self):
+        """Sensitive <=> adequate size above the 2 MB static partition."""
+        for benchmark in SPEC_BENCHMARKS.values():
+            assert benchmark.llc_sensitive == (benchmark.adequate_mb > 2.0)
+
+    def test_lookup(self):
+        assert get_spec_benchmark("gcc_2").name == "gcc_2"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ConfigurationError):
+            get_spec_benchmark("nonexistent_0")
+
+    def test_names_match_spec17_inputs(self):
+        """Multi-input applications appear with numbered variants."""
+        gcc = [n for n in SPEC_BENCHMARKS if n.startswith("gcc_")]
+        assert sorted(gcc) == ["gcc_0", "gcc_1", "gcc_2", "gcc_3", "gcc_4"]
+        assert "bwaves_3" in SPEC_BENCHMARKS
+        assert "x264_2" in SPEC_BENCHMARKS
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        benchmark = get_spec_benchmark("mcf_0")
+        a = benchmark.generate_accesses(500, np.random.default_rng(7))
+        b = benchmark.generate_accesses(500, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_requested_count(self):
+        benchmark = get_spec_benchmark("xz_0")
+        out = benchmark.generate_accesses(123, np.random.default_rng(0))
+        assert len(out) == 123
+
+    def test_working_set_scales(self):
+        benchmark = get_spec_benchmark("lbm_0")
+        assert benchmark.working_set_lines(128) == 2 * benchmark.working_set_lines(64)
+
+    def test_sensitive_footprint_larger_than_insensitive(self):
+        rng = np.random.default_rng(1)
+        big = get_spec_benchmark("lbm_0").generate_accesses(3000, rng)
+        rng = np.random.default_rng(1)
+        small = get_spec_benchmark("imagick_0").generate_accesses(3000, rng)
+        assert len(np.unique(big)) > len(np.unique(small))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            type(get_spec_benchmark("gcc_0"))(
+                name="bad", adequate_mb=-1, mem_fraction=0.5, mlp=2.0,
+                scan_weight=1, random_weight=0, geometric_weight=0,
+                hot_weight=0, stream_weight=0,
+            )

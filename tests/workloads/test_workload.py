@@ -1,0 +1,87 @@
+"""Tests for workload composition (SPEC + crypto)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.workload import WorkloadScale, build_workload
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_workload("gcc_0", "AES-128", WorkloadScale.test(), seed=3)
+
+
+class TestWorkloadScale:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadScale(spec_instructions=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadScale(warmup_fraction=1.0)
+
+    def test_paper_scale_ratios(self):
+        scale = WorkloadScale.paper()
+        assert scale.spec_instructions == 500_000_000
+        assert scale.spec_instructions // scale.crypto_instructions == 10
+        assert scale.spec_chunk // scale.crypto_chunk == 10
+
+    def test_scaled_default_keeps_ratios(self):
+        scale = WorkloadScale()
+        assert scale.spec_instructions // scale.crypto_instructions == 10
+
+
+class TestComposition:
+    def test_label(self, built):
+        assert built.label == "gcc_0+AES-128"
+
+    def test_length_close_to_requested(self, built):
+        scale = WorkloadScale.test()
+        requested = scale.spec_instructions + scale.crypto_instructions
+        assert built.stream.length == pytest.approx(requested, rel=0.15)
+
+    def test_crypto_fraction_annotated(self, built):
+        """~1/11 of instructions are crypto, all of them secret-annotated."""
+        summary = built.stream.annotations.summary()
+        fraction = summary.metric_exclusion_fraction
+        assert 0.03 <= fraction <= 0.25
+
+    def test_alternating_chunks(self, built):
+        """Secret-annotated regions alternate with public ones."""
+        excluded = built.stream.annotations.metric_excluded
+        transitions = int(np.sum(excluded[1:] != excluded[:-1]))
+        assert transitions >= 4  # several crypto/spec boundaries
+
+    def test_deterministic(self):
+        a = build_workload("xz_1", "SHA-256", WorkloadScale.test(), seed=9)
+        b = build_workload("xz_1", "SHA-256", WorkloadScale.test(), seed=9)
+        assert np.array_equal(a.stream.addresses, b.stream.addresses)
+
+    def test_seed_changes_content(self):
+        a = build_workload("xz_1", "SHA-256", WorkloadScale.test(), seed=1)
+        b = build_workload("xz_1", "SHA-256", WorkloadScale.test(), seed=2)
+        assert not np.array_equal(a.stream.addresses, b.stream.addresses)
+
+    def test_core_config_from_spec_model(self, built):
+        assert built.core_config.mlp == built.spec.mlp
+        assert built.core_config.slice_instructions == built.stream.length
+
+    def test_secret_adds_stalls_for_timing_sensitive_crypto(self):
+        plain = build_workload(
+            "gcc_0", "RSA-2048", WorkloadScale.test(), seed=3, secret=0
+        )
+        secret = build_workload(
+            "gcc_0", "RSA-2048", WorkloadScale.test(), seed=3, secret=0b111
+        )
+        assert plain.stream.stall_cycles is None
+        assert secret.stream.stall_cycles is not None
+        assert secret.stream.stall_cycles.sum() > 0
+
+    def test_secret_does_not_change_public_part(self):
+        """The SPEC (public) accesses are identical across secrets."""
+        a = build_workload("gcc_0", "RSA-2048", WorkloadScale.test(), seed=3, secret=0)
+        b = build_workload(
+            "gcc_0", "RSA-2048", WorkloadScale.test(), seed=3, secret=0xFF
+        )
+        public_a = a.stream.addresses[~a.stream.annotations.metric_excluded]
+        public_b = b.stream.addresses[~b.stream.annotations.metric_excluded]
+        assert np.array_equal(public_a, public_b)

@@ -118,7 +118,7 @@ def test_attacker_resolution_ablation(benchmark, results_dir):
     assert rates[-1] > rates[0]  # finer resolution, higher rate
 
 
-def test_monitor_window_ablation(benchmark, results_dir):
+def test_monitor_window_ablation(benchmark, results_dir, engine):
     """M_w affects allocation quality; leakage accounting is untouched."""
     import dataclasses
 
@@ -127,7 +127,8 @@ def test_monitor_window_ablation(benchmark, results_dir):
         for window in (1_000, 4_000, 16_000):
             profile = dataclasses.replace(SCALED, monitor_window=window)
             result = run_custom_mix(
-                ABLATION_PAIRS, profile, schemes=("static", "untangle")
+                ABLATION_PAIRS, profile, schemes=("static", "untangle"),
+                engine=engine,
             )
             untangle = result.runs["untangle"]
             rows.append(
@@ -153,7 +154,7 @@ def test_monitor_window_ablation(benchmark, results_dir):
         assert bits < 3.17  # always below the conservative charge
 
 
-def test_debounce_ablation(benchmark, results_dir):
+def test_debounce_ablation(benchmark, results_dir, engine):
     """The two-assessment debounce trades reaction time for fewer resizes."""
     import dataclasses
 
@@ -164,7 +165,8 @@ def test_debounce_ablation(benchmark, results_dir):
         for hysteresis in (0.0, SCALED.hysteresis, 0.2):
             profile = dataclasses.replace(SCALED, hysteresis=hysteresis)
             result = run_custom_mix(
-                ABLATION_PAIRS, profile, schemes=("static", "untangle")
+                ABLATION_PAIRS, profile, schemes=("static", "untangle"),
+                engine=engine,
             )
             untangle = result.runs["untangle"]
             rows.append(
@@ -275,7 +277,7 @@ def test_partition_organization_ablation(benchmark, results_dir):
         assert bits < 3.17
 
 
-def test_time_interval_sweep(benchmark, results_dir):
+def test_time_interval_sweep(benchmark, results_dir, engine):
     """Section 3.3's prior mitigation: coarsen the resizing granularity.
 
     Lengthening Time's assessment interval cuts total leakage linearly
@@ -289,7 +291,8 @@ def test_time_interval_sweep(benchmark, results_dir):
         for interval in (2_000, 4_000, 8_000, 16_000):
             profile = dataclasses.replace(SCALED, time_interval=interval)
             result = run_custom_mix(
-                ABLATION_PAIRS, profile, schemes=("static", "time")
+                ABLATION_PAIRS, profile, schemes=("static", "time"),
+                engine=engine,
             )
             time_run = result.runs["time"]
             total_assessments = sum(w.assessments for w in time_run.workloads)

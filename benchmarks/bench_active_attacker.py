@@ -21,9 +21,9 @@ from repro.sim.system import DomainSpec, MultiDomainSystem
 from repro.workloads.workload import build_workload
 
 
-def test_active_attacker_accounting(benchmark, results_dir):
+def test_active_attacker_accounting(benchmark, results_dir, engine):
     def run():
-        return active_attacker_summary(SCALED, mix_ids=(1, 4))
+        return active_attacker_summary(SCALED, mix_ids=(1, 4), engine=engine)
 
     summary = benchmark.pedantic(run, rounds=1, iterations=1)
     write_result(

@@ -4,6 +4,11 @@ Regenerates, for each of the four mixes the paper shows in the main
 figure: per-workload IPC normalized to Static, leakage per assessment of
 Time and Untangle, and the partition-size distribution — plus the
 system-wide geometric-mean speedups quoted in Section 9.
+
+Mix cells run through the session execution engine (``mix_cache``):
+set ``REPRO_JOBS=N`` to simulate the four schemes in parallel, and a
+re-run with unchanged inputs is served entirely from the on-disk result
+cache at ``benchmarks/results/.cache`` (zero simulations).
 """
 
 import pytest

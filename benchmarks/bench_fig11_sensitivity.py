@@ -13,9 +13,11 @@ from repro.harness.sensitivity import classify_benchmarks, run_sensitivity_study
 from repro.workloads.spec import LLC_SENSITIVE_NAMES
 
 
-def test_figure11_sensitivity_study(benchmark, results_dir):
+def test_figure11_sensitivity_study(benchmark, results_dir, engine):
     def run():
-        return run_sensitivity_study(profile=SCALED)
+        # 36 benchmarks x 9 sizes = 324 cells through the session engine
+        # (parallel under REPRO_JOBS, cached across sessions on disk).
+        return run_sensitivity_study(profile=SCALED, engine=engine)
 
     curves = benchmark.pedantic(run, rounds=1, iterations=1)
     write_result(results_dir, "figure11_sensitivity", render_sensitivity(curves))

@@ -2,6 +2,10 @@
 
 The full-evaluation counterpart of Figure 10: the remaining twelve mixes,
 two figure groups per appendix figure.
+
+Like Figure 10, every (mix, scheme) cell flows through the session
+execution engine — ``REPRO_JOBS`` parallelizes, and warm re-runs are
+pure cache hits from ``benchmarks/results/.cache``.
 """
 
 import pytest

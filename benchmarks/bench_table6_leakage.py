@@ -2,6 +2,11 @@
 
 Average leakage per assessment and average total leakage per workload,
 plus the paper's headline: Untangle leaks ~78% less per assessment.
+
+Reuses the Figure 10 runs through the engine-backed ``mix_cache`` —
+in one session via its in-memory dict, across sessions via the on-disk
+result cache — exactly as the paper derives Table 6 from the same
+experiments.
 """
 
 from benchmarks.conftest import FIGURE_SCHEMES, write_result

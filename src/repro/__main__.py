@@ -7,23 +7,41 @@ Runs the paper's experiments from a terminal without writing any code:
 * ``python -m repro table6``             — Table 6 (mixes 1-4)
 * ``python -m repro rmax``               — Appendix A rate table
 * ``python -m repro mix 1 --profile test``  — faster, smaller profile
+
+Simulation commands accept ``--jobs N`` to fan independent simulation
+cells out over a process pool and cache results on disk under
+``--cache-dir`` (default ``.repro-cache``; ``--no-cache`` disables).
+``--jobs 1`` — the default — is the serial debugging fallback; results
+are bit-identical either way. ``--telemetry`` prints the engine's cache
+and timing counters to stderr afterwards.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.harness.exec import ExecutionEngine, ResultCache
 from repro.harness.experiment import run_mix
 from repro.harness.figures import figure_group
 from repro.harness.report import (
     render_figure_group,
     render_sensitivity,
     render_table6,
+    render_telemetry,
 )
 from repro.harness.runconfig import PROFILES
 from repro.harness.sensitivity import run_sensitivity_study
 from repro.harness.tables import table6
+
+
+def _jobs_count(text: str) -> int:
+    """``--jobs`` value: >= 1 workers, or 0 meaning one per CPU."""
+    jobs = int(text)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one per CPU)")
+    return jobs if jobs else (os.cpu_count() or 1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +54,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROFILES),
         default="scaled",
         help="experiment scale (default: scaled)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help=(
+            "worker processes for simulation cells "
+            "(default: 1 = serial; 0 = one per CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="on-disk result cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print engine cache/timing counters to stderr",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -56,19 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_engine(args: argparse.Namespace) -> ExecutionEngine:
+    """The execution engine requested on the command line."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = (
+        (lambda line: print(line, file=sys.stderr)) if args.telemetry else None
+    )
+    return ExecutionEngine(jobs=args.jobs, cache=cache, progress=progress)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     profile = PROFILES[args.profile]
+    engine = build_engine(args)
 
     if args.command == "mix":
-        result = run_mix(args.mix_id, profile)
+        result = run_mix(args.mix_id, profile, engine=engine)
         group = figure_group(args.mix_id, profile, mix_result=result)
         print(render_figure_group(group))
     elif args.command == "sensitivity":
-        curves = run_sensitivity_study(profile=profile)
+        curves = run_sensitivity_study(profile=profile, engine=engine)
         print(render_sensitivity(curves))
     elif args.command == "table6":
-        print(render_table6(table6(profile)))
+        print(render_table6(table6(profile, engine=engine)))
     elif args.command == "rmax":
         from repro.core.rates import RmaxTable
         from repro.schemes.untangle import default_channel_model
@@ -82,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"rate={entry.rate_upper_bound * profile.cooldown:8.4f} bits/T_c  "
                 f"bits/tx={entry.bits_per_transmission:6.3f}"
             )
+    if args.telemetry and engine.telemetry.cells:
+        print(render_telemetry(engine.telemetry), file=sys.stderr)
     return 0
 
 

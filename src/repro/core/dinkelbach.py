@@ -262,6 +262,7 @@ def solve_rmax(
     model: CovertChannelModel,
     *,
     tolerance: float = 1e-6,
+    max_outer_iterations: int = 30,
     inner_iterations: int = 400,
     seed: int = 0,
 ) -> RmaxResult:
@@ -295,6 +296,7 @@ def solve_rmax(
         denominator_gradient,
         model.num_inputs,
         tolerance=tolerance,
+        max_outer_iterations=max_outer_iterations,
         inner_iterations=inner_iterations,
         seed=seed,
         certify=False,

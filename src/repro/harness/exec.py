@@ -1,0 +1,535 @@
+"""Parallel experiment execution engine with on-disk result caching.
+
+Every figure and table of the paper is a grid of independent
+``(mix, scheme, profile)`` — or, for Figure 11, ``(benchmark, size,
+profile)`` — simulation cells. This module fans those cells out over a
+process pool and memoizes their results in a content-addressed on-disk
+cache, so that
+
+* a grid of ``M`` mixes × ``S`` schemes runs on ``min(jobs, M*S)``
+  cores instead of one, and
+* re-running a benchmark driver after an unrelated edit performs zero
+  simulations: each cell's cache key is a deterministic hash of the mix
+  pairs, the scheme name, and the **full** :class:`RunProfile`, so a
+  result is reused if and only if the inputs that determine it are
+  unchanged.
+
+Because each cell builds its own seeded :class:`MultiDomainSystem` from
+scratch, parallel execution is *bit-identical* to serial execution (and
+to a cache hit: the JSON round-trip used by the cache is exact for
+Python floats). ``tests/harness/test_exec.py`` pins both guarantees.
+
+Robustness: each cell gets a configurable timeout and one retry; a cell
+that still fails is recorded as a failed :class:`CellOutcome` and the
+rest of the grid keeps going — one diverging simulation no longer
+aborts a whole figure.
+
+Telemetry: the engine counts cache hits/misses, simulations, retries and
+failures, and accumulates per-cell wall-clock and simulated cycles;
+:func:`repro.harness.report.render_telemetry` renders the summary and
+the optional ``progress`` callback receives one structured line per
+completed cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.runconfig import RunProfile
+
+#: Bump when the cached payload layout or the simulator's semantics
+#: change incompatibly; old entries are then ignored, not misread.
+CACHE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Cells: one independent unit of simulation work
+# ----------------------------------------------------------------------
+def _profile_token(profile: RunProfile) -> dict[str, Any]:
+    """The full profile as a canonical, JSON-able dict (cache identity)."""
+    return dataclasses.asdict(profile)
+
+
+@dataclass(frozen=True)
+class MixSchemeCell:
+    """One mix simulated under one scheme — a Figure 10/12-17 cell."""
+
+    pairs: tuple[tuple[str, str], ...]
+    scheme: str
+    profile: RunProfile
+
+    @property
+    def label(self) -> str:
+        return f"mix[{'|'.join(s + '+' + c for s, c in self.pairs)}]/{self.scheme}"
+
+    def cache_token(self) -> dict[str, Any]:
+        return {
+            "kind": "mix-scheme",
+            "pairs": [list(pair) for pair in self.pairs],
+            "scheme": self.scheme,
+            "profile": _profile_token(self.profile),
+        }
+
+    def execute(self) -> Any:
+        from repro.harness.experiment import run_mix_scheme
+
+        return run_mix_scheme(list(self.pairs), self.scheme, self.profile)
+
+    @staticmethod
+    def cycles_of(value: Any) -> int:
+        return int(value.total_cycles)
+
+    @staticmethod
+    def encode(value: Any) -> dict[str, Any]:
+        return {
+            "scheme": value.scheme,
+            "total_cycles": value.total_cycles,
+            "workloads": [
+                {
+                    "label": w.label,
+                    "ipc": w.ipc,
+                    "assessments": w.assessments,
+                    "visible_actions": w.visible_actions,
+                    "leakage_bits": w.leakage_bits,
+                    "partition_quartiles": list(w.partition_quartiles),
+                }
+                for w in value.workloads
+            ],
+        }
+
+    @staticmethod
+    def decode(payload: dict[str, Any]) -> Any:
+        from repro.harness.experiment import SchemeRunResult, WorkloadResult
+
+        return SchemeRunResult(
+            scheme=payload["scheme"],
+            total_cycles=payload["total_cycles"],
+            workloads=[
+                WorkloadResult(
+                    label=w["label"],
+                    ipc=w["ipc"],
+                    assessments=w["assessments"],
+                    visible_actions=w["visible_actions"],
+                    leakage_bits=w["leakage_bits"],
+                    partition_quartiles=tuple(w["partition_quartiles"]),
+                )
+                for w in payload["workloads"]
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class SensitivityCell:
+    """One benchmark alone at one partition size — a Figure 11 cell."""
+
+    benchmark: str
+    partition_lines: int
+    profile: RunProfile
+
+    @property
+    def label(self) -> str:
+        return f"sensitivity[{self.benchmark}]/{self.partition_lines}"
+
+    def cache_token(self) -> dict[str, Any]:
+        return {
+            "kind": "sensitivity",
+            "benchmark": self.benchmark,
+            "partition_lines": self.partition_lines,
+            "profile": _profile_token(self.profile),
+        }
+
+    def execute(self) -> Any:
+        from repro.harness.sensitivity import run_benchmark_at_size
+        from repro.workloads.spec import SPEC_BENCHMARKS
+
+        return run_benchmark_at_size(
+            SPEC_BENCHMARKS[self.benchmark], self.partition_lines, self.profile
+        )
+
+    @staticmethod
+    def cycles_of(value: Any) -> int | None:
+        return None
+
+    @staticmethod
+    def encode(value: Any) -> dict[str, Any]:
+        return {"ipc": value}
+
+    @staticmethod
+    def decode(payload: dict[str, Any]) -> Any:
+        return payload["ipc"]
+
+
+def cell_key(cell: Any) -> str:
+    """Deterministic content hash identifying one cell's result."""
+    token = {"format": CACHE_FORMAT_VERSION, **cell.cache_token()}
+    canonical = json.dumps(token, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store of cell results.
+
+    Entries live at ``<directory>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + rename), so concurrent workers and concurrent
+    benchmark sessions can share one cache directory safely.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"format": CACHE_FORMAT_VERSION, **payload}, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+@dataclass
+class CellRecord:
+    """Per-cell telemetry line."""
+
+    label: str
+    status: str  # "hit" | "computed" | "failed"
+    wall_seconds: float
+    attempts: int
+    cycles: int | None = None
+    error: str | None = None
+
+
+@dataclass
+class EngineTelemetry:
+    """Counters accumulated across one engine's lifetime."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulations: int = 0
+    retries: int = 0
+    failures: int = 0
+    wall_seconds: float = 0.0
+    cell_seconds: float = 0.0
+    cycles_simulated: int = 0
+    records: list[CellRecord] = field(default_factory=list)
+
+    def note(self, record: CellRecord) -> None:
+        self.records.append(record)
+        self.cells += 1
+        self.cell_seconds += record.wall_seconds
+        if record.status == "hit":
+            self.cache_hits += 1
+            return
+        self.cache_misses += 1
+        if record.status == "computed":
+            self.simulations += 1
+            if record.cycles is not None:
+                self.cycles_simulated += record.cycles
+        else:
+            self.failures += 1
+        self.retries += max(0, record.attempts - 1)
+
+
+@dataclass
+class CellOutcome:
+    """Result of running one cell through the engine."""
+
+    cell: Any
+    key: str
+    value: Any | None
+    status: str  # "hit" | "computed" | "failed"
+    wall_seconds: float
+    attempts: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
+
+
+# ----------------------------------------------------------------------
+# Worker entry point (must be importable for multiprocessing)
+# ----------------------------------------------------------------------
+def _execute_cell(cell: Any) -> tuple[Any, float]:
+    """Run one cell in a worker; returns (value, wall_seconds)."""
+    start = time.perf_counter()
+    value = cell.execute()
+    return value, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class ExecutionEngine:
+    """Fan simulation cells out over a process pool, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (the default) executes serially in the
+        calling process — the debugging fallback — but still consults
+        the cache. Results are bit-identical either way.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables caching.
+    timeout:
+        Per-cell timeout in seconds (parallel mode only: a serial run
+        cannot preempt the simulation it is executing). ``None`` waits
+        forever.
+    retries:
+        How many times a failed or timed-out cell is re-attempted
+        (default one retry).
+    progress:
+        Optional callback receiving one structured line per finished
+        cell, e.g. ``print`` or a logger method.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 1,
+        progress: Callable[[str], None] | None = None,
+    ):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError("timeout must be positive")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.telemetry = EngineTelemetry()
+
+    # ------------------------------------------------------------------
+    def _emit(self, outcome: CellOutcome, done: int, total: int) -> None:
+        if self.progress is None:
+            return
+        cycles = outcome.cell.cycles_of(outcome.value) if outcome.ok else None
+        parts = [
+            f"[exec {done}/{total}]",
+            outcome.cell.label,
+            f"status={outcome.status}",
+            f"wall={outcome.wall_seconds:.2f}s",
+        ]
+        if cycles is not None:
+            parts.append(f"cycles={cycles}")
+        if outcome.attempts > 1:
+            parts.append(f"attempts={outcome.attempts}")
+        if outcome.error:
+            parts.append(f"error={outcome.error}")
+        self.progress(" ".join(parts))
+
+    def _finish(
+        self, outcome: CellOutcome, done: int, total: int
+    ) -> CellOutcome:
+        cycles = (
+            outcome.cell.cycles_of(outcome.value)
+            if outcome.status == "computed"
+            else None
+        )
+        self.telemetry.note(
+            CellRecord(
+                label=outcome.cell.label,
+                status=outcome.status,
+                wall_seconds=outcome.wall_seconds,
+                attempts=outcome.attempts,
+                cycles=cycles,
+                error=outcome.error,
+            )
+        )
+        if outcome.status == "computed" and self.cache is not None:
+            self.cache.put(
+                outcome.key,
+                {
+                    "cell": outcome.cell.cache_token(),
+                    "value": outcome.cell.encode(outcome.value),
+                    "wall_seconds": outcome.wall_seconds,
+                },
+            )
+        self._emit(outcome, done, total)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[Any]) -> list[CellOutcome]:
+        """Execute every cell; outcomes come back in input order."""
+        start = time.perf_counter()
+        total = len(cells)
+        outcomes: list[CellOutcome | None] = [None] * total
+        done = 0
+
+        pending: list[tuple[int, Any, str]] = []
+        for index, cell in enumerate(cells):
+            key = cell_key(cell)
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                done += 1
+                outcomes[index] = self._finish(
+                    CellOutcome(
+                        cell=cell,
+                        key=key,
+                        value=cell.decode(payload["value"]),
+                        status="hit",
+                        wall_seconds=0.0,
+                        attempts=0,
+                    ),
+                    done,
+                    total,
+                )
+            else:
+                pending.append((index, cell, key))
+
+        if pending:
+            if self.jobs == 1:
+                runner = self._run_serial
+            else:
+                runner = self._run_parallel
+            for index, outcome in runner(pending):
+                done += 1
+                outcomes[index] = self._finish(outcome, done, total)
+
+        self.telemetry.wall_seconds += time.perf_counter() - start
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending):
+        for index, cell, key in pending:
+            attempts = 0
+            error: str | None = None
+            start = time.perf_counter()
+            value = None
+            status = "failed"
+            while attempts <= self.retries:
+                attempts += 1
+                try:
+                    value, _ = _execute_cell(cell)
+                    status = "computed"
+                    error = None
+                    break
+                except Exception as exc:  # graceful degradation
+                    error = f"{type(exc).__name__}: {exc}"
+            yield index, CellOutcome(
+                cell=cell,
+                key=key,
+                value=value,
+                status=status,
+                wall_seconds=time.perf_counter() - start,
+                attempts=attempts,
+                error=error,
+            )
+
+    def _run_parallel(self, pending):
+        context = multiprocessing.get_context()
+        processes = min(self.jobs, len(pending))
+        with context.Pool(processes=processes) as pool:
+            attempts = {index: 0 for index, _, _ in pending}
+            round_cells = list(pending)
+            failed: dict[int, tuple[Any, str, str]] = {}
+            while round_cells:
+                handles = [
+                    (index, cell, key, pool.apply_async(_execute_cell, (cell,)))
+                    for index, cell, key in round_cells
+                ]
+                retry: list[tuple[int, Any, str]] = []
+                for index, cell, key, handle in handles:
+                    attempts[index] += 1
+                    try:
+                        value, wall = handle.get(self.timeout)
+                    except multiprocessing.TimeoutError:
+                        error = f"timeout after {self.timeout:.1f}s"
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    else:
+                        yield index, CellOutcome(
+                            cell=cell,
+                            key=key,
+                            value=value,
+                            status="computed",
+                            wall_seconds=wall,
+                            attempts=attempts[index],
+                            error=None,
+                        )
+                        continue
+                    if attempts[index] <= self.retries:
+                        retry.append((index, cell, key))
+                    else:
+                        failed[index] = (cell, key, error)
+                round_cells = retry
+            for index, (cell, key, error) in failed.items():
+                yield index, CellOutcome(
+                    cell=cell,
+                    key=key,
+                    value=None,
+                    status="failed",
+                    wall_seconds=0.0,
+                    attempts=attempts[index],
+                    error=error,
+                )
+
+
+# ----------------------------------------------------------------------
+# Environment wiring (shared by the CLI and the benchmark harness)
+# ----------------------------------------------------------------------
+def engine_from_env(
+    default_cache_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ExecutionEngine:
+    """Build an engine from ``REPRO_JOBS`` / ``REPRO_CACHE`` env vars.
+
+    * ``REPRO_JOBS``: worker count (default 1 — the serial fallback);
+      ``0`` means one worker per CPU.
+    * ``REPRO_CACHE``: set to ``0`` to disable the on-disk cache.
+    * ``REPRO_CACHE_DIR``: cache directory (falls back to
+      ``default_cache_dir``; if both are unset, caching is off).
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    cache: ResultCache | None = None
+    if os.environ.get("REPRO_CACHE", "1") != "0":
+        directory = os.environ.get("REPRO_CACHE_DIR") or default_cache_dir
+        if directory is not None:
+            cache = ResultCache(directory)
+    return ExecutionEngine(jobs=jobs, cache=cache, progress=progress)

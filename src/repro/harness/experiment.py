@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.harness.exec import ExecutionEngine, MixSchemeCell
 from repro.harness.runconfig import RunProfile, SCALED
 from repro.schemes.schedule import ProgressSchedule
 from repro.schemes.shared import SharedScheme
@@ -109,6 +110,24 @@ class MixResult:
         return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
 
+def mix_labels(pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...]) -> list[str]:
+    """Per-workload labels for a mix, disambiguating repeated pairs.
+
+    A mix may legitimately run the same ``(spec, crypto)`` pair on two
+    cores; labels must still be unique or :meth:`MixResult.normalized_ipc`
+    collapses them in the baseline dict and
+    :meth:`SchemeRunResult.workload` silently returns the first match.
+    Repeats get a ``#2``, ``#3``, ... suffix in mix order.
+    """
+    counts: dict[str, int] = {}
+    labels = []
+    for spec, crypto in pairs:
+        base = f"{spec}+{crypto}"
+        counts[base] = counts.get(base, 0) + 1
+        labels.append(base if counts[base] == 1 else f"{base}#{counts[base]}")
+    return labels
+
+
 def make_scheme(name: str, profile: RunProfile, num_domains: int):
     """Instantiate a scheme by name for the given profile."""
     arch = profile.arch(num_domains)
@@ -160,8 +179,10 @@ def run_mix_scheme(
         )
         for index, (spec, crypto) in enumerate(pairs)
     ]
+    labels = mix_labels(pairs)
     domains = [
-        DomainSpec(w.label, w.stream, w.core_config) for w in workloads
+        DomainSpec(label, w.stream, w.core_config)
+        for label, w in zip(labels, workloads)
     ]
     scheme = make_scheme(scheme_name, profile, len(domains))
     system = MultiDomainSystem(
@@ -174,7 +195,7 @@ def run_mix_scheme(
     outcome = system.run(max_cycles=profile.max_cycles)
     results = [
         WorkloadResult(
-            label=workloads[i].label,
+            label=labels[i],
             ipc=stats.ipc,
             assessments=stats.assessments,
             visible_actions=stats.visible_actions,
@@ -190,28 +211,82 @@ def run_mix_scheme(
     )
 
 
+def _assemble_mix_results(
+    grid: list[tuple[int | None, list[tuple[str, str]]]],
+    schemes: tuple[str, ...],
+    profile: RunProfile,
+    engine: ExecutionEngine,
+) -> list[MixResult]:
+    """Fan every (mix, scheme) cell of a grid through one engine run.
+
+    A failed cell (after the engine's retries) leaves its scheme out of
+    that mix's ``runs`` dict instead of aborting the grid; the failure
+    stays visible in ``engine.telemetry``.
+    """
+    cells = [
+        MixSchemeCell(pairs=tuple(pairs), scheme=scheme, profile=profile)
+        for _, pairs in grid
+        for scheme in schemes
+    ]
+    outcomes = engine.run(cells)
+    results = []
+    cursor = 0
+    for mix_id, pairs in grid:
+        result = MixResult(mix_id=mix_id, labels=mix_labels(pairs))
+        for scheme in schemes:
+            outcome = outcomes[cursor]
+            cursor += 1
+            if outcome.ok:
+                result.runs[scheme] = outcome.value
+        results.append(result)
+    return results
+
+
 def run_mix(
     mix_id: int,
     profile: RunProfile = SCALED,
     schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    *,
+    engine: ExecutionEngine | None = None,
 ) -> MixResult:
-    """Simulate one paper mix under the requested schemes."""
+    """Simulate one paper mix under the requested schemes.
+
+    Without an ``engine`` the schemes run serially in-process, uncached —
+    the historical behavior. With one, scheme cells fan out over the
+    engine's worker pool and hit its result cache; results are
+    bit-identical either way.
+    """
+    engine = engine if engine is not None else ExecutionEngine()
     pairs = get_mix(mix_id)
-    result = MixResult(
-        mix_id=mix_id, labels=[f"{s}+{c}" for s, c in pairs]
-    )
-    for scheme_name in schemes:
-        result.runs[scheme_name] = run_mix_scheme(pairs, scheme_name, profile)
-    return result
+    return _assemble_mix_results([(mix_id, pairs)], schemes, profile, engine)[0]
 
 
 def run_custom_mix(
     pairs: list[tuple[str, str]],
     profile: RunProfile = SCALED,
     schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    *,
+    engine: ExecutionEngine | None = None,
 ) -> MixResult:
     """Simulate an arbitrary mix of (spec, crypto) pairs."""
-    result = MixResult(mix_id=None, labels=[f"{s}+{c}" for s, c in pairs])
-    for scheme_name in schemes:
-        result.runs[scheme_name] = run_mix_scheme(pairs, scheme_name, profile)
-    return result
+    engine = engine if engine is not None else ExecutionEngine()
+    return _assemble_mix_results([(None, list(pairs))], schemes, profile, engine)[0]
+
+
+def run_mix_grid(
+    mix_ids: tuple[int, ...] | list[int],
+    profile: RunProfile = SCALED,
+    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    *,
+    engine: ExecutionEngine | None = None,
+) -> dict[int, MixResult]:
+    """Simulate several paper mixes at once.
+
+    All ``len(mix_ids) * len(schemes)`` cells are submitted in a single
+    engine pass, so a parallel engine can overlap cells *across* mixes —
+    the whole-figure fan-out behind Figures 10/12-17 and Table 6.
+    """
+    engine = engine if engine is not None else ExecutionEngine()
+    grid = [(mix_id, get_mix(mix_id)) for mix_id in mix_ids]
+    results = _assemble_mix_results(grid, schemes, profile, engine)
+    return {mix_id: result for (mix_id, _), result in zip(grid, results)}

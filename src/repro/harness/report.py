@@ -9,6 +9,7 @@ log files. Sizes are labeled with their paper-scale equivalents
 from __future__ import annotations
 
 from repro.config import ArchConfig
+from repro.harness.exec import EngineTelemetry
 from repro.harness.figures import FigureGroup
 from repro.harness.sensitivity import SensitivityCurve
 from repro.harness.tables import ActiveAttackerSummary, Table6
@@ -103,6 +104,33 @@ def render_table6(table: Table6) -> str:
         f"Average per-assessment leakage reduction: {table.average_reduction:.0%} "
         "(paper: 78%)"
     )
+    return "\n".join(lines)
+
+
+def render_telemetry(telemetry: EngineTelemetry) -> str:
+    """Summarize one execution engine's counters as a text block.
+
+    Shows the cache economics (hits vs. simulations), the robustness
+    counters (retries, failed cells), and the aggregate work done
+    (simulated cycles, per-cell seconds vs. engine wall-clock — their
+    ratio is the achieved parallel speedup).
+    """
+    lines = [
+        "Execution telemetry",
+        f"  cells:        {telemetry.cells} "
+        f"({telemetry.cache_hits} cache hits, {telemetry.simulations} simulated, "
+        f"{telemetry.failures} failed)",
+        f"  retries:      {telemetry.retries}",
+        f"  cycles:       {telemetry.cycles_simulated:,} simulated",
+        f"  cell time:    {telemetry.cell_seconds:.2f}s across cells",
+        f"  wall clock:   {telemetry.wall_seconds:.2f}s",
+    ]
+    if telemetry.wall_seconds > 0 and telemetry.cell_seconds > 0:
+        speedup = telemetry.cell_seconds / telemetry.wall_seconds
+        lines.append(f"  speedup:      {speedup:.2f}x (cell time / wall clock)")
+    failed = [r for r in telemetry.records if r.status == "failed"]
+    for record in failed:
+        lines.append(f"  FAILED {record.label}: {record.error}")
     return "\n".join(lines)
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.config import ArchConfig
 from repro.core.annotations import AnnotationVector
+from repro.harness.exec import ExecutionEngine, SensitivityCell
 from repro.harness.runconfig import RunProfile, SCALED
 from repro.schemes.static import StaticScheme
 from repro.sim.cpu import CoreConfig, InstructionStream
@@ -111,15 +112,38 @@ def run_sensitivity_curve(
 
 
 def run_sensitivity_study(
-    names: list[str] | None = None, profile: RunProfile = SCALED
+    names: list[str] | None = None,
+    profile: RunProfile = SCALED,
+    *,
+    engine: ExecutionEngine | None = None,
 ) -> dict[str, SensitivityCurve]:
-    """The full Figure 11 study (all 36 benchmarks by default)."""
+    """The full Figure 11 study (all 36 benchmarks by default).
+
+    Every ``(benchmark, size)`` point is one independent engine cell —
+    36 benchmarks x 9 sizes fan out over the engine's worker pool and
+    result cache. A benchmark whose cells failed (after retries) is left
+    out of the returned dict rather than aborting the study.
+    """
     if names is None:
         names = sorted(SPEC_BENCHMARKS)
-    return {
-        name: run_sensitivity_curve(SPEC_BENCHMARKS[name], profile)
+    engine = engine if engine is not None else ExecutionEngine()
+    sizes = ArchConfig.scaled(num_cores=1).supported_partition_lines
+    cells = [
+        SensitivityCell(benchmark=name, partition_lines=size, profile=profile)
         for name in names
-    }
+        for size in sizes
+    ]
+    outcomes = engine.run(cells)
+    curves: dict[str, SensitivityCurve] = {}
+    for index, name in enumerate(names):
+        per_size = outcomes[index * len(sizes) : (index + 1) * len(sizes)]
+        if all(outcome.ok for outcome in per_size):
+            curves[name] = SensitivityCurve(
+                name=name,
+                sizes_lines=sizes,
+                ipc=tuple(outcome.value for outcome in per_size),
+            )
+    return curves
 
 
 def classify_benchmarks(

@@ -31,6 +31,22 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.monitor.window import COLD_DISTANCE, ReuseDistanceTracker
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: cheap avalanching hash for set sampling.
+
+    Sampling on raw low address bits correlates with strided access
+    patterns — a stride that is a multiple of ``2**shift`` is sampled at
+    100% or 0%, biasing the hits-per-size curve. Hashing first makes the
+    sampled subset pattern-independent (like UMON's set hashing).
+    """
+    x = int(x) & _MASK64
+    x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCD & _MASK64
+    x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53 & _MASK64
+    return x ^ (x >> 33)
+
 
 class UMONMonitor:
     """Per-domain shadow monitor producing hits-per-candidate-size curves.
@@ -94,12 +110,17 @@ class UMONMonitor:
     def observe(self, line_addr: int) -> None:
         """Feed one post-L1 access (already annotation-filtered upstream)."""
         self.total_observed += 1
-        if self._sampling_mask and (line_addr & self._sampling_mask):
+        if self._sampling_mask and (_mix64(line_addr) & self._sampling_mask):
             return
         distance = self._tracker.observe(line_addr)
         if distance == COLD_DISTANCE:
             bin_index = len(self._sizes)
         else:
+            # The tracker only sees the sampled 1/2**shift of the lines,
+            # so its stack distance represents ~2**shift times as many
+            # total lines (like UMON scaling sampled-set distances up to
+            # full-cache capacity).
+            distance <<= self._sampling_shift
             # Smallest candidate size C with distance < C; past the last
             # candidate the access misses at every size (the last bin).
             bin_index = bisect.bisect_right(self._sizes, distance)

@@ -192,6 +192,11 @@ class MultiDomainSystem:
             if now >= next_sample:
                 self.sample_partition_sizes(now)
                 next_sample = now + self.sample_interval
+        # The loop's finished-check runs at quantum tops only, so a run
+        # whose last core retires during the final quantum at exactly
+        # max_cycles would otherwise be misreported as incomplete.
+        if not completed:
+            completed = self.all_finished
         traces = [
             ResizingTrace.from_pairs(log) for log in self.trace_logs
         ]

@@ -1,0 +1,117 @@
+"""Property tests for the Dinkelbach solver (Appendix A).
+
+Two properties the leakage accounting relies on:
+
+* the dual certificate of :func:`certified_rate_upper_bound` dominates
+  the rate achieved by **every** input distribution — it holds for any
+  reference output distribution, not just the optimizer's; and
+* a solve that exhausts its iteration budget reports
+  ``converged=False`` instead of silently returning a value that looks
+  certified.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert import CovertChannelModel, uniform_delay
+from repro.core.dinkelbach import (
+    certified_rate_upper_bound,
+    solve_fractional,
+    solve_rmax,
+)
+from repro.info.entropy import entropy_bits_vec
+
+
+def random_channel(rng: np.random.Generator):
+    """A random column-stochastic channel with positive durations."""
+    n_in = int(rng.integers(2, 6))
+    n_out = int(rng.integers(2, 7))
+    transition = rng.random((n_out, n_in)) + 1e-3
+    transition /= transition.sum(axis=0, keepdims=True)
+    durations = rng.uniform(1.0, 5.0, size=n_in)
+    delay_entropy = float(rng.uniform(0.0, 0.5))
+    return transition, durations, delay_entropy
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_certificate_dominates_every_achievable_rate(seed):
+    """``certified_rate_upper_bound`` >= (H(Ap) - H(delta)) / (d.p)
+    for random channels, random reference outputs, and random inputs."""
+    rng = np.random.default_rng(seed)
+    transition, durations, delay_entropy = random_channel(rng)
+    n_in = transition.shape[1]
+    reference = transition @ rng.dirichlet(np.ones(n_in))
+    bound = certified_rate_upper_bound(
+        transition, durations, delay_entropy, reference
+    )
+    for _ in range(10):
+        p = rng.dirichlet(np.ones(n_in))
+        achieved = (
+            float(entropy_bits_vec(transition @ p)) - delay_entropy
+        ) / float(durations @ p)
+        assert bound >= achieved - 1e-9
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_rmax_bound_dominates_random_strategies(seed):
+    """The solver's certified R'_max upper-bounds arbitrary sender
+    strategies on a real covert-channel model."""
+    rng = np.random.default_rng(seed)
+    cooldown = int(rng.integers(2, 5)) * 2
+    model = CovertChannelModel(
+        cooldown=cooldown,
+        resolution=2,
+        max_duration=cooldown + 2 * int(rng.integers(1, 4)),
+        delay=uniform_delay(cooldown, 2),
+    )
+    result = solve_rmax(model, inner_iterations=200, seed=seed % 1000)
+    transition = model.transition_matrix
+    durations = model.durations.astype(np.float64)
+    h_delta = model.delay_entropy_bits()
+    for _ in range(10):
+        p = rng.dirichlet(np.ones(model.num_inputs))
+        achieved = (
+            float(entropy_bits_vec(transition @ p)) - h_delta
+        ) / float(durations @ p)
+        assert result.rate_upper_bound >= achieved - 1e-6
+    assert result.rate_upper_bound >= result.rate - 1e-12
+
+
+class TestUnconvergedReporting:
+    def test_budget_exhaustion_reports_converged_false(self):
+        """An under-budgeted solve must say so, not swallow it."""
+        a = np.array([1.0, 4.0, 2.0])
+        b = np.array([1.0, 2.0, 1.0])
+        result = solve_fractional(
+            lambda p: float(a @ p),
+            lambda p: float(b @ p),
+            lambda p: a,
+            lambda p: b,
+            3,
+            max_outer_iterations=1,
+            inner_iterations=3,
+            certify=False,
+        )
+        assert result.converged is False
+        # The partial iterate trail is still reported for diagnosis.
+        assert len(result.q_history) == 1
+        assert result.optimum == result.q_history[0]
+
+    def test_solve_rmax_propagates_converged_flag(self):
+        model = CovertChannelModel(
+            cooldown=4, resolution=2, max_duration=10,
+            delay=uniform_delay(4, 2),
+        )
+        strict = solve_rmax(model, inner_iterations=300)
+        assert strict.converged is True
+        # A single outer iteration cannot satisfy the convergence check
+        # (the first q-update always moves away from q=0), so the flag
+        # must come back False — not be swallowed.
+        starved = solve_rmax(
+            model, max_outer_iterations=1, inner_iterations=50
+        )
+        assert starved.converged is False
+        assert starved.rate_upper_bound >= starved.rate - 1e-12

@@ -1,0 +1,318 @@
+"""Tests for the parallel execution engine and its result cache.
+
+The two guarantees the benchmark harness depends on:
+
+* **Serial equivalence** — an engine run (any job count, cached or not)
+  produces bit-identical ``SchemeRunResult``s to calling
+  :func:`run_mix_scheme` directly.
+* **Warm cache** — re-running the same grid against the same cache
+  directory performs zero simulations; every cell is a cache hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.exec import (
+    CACHE_FORMAT_VERSION,
+    ExecutionEngine,
+    MixSchemeCell,
+    ResultCache,
+    SensitivityCell,
+    cell_key,
+)
+from repro.harness.experiment import run_mix, run_mix_grid, run_mix_scheme
+from repro.harness.runconfig import TEST
+from repro.harness.sensitivity import run_sensitivity_study
+
+PAIRS = (("gcc_2", "AES-128"), ("imagick_0", "SHA-256"))
+SCHEMES = ("static", "untangle")
+
+
+def make_cells(profile=TEST, schemes=SCHEMES):
+    return [
+        MixSchemeCell(pairs=PAIRS, scheme=scheme, profile=profile)
+        for scheme in schemes
+    ]
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        a, b = make_cells()[0], make_cells()[0]
+        assert cell_key(a) == cell_key(b)
+
+    def test_sensitive_to_every_input(self):
+        base = MixSchemeCell(pairs=PAIRS, scheme="static", profile=TEST)
+        variants = [
+            MixSchemeCell(pairs=PAIRS[:1], scheme="static", profile=TEST),
+            MixSchemeCell(pairs=PAIRS, scheme="time", profile=TEST),
+            MixSchemeCell(
+                pairs=PAIRS,
+                scheme="static",
+                profile=dataclasses.replace(TEST, seed=TEST.seed + 1),
+            ),
+            MixSchemeCell(
+                pairs=PAIRS,
+                scheme="static",
+                profile=dataclasses.replace(TEST, quantum=TEST.quantum + 1),
+            ),
+            SensitivityCell(benchmark="gcc_2", partition_lines=64, profile=TEST),
+        ]
+        keys = {cell_key(base)} | {cell_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_pair_order_matters(self):
+        swapped = MixSchemeCell(
+            pairs=PAIRS[::-1], scheme="static", profile=TEST
+        )
+        assert cell_key(swapped) != cell_key(make_cells()[0])
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"value": {"ipc": 1.25}})
+        payload = cache.get("ab" * 32)
+        assert payload["value"] == {"ipc": 1.25}
+        assert payload["format"] == CACHE_FORMAT_VERSION
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"value": 1})
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "01" * 32
+        cache.put(key, {"value": 1})
+        path = cache._path(key)
+        path.write_text(path.read_text().replace(
+            f'"format": {CACHE_FORMAT_VERSION}', '"format": -1'
+        ))
+        assert cache.get(key) is None
+
+
+class TestEngineValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(retries=-1)
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(timeout=0.0)
+
+
+class TestSerialEquivalence:
+    """Engine results are bit-identical to direct serial simulation."""
+
+    @pytest.fixture(scope="class")
+    def direct(self):
+        return {
+            scheme: run_mix_scheme(list(PAIRS), scheme, TEST)
+            for scheme in SCHEMES
+        }
+
+    def test_serial_engine_matches_direct(self, direct):
+        outcomes = ExecutionEngine(jobs=1).run(make_cells())
+        for scheme, outcome in zip(SCHEMES, outcomes):
+            assert outcome.status == "computed"
+            assert outcome.value == direct[scheme]
+
+    def test_parallel_engine_matches_direct(self, direct):
+        outcomes = ExecutionEngine(jobs=2).run(make_cells())
+        for scheme, outcome in zip(SCHEMES, outcomes):
+            assert outcome.status == "computed"
+            assert outcome.value == direct[scheme]
+
+    def test_cache_hit_matches_direct(self, direct, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExecutionEngine(jobs=1, cache=cache).run(make_cells())
+        outcomes = ExecutionEngine(jobs=1, cache=cache).run(make_cells())
+        for scheme, outcome in zip(SCHEMES, outcomes):
+            assert outcome.status == "hit"
+            # The JSON round-trip is exact: floats compare equal bit-wise.
+            assert outcome.value == direct[scheme]
+
+    def test_run_mix_with_parallel_engine_matches_plain(self):
+        plain = run_mix(1, TEST, schemes=SCHEMES)
+        engine = ExecutionEngine(jobs=2)
+        parallel = run_mix(1, TEST, schemes=SCHEMES, engine=engine)
+        assert parallel.labels == plain.labels
+        assert parallel.runs == plain.runs
+
+
+class TestWarmCache:
+    def test_second_run_performs_zero_simulations(self, tmp_path):
+        cells = make_cells()
+        cold = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+        cold.run(cells)
+        assert cold.telemetry.simulations == len(cells)
+        assert cold.telemetry.cache_hits == 0
+
+        warm = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+        outcomes = warm.run(cells)
+        assert warm.telemetry.simulations == 0
+        assert warm.telemetry.cache_hits == len(cells)
+        assert all(outcome.status == "hit" for outcome in outcomes)
+
+    def test_figure_driver_grid_warms_like_bench_fig10(self, tmp_path):
+        """The bench_fig10 path: run_mix per mix over a shared cache —
+        a second session re-simulates nothing."""
+        schemes = ("static", "untangle")
+        first = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+        for mix_id in (1, 2):
+            run_mix(mix_id, TEST, schemes=schemes, engine=first)
+        assert first.telemetry.simulations == 4
+
+        second = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path))
+        results = {
+            mix_id: run_mix(mix_id, TEST, schemes=schemes, engine=second)
+            for mix_id in (1, 2)
+        }
+        assert second.telemetry.simulations == 0
+        assert second.telemetry.cache_hits == 4
+        assert all(set(r.runs) == set(schemes) for r in results.values())
+
+    def test_profile_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExecutionEngine(cache=cache).run(make_cells())
+        changed = dataclasses.replace(TEST, seed=TEST.seed + 1)
+        engine = ExecutionEngine(cache=cache)
+        engine.run(make_cells(profile=changed))
+        assert engine.telemetry.cache_hits == 0
+        assert engine.telemetry.simulations == len(SCHEMES)
+
+
+class TestGracefulDegradation:
+    def test_failed_cell_does_not_abort_grid(self):
+        cells = [
+            MixSchemeCell(pairs=PAIRS, scheme="static", profile=TEST),
+            MixSchemeCell(pairs=PAIRS, scheme="no-such-scheme", profile=TEST),
+        ]
+        engine = ExecutionEngine(jobs=1)
+        outcomes = engine.run(cells)
+        assert outcomes[0].status == "computed"
+        assert outcomes[1].status == "failed"
+        assert "ConfigurationError" in outcomes[1].error
+        # One initial attempt plus the configured retry.
+        assert outcomes[1].attempts == 2
+        assert engine.telemetry.failures == 1
+        assert engine.telemetry.retries == 1
+
+    def test_failed_cell_drops_scheme_from_mix_result(self):
+        result = run_mix(
+            1, TEST, schemes=("static", "no-such-scheme"),
+            engine=ExecutionEngine(jobs=1),
+        )
+        assert "static" in result.runs
+        assert "no-such-scheme" not in result.runs
+
+    def test_parallel_failure_keeps_grid_going(self):
+        cells = [
+            MixSchemeCell(pairs=PAIRS, scheme="no-such-scheme", profile=TEST),
+            MixSchemeCell(pairs=PAIRS, scheme="static", profile=TEST),
+        ]
+        engine = ExecutionEngine(jobs=2)
+        outcomes = engine.run(cells)
+        assert outcomes[0].status == "failed"
+        assert outcomes[1].status == "computed"
+
+    def test_failed_cell_is_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = MixSchemeCell(pairs=PAIRS, scheme="no-such-scheme", profile=TEST)
+        ExecutionEngine(cache=cache).run([cell])
+        assert cache.get(cell_key(cell)) is None
+
+
+class SleepCell:
+    """A test-only cell that sleeps; used to exercise timeouts."""
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+
+    @property
+    def label(self) -> str:
+        return f"sleep[{self.seconds}]"
+
+    def cache_token(self):
+        return {"kind": "sleep", "seconds": self.seconds}
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return self.seconds
+
+    @staticmethod
+    def cycles_of(value):
+        return None
+
+    @staticmethod
+    def encode(value):
+        return {"seconds": value}
+
+    @staticmethod
+    def decode(payload):
+        return payload["seconds"]
+
+
+class TestTimeout:
+    def test_slow_cell_times_out_and_grid_continues(self):
+        engine = ExecutionEngine(jobs=2, timeout=0.5, retries=0)
+        outcomes = engine.run([SleepCell(30.0), SleepCell(0.01)])
+        assert outcomes[0].status == "failed"
+        assert "timeout" in outcomes[0].error
+        assert outcomes[1].status == "computed"
+        assert outcomes[1].value == 0.01
+
+
+class TestSensitivityEngine:
+    def test_parallel_study_matches_serial(self):
+        names = ["gcc_2"]
+        serial = run_sensitivity_study(names, TEST)
+        parallel = run_sensitivity_study(
+            names, TEST, engine=ExecutionEngine(jobs=2)
+        )
+        assert serial.keys() == parallel.keys()
+        assert serial["gcc_2"] == parallel["gcc_2"]
+
+    def test_study_warm_cache(self, tmp_path):
+        names = ["gcc_2"]
+        cache = ResultCache(tmp_path)
+        cold = ExecutionEngine(cache=cache)
+        run_sensitivity_study(names, TEST, engine=cold)
+        warm = ExecutionEngine(cache=cache)
+        run_sensitivity_study(names, TEST, engine=warm)
+        assert warm.telemetry.simulations == 0
+        assert warm.telemetry.cache_hits == cold.telemetry.simulations > 0
+
+
+class TestGrid:
+    def test_grid_matches_per_mix_runs(self):
+        grid = run_mix_grid((1,), TEST, schemes=("static",))
+        single = run_mix(1, TEST, schemes=("static",))
+        assert grid[1].runs == single.runs
+        assert grid[1].labels == single.labels
+
+    def test_telemetry_counts_cells_and_cycles(self):
+        engine = ExecutionEngine(jobs=1)
+        run_mix_grid((1,), TEST, schemes=SCHEMES, engine=engine)
+        assert engine.telemetry.cells == len(SCHEMES)
+        assert engine.telemetry.cycles_simulated > 0
+        assert engine.telemetry.cell_seconds > 0
+        assert engine.telemetry.wall_seconds > 0
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        engine = ExecutionEngine(jobs=1, progress=lines.append)
+        engine.run(make_cells(schemes=("static",)))
+        assert len(lines) == 1
+        assert "status=computed" in lines[0]
+        assert lines[0].startswith("[exec 1/1]")

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.harness.experiment import (
     SCHEME_NAMES,
     make_scheme,
+    mix_labels,
     run_custom_mix,
     run_mix_scheme,
 )
@@ -52,6 +53,37 @@ class TestRunMixScheme:
         assert run.workload("gcc_2+AES-128").label == "gcc_2+AES-128"
         with pytest.raises(ConfigurationError):
             run.workload("missing")
+
+
+class TestDuplicatePairs:
+    """Mixes may repeat a (spec, crypto) pair; labels must stay unique."""
+
+    def test_mix_labels_disambiguates_repeats(self):
+        pairs = [
+            ("gcc_2", "AES-128"),
+            ("gcc_2", "AES-128"),
+            ("imagick_0", "SHA-256"),
+            ("gcc_2", "AES-128"),
+        ]
+        assert mix_labels(pairs) == [
+            "gcc_2+AES-128",
+            "gcc_2+AES-128#2",
+            "imagick_0+SHA-256",
+            "gcc_2+AES-128#3",
+        ]
+
+    def test_duplicate_pair_mix_keeps_both_workloads(self):
+        """Regression: duplicate labels collapsed in the normalized-IPC
+        baseline dict, and workload() silently returned the first match."""
+        pairs = [("gcc_2", "AES-128"), ("gcc_2", "AES-128")]
+        result = run_custom_mix(pairs, TEST, schemes=("static",))
+        assert result.labels == ["gcc_2+AES-128", "gcc_2+AES-128#2"]
+        run = result.runs["static"]
+        assert [w.label for w in run.workloads] == result.labels
+        assert run.workload("gcc_2+AES-128#2") is run.workloads[1]
+        normalized = result.normalized_ipc("static")
+        assert set(normalized) == set(result.labels)
+        assert all(v == pytest.approx(1.0) for v in normalized.values())
 
 
 class TestMixResult:

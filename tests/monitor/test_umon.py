@@ -106,7 +106,9 @@ class TestSampling:
         dense = UMONMonitor(SIZES, window=100_000)
         sampled = UMONMonitor(SIZES, window=100_000, sampling_shift=1)
         rng = np.random.default_rng(2)
-        addresses = rng.integers(0, 16, size=2_000)
+        # A universe much larger than 2**shift, so the hash-sampled
+        # subset is a representative half of the addresses.
+        addresses = rng.integers(0, 512, size=20_000)
         for addr in addresses:
             dense.observe(int(addr))
             sampled.observe(int(addr))
@@ -114,6 +116,24 @@ class TestSampling:
         sampled_curve = sampled.hits_per_size()
         # Sampled estimate within 30% of the dense count at the top size.
         assert sampled_curve[-1] == pytest.approx(dense_curve[-1], rel=0.3)
+
+    def test_strided_stream_sampled_fairly(self):
+        """A stride that is a multiple of ``2**shift`` samples ~1/2**shift.
+
+        Regression: the monitor used to mask raw low address bits, so a
+        stride-aligned stream was sampled at exactly 100% (offset 0) or
+        0% (any other offset), biasing the hits-per-size curve.
+        """
+        shift = 2
+        stride = 1 << shift
+        n = 4096
+        for offset in (0, 1):
+            monitor = UMONMonitor(SIZES, window=10**9, sampling_shift=shift)
+            for i in range(n):
+                monitor.observe(i * stride + offset)
+            # epoch_accesses scales the sampled count back up by 2**shift.
+            sampled = monitor.epoch_accesses() / (1 << shift)
+            assert 0.15 < sampled / n < 0.35, f"offset={offset}"
 
 
 @settings(max_examples=15, deadline=None)

@@ -55,6 +55,26 @@ class TestRun:
         assert all(s.finished for s in result.stats)
         assert all(s.ipc > 0 for s in result.stats)
 
+    def test_completed_when_finishing_in_final_quantum(self, tiny_arch):
+        """Finishing during the last quantum at exactly max_cycles counts.
+
+        Regression: ``all_finished`` was only checked at the top of the
+        loop, so a run capped at precisely its own total cycle count
+        reported ``completed=False`` even though every core finished.
+        """
+        reference = MultiDomainSystem(
+            tiny_arch, make_domains(tiny_arch), StaticScheme(tiny_arch),
+            quantum=50,
+        ).run(max_cycles=1_000_000)
+        assert reference.completed
+
+        capped = MultiDomainSystem(
+            tiny_arch, make_domains(tiny_arch), StaticScheme(tiny_arch),
+            quantum=50,
+        ).run(max_cycles=reference.total_cycles)
+        assert all(s.finished for s in capped.stats)
+        assert capped.completed
+
     def test_max_cycles_cap(self, tiny_arch):
         system = MultiDomainSystem(
             tiny_arch,

@@ -16,6 +16,13 @@ zero simulations. Environment knobs:
   per CPU; default 1, the serial fallback — results are bit-identical).
 * ``REPRO_CACHE=0`` — disable the on-disk cache.
 * ``REPRO_CACHE_DIR=path`` — relocate it.
+* ``REPRO_RETRIES=N`` / ``REPRO_TIMEOUT=S`` — per-cell retry budget and
+  deadline (hung or crashed workers are killed and respawned).
+* ``REPRO_RESUME=1`` — replay the crash-recovery journal
+  (``<cache-dir>/journal.jsonl``) from an interrupted/killed session
+  instead of re-simulating its completed cells.
+* ``REPRO_FAULTS=spec`` — inject crashes/hangs/cache corruption for
+  chaos runs (see :mod:`repro.harness.faults`).
 
 All benchmarks use ``benchmark.pedantic(..., rounds=1, iterations=1)``:
 each experiment is a deterministic simulation whose *result* is the

@@ -14,6 +14,15 @@ cells out over a process pool and cache results on disk under
 ``--jobs 1`` — the default — is the serial debugging fallback; results
 are bit-identical either way. ``--telemetry`` prints the engine's cache
 and timing counters to stderr afterwards.
+
+Fault tolerance: every finished cell is journaled to
+``<cache-dir>/journal.jsonl``; an interrupted (Ctrl-C / SIGTERM) or
+killed campaign re-run with ``--resume`` (or ``REPRO_RESUME=1``)
+replays journaled cells and simulates only what never completed.
+``--retries`` bounds per-cell retry attempts and ``--timeout`` sets the
+per-cell deadline after which a hung worker is killed and respawned.
+``REPRO_FAULTS`` injects crashes/hangs/corruption for chaos runs (see
+``repro.harness.faults``).
 """
 
 from __future__ import annotations
@@ -21,8 +30,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
+from repro.errors import CampaignInterrupted
 from repro.harness.exec import ExecutionEngine, ResultCache
+from repro.harness.faults import faults_from_env
+from repro.harness.journal import RunJournal
 from repro.harness.experiment import run_mix
 from repro.harness.figures import figure_group
 from repro.harness.report import (
@@ -79,6 +92,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine cache/timing counters to stderr",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay cells journaled by a previous (possibly interrupted) "
+            "run instead of re-simulating them (also: REPRO_RESUME=1)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry budget per failed/crashed/hung cell (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell deadline; a parallel worker past it is killed and "
+            "respawned (default: none)"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     mix = commands.add_parser("mix", help="run one workload mix (Figures 10/12-17)")
@@ -99,12 +136,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_engine(args: argparse.Namespace) -> ExecutionEngine:
-    """The execution engine requested on the command line."""
+    """The execution engine requested on the command line.
+
+    The crash-recovery journal rides with the cache directory
+    (``<cache-dir>/journal.jsonl``); ``--no-cache`` disables both.
+    ``REPRO_RESUME=1`` and ``REPRO_FAULTS`` are honored alongside the
+    flags so chaos/recovery behavior can be driven from the environment.
+    """
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal = (
+        None
+        if args.no_cache
+        else RunJournal(Path(args.cache_dir) / "journal.jsonl")
+    )
+    resume = args.resume or os.environ.get("REPRO_RESUME", "") in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
     progress = (
         (lambda line: print(line, file=sys.stderr)) if args.telemetry else None
     )
-    return ExecutionEngine(jobs=args.jobs, cache=cache, progress=progress)
+    return ExecutionEngine(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal=journal,
+        resume=resume,
+        faults=faults_from_env(),
+        progress=progress,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,28 +175,34 @@ def main(argv: list[str] | None = None) -> int:
     profile = PROFILES[args.profile]
     engine = build_engine(args)
 
-    if args.command == "mix":
-        result = run_mix(args.mix_id, profile, engine=engine)
-        group = figure_group(args.mix_id, profile, mix_result=result)
-        print(render_figure_group(group))
-    elif args.command == "sensitivity":
-        curves = run_sensitivity_study(profile=profile, engine=engine)
-        print(render_sensitivity(curves))
-    elif args.command == "table6":
-        print(render_table6(table6(profile, engine=engine)))
-    elif args.command == "rmax":
-        from repro.core.rates import RmaxTable
-        from repro.schemes.untangle import default_channel_model
+    try:
+        if args.command == "mix":
+            result = run_mix(args.mix_id, profile, engine=engine)
+            group = figure_group(args.mix_id, profile, mix_result=result)
+            print(render_figure_group(group))
+        elif args.command == "sensitivity":
+            curves = run_sensitivity_study(profile=profile, engine=engine)
+            print(render_sensitivity(curves))
+        elif args.command == "table6":
+            print(render_table6(table6(profile, engine=engine)))
+        elif args.command == "rmax":
+            from repro.core.rates import RmaxTable
+            from repro.schemes.untangle import default_channel_model
 
-        model = default_channel_model(profile.cooldown)
-        table = RmaxTable(model, capacity=args.capacity)
-        print(f"R_max table (T_c = {profile.cooldown} cycles):")
-        for entry in table.entries():
-            print(
-                f"  m={entry.maintains:3d}  "
-                f"rate={entry.rate_upper_bound * profile.cooldown:8.4f} bits/T_c  "
-                f"bits/tx={entry.bits_per_transmission:6.3f}"
-            )
+            model = default_channel_model(profile.cooldown)
+            table = RmaxTable(model, capacity=args.capacity)
+            print(f"R_max table (T_c = {profile.cooldown} cycles):")
+            for entry in table.entries():
+                print(
+                    f"  m={entry.maintains:3d}  "
+                    f"rate={entry.rate_upper_bound * profile.cooldown:8.4f} bits/T_c  "
+                    f"bits/tx={entry.bits_per_transmission:6.3f}"
+                )
+    except CampaignInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        if engine.telemetry.cells:
+            print(render_telemetry(engine.telemetry), file=sys.stderr)
+        return 130
     if args.telemetry and engine.telemetry.cells:
         print(render_telemetry(engine.telemetry), file=sys.stderr)
     return 0

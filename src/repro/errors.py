@@ -56,3 +56,29 @@ class LeakageBudgetExceeded(ReproError):
 
 class AnnotationError(ReproError):
     """Secret-dependence annotations are inconsistent with the program."""
+
+
+class JournalError(ReproError):
+    """A campaign journal cannot be written (bad path, disk full, ...)."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign was stopped by SIGINT/SIGTERM after a clean shutdown.
+
+    Raised by :meth:`repro.harness.exec.ExecutionEngine.run` once every
+    completed cell has been journaled and the worker pool terminated.
+    ``outcomes`` holds the cells that finished before the interrupt;
+    ``journal_path`` (when a journal is attached) is where ``--resume``
+    / ``REPRO_RESUME=1`` will pick the campaign back up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        outcomes: list | tuple = (),
+        journal_path=None,
+    ):
+        super().__init__(message)
+        self.outcomes = list(outcomes)
+        self.journal_path = journal_path

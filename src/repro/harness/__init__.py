@@ -7,9 +7,12 @@ from repro.harness.exec import (
     MixSchemeCell,
     ResultCache,
     SensitivityCell,
+    backoff_delay,
     cell_key,
     engine_from_env,
 )
+from repro.harness.faults import FaultPlan, faults_from_env, parse_fault_spec
+from repro.harness.journal import JournalEntry, RunJournal
 from repro.harness.experiment import (
     MixResult,
     SchemeRunResult,
@@ -63,8 +66,14 @@ __all__ = [
     "CellOutcome",
     "MixSchemeCell",
     "SensitivityCell",
+    "backoff_delay",
     "cell_key",
     "engine_from_env",
+    "FaultPlan",
+    "parse_fault_spec",
+    "faults_from_env",
+    "JournalEntry",
+    "RunJournal",
     "MixResult",
     "SchemeRunResult",
     "WorkloadResult",

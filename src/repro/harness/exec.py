@@ -16,16 +16,35 @@ cache, so that
 
 Because each cell builds its own seeded :class:`MultiDomainSystem` from
 scratch, parallel execution is *bit-identical* to serial execution (and
-to a cache hit: the JSON round-trip used by the cache is exact for
-Python floats). ``tests/harness/test_exec.py`` pins both guarantees.
+to a cache hit or a journal replay: the JSON round-trip used by both is
+exact for Python floats). ``tests/harness/test_exec.py`` pins both
+guarantees.
 
-Robustness: each cell gets a configurable timeout and one retry; a cell
-that still fails is recorded as a failed :class:`CellOutcome` and the
-rest of the grid keeps going — one diverging simulation no longer
-aborts a whole figure.
+Fault tolerance — the measurement substrate must be at least as
+dependable as the system under test:
 
-Telemetry: the engine counts cache hits/misses, simulations, retries and
-failures, and accumulates per-cell wall-clock and simulated cycles;
+* **Crash-safe journal + resume.** With a :class:`RunJournal` attached,
+  every finished cell is durably appended before it is reported; after
+  a crash/SIGKILL, ``resume=True`` replays journaled outcomes (zero
+  re-simulation) and runs only the cells that never completed.
+* **Worker supervision.** Parallel cells run on dedicated worker
+  processes watched by a supervisor: a worker that crashes or blows its
+  per-cell deadline is killed and respawned, and its cell is retried
+  with exponential backoff + deterministic jitter — one stuck cell can
+  no longer occupy a pool slot for the rest of the run.
+* **Graceful shutdown.** SIGINT/SIGTERM terminate workers cleanly,
+  leave the journal valid, and surface a resume hint via
+  :class:`~repro.errors.CampaignInterrupted`.
+* **Cache integrity.** Entries carry a payload checksum; corrupt,
+  truncated, or version-mismatched entries are quarantined (renamed
+  ``*.corrupt``) and counted in telemetry instead of being silently
+  re-parsed forever.
+* **Fault injection.** A :class:`~repro.harness.faults.FaultPlan`
+  (``REPRO_FAULTS``) injects crashes, hangs, worker kills, and cache
+  corruption so every recovery path above is provable by tests.
+
+Telemetry: the engine counts cache hits/misses, journal replays,
+simulations, retries, failures, quarantines, and supervision events;
 :func:`repro.harness.report.render_telemetry` renders the summary and
 the optional ``progress`` callback receives one structured line per
 completed cell.
@@ -37,19 +56,26 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
+import signal
 import tempfile
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignInterrupted, ConfigurationError
+from repro.harness.faults import FaultPlan, faults_from_env
+from repro.harness.journal import JournalEntry, RunJournal
 from repro.harness.runconfig import RunProfile
 
 #: Bump when the cached payload layout or the simulator's semantics
-#: change incompatibly; old entries are then ignored, not misread.
-CACHE_FORMAT_VERSION = 1
+#: change incompatibly; old entries are then quarantined, not misread.
+#: (2: entries carry a payload checksum.)
+CACHE_FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -185,33 +211,70 @@ class ResultCache:
     Entries live at ``<directory>/<key[:2]>/<key>.json`` and are written
     atomically (temp file + rename), so concurrent workers and concurrent
     benchmark sessions can share one cache directory safely.
+
+    Integrity: each entry embeds a SHA-256 checksum of its value
+    payload. An entry that is truncated, garbled, checksum-mismatched,
+    or written by an incompatible :data:`CACHE_FORMAT_VERSION` is
+    *quarantined* — renamed to ``<entry>.json.corrupt`` and counted in
+    :attr:`quarantined` — so it is diagnosable on disk and is never
+    re-read and re-parsed on subsequent runs.
     """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
+        #: Entries quarantined by :meth:`get` over this instance's life.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 
+    @staticmethod
+    def _value_checksum(value: Any) -> str:
+        canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _quarantine(self, path: Path) -> None:
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
     def get(self, key: str) -> dict[str, Any] | None:
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None  # genuinely absent — a plain miss
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return None
-        if payload.get("format") != CACHE_FORMAT_VERSION:
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT_VERSION
+            or "value" not in payload
+            or payload.get("sha256") != self._value_checksum(payload["value"])
+        ):
+            self._quarantine(path)
             return None
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "sha256": self._value_checksum(payload.get("value")),
+            **payload,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump({"format": CACHE_FORMAT_VERSION, **payload}, handle)
+                json.dump(entry, handle)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -228,7 +291,7 @@ class CellRecord:
     """Per-cell telemetry line."""
 
     label: str
-    status: str  # "hit" | "computed" | "failed"
+    status: str  # "hit" | "replayed" | "computed" | "failed"
     wall_seconds: float
     attempts: int
     cycles: int | None = None
@@ -242,9 +305,21 @@ class EngineTelemetry:
     cells: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    journal_replays: int = 0
     simulations: int = 0
     retries: int = 0
     failures: int = 0
+    #: Corrupt/stale cache entries renamed ``*.corrupt`` by this engine.
+    quarantines: int = 0
+    #: Worker processes that died mid-cell (and were respawned).
+    worker_crashes: int = 0
+    #: Workers killed for blowing the per-cell deadline.
+    worker_timeouts: int = 0
+    workers_respawned: int = 0
+    #: Total retry backoff delay scheduled (seconds).
+    backoff_seconds: float = 0.0
+    #: True when the run ended via SIGINT/SIGTERM.
+    interrupted: bool = False
     wall_seconds: float = 0.0
     cell_seconds: float = 0.0
     cycles_simulated: int = 0
@@ -256,6 +331,9 @@ class EngineTelemetry:
         self.cell_seconds += record.wall_seconds
         if record.status == "hit":
             self.cache_hits += 1
+            return
+        if record.status == "replayed":
+            self.journal_replays += 1
             return
         self.cache_misses += 1
         if record.status == "computed":
@@ -274,7 +352,7 @@ class CellOutcome:
     cell: Any
     key: str
     value: Any | None
-    status: str  # "hit" | "computed" | "failed"
+    status: str  # "hit" | "replayed" | "computed" | "failed"
     wall_seconds: float
     attempts: int
     error: str | None = None
@@ -285,36 +363,377 @@ class CellOutcome:
 
 
 # ----------------------------------------------------------------------
-# Worker entry point (must be importable for multiprocessing)
+# Retry backoff
 # ----------------------------------------------------------------------
-def _execute_cell(cell: Any) -> tuple[Any, float]:
-    """Run one cell in a worker; returns (value, wall_seconds)."""
+def backoff_delay(
+    key: str, attempt: int, base: float, cap: float
+) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    ``base * 2**(attempt-1)`` capped at ``cap``, scaled by a jitter
+    factor in ``[0.5, 1.0)`` derived from a hash of ``(key, attempt)``
+    — so concurrent retries de-synchronize, yet a re-run of the same
+    campaign schedules bit-identical delays (no hidden randomness).
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(cap, base * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    jitter = 0.5 + digest[0] / 512.0
+    return raw * jitter
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (must be importable for multiprocessing)
+# ----------------------------------------------------------------------
+def _execute_cell(
+    cell: Any,
+    faults: FaultPlan | None = None,
+    worker_id: int | None = None,
+) -> tuple[Any, float]:
+    """Run one cell in the current process; returns (value, wall_seconds)."""
+    if faults is not None:
+        faults.on_cell_start(cell.label, worker_id)
     start = time.perf_counter()
     value = cell.execute()
     return value, time.perf_counter() - start
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection,
+    worker_id: int,
+    faults: FaultPlan | None,
+) -> None:
+    """Worker loop: receive ``(index, cell)`` tasks, send back results.
+
+    SIGINT is ignored so a terminal Ctrl-C reaches only the supervisor,
+    which then terminates workers deliberately (after flushing the
+    journal) instead of racing N KeyboardInterrupts. SIGTERM is reset
+    to its default action: a forked worker inherits the supervisor's
+    flag-setting handler, which would make ``Process.terminate()`` a
+    no-op and force the slow SIGKILL fallback when reaping hung workers.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index, cell = task
+        start = time.perf_counter()
+        try:
+            value, wall = _execute_cell(cell, faults, worker_id)
+            message = (index, "ok", value, wall)
+        except Exception as exc:  # graceful degradation
+            message = (
+                index,
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            )
+        try:
+            conn.send(message)
+        except Exception as exc:  # e.g. an unpicklable result value
+            try:
+                conn.send(
+                    (
+                        index,
+                        "error",
+                        f"result not transferable: {type(exc).__name__}: {exc}",
+                        time.perf_counter() - start,
+                    )
+                )
+            except Exception:
+                return
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    process: Any
+    conn: multiprocessing.connection.Connection
+    id: int
+    task: tuple[int, Any, str] | None = None  # (index, cell, key)
+    started: float = 0.0
+    deadline: float | None = None
+
+
+class _Supervisor:
+    """Owns the worker pool for one parallel engine run.
+
+    Unlike the former round-barrier ``Pool.apply_async`` loop, tasks are
+    assigned to dedicated workers with per-task deadlines: a hung or
+    crashed worker is killed and respawned immediately, its task is
+    rescheduled with backoff, and every other slot keeps streaming cells
+    — no failure can stall the round or leak a pool slot.
+    """
+
+    #: How long one poll of the worker pipes blocks, seconds. Bounds
+    #: both deadline-detection latency and interrupt responsiveness.
+    POLL_SECONDS = 0.1
+
+    def __init__(self, engine: "ExecutionEngine", pending):
+        self.engine = engine
+        self.context = multiprocessing.get_context()
+        # (index, cell, key, ready_at): ready_at defers backed-off retries.
+        self.queue: deque[tuple[int, Any, str, float]] = deque(
+            (index, cell, key, 0.0) for index, cell, key in pending
+        )
+        self.attempts = {index: 0 for index, _, _ in pending}
+        #: Cumulative elapsed seconds per cell across all its attempts —
+        #: crashed/hung/failed attempts included, so telemetry no longer
+        #: undercounts failed cells as zero-cost.
+        self.elapsed = {index: 0.0 for index, _, _ in pending}
+        self._next_worker_id = 0
+        self.workers = [
+            self._spawn() for _ in range(min(engine.jobs, len(pending)))
+        ]
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self.context.Pipe()
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = self.context.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, self.engine.faults),
+            daemon=True,
+            name=f"repro-exec-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn, id=worker_id)
+
+    def _reap(self, worker: _Worker) -> None:
+        """Tear one worker down for good (terminate if still alive)."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+        else:
+            worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _replace(self, worker: _Worker) -> None:
+        """Kill a crashed/hung worker; respawn if there is work left."""
+        self._reap(worker)
+        self.workers.remove(worker)
+        # A replacement is always useful: the failed task is about to be
+        # requeued by the caller (or other tasks are still queued), and
+        # spawning is cheap next to multi-second simulation cells.
+        self.workers.append(self._spawn())
+        self.engine.telemetry.workers_respawned += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[tuple[int, CellOutcome]]:
+        try:
+            while self.queue or any(w.task for w in self.workers):
+                if self.engine._interrupted:
+                    raise KeyboardInterrupt
+                self._assign()
+                yield from self._collect()
+        finally:
+            self._shutdown()
+
+    def _pop_ready(self, now: float):
+        for position, task in enumerate(self.queue):
+            if task[3] <= now:
+                del self.queue[position]
+                return task
+        return None
+
+    def _assign(self) -> None:
+        now = time.monotonic()
+        for worker in self.workers:
+            if worker.task is not None:
+                continue
+            task = self._pop_ready(now)
+            if task is None:
+                return
+            index, cell, key, _ = task
+            self.attempts[index] += 1
+            worker.task = (index, cell, key)
+            worker.started = now
+            worker.deadline = (
+                now + self.engine.timeout
+                if self.engine.timeout is not None
+                else None
+            )
+            try:
+                worker.conn.send((index, cell))
+            except (OSError, ValueError):
+                # Worker already dead; its sentinel wakes _collect, which
+                # reschedules the task through the crash path.
+                pass
+
+    def _collect(self) -> Iterator[tuple[int, CellOutcome]]:
+        handles: dict[Any, _Worker] = {}
+        for worker in self.workers:
+            handles[worker.conn] = worker
+            handles[worker.process.sentinel] = worker
+        ready = multiprocessing.connection.wait(
+            list(handles), timeout=self.POLL_SECONDS
+        )
+        serviced: set[int] = set()
+        for handle in ready:
+            worker = handles[handle]
+            if worker.id in serviced or worker not in self.workers:
+                continue
+            serviced.add(worker.id)
+            yield from self._service(worker)
+        now = time.monotonic()
+        for worker in list(self.workers):
+            if (
+                worker.task is not None
+                and worker.deadline is not None
+                and now > worker.deadline
+                and worker.id not in serviced
+            ):
+                yield from self._expire(worker)
+
+    def _service(self, worker: _Worker) -> Iterator[tuple[int, CellOutcome]]:
+        """Handle a worker whose pipe or sentinel became ready."""
+        message = None
+        try:
+            if worker.conn.poll():
+                message = worker.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        if message is not None:
+            index, status, payload, wall = message
+            assert worker.task is not None and worker.task[0] == index
+            _, cell, key = worker.task
+            worker.task = None
+            worker.deadline = None
+            self.elapsed[index] += wall
+            if status == "ok":
+                yield index, CellOutcome(
+                    cell=cell,
+                    key=key,
+                    value=payload,
+                    status="computed",
+                    wall_seconds=self.elapsed[index],
+                    attempts=self.attempts[index],
+                    error=None,
+                )
+            else:
+                yield from self._attempt_failed(index, cell, key, payload)
+            return
+        if worker.process.is_alive():
+            return  # spurious wakeup
+        if worker.task is None:
+            # An idle worker died (infant mortality): just replace it.
+            self._replace(worker)
+            return
+        index, cell, key = worker.task
+        self.elapsed[index] += time.monotonic() - worker.started
+        self.engine.telemetry.worker_crashes += 1
+        error = f"worker crashed (exit code {worker.process.exitcode})"
+        self._replace(worker)
+        yield from self._attempt_failed(index, cell, key, error)
+
+    def _expire(self, worker: _Worker) -> Iterator[tuple[int, CellOutcome]]:
+        """Kill a worker that blew its per-cell deadline; retry the cell."""
+        assert worker.task is not None
+        index, cell, key = worker.task
+        self.elapsed[index] += time.monotonic() - worker.started
+        self.engine.telemetry.worker_timeouts += 1
+        error = f"timeout after {self.engine.timeout:.1f}s (worker killed)"
+        self._replace(worker)
+        yield from self._attempt_failed(index, cell, key, error)
+
+    def _attempt_failed(
+        self, index: int, cell: Any, key: str, error: str
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        if self.attempts[index] <= self.engine.retries:
+            delay = backoff_delay(
+                key,
+                self.attempts[index],
+                self.engine.backoff_base,
+                self.engine.backoff_cap,
+            )
+            self.engine.telemetry.backoff_seconds += delay
+            self.queue.append((index, cell, key, time.monotonic() + delay))
+            return
+        yield index, CellOutcome(
+            cell=cell,
+            key=key,
+            value=None,
+            status="failed",
+            wall_seconds=self.elapsed[index],
+            attempts=self.attempts[index],
+            error=error,
+        )
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            if worker.task is None and worker.process.is_alive():
+                try:
+                    worker.conn.send(None)  # polite stop for idle workers
+                except (OSError, ValueError):
+                    pass
+            else:
+                worker.process.terminate()
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers = []
 
 
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class ExecutionEngine:
-    """Fan simulation cells out over a process pool, with caching.
+    """Fan simulation cells out over a supervised process pool.
 
     Parameters
     ----------
     jobs:
         Worker processes. ``1`` (the default) executes serially in the
         calling process — the debugging fallback — but still consults
-        the cache. Results are bit-identical either way.
+        the cache and journal. Results are bit-identical either way.
     cache:
         Optional :class:`ResultCache`; ``None`` disables caching.
     timeout:
-        Per-cell timeout in seconds (parallel mode only: a serial run
-        cannot preempt the simulation it is executing). ``None`` waits
-        forever.
+        Per-cell deadline in seconds (parallel mode only: a serial run
+        cannot preempt the simulation it is executing). A worker past
+        its deadline is killed and respawned. ``None`` waits forever.
     retries:
-        How many times a failed or timed-out cell is re-attempted
-        (default one retry).
+        How many times a failed, crashed, or timed-out cell is
+        re-attempted (default one retry).
+    backoff_base / backoff_cap:
+        Exponential-backoff schedule for those retries: attempt ``n``
+        is delayed ``base * 2**(n-1)`` seconds (capped), with
+        deterministic jitter — see :func:`backoff_delay`.
+    journal:
+        Optional :class:`RunJournal`; every finished cell is durably
+        appended before being reported.
+    resume:
+        Replay journaled outcomes instead of re-running them; only
+        cells absent from (or failed in) the journal execute.
+    faults:
+        Optional :class:`FaultPlan` for chaos testing.
     progress:
         Optional callback receiving one structured line per finished
         cell, e.g. ``print`` or a logger method.
@@ -327,6 +746,11 @@ class ExecutionEngine:
         *,
         timeout: float | None = None,
         retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 30.0,
+        journal: RunJournal | None = None,
+        resume: bool = False,
+        faults: FaultPlan | None = None,
         progress: Callable[[str], None] | None = None,
     ):
         if jobs < 1:
@@ -335,12 +759,63 @@ class ExecutionEngine:
             raise ConfigurationError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ConfigurationError("timeout must be positive")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.journal = journal
+        self.resume = resume
+        self.faults = faults
         self.progress = progress
         self.telemetry = EngineTelemetry()
+        self._interrupted = False
+        self._serial_mode = True
+        self._campaign: str | None = None
+        self._old_handlers: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Signal handling (graceful shutdown)
+    # ------------------------------------------------------------------
+    def _install_signals(self) -> None:
+        self._interrupted = False
+        self._old_handlers = {}
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers[signum] = signal.signal(
+                    signum, self._on_signal
+                )
+            except (ValueError, OSError):
+                pass
+
+    def _restore_signals(self) -> None:
+        for signum, handler in self._old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        self._old_handlers = {}
+
+    def _on_signal(self, signum, frame) -> None:
+        if self._interrupted:
+            # Second signal: the user means it — die with default action.
+            try:
+                signal.signal(signum, signal.SIG_DFL)
+            except (ValueError, OSError):
+                pass
+            os.kill(os.getpid(), signum)
+            return
+        self._interrupted = True
+        if self._serial_mode:
+            # Serial execution has no supervisor loop polling the flag;
+            # unwind the in-flight cell now (run() converts this to a
+            # clean CampaignInterrupted after flushing state).
+            raise KeyboardInterrupt
 
     # ------------------------------------------------------------------
     def _emit(self, outcome: CellOutcome, done: int, total: int) -> None:
@@ -388,54 +863,145 @@ class ExecutionEngine:
                     "wall_seconds": outcome.wall_seconds,
                 },
             )
+            if self.faults is not None and self.faults.should_corrupt(
+                outcome.cell.label
+            ):
+                self.faults.corrupt_file(self.cache._path(outcome.key))
+        if self.journal is not None and outcome.status != "replayed":
+            self.journal.record(
+                JournalEntry(
+                    key=outcome.key,
+                    label=outcome.cell.label,
+                    status=outcome.status,
+                    wall_seconds=outcome.wall_seconds,
+                    attempts=outcome.attempts,
+                    campaign=self._campaign,
+                    value=(
+                        outcome.cell.encode(outcome.value)
+                        if outcome.ok
+                        else None
+                    ),
+                    error=outcome.error,
+                )
+            )
         self._emit(outcome, done, total)
         return outcome
 
+    def _replay(self, cell: Any, key: str, entry: JournalEntry) -> Any | None:
+        """Decode a journaled result, or ``None`` if it is unusable."""
+        if not entry.ok or entry.value is None:
+            return None
+        try:
+            return cell.decode(entry.value)
+        except Exception:
+            return None
+
     # ------------------------------------------------------------------
-    def run(self, cells: Sequence[Any]) -> list[CellOutcome]:
-        """Execute every cell; outcomes come back in input order."""
+    def run(
+        self, cells: Sequence[Any], *, campaign: str | None = None
+    ) -> list[CellOutcome]:
+        """Execute every cell; outcomes come back in input order.
+
+        On SIGINT/SIGTERM the run shuts down cleanly — journal flushed,
+        workers terminated — and raises
+        :class:`~repro.errors.CampaignInterrupted` carrying the
+        outcomes that completed.
+        """
         start = time.perf_counter()
         total = len(cells)
         outcomes: list[CellOutcome | None] = [None] * total
         done = 0
+        self._campaign = campaign
+        journaled = (
+            self.journal.load()
+            if (self.journal is not None and self.resume)
+            else {}
+        )
+        quarantined_before = self.cache.quarantined if self.cache else 0
+        self._install_signals()
+        try:
+            pending: list[tuple[int, Any, str]] = []
+            for index, cell in enumerate(cells):
+                key = cell_key(cell)
+                entry = journaled.get(key)
+                if entry is not None:
+                    value = self._replay(cell, key, entry)
+                    if value is not None:
+                        done += 1
+                        outcomes[index] = self._finish(
+                            CellOutcome(
+                                cell=cell,
+                                key=key,
+                                value=value,
+                                status="replayed",
+                                wall_seconds=0.0,
+                                attempts=0,
+                            ),
+                            done,
+                            total,
+                        )
+                        continue
+                payload = self.cache.get(key) if self.cache is not None else None
+                if payload is not None:
+                    done += 1
+                    outcomes[index] = self._finish(
+                        CellOutcome(
+                            cell=cell,
+                            key=key,
+                            value=cell.decode(payload["value"]),
+                            status="hit",
+                            wall_seconds=0.0,
+                            attempts=0,
+                        ),
+                        done,
+                        total,
+                    )
+                else:
+                    pending.append((index, cell, key))
 
-        pending: list[tuple[int, Any, str]] = []
-        for index, cell in enumerate(cells):
-            key = cell_key(cell)
-            payload = self.cache.get(key) if self.cache is not None else None
-            if payload is not None:
-                done += 1
-                outcomes[index] = self._finish(
-                    CellOutcome(
-                        cell=cell,
-                        key=key,
-                        value=cell.decode(payload["value"]),
-                        status="hit",
-                        wall_seconds=0.0,
-                        attempts=0,
-                    ),
-                    done,
-                    total,
+            if pending:
+                if self.jobs == 1:
+                    self._serial_mode = True
+                    runner = self._run_serial(pending)
+                else:
+                    self._serial_mode = False
+                    runner = _Supervisor(self, pending).run()
+                for index, outcome in runner:
+                    done += 1
+                    outcomes[index] = self._finish(outcome, done, total)
+        except KeyboardInterrupt:
+            self.telemetry.interrupted = True
+            completed = [o for o in outcomes if o is not None]
+            journal_path = self.journal.path if self.journal else None
+            hint = (
+                f"campaign interrupted with {done}/{total} cells finished"
+            )
+            if journal_path is not None:
+                hint += (
+                    f"; completed cells are journaled at {journal_path} — "
+                    "re-run with --resume (or REPRO_RESUME=1) to finish "
+                    "without re-simulating them"
                 )
-            else:
-                pending.append((index, cell, key))
-
-        if pending:
-            if self.jobs == 1:
-                runner = self._run_serial
-            else:
-                runner = self._run_parallel
-            for index, outcome in runner(pending):
-                done += 1
-                outcomes[index] = self._finish(outcome, done, total)
-
-        self.telemetry.wall_seconds += time.perf_counter() - start
+            raise CampaignInterrupted(
+                hint, outcomes=completed, journal_path=journal_path
+            ) from None
+        finally:
+            self._restore_signals()
+            self._serial_mode = True
+            self._campaign = None
+            if self.cache is not None:
+                self.telemetry.quarantines += (
+                    self.cache.quarantined - quarantined_before
+                )
+            self.telemetry.wall_seconds += time.perf_counter() - start
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def _run_serial(self, pending):
         for index, cell, key in pending:
+            if self._interrupted:
+                raise KeyboardInterrupt
             attempts = 0
             error: str | None = None
             start = time.perf_counter()
@@ -444,12 +1010,21 @@ class ExecutionEngine:
             while attempts <= self.retries:
                 attempts += 1
                 try:
-                    value, _ = _execute_cell(cell)
+                    value, _ = _execute_cell(cell, self.faults)
                     status = "computed"
                     error = None
                     break
+                except KeyboardInterrupt:
+                    raise
                 except Exception as exc:  # graceful degradation
                     error = f"{type(exc).__name__}: {exc}"
+                    if attempts <= self.retries:
+                        delay = backoff_delay(
+                            key, attempts, self.backoff_base, self.backoff_cap
+                        )
+                        self.telemetry.backoff_seconds += delay
+                        if delay:
+                            time.sleep(delay)
             yield index, CellOutcome(
                 cell=cell,
                 key=key,
@@ -460,76 +1035,109 @@ class ExecutionEngine:
                 error=error,
             )
 
-    def _run_parallel(self, pending):
-        context = multiprocessing.get_context()
-        processes = min(self.jobs, len(pending))
-        with context.Pool(processes=processes) as pool:
-            attempts = {index: 0 for index, _, _ in pending}
-            round_cells = list(pending)
-            failed: dict[int, tuple[Any, str, str]] = {}
-            while round_cells:
-                handles = [
-                    (index, cell, key, pool.apply_async(_execute_cell, (cell,)))
-                    for index, cell, key in round_cells
-                ]
-                retry: list[tuple[int, Any, str]] = []
-                for index, cell, key, handle in handles:
-                    attempts[index] += 1
-                    try:
-                        value, wall = handle.get(self.timeout)
-                    except multiprocessing.TimeoutError:
-                        error = f"timeout after {self.timeout:.1f}s"
-                    except Exception as exc:
-                        error = f"{type(exc).__name__}: {exc}"
-                    else:
-                        yield index, CellOutcome(
-                            cell=cell,
-                            key=key,
-                            value=value,
-                            status="computed",
-                            wall_seconds=wall,
-                            attempts=attempts[index],
-                            error=None,
-                        )
-                        continue
-                    if attempts[index] <= self.retries:
-                        retry.append((index, cell, key))
-                    else:
-                        failed[index] = (cell, key, error)
-                round_cells = retry
-            for index, (cell, key, error) in failed.items():
-                yield index, CellOutcome(
-                    cell=cell,
-                    key=key,
-                    value=None,
-                    status="failed",
-                    wall_seconds=0.0,
-                    attempts=attempts[index],
-                    error=error,
-                )
-
 
 # ----------------------------------------------------------------------
 # Environment wiring (shared by the CLI and the benchmark harness)
 # ----------------------------------------------------------------------
+def _int_from_env(name: str, default: int, minimum: int, accepted: str) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name}={raw!r} is not an integer; accepted: {accepted}"
+        )
+    if value < minimum:
+        raise ConfigurationError(
+            f"{name}={raw!r} is out of range; accepted: {accepted}"
+        )
+    return value
+
+
+def _truthy_env(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 def engine_from_env(
     default_cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> ExecutionEngine:
-    """Build an engine from ``REPRO_JOBS`` / ``REPRO_CACHE`` env vars.
+    """Build an engine from ``REPRO_*`` environment variables.
 
     * ``REPRO_JOBS``: worker count (default 1 — the serial fallback);
       ``0`` means one worker per CPU.
     * ``REPRO_CACHE``: set to ``0`` to disable the on-disk cache.
     * ``REPRO_CACHE_DIR``: cache directory (falls back to
       ``default_cache_dir``; if both are unset, caching is off).
+    * ``REPRO_RETRIES``: retry budget per cell (default 1).
+    * ``REPRO_TIMEOUT``: per-cell deadline in seconds for parallel runs
+      (default none; ``0`` also means none).
+    * ``REPRO_JOURNAL``: journal path (default
+      ``<cache-dir>/journal.jsonl`` whenever a cache directory is in
+      use; ``0`` disables journaling).
+    * ``REPRO_RESUME``: set to ``1`` to replay journaled cells instead
+      of re-running them.
+    * ``REPRO_FAULTS``: fault-injection spec for chaos runs (see
+      :mod:`repro.harness.faults`).
+
+    Malformed values raise :class:`~repro.errors.ConfigurationError`
+    naming the offending value and the accepted forms.
     """
-    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    jobs = _int_from_env(
+        "REPRO_JOBS",
+        default=1,
+        minimum=0,
+        accepted="a non-negative integer (1 = serial, N = N workers, "
+        "0 = one per CPU)",
+    )
     if jobs == 0:
         jobs = os.cpu_count() or 1
+    retries = _int_from_env(
+        "REPRO_RETRIES",
+        default=1,
+        minimum=0,
+        accepted="a non-negative integer retry budget per cell",
+    )
+    timeout: float | None = None
+    raw_timeout = os.environ.get("REPRO_TIMEOUT", "").strip()
+    if raw_timeout:
+        try:
+            timeout = float(raw_timeout)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_TIMEOUT={raw_timeout!r} is not a number; accepted: "
+                "a positive number of seconds (0 = no deadline)"
+            )
+        if timeout < 0:
+            raise ConfigurationError(
+                f"REPRO_TIMEOUT={raw_timeout!r} is out of range; accepted: "
+                "a positive number of seconds (0 = no deadline)"
+            )
+        if timeout == 0:
+            timeout = None
     cache: ResultCache | None = None
+    directory: str | Path | None = None
     if os.environ.get("REPRO_CACHE", "1") != "0":
         directory = os.environ.get("REPRO_CACHE_DIR") or default_cache_dir
         if directory is not None:
             cache = ResultCache(directory)
-    return ExecutionEngine(jobs=jobs, cache=cache, progress=progress)
+    journal: RunJournal | None = None
+    raw_journal = os.environ.get("REPRO_JOURNAL", "").strip()
+    if raw_journal == "0":
+        journal = None
+    elif raw_journal:
+        journal = RunJournal(raw_journal)
+    elif directory is not None:
+        journal = RunJournal(Path(directory) / "journal.jsonl")
+    return ExecutionEngine(
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        journal=journal,
+        resume=_truthy_env("REPRO_RESUME"),
+        faults=faults_from_env(),
+        progress=progress,
+    )

@@ -216,19 +216,21 @@ def _assemble_mix_results(
     schemes: tuple[str, ...],
     profile: RunProfile,
     engine: ExecutionEngine,
+    campaign: str | None = None,
 ) -> list[MixResult]:
     """Fan every (mix, scheme) cell of a grid through one engine run.
 
     A failed cell (after the engine's retries) leaves its scheme out of
     that mix's ``runs`` dict instead of aborting the grid; the failure
-    stays visible in ``engine.telemetry``.
+    stays visible in ``engine.telemetry``. The ``campaign`` tag labels
+    this grid's entries in the engine's crash-recovery journal.
     """
     cells = [
         MixSchemeCell(pairs=tuple(pairs), scheme=scheme, profile=profile)
         for _, pairs in grid
         for scheme in schemes
     ]
-    outcomes = engine.run(cells)
+    outcomes = engine.run(cells, campaign=campaign)
     results = []
     cursor = 0
     for mix_id, pairs in grid:
@@ -258,7 +260,9 @@ def run_mix(
     """
     engine = engine if engine is not None else ExecutionEngine()
     pairs = get_mix(mix_id)
-    return _assemble_mix_results([(mix_id, pairs)], schemes, profile, engine)[0]
+    return _assemble_mix_results(
+        [(mix_id, pairs)], schemes, profile, engine, campaign=f"mix{mix_id}"
+    )[0]
 
 
 def run_custom_mix(
@@ -270,7 +274,9 @@ def run_custom_mix(
 ) -> MixResult:
     """Simulate an arbitrary mix of (spec, crypto) pairs."""
     engine = engine if engine is not None else ExecutionEngine()
-    return _assemble_mix_results([(None, list(pairs))], schemes, profile, engine)[0]
+    return _assemble_mix_results(
+        [(None, list(pairs))], schemes, profile, engine, campaign="custom-mix"
+    )[0]
 
 
 def run_mix_grid(
@@ -279,6 +285,7 @@ def run_mix_grid(
     schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
     *,
     engine: ExecutionEngine | None = None,
+    campaign: str | None = None,
 ) -> dict[int, MixResult]:
     """Simulate several paper mixes at once.
 
@@ -288,5 +295,7 @@ def run_mix_grid(
     """
     engine = engine if engine is not None else ExecutionEngine()
     grid = [(mix_id, get_mix(mix_id)) for mix_id in mix_ids]
-    results = _assemble_mix_results(grid, schemes, profile, engine)
+    if campaign is None:
+        campaign = f"mix-grid[{','.join(str(m) for m in mix_ids)}]"
+    results = _assemble_mix_results(grid, schemes, profile, engine, campaign)
     return {mix_id: result for (mix_id, _), result in zip(grid, results)}

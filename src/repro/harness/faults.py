@@ -1,0 +1,206 @@
+"""Fault injection for the execution engine (chaos testing).
+
+The recovery paths of the campaign runner — worker crash, worker hang,
+corrupt cache entry, interrupted campaign — are only trustworthy if
+they are *exercised*. A :class:`FaultPlan` injects those failures on
+demand:
+
+* ``crash=<substr>`` — a worker (or the serial runner's process) whose
+  cell label contains ``substr`` hard-exits (``os._exit``), simulating
+  a segfault or OOM kill mid-cell.
+* ``hang=<substr>`` — the matching cell sleeps past any reasonable
+  deadline, simulating a stuck simulation; the supervisor must kill
+  and respawn the worker.
+* ``corrupt=<substr>`` — the engine garbles the cache entry it just
+  wrote for the matching cell, simulating torn writes/bit rot; the next
+  read must quarantine it instead of trusting it.
+* ``kill-worker=<n>`` — worker ``n`` dies the first time it receives a
+  task, simulating an infant-mortality worker.
+
+Each fault fires at most once when a ``state`` directory is set: the
+first process to fire it atomically creates a marker file there, so a
+retried attempt (possibly in a *different*, respawned worker process)
+succeeds and the test can assert full recovery. Without a state
+directory a fault fires every time it matches — useful for asserting
+that the retry budget is eventually exhausted.
+
+``REPRO_FAULTS`` exposes the same plans to manual chaos runs, e.g.::
+
+    REPRO_FAULTS="crash=untangle" REPRO_JOBS=4 python -m repro \
+        --profile test --telemetry mix 1
+
+(:func:`faults_from_env` creates a fresh one-shot state directory per
+run unless the spec pins one with ``state=<dir>``.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Exit codes used by injected hard-exits (recognizable in supervisor logs).
+CRASH_EXIT_CODE = 13
+KILL_WORKER_EXIT_CODE = 17
+
+_SPEC_HELP = (
+    "accepted clauses (separated by ';'): crash=<label-substr>, "
+    "hang=<label-substr>, corrupt=<label-substr>, kill-worker=<int>, "
+    "hang-seconds=<float>, state=<dir>"
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An injectable failure policy, shared with worker processes."""
+
+    crash_cells: tuple[str, ...] = ()
+    hang_cells: tuple[str, ...] = ()
+    corrupt_cells: tuple[str, ...] = ()
+    kill_workers: tuple[int, ...] = ()
+    #: How long an injected hang sleeps (must exceed the engine timeout).
+    hang_seconds: float = 3600.0
+    #: Marker directory making each fault fire exactly once across all
+    #: processes; ``None`` means faults fire on every match.
+    state_dir: str | None = None
+
+    # ------------------------------------------------------------------
+    def _fire_once(self, fault_id: str) -> bool:
+        """True if this call wins the right to fire ``fault_id``.
+
+        With a state directory, atomically claims a marker file so the
+        fault fires exactly once across the whole process tree; without
+        one, always fires.
+        """
+        if self.state_dir is None:
+            return True
+        digest = hashlib.sha256(fault_id.encode("utf-8")).hexdigest()[:16]
+        marker = Path(self.state_dir) / f"fired-{digest}"
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True
+        os.close(fd)
+        return True
+
+    @staticmethod
+    def _matches(label: str, patterns: tuple[str, ...]) -> str | None:
+        for pattern in patterns:
+            if pattern in label:
+                return pattern
+        return None
+
+    # ------------------------------------------------------------------
+    # Hooks called from inside the executing process (worker or serial).
+    def on_cell_start(self, label: str, worker_id: int | None = None) -> None:
+        """Apply crash/hang/kill-worker faults before a cell executes."""
+        if worker_id is not None and worker_id in self.kill_workers:
+            if self._fire_once(f"kill-worker:{worker_id}"):
+                os._exit(KILL_WORKER_EXIT_CODE)
+        pattern = self._matches(label, self.crash_cells)
+        if pattern is not None and self._fire_once(f"crash:{pattern}"):
+            os._exit(CRASH_EXIT_CODE)
+        pattern = self._matches(label, self.hang_cells)
+        if pattern is not None and self._fire_once(f"hang:{pattern}"):
+            time.sleep(self.hang_seconds)
+
+    # ------------------------------------------------------------------
+    # Hooks called from the supervising (main) process.
+    def should_corrupt(self, label: str) -> bool:
+        pattern = self._matches(label, self.corrupt_cells)
+        return pattern is not None and self._fire_once(f"corrupt:{pattern}")
+
+    @staticmethod
+    def corrupt_file(path: str | Path) -> None:
+        """Garble a file the way a torn write would: truncate mid-payload."""
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+        except OSError:
+            pass
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    crash: list[str] = []
+    hang: list[str] = []
+    corrupt: list[str] = []
+    kill: list[int] = []
+    hang_seconds = 3600.0
+    state_dir: str | None = None
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, sep, value = clause.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not value:
+            raise ConfigurationError(
+                f"malformed fault clause {clause!r}; {_SPEC_HELP}"
+            )
+        if key == "crash":
+            crash.append(value)
+        elif key == "hang":
+            hang.append(value)
+        elif key == "corrupt":
+            corrupt.append(value)
+        elif key == "kill-worker":
+            try:
+                kill.append(int(value))
+            except ValueError:
+                raise ConfigurationError(
+                    f"kill-worker needs an integer worker id, got {value!r}; "
+                    f"{_SPEC_HELP}"
+                )
+        elif key == "hang-seconds":
+            try:
+                hang_seconds = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"hang-seconds needs a number, got {value!r}; {_SPEC_HELP}"
+                )
+        elif key == "state":
+            state_dir = value
+        else:
+            raise ConfigurationError(
+                f"unknown fault kind {key!r}; {_SPEC_HELP}"
+            )
+    return FaultPlan(
+        crash_cells=tuple(crash),
+        hang_cells=tuple(hang),
+        corrupt_cells=tuple(corrupt),
+        kill_workers=tuple(kill),
+        hang_seconds=hang_seconds,
+        state_dir=state_dir,
+    )
+
+
+def faults_from_env() -> FaultPlan | None:
+    """The ``REPRO_FAULTS`` plan, if any, with a one-shot state dir.
+
+    A state directory is created automatically (unless the spec pins
+    one) so each fault in a manual chaos run fires once and the run can
+    then *recover* — the scenario worth rehearsing.
+    """
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    plan = parse_fault_spec(spec)
+    if plan.state_dir is None:
+        plan = FaultPlan(
+            crash_cells=plan.crash_cells,
+            hang_cells=plan.hang_cells,
+            corrupt_cells=plan.corrupt_cells,
+            kill_workers=plan.kill_workers,
+            hang_seconds=plan.hang_seconds,
+            state_dir=tempfile.mkdtemp(prefix="repro-faults-"),
+        )
+    return plan

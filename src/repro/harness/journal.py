@@ -1,0 +1,182 @@
+"""Crash-safe campaign journal: append-only JSONL of cell outcomes.
+
+A long campaign (a figure's mix grid, the Figure 11 sensitivity sweep,
+Table 6) is dozens of multi-second simulation cells. If the process
+dies mid-run — machine crash, OOM kill, Ctrl-C — the journal is what
+survives: every *finished* cell was appended as one self-contained JSON
+line (fsync'd before the engine reports the cell done), so a restart
+with ``--resume`` / ``REPRO_RESUME=1`` replays journaled results and
+re-runs only the cells that never completed or failed.
+
+Design points that make the journal trustworthy after a hard kill:
+
+* **Append-only, one line per outcome.** A crash can only ever damage
+  the final line (a partial append); :meth:`RunJournal.load` skips any
+  line that does not parse and counts it in ``corrupt_lines`` instead
+  of aborting.
+* **Per-line checksum.** Each record carries a SHA-256 digest of its
+  own fields, so a torn or bit-flipped line is detected even when it
+  happens to remain valid JSON.
+* **Self-contained values.** Computed results are stored in encoded
+  (JSON) form in the line itself, so resume works even with the result
+  cache disabled or lost.
+* **Last entry wins.** Re-running a campaign appends; on load, the
+  newest record for a cell key shadows older ones, so a cell that
+  failed yesterday and succeeded today resumes as succeeded.
+
+The journal lives next to the result cache by default
+(``<cache-dir>/journal.jsonl``); the engine writes one record per
+computed / cache-hit / failed cell and never rewrites existing lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import JournalError
+
+#: Bump when the journal line layout changes incompatibly; old journals
+#: are then ignored on resume instead of being misread.
+JOURNAL_FORMAT_VERSION = 1
+
+
+def _checksum(fields: dict[str, Any]) -> str:
+    """Digest of one record's canonical JSON (order-independent)."""
+    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled cell outcome."""
+
+    key: str
+    label: str
+    status: str  # "computed" | "hit" | "failed"
+    wall_seconds: float
+    attempts: int
+    campaign: str | None = None
+    #: Encoded (JSON-able) result payload for successful cells.
+    value: Any | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
+
+
+class RunJournal:
+    """Append-only JSONL journal of campaign cell outcomes.
+
+    Records are flushed and fsync'd as they are written: once the
+    engine has reported a cell finished, that outcome survives SIGKILL.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle: TextIO | None = None
+        #: Lines skipped by the last :meth:`load` (torn writes, bit rot).
+        self.corrupt_lines = 0
+
+    # ------------------------------------------------------------------
+    def _open(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = not self.path.exists() or self.path.stat().st_size == 0
+                self._handle = open(self.path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise JournalError(f"cannot open journal {self.path}: {exc}")
+            if fresh:
+                self._append({"kind": "header", "format": JOURNAL_FORMAT_VERSION})
+        return self._handle
+
+    def _append(self, fields: dict[str, Any]) -> None:
+        handle = self._handle
+        assert handle is not None
+        try:
+            handle.write(json.dumps(fields, separators=(",", ":")) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot append to journal {self.path}: {exc}")
+
+    # ------------------------------------------------------------------
+    def record(self, entry: JournalEntry) -> None:
+        """Durably append one cell outcome."""
+        self._open()
+        fields = {"kind": "cell", "format": JOURNAL_FORMAT_VERSION}
+        fields.update(asdict(entry))
+        fields["sha256"] = _checksum(fields)
+        self._append(fields)
+
+    def load(self) -> dict[str, JournalEntry]:
+        """Read the journal back: newest valid entry per cell key.
+
+        Tolerates a missing file (empty campaign), a torn final line
+        (crash mid-append), and checksum mismatches; damaged lines are
+        counted in :attr:`corrupt_lines`, never raised.
+        """
+        self.corrupt_lines = 0
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}
+        entries: dict[str, JournalEntry] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                fields = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(fields, dict):
+                self.corrupt_lines += 1
+                continue
+            if fields.get("kind") == "header":
+                continue
+            if (
+                fields.get("kind") != "cell"
+                or fields.get("format") != JOURNAL_FORMAT_VERSION
+            ):
+                self.corrupt_lines += 1
+                continue
+            claimed = fields.pop("sha256", None)
+            if claimed != _checksum(fields):
+                self.corrupt_lines += 1
+                continue
+            try:
+                entry = JournalEntry(
+                    key=fields["key"],
+                    label=fields["label"],
+                    status=fields["status"],
+                    wall_seconds=fields["wall_seconds"],
+                    attempts=fields["attempts"],
+                    campaign=fields.get("campaign"),
+                    value=fields.get("value"),
+                    error=fields.get("error"),
+                )
+            except KeyError:
+                self.corrupt_lines += 1
+                continue
+            entries[entry.key] = entry
+        return entries
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -111,15 +111,20 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
     """Summarize one execution engine's counters as a text block.
 
     Shows the cache economics (hits vs. simulations), the robustness
-    counters (retries, failed cells), and the aggregate work done
-    (simulated cycles, per-cell seconds vs. engine wall-clock — their
-    ratio is the achieved parallel speedup).
+    counters (retries, failed cells, quarantined cache entries, worker
+    supervision events), and the aggregate work done (simulated cycles,
+    per-cell seconds vs. engine wall-clock — their ratio is the
+    achieved parallel speedup).
     """
+    breakdown = (
+        f"{telemetry.cache_hits} cache hits, "
+        f"{telemetry.simulations} simulated, {telemetry.failures} failed"
+    )
+    if telemetry.journal_replays:
+        breakdown = f"{telemetry.journal_replays} journal replays, " + breakdown
     lines = [
         "Execution telemetry",
-        f"  cells:        {telemetry.cells} "
-        f"({telemetry.cache_hits} cache hits, {telemetry.simulations} simulated, "
-        f"{telemetry.failures} failed)",
+        f"  cells:        {telemetry.cells} ({breakdown})",
         f"  retries:      {telemetry.retries}",
         f"  cycles:       {telemetry.cycles_simulated:,} simulated",
         f"  cell time:    {telemetry.cell_seconds:.2f}s across cells",
@@ -128,6 +133,26 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
     if telemetry.wall_seconds > 0 and telemetry.cell_seconds > 0:
         speedup = telemetry.cell_seconds / telemetry.wall_seconds
         lines.append(f"  speedup:      {speedup:.2f}x (cell time / wall clock)")
+    if telemetry.quarantines:
+        lines.append(
+            f"  quarantined:  {telemetry.quarantines} corrupt cache "
+            "entries renamed *.corrupt"
+        )
+    if telemetry.worker_crashes or telemetry.worker_timeouts:
+        lines.append(
+            f"  supervision:  {telemetry.worker_crashes} worker crashes, "
+            f"{telemetry.worker_timeouts} deadline kills, "
+            f"{telemetry.workers_respawned} respawns"
+        )
+    if telemetry.backoff_seconds > 0:
+        lines.append(
+            f"  backoff:      {telemetry.backoff_seconds:.2f}s of retry delay"
+        )
+    if telemetry.interrupted:
+        lines.append(
+            "  interrupted:  yes (journaled cells resume with --resume / "
+            "REPRO_RESUME=1)"
+        )
     failed = [r for r in telemetry.records if r.status == "failed"]
     for record in failed:
         lines.append(f"  FAILED {record.label}: {record.error}")

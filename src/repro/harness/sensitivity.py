@@ -133,7 +133,7 @@ def run_sensitivity_study(
         for name in names
         for size in sizes
     ]
-    outcomes = engine.run(cells)
+    outcomes = engine.run(cells, campaign="sensitivity")
     curves: dict[str, SensitivityCurve] = {}
     for index, name in enumerate(names):
         per_size = outcomes[index * len(sizes) : (index + 1) * len(sizes)]

@@ -77,7 +77,11 @@ def table6(
     )
     computed = (
         run_mix_grid(
-            missing, profile, schemes=("static", "time", "untangle"), engine=engine
+            missing,
+            profile,
+            schemes=("static", "time", "untangle"),
+            engine=engine,
+            campaign="table6",
         )
         if missing
         else {}
@@ -125,7 +129,11 @@ def active_attacker_summary(
     0.7 bits in the paper).
     """
     grid = run_mix_grid(
-        mix_ids, profile, schemes=("untangle", "untangle-unopt"), engine=engine
+        mix_ids,
+        profile,
+        schemes=("untangle", "untangle-unopt"),
+        engine=engine,
+        campaign="active-attacker",
     )
     optimized = []
     unoptimized = []

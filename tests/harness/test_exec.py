@@ -23,7 +23,9 @@ from repro.harness.exec import (
     MixSchemeCell,
     ResultCache,
     SensitivityCell,
+    backoff_delay,
     cell_key,
+    engine_from_env,
 )
 from repro.harness.experiment import run_mix, run_mix_grid, run_mix_scheme
 from repro.harness.runconfig import TEST
@@ -109,6 +111,75 @@ class TestEngineValidation:
             ExecutionEngine(retries=-1)
         with pytest.raises(ConfigurationError):
             ExecutionEngine(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(backoff_base=-0.1)
+
+
+class TestEngineFromEnv:
+    """``REPRO_*`` parsing: friendly errors, not bare ValueErrors."""
+
+    def test_non_integer_jobs_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError) as excinfo:
+            engine_from_env()
+        message = str(excinfo.value)
+        assert "REPRO_JOBS" in message
+        assert "'many'" in message  # the offending value
+        assert "integer" in message  # the accepted forms
+
+    def test_negative_jobs_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ConfigurationError) as excinfo:
+            engine_from_env()
+        message = str(excinfo.value)
+        assert "REPRO_JOBS" in message and "'-2'" in message
+
+    def test_zero_jobs_means_one_per_cpu(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert engine_from_env().jobs >= 1
+
+    def test_bad_retries_and_timeout_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "-1")
+        with pytest.raises(ConfigurationError, match="REPRO_RETRIES"):
+            engine_from_env()
+        monkeypatch.delenv("REPRO_RETRIES")
+        monkeypatch.setenv("REPRO_TIMEOUT", "soon")
+        with pytest.raises(ConfigurationError, match="REPRO_TIMEOUT"):
+            engine_from_env()
+
+    def test_journal_and_resume_wiring(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_RESUME", "1")
+        engine = engine_from_env()
+        assert engine.resume
+        assert engine.journal is not None
+        assert engine.journal.path == tmp_path / "journal.jsonl"
+        monkeypatch.setenv("REPRO_JOURNAL", "0")
+        assert engine_from_env().journal is None
+
+    def test_no_cache_dir_means_no_journal(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        engine = engine_from_env()
+        assert engine.cache is None and engine.journal is None
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        key = "k" * 64
+        delays = [backoff_delay(key, n, 1.0, 8.0) for n in (1, 2, 3, 4, 5, 6)]
+        # Jitter scales by [0.5, 1.0); growth dominates until the cap.
+        assert delays[1] > delays[0]
+        assert delays[2] > delays[1]
+        assert all(d <= 8.0 for d in delays)
+
+    def test_deterministic(self):
+        assert backoff_delay("a", 2, 0.5, 30.0) == backoff_delay("a", 2, 0.5, 30.0)
+
+    def test_jitter_differs_across_keys(self):
+        assert backoff_delay("a", 1, 1.0, 30.0) != backoff_delay("b", 1, 1.0, 30.0)
+
+    def test_zero_base_disables(self):
+        assert backoff_delay("a", 5, 0.0, 30.0) == 0.0
 
 
 class TestSerialEquivalence:
@@ -271,6 +342,29 @@ class TestTimeout:
         assert "timeout" in outcomes[0].error
         assert outcomes[1].status == "computed"
         assert outcomes[1].value == 0.01
+        # The hung worker was killed and the pool survived.
+        assert engine.telemetry.worker_timeouts == 1
+        assert engine.telemetry.workers_respawned == 1
+
+    def test_failed_cell_records_actual_elapsed_time(self):
+        """Failed/timed-out cells used to be booked at wall_seconds=0.0,
+        undercounting cell_seconds; they must carry real elapsed time."""
+        engine = ExecutionEngine(jobs=2, timeout=0.5, retries=0)
+        outcomes = engine.run([SleepCell(30.0), SleepCell(0.01)])
+        assert outcomes[0].wall_seconds >= 0.4
+        failed = [r for r in engine.telemetry.records if r.status == "failed"]
+        assert failed and failed[0].wall_seconds >= 0.4
+        assert engine.telemetry.cell_seconds >= 0.4
+
+    def test_timed_out_retries_accumulate_elapsed_time(self):
+        engine = ExecutionEngine(
+            jobs=2, timeout=0.3, retries=1, backoff_base=0.01
+        )
+        outcomes = engine.run([SleepCell(30.0)])
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].attempts == 2
+        # Two killed attempts of ~0.3s each.
+        assert outcomes[0].wall_seconds >= 0.5
 
 
 class TestSensitivityEngine:

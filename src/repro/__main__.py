@@ -37,6 +37,7 @@ from repro.harness.exec import ExecutionEngine, ResultCache
 from repro.harness.faults import faults_from_env
 from repro.harness.journal import RunJournal
 from repro.harness.experiment import run_mix
+from repro.harness.profiling import PROFILE_DIR_ENV, PROFILE_ENV
 from repro.harness.figures import figure_group
 from repro.harness.report import (
     render_figure_group,
@@ -91,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="print engine cache/timing counters to stderr",
+    )
+    parser.add_argument(
+        "--cprofile",
+        default=None,
+        metavar="CELL",
+        help=(
+            "cProfile one simulation cell — the first whose label "
+            "contains CELL, or the first cell run with CELL=all — and "
+            "write profile-<cell>.pstats beside the cache dir "
+            "(also: REPRO_PROFILE=CELL)"
+        ),
     )
     parser.add_argument(
         "--resume",
@@ -173,6 +185,13 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     profile = PROFILES[args.profile]
+    if args.cprofile:
+        # Workers inherit the environment, so the request reaches the
+        # cell wherever it executes; the stats land beside the cache dir.
+        os.environ[PROFILE_ENV] = args.cprofile
+        os.environ.setdefault(
+            PROFILE_DIR_ENV, str(Path(args.cache_dir).resolve().parent)
+        )
     engine = build_engine(args)
 
     try:

@@ -70,6 +70,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.errors import CampaignInterrupted, ConfigurationError
 from repro.harness.faults import FaultPlan, faults_from_env
 from repro.harness.journal import JournalEntry, RunJournal
+from repro.harness.profiling import maybe_profile, reset_claim
 from repro.harness.runconfig import RunProfile
 
 #: Bump when the cached payload layout or the simulator's semantics
@@ -395,7 +396,7 @@ def _execute_cell(
     if faults is not None:
         faults.on_cell_start(cell.label, worker_id)
     start = time.perf_counter()
-    value = cell.execute()
+    value = maybe_profile(cell.label, cell.execute, worker_id)
     return value, time.perf_counter() - start
 
 
@@ -918,6 +919,7 @@ class ExecutionEngine:
             else {}
         )
         quarantined_before = self.cache.quarantined if self.cache else 0
+        reset_claim()  # each campaign gets one REPRO_PROFILE capture
         self._install_signals()
         try:
             pending: list[tuple[int, Any, str]] = []

@@ -1,0 +1,159 @@
+"""Perf regression check against the committed kernel baseline.
+
+``benchmarks/bench_kernel.py`` records, in ``BENCH_kernel.json`` at the
+repository root, how much faster the batched simulation kernel is than
+the retained reference kernel — per scheme for an end-to-end cell, and
+for the raw cache kernel. Absolute wall-clock depends on the host, but
+the *speedup ratio* (reference / batched, both measured back-to-back on
+the same machine) is machine-independent to first order; it is what
+this module compares.
+
+A regression is flagged when a freshly measured speedup falls more than
+``tolerance`` (default 30%) below the committed baseline's — i.e. the
+batched kernel lost a significant fraction of its advantage — or when a
+measurement reports non-identical results between the kernels (which is
+a correctness bug, never tolerated).
+
+CLI (the CI ``perf-smoke`` job)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick --output fresh.json
+    PYTHONPATH=src python -m repro.harness.perfbaseline --current fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: The committed baseline written by ``benchmarks/bench_kernel.py``.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_kernel.json"
+
+#: Allowed fractional loss of speedup before a measurement is a regression.
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_bench(path: str | Path) -> dict:
+    """Parse one ``BENCH_kernel.json``, validating its layout version."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read benchmark file {path}: {exc}")
+    except ValueError as exc:
+        raise ConfigurationError(f"benchmark file {path} is not JSON: {exc}")
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise ConfigurationError(f"benchmark file {path} has no format marker")
+    if payload["format"] != 1:
+        raise ConfigurationError(
+            f"benchmark file {path} has format {payload['format']!r}; "
+            "this checker understands format 1"
+        )
+    return payload
+
+
+def _speedups(payload: dict) -> dict[str, float]:
+    """Flatten a benchmark payload to ``{measurement: speedup}``."""
+    out = {"raw_kernel": float(payload["raw_kernel"]["speedup"])}
+    for scheme, cell in payload["end_to_end"]["cells"].items():
+        out[f"end_to_end/{scheme}"] = float(cell["speedup"])
+    return out
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One measurement that fell outside the tolerance."""
+
+    measurement: str
+    baseline: float
+    current: float
+    #: Fractional loss of speedup relative to the baseline.
+    loss: float
+
+    def __str__(self) -> str:
+        if self.loss >= 1.0:
+            return f"{self.measurement}: kernels reported non-identical results"
+        return (
+            f"{self.measurement}: speedup {self.current:.2f}x is "
+            f"{self.loss:.0%} below the baseline {self.baseline:.2f}x"
+        )
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Regression]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Only measurements present in *both* payloads are compared, so a
+    baseline refresh that adds a scheme does not break older branches.
+    A current cell with ``identical: false`` is reported as a regression
+    with ``loss = 1.0`` — equivalence failures outrank any timing.
+    """
+    if not 0 <= tolerance < 1:
+        raise ConfigurationError("tolerance must be in [0, 1)")
+    regressions: list[Regression] = []
+    for scheme, cell in current["end_to_end"]["cells"].items():
+        if not cell.get("identical", False):
+            regressions.append(
+                Regression(f"end_to_end/{scheme}", 0.0, 0.0, 1.0)
+            )
+    base = _speedups(baseline)
+    cur = _speedups(current)
+    for measurement in sorted(base.keys() & cur.keys()):
+        floor = base[measurement] * (1.0 - tolerance)
+        if cur[measurement] < floor:
+            loss = 1.0 - cur[measurement] / base[measurement]
+            regressions.append(
+                Regression(measurement, base[measurement], cur[measurement], loss)
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.perfbaseline",
+        description="Compare a fresh kernel benchmark against the committed "
+        "baseline; exit 1 on regression.",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help=f"committed baseline (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        required=True,
+        help="freshly measured BENCH_kernel.json to check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional speedup loss (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    regressions = compare(current, baseline, args.tolerance)
+    base, cur = _speedups(baseline), _speedups(current)
+    for measurement in sorted(base.keys() | cur.keys()):
+        print(
+            f"{measurement:22s} baseline={base.get(measurement, float('nan')):5.2f}x "
+            f"current={cur.get(measurement, float('nan')):5.2f}x"
+        )
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print(f"ok: no speedup fell more than {args.tolerance:.0%} below baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

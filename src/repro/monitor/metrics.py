@@ -53,6 +53,21 @@ class TimingDependentView:
     def observe(self, line_addr: int) -> None:
         self._inner.observe(line_addr)
 
+    def observe_block(
+        self, addrs: np.ndarray, hashes: np.ndarray | None = None
+    ) -> None:
+        block = getattr(self._inner, "observe_block", None)
+        if block is not None:
+            block(addrs, hashes)
+            return
+        observe = self._inner.observe
+        for line_addr in addrs.tolist():
+            observe(line_addr)
+
+    @property
+    def uses_address_hashes(self) -> bool:
+        return bool(getattr(self._inner, "uses_address_hashes", False))
+
     def hits_per_size(self) -> np.ndarray:
         return self._inner.hits_per_size()
 

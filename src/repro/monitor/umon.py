@@ -48,6 +48,26 @@ def _mix64(x: int) -> int:
     return x ^ (x >> 33)
 
 
+_U64_SHIFT = np.uint64(33)
+_U64_MULT1 = np.uint64(0xFF51AFD7ED558CCD)
+_U64_MULT2 = np.uint64(0xC4CEB9FE1A85EC53)
+
+
+def mix64_array(addrs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64` over an address array; returns uint64.
+
+    Bit-identical to the scalar finalizer: the int64 → uint64 cast is the
+    two's-complement reinterpretation (``x & _MASK64``), and uint64
+    multiplication wraps modulo ``2**64`` exactly like the masked Python
+    product. Streams hash their addresses once through this and reuse the
+    result every pass (:attr:`repro.sim.cpu.InstructionStream.hashed_addresses`).
+    """
+    x = addrs.astype(np.uint64)
+    x = (x ^ (x >> _U64_SHIFT)) * _U64_MULT1
+    x = (x ^ (x >> _U64_SHIFT)) * _U64_MULT2
+    return x ^ (x >> _U64_SHIFT)
+
+
 class UMONMonitor:
     """Per-domain shadow monitor producing hits-per-candidate-size curves.
 
@@ -106,6 +126,11 @@ class UMONMonitor:
     def window(self) -> int:
         return self._window
 
+    @property
+    def uses_address_hashes(self) -> bool:
+        """Whether :meth:`observe_block` can use precomputed address hashes."""
+        return self._sampling_mask != 0
+
     # ------------------------------------------------------------------
     def observe(self, line_addr: int) -> None:
         """Feed one post-L1 access (already annotation-filtered upstream)."""
@@ -131,6 +156,50 @@ class UMONMonitor:
             # last `window` monitored accesses.
             self._bins *= 0.5
             self._epoch_accesses *= 0.5
+
+    def observe_block(
+        self, addrs: np.ndarray, hashes: np.ndarray | None = None
+    ) -> None:
+        """Feed a run of post-L1 accesses in one call.
+
+        Equivalent, counter for counter and bit for bit, to calling
+        :meth:`observe` once per address in order: the sampling filter
+        applies the same hash test (vectorized), reuse distances come
+        from one tracker run, and the bin/epoch accumulation replays the
+        per-access ``+= 1.0`` / halving sequence on local Python floats
+        (IEEE-754 identical to the numpy scalar ops) before writing back.
+        ``hashes`` optionally carries precomputed SplitMix64 hashes
+        aligned with ``addrs``.
+        """
+        self.total_observed += int(addrs.shape[0])
+        if self._sampling_mask:
+            if hashes is None:
+                hashes = mix64_array(addrs)
+            keep = (hashes & np.uint64(self._sampling_mask)) == 0
+            addrs = addrs[keep]
+            if not addrs.shape[0]:
+                return
+        distances = self._tracker.observe_run(addrs.tolist())
+        sizes = self._sizes
+        cold_bin = len(sizes)
+        shift = self._sampling_shift
+        scale = self._scale
+        window = self._window
+        bins = self._bins.tolist()
+        epoch = self._epoch_accesses
+        find_bin = bisect.bisect_right
+        for distance in distances:
+            if distance < 0:
+                bin_index = cold_bin
+            else:
+                bin_index = find_bin(sizes, distance << shift)
+            bins[bin_index] += 1.0
+            epoch += 1.0
+            if epoch * scale > window:
+                bins = [value * 0.5 for value in bins]
+                epoch *= 0.5
+        self._bins[:] = bins
+        self._epoch_accesses = epoch
 
     def hits_per_size(self) -> np.ndarray:
         """Estimated hits at each candidate size over the current window.

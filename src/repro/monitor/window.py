@@ -36,12 +36,18 @@ class FenwickTree:
         while new_size < needed:
             new_size *= 2
         # Rebuild from per-position values (O(n log n), amortized by doubling).
+        # A node's point value is its range sum minus its direct children's
+        # range sums (the children tile the rest of the node's range).
+        tree = self._tree
         values = [0] * (self._size + 1)
         for i in range(1, self._size + 1):
-            values[i] += self._tree[i]
-            parent = i + (i & -i)
-            if parent <= self._size:
-                self._tree[parent] -= values[i]
+            value = tree[i]
+            child = i - 1
+            stop = i - (i & -i)
+            while child > stop:
+                value -= tree[child]
+                child -= child & -child
+            values[i] = value
         new_tree = [0] * (new_size + 1)
         for i in range(1, self._size + 1):
             if values[i]:
@@ -119,6 +125,54 @@ class ReuseDistanceTracker:
         self._fenwick.add(now, 1)
         self._last_position[line_addr] = now
         return distance
+
+    def observe_run(self, line_addrs: list[int]) -> list[int]:
+        """Record a run of accesses; returns their reuse distances.
+
+        All-integer arithmetic, so the distances and the final tree state
+        are exactly those of per-address :meth:`observe` calls; the tree
+        is pre-grown to the run's last timestamp and the Fenwick walks
+        are inlined over local references, which is what makes this the
+        batched monitor's hot path.
+        """
+        fenwick = self._fenwick
+        clock = self._clock
+        if clock + len(line_addrs) > fenwick._size:
+            fenwick._grow(clock + len(line_addrs))
+        tree = fenwick._tree
+        size = fenwick._size
+        last_position = self._last_position
+        get_previous = last_position.get
+        distances: list[int] = []
+        append = distances.append
+        for line_addr in line_addrs:
+            clock += 1
+            previous = get_previous(line_addr)
+            if previous is None:
+                append(COLD_DISTANCE)
+            else:
+                # range_sum(previous + 1, clock - 1) as two prefix walks.
+                total = 0
+                position = clock - 1
+                while position > 0:
+                    total += tree[position]
+                    position -= position & -position
+                position = previous
+                while position > 0:
+                    total -= tree[position]
+                    position -= position & -position
+                append(total)
+                position = previous
+                while position <= size:
+                    tree[position] -= 1
+                    position += position & -position
+            position = clock
+            while position <= size:
+                tree[position] += 1
+                position += position & -position
+            last_position[line_addr] = clock
+        self._clock = clock
+        return distances
 
     def reset(self) -> None:
         """Forget all history (used when a monitor is cleared)."""

@@ -22,6 +22,28 @@ Instruction streams are numpy arrays; the core walks them memory-access
 by memory-access, retiring non-memory blocks in bulk, so simulation cost
 is proportional to the number of memory accesses, not instructions.
 
+Two inner kernels implement that walk (selected by ``REPRO_SIM_KERNEL``,
+see :mod:`repro.sim.kernelmode`):
+
+* The **batched** kernel resolves whole *runs* of events — every memory
+  access and stall between two stop events (quantum top, progress
+  target) — in one speculative :meth:`DomainMemory.resolve_block` call,
+  accumulating cycles with a vectorized interleaved cumulative sum that
+  reproduces the scalar float-addition chain bit for bit. Because the
+  resolve returns the *actual* latencies, the exact reference stopping
+  point within the run is found by binary search over the cumulative
+  loop-top values, and :meth:`DomainMemory.commit_block` keeps exactly
+  that prefix (rolling the caches back over the rest). Runs never cross
+  a measurement boundary (warmup end / slice end) or the progress
+  crossing; events at those edges fall back to the scalar step, which
+  performs the boundary bookkeeping at exactly the reference
+  granularity.
+* The **reference** kernel is the original one-call-per-access loop,
+  retained verbatim for differential testing and as the before/after
+  baseline of ``benchmarks/bench_kernel.py``. Timing jitter draws one
+  RNG value per access, so jittered cores always use the scalar loop
+  regardless of kernel mode (the draw sequence is part of the result).
+
 After a stream's slice finishes, the core keeps re-running the stream
 (wrapping around) to maintain LLC pressure, per the paper's methodology,
 while its statistics stay frozen.
@@ -37,8 +59,14 @@ import numpy as np
 from repro.config import ArchConfig
 from repro.core.annotations import AnnotationVector
 from repro.errors import ConfigurationError, SimulationError
+from repro.monitor.umon import mix64_array
 from repro.sim.hierarchy import DomainMemory
+from repro.sim.kernelmode import batching_enabled
 from repro.sim.stats import DomainStats
+
+#: Smallest event run worth dispatching as a batch; shorter runs go
+#: through the scalar step (batch setup would cost more than it saves).
+MIN_BATCH = 8
 
 
 class StopReason(enum.Enum):
@@ -73,6 +101,8 @@ class InstructionStream:
         "event_positions",
         "cum_public",
         "public_per_pass",
+        "max_stall",
+        "_hashed",
     )
 
     def __init__(
@@ -105,15 +135,33 @@ class InstructionStream:
         # plus explicit stalls (e.g. the usleep of Figure 1c).
         if stall_cycles is None:
             self.event_positions = self.mem_positions
+            self.max_stall = 0
         else:
             self.event_positions = np.flatnonzero(
                 (addresses >= 0) | (stall_cycles > 0)
             )
+            self.max_stall = int(stall_cycles.max())
         # cum_public[i] = number of progress-counted instructions among the
         # first i instructions of one pass of the stream.
         counted = (~annotations.progress_excluded).astype(np.int64)
         self.cum_public = np.concatenate(([0], np.cumsum(counted)))
         self.public_per_pass = int(self.cum_public[-1])
+        self._hashed: np.ndarray | None = None
+
+    @property
+    def hashed_addresses(self) -> np.ndarray:
+        """SplitMix64 hash of every address, computed once and cached.
+
+        Set-sampling monitors decide per address whether to observe it by
+        hashing it (:func:`repro.monitor.umon.mix64_array`); since the
+        stream is re-executed pass after pass, hashing each address once
+        up front turns that decision into an array mask. Entries at
+        non-memory positions (address ``-1``) are meaningless and never
+        consumed.
+        """
+        if self._hashed is None:
+            self._hashed = mix64_array(self.addresses)
+        return self._hashed
 
     @property
     def memory_instruction_count(self) -> int:
@@ -170,6 +218,24 @@ class Core:
             np.random.default_rng(core_config.timing_jitter_seed)
             if core_config.timing_jitter > 0
             else None
+        )
+        # Jitter draws one RNG value per access, so jittered cores must
+        # take the scalar loop to preserve the draw sequence. Speculative
+        # block resolution additionally needs an LLC view that can
+        # snapshot/restore its state.
+        self._use_batched = (
+            batching_enabled()
+            and core_config.timing_jitter == 0
+            and memory.supports_speculation
+        )
+        # Running estimate of the average cycle cost per event, used only
+        # to size batches against the remaining budget (never to decide
+        # results — the stop point is computed exactly afterwards).
+        events = max(1, int(stream.event_positions.shape[0]))
+        self._est_cost = (
+            self._cpi * (stream.length / events)
+            + self._cpi
+            + arch.llc_latency * self._inv_mlp
         )
 
         self.cycles: float = 0.0
@@ -270,6 +336,14 @@ class Core:
         what makes Untangle's assessment points (and hence its utilization
         metric snapshots) functions of the instruction stream alone.
         """
+        if self._use_batched:
+            return self._run_batched(until_cycle, progress_target)
+        return self._run_reference(until_cycle, progress_target)
+
+    def _run_reference(
+        self, until_cycle: float, progress_target: int | None
+    ) -> StopReason:
+        """The original per-access loop, kept verbatim as the reference."""
         stream = self.stream
         event_positions = stream.event_positions
         num_events = event_positions.shape[0]
@@ -294,4 +368,170 @@ class Core:
             self._advance_nonmem(next_event - self._rel_pos)
             self._execute_event(next_event)
             self._mem_cursor += 1
+        return StopReason.QUANTUM
+
+    def _run_batched(
+        self, until_cycle: float, progress_target: int | None
+    ) -> StopReason:
+        """Batched kernel: speculatively resolve event runs, commit exactly.
+
+        Bit-exact with :meth:`_run_reference`. Each iteration picks a run
+        of upcoming events capped so that none could cross the progress
+        target or a measurement boundary (those must fire from the scalar
+        path at the reference's exact granularity), sized by a running
+        cost estimate against the remaining cycle budget. The run is
+        resolved *speculatively* through the hierarchy
+        (:meth:`DomainMemory.resolve_block`): caches advance and the
+        actual per-access latencies come back, but monitor and service
+        counters are deferred. With real latencies in hand, one
+        interleaved cumulative sum reproduces the scalar float-addition
+        chain bit for bit, and a binary search over its loop-top values
+        finds exactly how many events the reference loop would have
+        executed before the budget check stopped it.
+        :meth:`DomainMemory.commit_block` then keeps that prefix, rolling
+        the caches back over the unexecuted tail (deterministic replay
+        from copy-on-write set snapshots) — so sizing is a pure
+        performance knob with no effect on results. Leftover runs shorter
+        than :data:`MIN_BATCH` take the scalar step.
+
+        Speculation is sound because within one ``run()`` call the LLC
+        view is effectively private: other cores and resizes only act
+        between calls, at quantum and assessment granularity.
+        """
+        stream = self.stream
+        ev = stream.event_positions
+        num_events = int(ev.shape[0])
+        length = stream.length
+        cpi = self._cpi
+        inv_mlp = self._inv_mlp
+        memory = self.memory
+        stats = self.stats
+        addresses = stream.addresses
+        excluded = stream.annotations.metric_excluded
+        stalls = stream.stall_cycles
+        cum_public = stream.cum_public
+        hashes = stream.hashed_addresses if memory.monitor_wants_hashes else None
+        # Annotation/hash slices only matter to the monitor feed; without
+        # a monitor, commit_block never reads them.
+        has_monitor = memory.monitor is not None
+
+        crossing = (
+            self._public_crossing_rel(progress_target)
+            if progress_target is not None
+            else None
+        )
+        while self.cycles < until_cycle:
+            if progress_target is not None and self.public_retired >= progress_target:
+                return StopReason.PROGRESS
+            cursor = self._mem_cursor
+            next_event = int(ev[cursor]) if cursor < num_events else length
+            if crossing is not None and crossing <= next_event:
+                self._advance_nonmem(crossing - self._rel_pos)
+                return StopReason.PROGRESS
+            if next_event >= length:
+                self._advance_nonmem(length - self._rel_pos)
+                self._wrap_pass()
+                if progress_target is not None:
+                    crossing = self._public_crossing_rel(progress_target)
+                continue
+
+            rel_pos = self._rel_pos
+            # Events at or past the crossing never execute this pass.
+            if crossing is None:
+                stop = num_events
+            else:
+                stop = int(np.searchsorted(ev, crossing, side="left"))
+            # Keep retired strictly below the next measurement boundary.
+            if not self._measuring:
+                boundary = self._warmup_end
+            elif not stats.finished:
+                boundary = self._slice_end
+            else:
+                boundary = -1
+            if boundary >= 0:
+                max_pos = rel_pos + boundary - self.retired - 2
+                cap = int(np.searchsorted(ev, max_pos, side="right"))
+                if cap < stop:
+                    stop = cap
+            # Size the run to just under the remaining budget, so runs
+            # commit fully (no rollback). Over- and undershoot are both
+            # safe — the commit point is computed exactly from actual
+            # latencies — so this is a pure performance knob.
+            cap_stop = stop
+            want = int(0.9 * (until_cycle - self.cycles) / self._est_cost)
+            if cursor + want < stop:
+                stop = cursor + want
+            n = stop - cursor
+            if n < MIN_BATCH:
+                # Scalar mop-up for the quantum tail (cheaper than a tiny
+                # speculative batch, which would always roll back). Events
+                # in [cursor, cap_stop) are strictly before the crossing
+                # and the measurement boundary, so only the cycle budget
+                # can stop early; a zero-length window is the capped
+                # boundary event itself, which steps once as the
+                # reference would.
+                end = cap_stop if cap_stop > cursor else cursor + 1
+                while True:
+                    next_event = int(ev[cursor])
+                    self._advance_nonmem(next_event - self._rel_pos)
+                    self._execute_event(next_event)
+                    cursor += 1
+                    if cursor >= end or self.cycles >= until_cycle:
+                        break
+                self._mem_cursor = cursor
+                continue
+
+            idx = ev[cursor:stop]
+            addrs = addresses[idx]
+            commit_excluded = None
+            commit_hashes = None
+            if stalls is None:
+                mem_mask = None
+                latencies, token = memory.resolve_block(addrs)
+                extras = latencies * inv_mlp
+                if has_monitor:
+                    commit_excluded = excluded[idx]
+                    commit_hashes = hashes[idx] if hashes is not None else None
+            else:
+                extras = np.zeros(n, dtype=np.float64)
+                mem_mask = addrs >= 0
+                if mem_mask.any():
+                    mem_idx = idx[mem_mask]
+                    latencies, token = memory.resolve_block(addresses[mem_idx])
+                    extras[mem_mask] = latencies * inv_mlp
+                    if has_monitor:
+                        commit_excluded = excluded[mem_idx]
+                        commit_hashes = (
+                            hashes[mem_idx] if hashes is not None else None
+                        )
+                else:
+                    token = None
+                extras = extras + stalls[idx]
+            # Interleave (gap advance, event retire) deltas and fold them
+            # with one strictly-sequential cumulative sum; even entries
+            # are the reference loop-top cycle values before each event.
+            gaps = idx - np.concatenate(([rel_pos], idx[:-1] + 1))
+            deltas = np.empty(2 * n + 1, dtype=np.float64)
+            deltas[0] = self.cycles
+            deltas[1::2] = gaps * cpi
+            deltas[2::2] = cpi + extras
+            tops = np.cumsum(deltas)[0::2]
+            # First event whose loop-top check would fail the budget.
+            k = int(np.searchsorted(tops, until_cycle, side="left"))
+            if k > n:
+                k = n
+            if token is not None:
+                kept = k if mem_mask is None else int(np.count_nonzero(mem_mask[:k]))
+                memory.commit_block(token, kept, commit_excluded, commit_hashes)
+            last = int(idx[k - 1])
+            self.cycles = float(tops[k])
+            self.retired += last + 1 - rel_pos
+            self.public_retired += int(cum_public[last + 1] - cum_public[rel_pos])
+            self._rel_pos = last + 1
+            self._mem_cursor = cursor + k
+            # Refresh the batch-sizing estimate (perf only, never results).
+            self._est_cost = 0.5 * (
+                self._est_cost + (float(tops[k]) - float(tops[0])) / k
+            )
+            self._check_boundaries()
         return StopReason.QUANTUM

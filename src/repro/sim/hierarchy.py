@@ -7,6 +7,22 @@ filters out "memory accesses that would hit in the private caches",
 Section 7); secret-annotated accesses are excluded from the monitor when
 the hierarchy is configured to respect annotations (Principle 1 plus
 annotations, Section 5.2).
+
+Three entry points exist: :meth:`DomainMemory.access` resolves one
+access (the reference kernel's path); :meth:`DomainMemory.access_block`
+resolves a whole run of accesses in one call; and the
+:meth:`DomainMemory.resolve_block` / :meth:`DomainMemory.commit_block`
+pair resolves a run *speculatively* — caches advanced, monitor and
+service counters deferred — so the batched CPU kernel can learn every
+access's actual latency first, compute exactly where the reference
+scalar loop would have stopped (a cycle budget, typically), and then
+commit only that prefix, rolling the caches back over the unexecuted
+tail via copy-on-write set snapshots. The block paths are exactly
+equivalent to per-access calls: within a run, the L1 state depends only
+on the address sequence, the monitor only on the L1-missing
+(annotation-filtered) subsequence, and the LLC only on the L1-missing
+subsequence — none feeds back into another — and a rolled-back replay
+is deterministic from the restored state.
 """
 
 from __future__ import annotations
@@ -14,9 +30,17 @@ from __future__ import annotations
 import enum
 from typing import Protocol
 
+import numpy as np
+
 from repro.config import ArchConfig
 from repro.sim.cache import SetAssociativeCache
+from repro.sim.kernelmode import make_cache
 from repro.sim.partition import LLCView
+
+
+#: Sentinel distinct from the packed-recency dicts' stored value (None),
+#: so ``ways.pop(addr, MISSING) is None`` is a one-lookup hit test.
+MISSING = object()
 
 
 class MemoryLevel(enum.IntEnum):
@@ -60,6 +84,7 @@ class DomainMemory:
         "_l1_latency",
         "_llc_latency",
         "_dram_latency",
+        "_distinct_latencies",
         "level_counts",
     )
 
@@ -71,14 +96,33 @@ class DomainMemory:
         monitor_respects_annotations: bool = True,
     ):
         l1_sets = max(1, config.l1_lines // config.l1_associativity)
-        self.l1 = SetAssociativeCache(l1_sets, config.l1_associativity)
+        self.l1 = make_cache(l1_sets, config.l1_associativity)
         self.llc_view = llc_view
         self.monitor = monitor
         self.monitor_respects_annotations = monitor_respects_annotations
         self._l1_latency = config.l1_latency
         self._llc_latency = config.llc_latency
         self._dram_latency = config.dram_latency
+        # With three distinct level latencies the serving level can be
+        # recovered from an access's latency, which lets the fused kernel
+        # skip materializing hit masks (commit_block derives them).
+        self._distinct_latencies = (
+            len({config.l1_latency, config.llc_latency, config.dram_latency}) == 3
+        )
         self.level_counts = {level: 0 for level in MemoryLevel}
+
+    @property
+    def monitor_wants_hashes(self) -> bool:
+        """Whether precomputed address hashes would help the monitor.
+
+        True when the monitor set-samples by SplitMix64 address hash
+        (see :class:`repro.monitor.umon.UMONMonitor`); callers that hold
+        a per-stream hash cache can then pass it to
+        :meth:`access_block` and skip re-hashing per observation.
+        """
+        return self.monitor is not None and bool(
+            getattr(self.monitor, "uses_address_hashes", False)
+        )
 
     def access(self, line_addr: int, metric_excluded: bool = False) -> int:
         """Perform one memory access; returns its round-trip latency.
@@ -99,6 +143,291 @@ class DomainMemory:
             return self._llc_latency
         self.level_counts[MemoryLevel.DRAM] += 1
         return self._dram_latency
+
+    @property
+    def supports_speculation(self) -> bool:
+        """Whether the LLC view can snapshot/restore for speculative runs."""
+        return bool(getattr(self.llc_view, "supports_speculation", False))
+
+    @property
+    def worst_case_latency(self) -> int:
+        """Upper bound on any single access's latency (a DRAM miss)."""
+        return self._dram_latency
+
+    def resolve_block(
+        self, addrs: np.ndarray, speculative: bool = True
+    ) -> tuple[np.ndarray, tuple]:
+        """Speculatively resolve a run's latencies; caches advance, nothing else.
+
+        The L1 and the LLC view are walked through the whole run (so the
+        returned int64 latencies are the *actual* per-access values), but
+        the monitor and the service counters are untouched — they are
+        applied by :meth:`commit_block` for the prefix that really
+        executed. With ``speculative=True`` the touched cache sets are
+        snapshotted first so a partial commit can roll the tail back.
+
+        When both caches are packed-recency LRU (the production kernel)
+        and the view exposes a :meth:`kernel_binding`, the walk is one
+        fused Python loop over the raw set dicts — the single hottest
+        loop of the simulator — instead of two staged
+        :meth:`~repro.sim.cache.SetAssociativeCache.access_run` calls.
+        """
+        l1 = self.l1
+        binding = getattr(self.llc_view, "kernel_binding", None)
+        if (
+            binding is not None
+            and self._distinct_latencies
+            and type(l1) is SetAssociativeCache
+            and l1._lru
+        ):
+            llc_cache, offset, domain_stats = binding()
+            if type(llc_cache) is SetAssociativeCache and llc_cache._lru:
+                return self._resolve_block_fused(
+                    addrs, speculative, llc_cache, offset, domain_stats
+                )
+
+        l1_snapshot = l1.snapshot_for(addrs) if speculative else None
+        l1_hits, _ = l1.access_run(addrs)
+        miss_mask = ~l1_hits
+        miss_addrs = addrs[miss_mask]
+        latencies = np.full(addrs.shape[0], self._l1_latency, dtype=np.int64)
+        if miss_addrs.shape[0]:
+            llc_snapshot = (
+                self.llc_view.snapshot_for(miss_addrs) if speculative else None
+            )
+            llc_hits = self.llc_view.access_run(miss_addrs)
+            latencies[miss_mask] = np.where(
+                llc_hits, self._llc_latency, self._dram_latency
+            )
+        else:
+            llc_snapshot = None
+            llc_hits = miss_addrs.astype(bool)
+        token = (addrs, latencies, (miss_mask, llc_hits), l1_snapshot, llc_snapshot)
+        return latencies, token
+
+    def _resolve_block_fused(
+        self,
+        addrs: np.ndarray,
+        speculative: bool,
+        llc_cache: SetAssociativeCache,
+        offset: int,
+        domain_stats,
+    ) -> tuple[np.ndarray, tuple]:
+        """One-loop L1+LLC resolve over the raw packed-recency dicts.
+
+        Semantically identical to the staged path (and to per-access
+        :meth:`access` calls): same dict operations in the same order,
+        with the stats and resident counters applied in bulk afterwards.
+        Snapshots are journaled lazily — each set is copied the first
+        time the loop touches it — so speculation costs nothing for sets
+        the run never reaches.
+        """
+        l1 = self.l1
+        if speculative:
+            l1_journal: dict | None = {}
+            stats = l1.stats
+            l1_snapshot = (
+                l1_journal,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.invalidations,
+                l1._resident,
+            )
+            llc_journal: dict | None = {}
+            stats = llc_cache.stats
+            cache_snapshot = (
+                llc_journal,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.invalidations,
+                llc_cache._resident,
+            )
+            # Match the format the view's restore_snapshot expects: a
+            # shared view carries its per-domain counters alongside the
+            # cache snapshot, a partition view is the cache snapshot.
+            if domain_stats is None:
+                llc_snapshot = cache_snapshot
+            else:
+                llc_snapshot = (
+                    cache_snapshot,
+                    domain_stats.hits,
+                    domain_stats.misses,
+                )
+        else:
+            l1_journal = None
+            llc_journal = None
+            l1_snapshot = None
+            llc_snapshot = None
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        l1_assoc = l1.associativity
+        llc_sets = llc_cache._sets
+        llc_num_sets = llc_cache.num_sets
+        llc_assoc = llc_cache.associativity
+        l1_latency = self._l1_latency
+        llc_latency = self._llc_latency
+        dram_latency = self._dram_latency
+
+        l1_hit = l1_miss = l1_evict = 0
+        llc_hit = llc_miss = llc_evict = 0
+        latencies: list[int] = []
+        lat_append = latencies.append
+
+        # Set indexes come from one vectorized modulo per level instead of
+        # a Python ``%`` per access; resident lines map to None, so pop's
+        # MISSING default doubles as the miss test while removing a hit's
+        # stale recency slot.
+        tagged_addrs = addrs + offset if offset else addrs
+        for addr, index, tagged, llc_index in zip(
+            addrs.tolist(),
+            (addrs % l1_num_sets).tolist(),
+            tagged_addrs.tolist(),
+            (tagged_addrs % llc_num_sets).tolist(),
+        ):
+            ways = l1_sets[index]
+            if l1_journal is not None and index not in l1_journal:
+                l1_journal[index] = dict(ways)
+            if ways.pop(addr, MISSING) is None:
+                ways[addr] = None
+                l1_hit += 1
+                lat_append(l1_latency)
+                continue
+            if len(ways) >= l1_assoc:
+                del ways[next(iter(ways))]
+                l1_evict += 1
+            ways[addr] = None
+            l1_miss += 1
+            ways = llc_sets[llc_index]
+            if llc_journal is not None and llc_index not in llc_journal:
+                llc_journal[llc_index] = dict(ways)
+            if ways.pop(tagged, MISSING) is None:
+                ways[tagged] = None
+                llc_hit += 1
+                lat_append(llc_latency)
+            else:
+                if len(ways) >= llc_assoc:
+                    del ways[next(iter(ways))]
+                    llc_evict += 1
+                ways[tagged] = None
+                llc_miss += 1
+                lat_append(dram_latency)
+
+        stats = l1.stats
+        stats.hits += l1_hit
+        stats.misses += l1_miss
+        stats.evictions += l1_evict
+        l1._resident += l1_miss - l1_evict
+        stats = llc_cache.stats
+        stats.hits += llc_hit
+        stats.misses += llc_miss
+        stats.evictions += llc_evict
+        llc_cache._resident += llc_miss - llc_evict
+        if domain_stats is not None:
+            domain_stats.hits += llc_hit
+            domain_stats.misses += llc_miss
+
+        # The hit level is recoverable from the latency (the dispatch in
+        # resolve_block requires the three level latencies to be
+        # distinct), so the miss/LLC-hit masks are derived vectorized in
+        # commit_block instead of appended per access here.
+        latency_array = np.array(latencies, dtype=np.int64)
+        token = (addrs, latency_array, None, l1_snapshot, llc_snapshot)
+        return latency_array, token
+
+    def commit_block(
+        self,
+        token: tuple,
+        count: int,
+        metric_excluded: np.ndarray | None = None,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Commit the first ``count`` accesses of a resolved block.
+
+        When ``count`` covers the whole block this just applies the
+        deferred effects (service counters, monitor observations). For a
+        partial commit the caches are restored to their snapshots and the
+        kept prefix is deterministically replayed, so the final state is
+        exactly as if only those accesses had happened. ``metric_excluded``
+        and ``hashes`` are aligned with the block's address array.
+        """
+        addrs, latencies, masks, l1_snapshot, llc_snapshot = token
+        n = int(addrs.shape[0])
+        if count < n:
+            if l1_snapshot is None:
+                raise ValueError("partial commit requires a speculative resolve")
+            self.l1.restore_snapshot(l1_snapshot)
+            if llc_snapshot is not None:
+                self.llc_view.restore_snapshot(llc_snapshot)
+            addrs = addrs[:count]
+            if count:
+                # Deterministic replay of the kept prefix from the
+                # restored state, through the fast resolver (the replay
+                # needs no snapshots of its own — it always commits).
+                latencies, replay_token = self.resolve_block(
+                    addrs, speculative=False
+                )
+                masks = replay_token[2]
+                if masks is not None:
+                    miss_mask, llc_hits = masks
+                else:
+                    miss_mask = latencies != self._l1_latency
+                    llc_hits = latencies[miss_mask] == self._llc_latency
+            else:
+                return
+        elif not count:
+            return
+        elif masks is not None:
+            miss_mask, llc_hits = masks
+        else:
+            miss_mask = latencies != self._l1_latency
+            llc_hits = latencies[miss_mask] == self._llc_latency
+
+        counts = self.level_counts
+        num_misses = int(np.count_nonzero(miss_mask))
+        counts[MemoryLevel.L1] += count - num_misses
+        num_llc = int(np.count_nonzero(llc_hits))
+        counts[MemoryLevel.LLC] += num_llc
+        counts[MemoryLevel.DRAM] += num_misses - num_llc
+        if num_misses == 0:
+            return
+
+        monitor = self.monitor
+        if monitor is not None:
+            if self.monitor_respects_annotations and metric_excluded is not None:
+                keep = miss_mask & ~metric_excluded[:count]
+            else:
+                keep = miss_mask
+            monitored = addrs[keep]
+            if monitored.shape[0]:
+                monitored_hashes = hashes[:count][keep] if hashes is not None else None
+                observe_block = getattr(monitor, "observe_block", None)
+                if observe_block is not None:
+                    observe_block(monitored, monitored_hashes)
+                else:
+                    observe = monitor.observe
+                    for line_addr in monitored.tolist():
+                        observe(line_addr)
+
+    def access_block(
+        self,
+        addrs: np.ndarray,
+        metric_excluded: np.ndarray | None = None,
+        hashes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Resolve a run of memory accesses in one call.
+
+        Returns the per-access round-trip latencies as an int64 array.
+        ``metric_excluded`` (aligned boolean array) carries the secret
+        annotations; ``hashes`` optionally carries precomputed SplitMix64
+        address hashes for a set-sampling monitor. State and counters
+        afterwards are exactly as if :meth:`access` had been called once
+        per address in order.
+        """
+        latencies, token = self.resolve_block(addrs, speculative=False)
+        self.commit_block(token, int(addrs.shape[0]), metric_excluded, hashes)
+        return latencies
 
     def reset_level_counts(self) -> None:
         """Zero the per-level service counters (used at warmup end)."""

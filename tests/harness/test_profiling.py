@@ -1,0 +1,106 @@
+"""Tests for one-cell cProfile capture (REPRO_PROFILE / --cprofile)."""
+
+import pstats
+
+import pytest
+
+from repro.harness.exec import ExecutionEngine
+from repro.harness.profiling import (
+    PROFILE_DIR_ENV,
+    PROFILE_ENV,
+    maybe_profile,
+    output_dir,
+    reset_claim,
+)
+
+
+@pytest.fixture()
+def profile_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(PROFILE_DIR_ENV, str(tmp_path))
+    reset_claim()  # start each test with a fresh campaign claim
+    return tmp_path
+
+
+def busy_work():
+    return sum(i * i for i in range(5_000))
+
+
+class TestMaybeProfile:
+    def test_disabled_without_env(self, profile_dir):
+        assert maybe_profile("mix[a]/static", busy_work) == busy_work()
+        assert list(profile_dir.iterdir()) == []
+
+    def test_captures_first_matching_cell(self, profile_dir, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "untangle")
+        assert maybe_profile("mix[a]/static", busy_work) == busy_work()
+        assert maybe_profile("mix[a]/untangle", busy_work) == busy_work()
+        written = sorted(p.name for p in profile_dir.iterdir())
+        assert written == ["profile-mix-a-untangle.pstats"]
+        stats = pstats.Stats(str(profile_dir / written[0]))
+        assert any("busy_work" in str(func) for func in stats.stats)
+
+    def test_fires_once_per_campaign(self, profile_dir, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "all")
+        maybe_profile("cell-one", busy_work)
+        maybe_profile("cell-two", busy_work)
+        assert len(list(profile_dir.iterdir())) == 1
+
+    def test_dumps_stats_even_when_the_cell_raises(
+        self, profile_dir, monkeypatch
+    ):
+        monkeypatch.setenv(PROFILE_ENV, "all")
+
+        def explode():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            maybe_profile("doomed", explode)
+        assert (profile_dir / "profile-doomed.pstats").exists()
+
+    def test_output_dir_defaults_beside_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PROFILE_DIR_ENV, raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache" / ".cache"))
+        assert output_dir() == tmp_path / "cache"
+
+
+class _Cell:
+    """Minimal engine cell that records whether it executed."""
+
+    label = "profiled-cell"
+
+    def cache_token(self):
+        return {"kind": "test", "label": self.label}
+
+    def execute(self):
+        return busy_work()
+
+    @staticmethod
+    def cycles_of(value):
+        return None
+
+    @staticmethod
+    def encode(value):
+        return {"value": value}
+
+    @staticmethod
+    def decode(payload):
+        return payload["value"]
+
+
+def test_engine_serial_run_profiles_a_cell(profile_dir, monkeypatch):
+    monkeypatch.setenv(PROFILE_ENV, "profiled")
+    engine = ExecutionEngine(jobs=1)
+    outcomes = engine.run([_Cell()])
+    assert outcomes[0].value == busy_work()
+    assert (profile_dir / "profile-profiled-cell.pstats").exists()
+
+
+def test_cli_flag_sets_profile_env(monkeypatch, tmp_path):
+    from repro.__main__ import build_parser
+
+    args = build_parser().parse_args(
+        ["--cprofile", "untangle", "--cache-dir", str(tmp_path / "c"), "mix", "1"]
+    )
+    assert args.cprofile == "untangle"
+    off = build_parser().parse_args(["mix", "1"])
+    assert off.cprofile is None

@@ -1,0 +1,57 @@
+"""End-to-end kernel equivalence: batched vs reference, every scheme.
+
+The acceptance bar for the batched simulation kernel is bit-identical
+*results* — not just similar statistics — for all four LLC
+organizations. This test runs one full multi-domain simulation per
+scheme under ``REPRO_SIM_KERNEL=reference`` and ``=batched`` and
+compares everything an experiment reports: total cycles, per-workload
+IPC, assessment counts, visible actions, leakage bits, and the
+partition-size quartiles (which pin the whole resizing trace).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import run_mix_scheme
+from repro.harness.runconfig import TEST
+from repro.sim.kernelmode import KERNEL_ENV
+from repro.workloads.mixes import get_mix
+
+SCHEMES = ("static", "shared", "time", "untangle")
+
+
+def _fingerprint(result) -> tuple:
+    return (
+        result.total_cycles,
+        tuple(
+            (
+                w.label,
+                w.ipc,
+                w.assessments,
+                w.visible_actions,
+                w.leakage_bits,
+                tuple(w.partition_quartiles),
+            )
+            for w in result.workloads
+        ),
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_batched_kernel_is_bit_identical(scheme, monkeypatch):
+    pairs = get_mix(1)[:2]
+    monkeypatch.setenv(KERNEL_ENV, "reference")
+    reference = run_mix_scheme(pairs, scheme, TEST)
+    monkeypatch.setenv(KERNEL_ENV, "batched")
+    batched = run_mix_scheme(pairs, scheme, TEST)
+    assert _fingerprint(batched) == _fingerprint(reference)
+
+
+def test_unknown_kernel_mode_is_rejected(monkeypatch):
+    from repro.errors import ConfigurationError
+    from repro.sim.kernelmode import kernel_mode
+
+    monkeypatch.setenv(KERNEL_ENV, "vectorized")
+    with pytest.raises(ConfigurationError, match="REPRO_SIM_KERNEL"):
+        kernel_mode()

@@ -145,3 +145,66 @@ def test_curve_never_exceeds_observed_accesses(seed):
     for addr in rng.integers(0, 20, size=n):
         monitor.observe(int(addr))
     assert monitor.hits_per_size()[-1] <= n
+
+
+def _monitor_state(monitor):
+    return (
+        monitor.total_observed,
+        monitor.hits_per_size().tolist(),
+        monitor.epoch_accesses(),
+        monitor._tracker._clock,
+        dict(monitor._tracker._last_position),
+    )
+
+
+class TestObserveBlock:
+    """The batched monitor path is bit-identical to the scalar one."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shift=st.sampled_from([0, 1, 3]),
+        window=st.sampled_from([50, 100_000]),
+        runs=st.lists(
+            st.lists(st.integers(0, 60), min_size=0, max_size=80),
+            min_size=1,
+            max_size=4,
+        ),
+        precompute_hashes=st.booleans(),
+    )
+    def test_matches_observe_loop(self, shift, window, runs, precompute_hashes):
+        from repro.monitor.umon import mix64_array
+
+        batched = UMONMonitor(SIZES, window=window, sampling_shift=shift)
+        scalar = UMONMonitor(SIZES, window=window, sampling_shift=shift)
+        for run in runs:
+            addrs = np.array(run, dtype=np.int64)
+            hashes = (
+                mix64_array(addrs)
+                if precompute_hashes and batched.uses_address_hashes
+                else None
+            )
+            batched.observe_block(addrs, hashes)
+            for addr in run:
+                scalar.observe(addr)
+            assert _monitor_state(batched) == _monitor_state(scalar)
+
+    def test_small_window_halving_sequence_is_exact(self):
+        """The mid-run aging halvings replay bit-for-bit."""
+        batched = UMONMonitor(SIZES, window=8)
+        scalar = UMONMonitor(SIZES, window=8)
+        addrs = np.arange(100, dtype=np.int64) % 12
+        batched.observe_block(addrs)
+        for addr in addrs.tolist():
+            scalar.observe(addr)
+        assert _monitor_state(batched) == _monitor_state(scalar)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=st.lists(st.integers(0, 2**62), min_size=1, max_size=50))
+def test_mix64_array_matches_scalar_mix64(addrs):
+    """The vectorized SplitMix64 equals the scalar per-address hash."""
+    from repro.monitor.umon import _mix64, mix64_array
+
+    hashes = mix64_array(np.array(addrs, dtype=np.int64))
+    assert hashes.dtype == np.uint64
+    assert hashes.tolist() == [_mix64(a) for a in addrs]

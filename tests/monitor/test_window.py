@@ -55,6 +55,34 @@ class TestFenwickTree:
         tree.add(2, 3)
         assert tree.prefix_sum(1000) == 3
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        capacity=st.sampled_from([1, 2, 3, 5, 8]),
+        updates=st.lists(
+            st.tuples(st.integers(1, 40), st.integers(-3, 3)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_growth_preserves_every_prefix_sum(self, capacity, updates):
+        """_grow rebuilds point values exactly, whatever the tree holds.
+
+        Regression test for the point-value extraction: a Fenwick node's
+        value must be recovered as its range sum minus its *direct
+        children's* range sums; growth from any mid-stream state (mixed
+        signs, cancelled positions, non-power-of-two capacities) must
+        leave all prefix sums unchanged.
+        """
+        tree = FenwickTree(capacity)
+        reference = {}
+        for position, delta in updates:
+            tree.add(position, delta)  # may grow mid-stream
+            reference[position] = reference.get(position, 0) + delta
+        tree._grow(4 * tree._size)  # and one explicit final growth
+        for position in range(1, max(reference) + 2):
+            expected = sum(v for p, v in reference.items() if p <= position)
+            assert tree.prefix_sum(position) == expected
+
 
 class TestReuseDistanceTracker:
     def test_cold_misses(self):
@@ -109,6 +137,32 @@ def test_tracker_matches_naive_reference(addresses):
     assert [tracker.observe(a) for a in addresses] == naive_reuse_distances(
         addresses
     )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    runs=st.lists(
+        st.lists(st.integers(0, 25), min_size=0, max_size=60),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_observe_run_matches_observe_loop(runs):
+    """The batched tracker path is exact: distances and final state.
+
+    Runs are interleaved with scalar observes (one per run boundary) so
+    the batched path is exercised from arbitrary mid-stream states, not
+    just a fresh tracker.
+    """
+    batched = ReuseDistanceTracker()
+    scalar = ReuseDistanceTracker()
+    for run in runs:
+        assert batched.observe_run(run) == [scalar.observe(a) for a in run]
+        assert batched.observe(99) == scalar.observe(99)
+        assert batched._clock == scalar._clock
+        assert batched._last_position == scalar._last_position
+    probe = list(range(26)) + [99]
+    assert batched.observe_run(probe) == [scalar.observe(a) for a in probe]
 
 
 @settings(max_examples=20, deadline=None)

@@ -2,12 +2,13 @@
 
 from collections import OrderedDict
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.sim.cache import SetAssociativeCache
+from repro.sim.cache import ReferenceSetAssociativeCache, SetAssociativeCache
 from repro.sim.replacement import FIFOPolicy, LRUPolicy
 
 
@@ -70,16 +71,43 @@ class TestBasics:
         assert not cache.contains(0)
         assert cache.contains(1)
 
-    def test_probe_does_not_allocate(self):
-        cache = SetAssociativeCache(1, 2)
+    @pytest.mark.parametrize(
+        "cache_class", [SetAssociativeCache, ReferenceSetAssociativeCache]
+    )
+    def test_probe_does_not_allocate(self, cache_class):
+        cache = cache_class(1, 2)
         assert not cache.probe(7)
         assert not cache.contains(7)
 
-    def test_probe_refreshes_lru(self):
-        cache = SetAssociativeCache(1, 2)
+    @pytest.mark.parametrize(
+        "cache_class", [SetAssociativeCache, ReferenceSetAssociativeCache]
+    )
+    def test_probe_is_read_only_by_default(self, cache_class):
+        """A plain probe must not perturb recency (the documented contract).
+
+        The original model refreshed LRU on a probe hit, silently turning
+        an "inspection" into a replacement-state update; this pins the
+        fixed read-only behavior for both implementations.
+        """
+        cache = cache_class(1, 2)
         cache.access(1)
         cache.access(2)
-        cache.probe(1)  # 1 becomes MRU
+        assert cache.probe(1)  # read-only: 1 stays LRU
+        cache.access(3)  # evicts 1
+        assert not cache.contains(1)
+        assert cache.contains(2)
+        assert cache.contains(3)
+        # Probes never touch the hit/miss counters either.
+        assert cache.stats.accesses == 3
+
+    @pytest.mark.parametrize(
+        "cache_class", [SetAssociativeCache, ReferenceSetAssociativeCache]
+    )
+    def test_probe_touch_refreshes_lru(self, cache_class):
+        cache = cache_class(1, 2)
+        cache.access(1)
+        cache.access(2)
+        assert cache.probe(1, touch=True)  # 1 becomes MRU
         cache.access(3)  # evicts 2
         assert cache.contains(1)
         assert not cache.contains(2)
@@ -172,6 +200,62 @@ class TestGenericPolicies:
         fifo.access(3)  # evicts 1 (first in)
         assert not fifo.contains(1)
         assert fifo.contains(2)
+
+
+class TestAccessRun:
+    @pytest.mark.parametrize(
+        "cache_class", [SetAssociativeCache, ReferenceSetAssociativeCache]
+    )
+    def test_run_matches_scalar_accesses(self, cache_class):
+        addrs = np.array([1, 2, 3, 1, 4, 2, 5, 1, 3, 3], dtype=np.int64)
+        batched = cache_class(2, 2)
+        scalar = cache_class(2, 2)
+        hits, evictions = batched.access_run(addrs)
+        expected = [scalar.access(int(a)) for a in addrs]
+        assert hits.tolist() == expected
+        assert evictions == scalar.stats.evictions
+        assert batched.stats == scalar.stats
+        assert batched.resident_addresses() == scalar.resident_addresses()
+
+    def test_run_returns_eviction_count(self):
+        cache = SetAssociativeCache(1, 2)
+        hits, evictions = cache.access_run(np.array([1, 2, 3, 4], dtype=np.int64))
+        assert hits.tolist() == [False] * 4
+        assert evictions == 2
+        assert cache.stats.evictions == 2
+
+    def test_run_with_generic_policy(self):
+        fifo = SetAssociativeCache(1, 2, policy=FIFOPolicy())
+        hits, evictions = fifo.access_run(np.array([1, 2, 1, 3], dtype=np.int64))
+        assert hits.tolist() == [False, False, True, False]
+        assert evictions == 1
+        assert not fifo.contains(1)  # FIFO evicts first-in despite the hit
+
+
+class TestResidentCounter:
+    """The incremental resident-lines counter (satellite perf fix)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["access", "invalidate", "resize", "flush"]),
+                      st.integers(0, 30)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_counter_matches_recount_after_random_ops(self, ops):
+        cache = SetAssociativeCache(4, 2)
+        for op, value in ops:
+            if op == "access":
+                cache.access(value)
+            elif op == "invalidate":
+                cache.invalidate(value)
+            elif op == "resize":
+                cache.resize_sets(value % 6 + 1)
+            else:
+                cache.invalidate_all()
+            assert cache.resident_lines == len(cache.resident_addresses())
 
 
 @settings(max_examples=30, deadline=None)

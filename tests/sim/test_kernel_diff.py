@@ -1,0 +1,238 @@
+"""Differential tests: the batched kernel against the reference kernel.
+
+The packed-recency :class:`~repro.sim.cache.SetAssociativeCache` and the
+batched hierarchy path (:meth:`~repro.sim.hierarchy.DomainMemory.
+resolve_block` / :meth:`~repro.sim.hierarchy.DomainMemory.commit_block`)
+claim *bit-identical* behavior to the retained list-based reference
+kernel. These tests drive both implementations through randomized
+operation sequences — accesses and access runs interleaved with
+``resize_sets``, ``invalidate``, ``probe`` and snapshot/restore
+round-trips — and compare every observable after every step: hit/miss
+results, hit/miss/eviction/invalidation counters, resident counts, and
+the full resident set in recency order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import ReferenceSetAssociativeCache, SetAssociativeCache
+from repro.sim.hierarchy import DomainMemory, MemoryLevel
+from repro.sim.kernelmode import KERNEL_ENV
+from repro.sim.partition import PartitionedLLC, SharedLLC
+
+
+# ----------------------------------------------------------------------
+# Cache-level differential property test
+# ----------------------------------------------------------------------
+_ADDR = st.integers(min_value=0, max_value=48)
+
+_OPS = st.one_of(
+    st.tuples(st.just("access"), _ADDR),
+    st.tuples(st.just("access_run"), st.lists(_ADDR, min_size=1, max_size=24)),
+    st.tuples(st.just("probe"), _ADDR, st.booleans()),
+    st.tuples(st.just("invalidate"), _ADDR),
+    st.tuples(st.just("invalidate_all")),
+    st.tuples(st.just("resize_sets"), st.integers(min_value=1, max_value=9)),
+    st.tuples(
+        st.just("speculate"),
+        st.lists(_ADDR, min_size=1, max_size=16),
+        st.booleans(),  # restore (discard) or keep the speculative run
+    ),
+)
+
+
+def _state(cache) -> tuple:
+    """Every observable of a cache, for exact comparison."""
+    stats = cache.stats
+    return (
+        cache.num_sets,
+        cache.resident_lines,
+        cache.resident_addresses(),
+        (stats.hits, stats.misses, stats.evictions, stats.invalidations),
+    )
+
+
+def _apply(cache, op) -> object:
+    """Run one operation; returns its comparable result."""
+    if op[0] == "access":
+        return cache.access(op[1])
+    if op[0] == "access_run":
+        hits, evictions = cache.access_run(np.array(op[1], dtype=np.int64))
+        return (hits.tolist(), evictions)
+    if op[0] == "probe":
+        return cache.probe(op[1], touch=op[2])
+    if op[0] == "invalidate":
+        return cache.invalidate(op[1])
+    if op[0] == "invalidate_all":
+        return cache.invalidate_all()
+    if op[0] == "resize_sets":
+        return cache.resize_sets(op[1])
+    assert op[0] == "speculate"
+    addrs = np.array(op[1], dtype=np.int64)
+    snapshot = cache.snapshot_for(addrs)
+    hits, evictions = cache.access_run(addrs)
+    if op[2]:
+        cache.restore_snapshot(snapshot)
+    return (hits.tolist(), evictions, op[2])
+
+
+class TestCacheDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        num_sets=st.integers(min_value=1, max_value=7),
+        associativity=st.integers(min_value=1, max_value=4),
+        ops=st.lists(_OPS, min_size=1, max_size=40),
+    )
+    def test_packed_recency_matches_reference(self, num_sets, associativity, ops):
+        fast = SetAssociativeCache(num_sets, associativity)
+        reference = ReferenceSetAssociativeCache(num_sets, associativity)
+        for op in ops:
+            assert _apply(fast, op) == _apply(reference, op), op
+            assert _state(fast) == _state(reference), op
+
+    def test_snapshot_restore_is_exact_after_eviction_pressure(self):
+        fast = SetAssociativeCache(2, 2)
+        reference = ReferenceSetAssociativeCache(2, 2)
+        warm = np.array([0, 1, 2, 3, 4, 5], dtype=np.int64)
+        run = np.array([6, 8, 10, 0, 6], dtype=np.int64)
+        for cache in (fast, reference):
+            cache.access_run(warm)
+            before = _state(cache)
+            snapshot = cache.snapshot_for(run)
+            cache.access_run(run)
+            assert _state(cache) != before  # the run really changed state
+            cache.restore_snapshot(snapshot)
+            assert _state(cache) == before
+        assert _state(fast) == _state(reference)
+
+
+# ----------------------------------------------------------------------
+# Hierarchy-level differential: resolve/commit vs the scalar loop
+# ----------------------------------------------------------------------
+class RecordingMonitor:
+    def __init__(self):
+        self.observed: list[int] = []
+
+    def observe(self, line_addr: int) -> None:
+        self.observed.append(line_addr)
+
+
+def _build_memory(tiny_arch, organization: str, monkeypatch, mode: str):
+    """One DomainMemory over a fresh LLC, built under the given kernel."""
+    monkeypatch.setenv(KERNEL_ENV, mode)
+    if organization == "partitioned":
+        llc = PartitionedLLC(
+            tiny_arch.llc_lines,
+            tiny_arch.llc_associativity,
+            tiny_arch.num_cores,
+            tiny_arch.default_partition_lines,
+        )
+    else:
+        llc = SharedLLC(
+            tiny_arch.llc_lines, tiny_arch.llc_associativity, tiny_arch.num_cores
+        )
+    monitor = RecordingMonitor()
+    memory = DomainMemory(tiny_arch, llc.view(0), monitor=monitor)
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    return memory, llc, monitor
+
+
+def _memory_state(memory, llc) -> tuple:
+    l1 = memory.l1
+    return (
+        dict(memory.level_counts),
+        _state(l1),
+        _state(llc.cache_of(0) if isinstance(llc, PartitionedLLC) else llc._cache),
+        (llc.stats_of(0).hits, llc.stats_of(0).misses),
+    )
+
+
+@pytest.mark.parametrize("organization", ["partitioned", "shared"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_partial_commit_matches_scalar_prefix(
+    tiny_arch, monkeypatch, organization, seed
+):
+    """resolve_block + commit_block(k) == k scalar accesses, exactly.
+
+    Random runs with random commit prefixes (including 0 and full), with
+    secret annotations, interleaved with partition resizes — the batched
+    CPU kernel's whole contract against the hierarchy, checked directly.
+    """
+    batched, batched_llc, batched_monitor = _build_memory(
+        tiny_arch, organization, monkeypatch, "batched"
+    )
+    scalar, scalar_llc, scalar_monitor = _build_memory(
+        tiny_arch, organization, monkeypatch, "reference"
+    )
+    rng = np.random.default_rng(seed)
+    sizes = sorted(
+        lines
+        for lines in range(
+            tiny_arch.llc_associativity,
+            tiny_arch.default_partition_lines + 1,
+            tiny_arch.llc_associativity,
+        )
+    )
+    for step in range(30):
+        n = int(rng.integers(1, 40))
+        addrs = rng.integers(0, 200, size=n).astype(np.int64)
+        excluded = rng.random(n) < 0.3
+        k = int(rng.integers(0, n + 1))
+
+        latencies, token = batched.resolve_block(addrs, speculative=True)
+        assert latencies.shape == (n,)
+        batched.commit_block(token, k, excluded)
+
+        scalar_latencies = [
+            scalar.access(int(addrs[i]), bool(excluded[i])) for i in range(k)
+        ]
+        assert latencies[:k].tolist() == scalar_latencies
+
+        assert _memory_state(batched, batched_llc) == _memory_state(
+            scalar, scalar_llc
+        )
+        assert batched_monitor.observed == scalar_monitor.observed
+
+        if organization == "partitioned" and step % 7 == 3:
+            new_lines = int(rng.choice(sizes))
+            outcome_b = batched_llc.resize(0, new_lines)
+            outcome_s = scalar_llc.resize(0, new_lines)
+            assert outcome_b == outcome_s
+
+
+def test_access_block_matches_scalar_loop(tiny_arch, monkeypatch):
+    """The non-speculative one-shot path, annotations included."""
+    batched, batched_llc, batched_monitor = _build_memory(
+        tiny_arch, "partitioned", monkeypatch, "batched"
+    )
+    scalar, scalar_llc, scalar_monitor = _build_memory(
+        tiny_arch, "partitioned", monkeypatch, "reference"
+    )
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 150, size=500).astype(np.int64)
+    excluded = rng.random(500) < 0.25
+    latencies = batched.access_block(addrs, excluded)
+    scalar_latencies = [
+        scalar.access(int(a), bool(x)) for a, x in zip(addrs, excluded)
+    ]
+    assert latencies.tolist() == scalar_latencies
+    assert _memory_state(batched, batched_llc) == _memory_state(scalar, scalar_llc)
+    assert batched_monitor.observed == scalar_monitor.observed
+    assert batched.level_counts[MemoryLevel.DRAM] > 0  # the trace really missed
+
+
+def test_commit_zero_leaves_no_trace(tiny_arch, monkeypatch):
+    """A fully rolled-back block is invisible (the mop-up boundary case)."""
+    batched, batched_llc, _ = _build_memory(
+        tiny_arch, "partitioned", monkeypatch, "batched"
+    )
+    warm = np.arange(0, 32, dtype=np.int64)
+    batched.access_block(warm)
+    before = _memory_state(batched, batched_llc)
+    _, token = batched.resolve_block(np.array([100, 101, 0], dtype=np.int64))
+    batched.commit_block(token, 0)
+    assert _memory_state(batched, batched_llc) == before

@@ -23,6 +23,14 @@ replays journaled cells and simulates only what never completed.
 per-cell deadline after which a hung worker is killed and respawned.
 ``REPRO_FAULTS`` injects crashes/hangs/corruption for chaos runs (see
 ``repro.harness.faults``).
+
+Observability (``docs/observability.md``): ``--trace PATH`` (or
+``REPRO_TRACE``) appends structured spans/events for every cell,
+worker, journal append, and simulation run to a JSONL sink;
+``--metrics-out PATH`` (or ``REPRO_METRICS``) writes a Prometheus-style
+metrics textfile plus a JSON snapshot when the command finishes.
+``python -m repro trace-summarize trace.jsonl`` renders the per-phase
+wall-time breakdown of a recorded trace.
 """
 
 from __future__ import annotations
@@ -48,6 +56,9 @@ from repro.harness.report import (
 from repro.harness.runconfig import PROFILES
 from repro.harness.sensitivity import run_sensitivity_study
 from repro.harness.tables import table6
+from repro.obs import configure_tracing
+from repro.obs.metrics import export_metrics
+from repro.obs.summarize import render_summary, summarize_trace
 
 
 def _jobs_count(text: str) -> int:
@@ -105,6 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured trace spans/events (cells, workers, "
+            "journal, simulation runs) to a JSONL file at PATH "
+            "(also: REPRO_TRACE=PATH; REPRO_TRACE=1 writes trace.jsonl "
+            "beside the cache dir)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Prometheus-style metrics textfile to PATH (plus a "
+            "PATH.json snapshot) when the command finishes "
+            "(also: REPRO_METRICS=PATH)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help=(
@@ -144,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     rmax.add_argument(
         "--capacity", type=int, default=16, help="table capacity (Maintain levels)"
     )
+
+    summarize = commands.add_parser(
+        "trace-summarize",
+        help="per-phase wall-time breakdown of a trace JSONL (--trace output)",
+    )
+    summarize.add_argument("trace_path", help="trace JSONL file to summarize")
     return parser
 
 
@@ -184,6 +222,9 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "trace-summarize":
+        print(render_summary(summarize_trace(args.trace_path)))
+        return 0
     profile = PROFILES[args.profile]
     if args.cprofile:
         # Workers inherit the environment, so the request reaches the
@@ -192,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
         os.environ.setdefault(
             PROFILE_DIR_ENV, str(Path(args.cache_dir).resolve().parent)
         )
+    if args.trace:
+        # Through the environment so forked/spawned workers inherit it.
+        configure_tracing(args.trace)
     engine = build_engine(args)
 
     try:
@@ -221,10 +265,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n{exc}", file=sys.stderr)
         if engine.telemetry.cells:
             print(render_telemetry(engine.telemetry), file=sys.stderr)
+        _write_metrics(args)
         return 130
     if args.telemetry and engine.telemetry.cells:
         print(render_telemetry(engine.telemetry), file=sys.stderr)
+    _write_metrics(args)
     return 0
+
+
+def _write_metrics(args: argparse.Namespace) -> None:
+    """Export the metrics registry if ``--metrics-out``/``REPRO_METRICS``."""
+    written = export_metrics(args.metrics_out)
+    if written is not None:
+        text, snapshot = written
+        print(f"[metrics] {text} (+ {snapshot})", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -72,11 +72,56 @@ from repro.harness.faults import FaultPlan, faults_from_env
 from repro.harness.journal import JournalEntry, RunJournal
 from repro.harness.profiling import maybe_profile, reset_claim
 from repro.harness.runconfig import RunProfile
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Bump when the cached payload layout or the simulator's semantics
 #: change incompatibly; old entries are then quarantined, not misread.
 #: (2: entries carry a payload checksum.)
 CACHE_FORMAT_VERSION = 2
+
+# Engine-level metrics, recorded per cell / per supervision event (never
+# per simulated access), so they are cheap enough to count always;
+# REPRO_METRICS only controls whether they are exported. They live in
+# the process-wide registry (repro.obs.metrics.get_registry()) alongside
+# the simulator's and journal's counters.
+_REG = obs_metrics.get_registry()
+_M_CELLS = {
+    status: _REG.counter(
+        "repro_exec_cells_total",
+        "Engine cell outcomes by status",
+        status=status,
+    )
+    for status in ("computed", "hit", "replayed", "failed")
+}
+_M_RETRIES = _REG.counter("repro_exec_retries_total", "Cell retry attempts")
+_M_CYCLES = _REG.counter(
+    "repro_exec_cycles_simulated_total", "Simulated cycles across cells"
+)
+_M_WORKER = {
+    kind: _REG.counter(
+        "repro_exec_worker_events_total",
+        "Worker supervision events",
+        kind=kind,
+    )
+    for kind in ("crash", "timeout", "respawn")
+}
+_M_BACKOFF = _REG.counter(
+    "repro_exec_backoff_seconds_total", "Retry backoff delay scheduled"
+)
+_M_CACHE = {
+    kind: _REG.counter(
+        "repro_cache_requests_total",
+        "Result-cache lookups by outcome",
+        outcome=kind,
+    )
+    for kind in ("hit", "miss", "quarantined")
+}
+_M_CELL_SECONDS = _REG.histogram(
+    "repro_exec_cell_seconds",
+    "Per-cell wall time (completed cells)",
+    buckets=obs_metrics.CELL_SECONDS_BUCKETS,
+)
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +270,9 @@ class ResultCache:
         self.directory = Path(directory)
         #: Entries quarantined by :meth:`get` over this instance's life.
         self.quarantined = 0
+        #: Successful/absent lookups over this instance's life.
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
@@ -236,21 +284,29 @@ class ResultCache:
 
     def _quarantine(self, path: Path) -> None:
         self.quarantined += 1
+        _M_CACHE["quarantined"].inc()
+        obs_trace.event("cache.quarantine", path=str(path))
         try:
             os.replace(path, path.with_name(path.name + ".corrupt"))
         except OSError:
             pass
+
+    def _miss(self) -> None:
+        self.misses += 1
+        _M_CACHE["miss"].inc()
 
     def get(self, key: str) -> dict[str, Any] | None:
         path = self._path(key)
         try:
             text = path.read_text()
         except OSError:
+            self._miss()
             return None  # genuinely absent — a plain miss
         try:
             payload = json.loads(text)
         except ValueError:
             self._quarantine(path)
+            self._miss()
             return None
         if (
             not isinstance(payload, dict)
@@ -259,7 +315,10 @@ class ResultCache:
             or payload.get("sha256") != self._value_checksum(payload["value"])
         ):
             self._quarantine(path)
+            self._miss()
             return None
+        self.hits += 1
+        _M_CACHE["hit"].inc()
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
@@ -330,10 +389,16 @@ class EngineTelemetry:
         self.records.append(record)
         self.cells += 1
         self.cell_seconds += record.wall_seconds
+        _M_CELLS[record.status].inc()
+        _M_CELL_SECONDS.observe(record.wall_seconds)
         if record.status == "hit":
             self.cache_hits += 1
             return
         if record.status == "replayed":
+            # Replayed cells were *not* looked up in the cache and were
+            # *not* re-simulated: they must never count as misses or
+            # simulations (they would double-book work that a previous
+            # campaign already paid for).
             self.journal_replays += 1
             return
         self.cache_misses += 1
@@ -341,9 +406,57 @@ class EngineTelemetry:
             self.simulations += 1
             if record.cycles is not None:
                 self.cycles_simulated += record.cycles
+                _M_CYCLES.inc(record.cycles)
         else:
             self.failures += 1
-        self.retries += max(0, record.attempts - 1)
+        retries = max(0, record.attempts - 1)
+        self.retries += retries
+        if retries:
+            _M_RETRIES.inc(retries)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical counter dict — the single source of truth that both
+        :func:`repro.harness.report.render_telemetry` and the metrics
+        exporters render from.
+
+        Invariant (pinned by tests):
+        ``computed + hit + replayed + failed == total``.
+        """
+        return {
+            "total": self.cells,
+            "computed": self.simulations,
+            "hit": self.cache_hits,
+            "replayed": self.journal_replays,
+            "failed": self.failures,
+            "misses": self.cache_misses,
+            "retries": self.retries,
+            "quarantined": self.quarantines,
+            "worker_crashes": self.worker_crashes,
+            "worker_timeouts": self.worker_timeouts,
+            "workers_respawned": self.workers_respawned,
+            "backoff_seconds": self.backoff_seconds,
+            "interrupted": self.interrupted,
+            "wall_seconds": self.wall_seconds,
+            "cell_seconds": self.cell_seconds,
+            "cycles_simulated": self.cycles_simulated,
+        }
+
+    def publish(self, registry=None) -> None:
+        """Mirror the timing aggregates into the metrics registry.
+
+        The count-like fields are already incremented live (in
+        :meth:`note` and by the supervisor); only the engine-lifetime
+        seconds, which accumulate outside any single counter event, are
+        synced here as gauges.
+        """
+        registry = registry if registry is not None else _REG
+        registry.gauge(
+            "repro_exec_wall_seconds", "Engine wall-clock time"
+        ).set(self.wall_seconds)
+        # Per-cell seconds are NOT mirrored here: the
+        # ``repro_exec_cell_seconds`` histogram already exports the sum
+        # (and a second series under the same name would be invalid
+        # Prometheus exposition).
 
 
 @dataclass
@@ -395,9 +508,10 @@ def _execute_cell(
     """Run one cell in the current process; returns (value, wall_seconds)."""
     if faults is not None:
         faults.on_cell_start(cell.label, worker_id)
-    start = time.perf_counter()
-    value = maybe_profile(cell.label, cell.execute, worker_id)
-    return value, time.perf_counter() - start
+    with obs_trace.span("cell.compute", label=cell.label, worker=worker_id):
+        start = time.perf_counter()
+        value = maybe_profile(cell.label, cell.execute, worker_id)
+        return value, time.perf_counter() - start
 
 
 def _worker_main(
@@ -539,6 +653,8 @@ class _Supervisor:
         # spawning is cheap next to multi-second simulation cells.
         self.workers.append(self._spawn())
         self.engine.telemetry.workers_respawned += 1
+        _M_WORKER["respawn"].inc()
+        obs_trace.event("worker.respawn", worker=worker.id)
 
     # ------------------------------------------------------------------
     def run(self) -> Iterator[tuple[int, CellOutcome]]:
@@ -568,6 +684,12 @@ class _Supervisor:
                 return
             index, cell, key, _ = task
             self.attempts[index] += 1
+            obs_trace.event(
+                "cell.dispatch",
+                label=cell.label,
+                worker=worker.id,
+                attempt=self.attempts[index],
+            )
             worker.task = (index, cell, key)
             worker.started = now
             worker.deadline = (
@@ -644,6 +766,13 @@ class _Supervisor:
         index, cell, key = worker.task
         self.elapsed[index] += time.monotonic() - worker.started
         self.engine.telemetry.worker_crashes += 1
+        _M_WORKER["crash"].inc()
+        obs_trace.event(
+            "worker.crash",
+            worker=worker.id,
+            label=cell.label,
+            exitcode=worker.process.exitcode,
+        )
         error = f"worker crashed (exit code {worker.process.exitcode})"
         self._replace(worker)
         yield from self._attempt_failed(index, cell, key, error)
@@ -654,6 +783,13 @@ class _Supervisor:
         index, cell, key = worker.task
         self.elapsed[index] += time.monotonic() - worker.started
         self.engine.telemetry.worker_timeouts += 1
+        _M_WORKER["timeout"].inc()
+        obs_trace.event(
+            "worker.timeout",
+            worker=worker.id,
+            label=cell.label,
+            timeout=self.engine.timeout,
+        )
         error = f"timeout after {self.engine.timeout:.1f}s (worker killed)"
         self._replace(worker)
         yield from self._attempt_failed(index, cell, key, error)
@@ -669,6 +805,14 @@ class _Supervisor:
                 self.engine.backoff_cap,
             )
             self.engine.telemetry.backoff_seconds += delay
+            _M_BACKOFF.inc(delay)
+            obs_trace.event(
+                "cell.retry",
+                label=cell.label,
+                attempt=self.attempts[index],
+                delay=delay,
+                error=error,
+            )
             self.queue.append((index, cell, key, time.monotonic() + delay))
             return
         yield index, CellOutcome(
@@ -913,6 +1057,10 @@ class ExecutionEngine:
         outcomes: list[CellOutcome | None] = [None] * total
         done = 0
         self._campaign = campaign
+        run_span = obs_trace.span(
+            "engine.run", campaign=campaign, jobs=self.jobs, cells=total
+        )
+        run_span.__enter__()
         journaled = (
             self.journal.load()
             if (self.journal is not None and self.resume)
@@ -930,34 +1078,36 @@ class ExecutionEngine:
                     value = self._replay(cell, key, entry)
                     if value is not None:
                         done += 1
+                        with obs_trace.span("cell.replayed", label=cell.label):
+                            outcomes[index] = self._finish(
+                                CellOutcome(
+                                    cell=cell,
+                                    key=key,
+                                    value=value,
+                                    status="replayed",
+                                    wall_seconds=0.0,
+                                    attempts=0,
+                                ),
+                                done,
+                                total,
+                            )
+                        continue
+                payload = self.cache.get(key) if self.cache is not None else None
+                if payload is not None:
+                    done += 1
+                    with obs_trace.span("cell.hit", label=cell.label):
                         outcomes[index] = self._finish(
                             CellOutcome(
                                 cell=cell,
                                 key=key,
-                                value=value,
-                                status="replayed",
+                                value=cell.decode(payload["value"]),
+                                status="hit",
                                 wall_seconds=0.0,
                                 attempts=0,
                             ),
                             done,
                             total,
                         )
-                        continue
-                payload = self.cache.get(key) if self.cache is not None else None
-                if payload is not None:
-                    done += 1
-                    outcomes[index] = self._finish(
-                        CellOutcome(
-                            cell=cell,
-                            key=key,
-                            value=cell.decode(payload["value"]),
-                            status="hit",
-                            wall_seconds=0.0,
-                            attempts=0,
-                        ),
-                        done,
-                        total,
-                    )
                 else:
                     pending.append((index, cell, key))
 
@@ -996,6 +1146,17 @@ class ExecutionEngine:
                     self.cache.quarantined - quarantined_before
                 )
             self.telemetry.wall_seconds += time.perf_counter() - start
+            self.telemetry.publish()
+            snap = self.telemetry.snapshot()
+            run_span.set(
+                done=done,
+                computed=snap["computed"],
+                hit=snap["hit"],
+                replayed=snap["replayed"],
+                failed=snap["failed"],
+                interrupted=snap["interrupted"],
+            )
+            run_span.__exit__(None, None, None)
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]
 
@@ -1006,25 +1167,41 @@ class ExecutionEngine:
                 raise KeyboardInterrupt
             attempts = 0
             error: str | None = None
-            start = time.perf_counter()
+            # Accumulated *execution* time across attempts. Backoff
+            # sleeps are excluded, matching the supervised parallel
+            # path (which books only real worker time) — a retried
+            # serial cell used to report wall_seconds inflated by its
+            # own backoff delays.
+            elapsed = 0.0
             value = None
             status = "failed"
             while attempts <= self.retries:
                 attempts += 1
+                attempt_start = time.perf_counter()
                 try:
-                    value, _ = _execute_cell(cell, self.faults)
+                    value, wall = _execute_cell(cell, self.faults)
+                    elapsed += wall
                     status = "computed"
                     error = None
                     break
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:  # graceful degradation
+                    elapsed += time.perf_counter() - attempt_start
                     error = f"{type(exc).__name__}: {exc}"
                     if attempts <= self.retries:
                         delay = backoff_delay(
                             key, attempts, self.backoff_base, self.backoff_cap
                         )
                         self.telemetry.backoff_seconds += delay
+                        _M_BACKOFF.inc(delay)
+                        obs_trace.event(
+                            "cell.retry",
+                            label=cell.label,
+                            attempt=attempts,
+                            delay=delay,
+                            error=error,
+                        )
                         if delay:
                             time.sleep(delay)
             yield index, CellOutcome(
@@ -1032,7 +1209,7 @@ class ExecutionEngine:
                 key=key,
                 value=value,
                 status=status,
-                wall_seconds=time.perf_counter() - start,
+                wall_seconds=elapsed,
                 attempts=attempts,
                 error=error,
             )

@@ -39,10 +39,20 @@ from pathlib import Path
 from typing import Any, TextIO
 
 from repro.errors import JournalError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Bump when the journal line layout changes incompatibly; old journals
 #: are then ignored on resume instead of being misread.
 JOURNAL_FORMAT_VERSION = 1
+
+_REG = obs_metrics.get_registry()
+_M_APPENDS = _REG.counter(
+    "repro_journal_appends_total", "Cell outcomes durably journaled"
+)
+_M_CORRUPT = _REG.counter(
+    "repro_journal_corrupt_lines_total", "Damaged journal lines skipped on load"
+)
 
 
 def _checksum(fields: dict[str, Any]) -> str:
@@ -116,6 +126,10 @@ class RunJournal:
         fields.update(asdict(entry))
         fields["sha256"] = _checksum(fields)
         self._append(fields)
+        _M_APPENDS.inc()
+        obs_trace.event(
+            "journal.append", label=entry.label, status=entry.status
+        )
 
     def load(self) -> dict[str, JournalEntry]:
         """Read the journal back: newest valid entry per cell key.
@@ -168,6 +182,14 @@ class RunJournal:
                 self.corrupt_lines += 1
                 continue
             entries[entry.key] = entry
+        if self.corrupt_lines:
+            _M_CORRUPT.inc(self.corrupt_lines)
+        obs_trace.event(
+            "journal.load",
+            path=str(self.path),
+            entries=len(entries),
+            corrupt_lines=self.corrupt_lines,
+        )
         return entries
 
     # ------------------------------------------------------------------

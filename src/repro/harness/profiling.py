@@ -137,6 +137,9 @@ def maybe_profile(
         return profiler.runcall(thunk)
     finally:
         profiler.dump_stats(path)
+        from repro.obs import trace as obs_trace
+
+        obs_trace.event("profile.capture", label=label, path=str(path))
         print(
             f"[profile] {label} -> {path}\n"
             f"[profile] read it with: python -m pstats {path} "

@@ -110,45 +110,52 @@ def render_table6(table: Table6) -> str:
 def render_telemetry(telemetry: EngineTelemetry) -> str:
     """Summarize one execution engine's counters as a text block.
 
-    Shows the cache economics (hits vs. simulations), the robustness
-    counters (retries, failed cells, quarantined cache entries, worker
-    supervision events), and the aggregate work done (simulated cycles,
-    per-cell seconds vs. engine wall-clock — their ratio is the
-    achieved parallel speedup).
+    Renders from :meth:`EngineTelemetry.snapshot` — the same canonical
+    counter dict the metrics exporters publish — so the printed summary
+    and the exported metrics can never disagree. Shows the cache
+    economics (hits vs. simulations), the robustness counters (retries,
+    failed cells, quarantined cache entries, worker supervision
+    events), and the aggregate work done (simulated cycles, per-cell
+    seconds vs. engine wall-clock — their ratio is the achieved
+    parallel speedup).
+
+    Accounting invariant (journal replays are neither cache misses nor
+    fresh simulations): ``computed + hit + replayed + failed == total``.
     """
+    snap = telemetry.snapshot()
     breakdown = (
-        f"{telemetry.cache_hits} cache hits, "
-        f"{telemetry.simulations} simulated, {telemetry.failures} failed"
+        f"{snap['hit']} cache hits, "
+        f"{snap['computed']} simulated, {snap['failed']} failed"
     )
-    if telemetry.journal_replays:
-        breakdown = f"{telemetry.journal_replays} journal replays, " + breakdown
+    if snap["replayed"]:
+        breakdown = f"{snap['replayed']} journal replays, " + breakdown
     lines = [
         "Execution telemetry",
-        f"  cells:        {telemetry.cells} ({breakdown})",
-        f"  retries:      {telemetry.retries}",
-        f"  cycles:       {telemetry.cycles_simulated:,} simulated",
-        f"  cell time:    {telemetry.cell_seconds:.2f}s across cells",
-        f"  wall clock:   {telemetry.wall_seconds:.2f}s",
+        f"  cells:        {snap['total']} ({breakdown})",
+        f"  retries:      {snap['retries']}",
+        f"  cycles:       {snap['cycles_simulated']:,} simulated",
+        f"  cell time:    {snap['cell_seconds']:.2f}s across cells",
+        f"  wall clock:   {snap['wall_seconds']:.2f}s",
     ]
-    if telemetry.wall_seconds > 0 and telemetry.cell_seconds > 0:
-        speedup = telemetry.cell_seconds / telemetry.wall_seconds
+    if snap["wall_seconds"] > 0 and snap["cell_seconds"] > 0:
+        speedup = snap["cell_seconds"] / snap["wall_seconds"]
         lines.append(f"  speedup:      {speedup:.2f}x (cell time / wall clock)")
-    if telemetry.quarantines:
+    if snap["quarantined"]:
         lines.append(
-            f"  quarantined:  {telemetry.quarantines} corrupt cache "
+            f"  quarantined:  {snap['quarantined']} corrupt cache "
             "entries renamed *.corrupt"
         )
-    if telemetry.worker_crashes or telemetry.worker_timeouts:
+    if snap["worker_crashes"] or snap["worker_timeouts"]:
         lines.append(
-            f"  supervision:  {telemetry.worker_crashes} worker crashes, "
-            f"{telemetry.worker_timeouts} deadline kills, "
-            f"{telemetry.workers_respawned} respawns"
+            f"  supervision:  {snap['worker_crashes']} worker crashes, "
+            f"{snap['worker_timeouts']} deadline kills, "
+            f"{snap['workers_respawned']} respawns"
         )
-    if telemetry.backoff_seconds > 0:
+    if snap["backoff_seconds"] > 0:
         lines.append(
-            f"  backoff:      {telemetry.backoff_seconds:.2f}s of retry delay"
+            f"  backoff:      {snap['backoff_seconds']:.2f}s of retry delay"
         )
-    if telemetry.interrupted:
+    if snap["interrupted"]:
         lines.append(
             "  interrupted:  yes (journaled cells resume with --resume / "
             "REPRO_RESUME=1)"

@@ -116,6 +116,11 @@ class UMONMonitor:
         self._bins = np.zeros(len(sizes) + 1, dtype=np.float64)
         self._epoch_accesses = 0.0
         self.total_observed = 0
+        #: Accesses that passed the set-sampling filter (== fed to the
+        #: stack tracker; equals ``total_observed`` when sampling is
+        #: off). Exported on the ``sim.run`` trace span, so campaigns
+        #: can verify the sampling rate the monitor actually achieved.
+        self.sampled_observed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +142,7 @@ class UMONMonitor:
         self.total_observed += 1
         if self._sampling_mask and (_mix64(line_addr) & self._sampling_mask):
             return
+        self.sampled_observed += 1
         distance = self._tracker.observe(line_addr)
         if distance == COLD_DISTANCE:
             bin_index = len(self._sizes)
@@ -177,8 +183,11 @@ class UMONMonitor:
                 hashes = mix64_array(addrs)
             keep = (hashes & np.uint64(self._sampling_mask)) == 0
             addrs = addrs[keep]
+            self.sampled_observed += int(addrs.shape[0])
             if not addrs.shape[0]:
                 return
+        else:
+            self.sampled_observed += int(addrs.shape[0])
         distances = self._tracker.observe_run(addrs.tolist())
         sizes = self._sizes
         cold_bin = len(sizes)
@@ -230,3 +239,4 @@ class UMONMonitor:
         self.reset_window()
         self._tracker.reset()
         self.total_observed = 0
+        self.sampled_observed = 0

@@ -1,0 +1,57 @@
+"""Unified observability layer: structured tracing and metrics.
+
+Long campaigns span three subsystems — the parallel engine, the
+crash-safe journal/supervisor, and the batched simulation kernel — and
+this package is the single place they all report to:
+
+* :mod:`repro.obs.trace` — nested spans with monotonic timestamps and
+  attributes, appended as JSONL to a thread/process-safe sink
+  (``REPRO_TRACE`` / ``--trace``). Workers inherit the configuration
+  through the environment, so one trace file collects every process of
+  a campaign.
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and fixed-bucket histograms with a Prometheus-style textfile
+  exporter and a JSON snapshot (``REPRO_METRICS`` / ``--metrics-out``).
+* :mod:`repro.obs.summarize` — turns a trace JSONL into a per-phase
+  wall-time breakdown (``python -m repro trace-summarize``).
+
+Everything is behind a no-op fast path: with ``REPRO_TRACE`` unset,
+:func:`repro.obs.trace.span` returns a shared no-op context manager and
+the hot simulation paths pay one dict lookup per *simulation run*, not
+per access — the disabled overhead is unmeasurable in
+``benchmarks/bench_kernel.py --quick``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_output_path,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    Tracer,
+    configure_tracing,
+    event,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_ENV",
+    "Tracer",
+    "configure_tracing",
+    "event",
+    "get_registry",
+    "metrics_output_path",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,160 @@
+"""Per-phase wall-time breakdown of a trace JSONL.
+
+``python -m repro trace-summarize <trace.jsonl>`` reads the span/event
+lines written by :mod:`repro.obs.trace` and renders, per span name, the
+count, total/mean/min/max duration, and the share of all span time —
+the "where does a campaign's time go" table. Events are summarized by
+count.
+
+Like the journal loader, the reader is damage-tolerant: lines that do
+not parse (a process killed mid-append) are counted and skipped, never
+fatal — a trace from a crashed campaign is exactly when you want this
+tool to work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize_trace` extracts from one file."""
+
+    phases: list[PhaseSummary]
+    events: dict[str, int]
+    spans: int = 0
+    skipped_lines: int = 0
+    #: Wall-clock extent of the trace: max(t1) - min(t0) across spans.
+    extent_seconds: float = 0.0
+    #: Sum of every span's duration (overlapping/nested spans included,
+    #: so this can exceed the extent on parallel or nested traces).
+    total_span_seconds: float = 0.0
+
+
+def load_trace(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Parse one trace JSONL; returns ``(records, skipped_lines)``."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file {path}: {exc}")
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            fields = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if not isinstance(fields, dict) or fields.get("kind") not in (
+            "span",
+            "event",
+        ):
+            skipped += 1
+            continue
+        records.append(fields)
+    return records, skipped
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Aggregate a trace file into per-phase summaries."""
+    records, skipped = load_trace(path)
+    phases: dict[str, PhaseSummary] = {}
+    events: dict[str, int] = {}
+    spans = 0
+    t_min = float("inf")
+    t_max = float("-inf")
+    total = 0.0
+    for record in records:
+        name = str(record.get("name", "?"))
+        if record["kind"] == "event":
+            events[name] = events.get(name, 0) + 1
+            continue
+        try:
+            dur = float(record["dur"])
+            t0 = float(record["t0"])
+            t1 = float(record["t1"])
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        spans += 1
+        total += dur
+        t_min = min(t_min, t0)
+        t_max = max(t_max, t1)
+        phase = phases.get(name)
+        if phase is None:
+            phase = phases[name] = PhaseSummary(name=name)
+        phase.add(dur)
+    ordered = sorted(
+        phases.values(), key=lambda p: p.total_seconds, reverse=True
+    )
+    return TraceSummary(
+        phases=ordered,
+        events=dict(sorted(events.items())),
+        spans=spans,
+        skipped_lines=skipped,
+        extent_seconds=(t_max - t_min) if spans else 0.0,
+        total_span_seconds=total,
+    )
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The per-phase breakdown as a text table."""
+    lines = ["Trace summary"]
+    lines.append(
+        f"  spans: {summary.spans}   extent: {summary.extent_seconds:.2f}s   "
+        f"span time: {summary.total_span_seconds:.2f}s"
+    )
+    if summary.skipped_lines:
+        lines.append(f"  skipped lines: {summary.skipped_lines} (damaged/foreign)")
+    if summary.phases:
+        header = (
+            f"  {'phase':28s} {'count':>6s} {'total':>9s} {'mean':>9s} "
+            f"{'min':>9s} {'max':>9s} {'share':>6s}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        whole = summary.total_span_seconds or 1.0
+        for phase in summary.phases:
+            lines.append(
+                f"  {phase.name:28s} {phase.count:>6d} "
+                f"{phase.total_seconds:>8.2f}s {phase.mean_seconds:>8.3f}s "
+                f"{phase.min_seconds:>8.3f}s {phase.max_seconds:>8.3f}s "
+                f"{phase.total_seconds / whole:>6.1%}"
+            )
+    else:
+        lines.append("  (no spans)")
+    if summary.events:
+        lines.append("  events:")
+        for name, count in summary.events.items():
+            lines.append(f"    {name:26s} {count:>6d}")
+    return "\n".join(lines)

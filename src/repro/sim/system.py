@@ -26,9 +26,20 @@ from repro.config import ArchConfig
 from repro.core.actions import ResizingAction
 from repro.core.trace import ResizingTrace
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sim.cpu import Core, CoreConfig, InstructionStream, StopReason
 from repro.sim.hierarchy import DomainMemory
+from repro.sim.kernelmode import kernel_mode
 from repro.sim.stats import DomainStats
+
+# Per-run (never per-access) simulator metrics: incremented once when a
+# system run finishes, so the recording cost is invisible next to the
+# millions of simulated cycles it summarizes.
+_REG = obs_metrics.get_registry()
+_M_RUNS = _REG.counter("repro_sim_runs_total", "Completed system runs")
+_M_QUANTA = _REG.counter("repro_sim_quanta_total", "Interleaving quanta advanced")
+_M_CYCLES = _REG.counter("repro_sim_cycles_total", "Cycles simulated")
 
 
 @dataclass
@@ -164,39 +175,78 @@ class MultiDomainSystem:
         return all(core.finished for core in self.cores)
 
     # ------------------------------------------------------------------
+    def _observability_attrs(self) -> dict:
+        """Per-run counters attached to the ``sim.run`` trace span.
+
+        Resizing-action counts come from the trace logs the scheme
+        appends to; monitor observation counters come from whatever
+        UMON-style monitors the scheme built (schemes without monitors
+        — Static, Shared — report zeros).
+        """
+        monitors = [
+            m for m in getattr(self.scheme, "monitors", []) or [] if m is not None
+        ]
+        observed = sum(int(getattr(m, "total_observed", 0)) for m in monitors)
+        sampled = sum(int(getattr(m, "sampled_observed", 0)) for m in monitors)
+        return {
+            "resizes": sum(len(log) for log in self.trace_logs),
+            "assessments": sum(s.assessments for s in self.stats),
+            "monitor_observed": observed,
+            "monitor_sampled": sampled,
+        }
+
     def run(self, max_cycles: int = 50_000_000) -> SystemResult:
         """Advance the system until every domain's slice finishes."""
         now = 0
         next_sample = 0
+        quanta = 0
         completed = False
-        while now < max_cycles:
-            if self.all_finished:
-                completed = True
-                break
-            quantum_end = now + self.quantum
-            for core in self.cores:
-                while core.cycles < quantum_end:
-                    target = self.scheme.progress_target(core.domain)
-                    reason = core.run(float(quantum_end), target)
-                    if reason is StopReason.PROGRESS:
-                        self.scheme.on_progress(self, core.domain, core.now)
-                        if self.scheme.progress_target(core.domain) == target:
-                            raise SimulationError(
-                                "scheme did not advance the progress target "
-                                f"of domain {core.domain}"
-                            )
-                    else:
-                        break
-            now = quantum_end
-            self.scheme.on_quantum(self, now)
-            if now >= next_sample:
-                self.sample_partition_sizes(now)
-                next_sample = now + self.sample_interval
-        # The loop's finished-check runs at quantum tops only, so a run
-        # whose last core retires during the final quantum at exactly
-        # max_cycles would otherwise be misreported as incomplete.
-        if not completed:
-            completed = self.all_finished
+        with obs_trace.span(
+            "sim.run", scheme=self.scheme.name, kernel=kernel_mode()
+        ) as span:
+            while now < max_cycles:
+                if self.all_finished:
+                    completed = True
+                    break
+                quantum_end = now + self.quantum
+                for core in self.cores:
+                    while core.cycles < quantum_end:
+                        target = self.scheme.progress_target(core.domain)
+                        reason = core.run(float(quantum_end), target)
+                        if reason is StopReason.PROGRESS:
+                            self.scheme.on_progress(self, core.domain, core.now)
+                            if self.scheme.progress_target(core.domain) == target:
+                                raise SimulationError(
+                                    "scheme did not advance the progress target "
+                                    f"of domain {core.domain}"
+                                )
+                        else:
+                            break
+                now = quantum_end
+                quanta += 1
+                self.scheme.on_quantum(self, now)
+                if now >= next_sample:
+                    self.sample_partition_sizes(now)
+                    next_sample = now + self.sample_interval
+            # The loop's finished-check runs at quantum tops only, so a run
+            # whose last core retires during the final quantum at exactly
+            # max_cycles would otherwise be misreported as incomplete.
+            if not completed:
+                completed = self.all_finished
+            span.set(
+                total_cycles=now,
+                quanta=quanta,
+                completed=completed,
+                **self._observability_attrs(),
+            )
+        _M_RUNS.inc()
+        _M_QUANTA.inc(quanta)
+        _M_CYCLES.inc(now)
+        _REG.counter(
+            "repro_sim_resizes_total",
+            "Resizing actions recorded, by scheme",
+            scheme=self.scheme.name,
+        ).inc(sum(len(log) for log in self.trace_logs))
         traces = [
             ResizingTrace.from_pairs(log) for log in self.trace_logs
         ]

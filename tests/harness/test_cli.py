@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.obs.trace import TRACE_ENV
 
 
 class TestParser:
@@ -24,6 +27,18 @@ class TestParser:
         args = build_parser().parse_args(["rmax", "--capacity", "4"])
         assert args.capacity == 4
 
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "t.jsonl", "--metrics-out", "m.prom", "mix", "1"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics_out == "m.prom"
+
+    def test_trace_summarize_takes_a_path(self):
+        args = build_parser().parse_args(["trace-summarize", "t.jsonl"])
+        assert args.command == "trace-summarize"
+        assert args.trace_path == "t.jsonl"
+
 
 class TestExecution:
     def test_rmax_command(self, capsys):
@@ -32,8 +47,64 @@ class TestExecution:
         assert "R_max table" in out
         assert "m=  0" in out
 
-    def test_mix_command_small(self, capsys):
-        assert main(["--profile", "test", "mix", "1"]) == 0
+    def test_mix_command_small_with_observability(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """One traced campaign end to end: figures on stdout, a parseable
+        trace JSONL, and a metrics textfile + JSON snapshot on exit."""
+        monkeypatch.setenv(TRACE_ENV, "0")  # restored after the test
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "--profile",
+                    "test",
+                    "--no-cache",
+                    "--trace",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                    "mix",
+                    "1",
+                ]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "Mix 1" in out
         assert "Geo. mean" in out
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        assert {"engine.run", "cell.compute", "sim.run"} <= names
+        prom = metrics.read_text()
+        assert "repro_exec_cells_total" in prom
+        assert "repro_sim_runs_total" in prom
+        snapshot = json.loads((tmp_path / "metrics.prom.json").read_text())
+        assert "repro_exec_cells_total" in snapshot
+
+    def test_trace_summarize_command(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            json.dumps(
+                {
+                    "kind": "span",
+                    "name": "cell.compute",
+                    "t0": 0.0,
+                    "t1": 2.0,
+                    "dur": 2.0,
+                    "wall": 0.0,
+                    "pid": 1,
+                    "id": "1-1",
+                    "parent": None,
+                    "attrs": {},
+                }
+            )
+            + "\n"
+        )
+        assert main(["trace-summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "cell.compute" in out

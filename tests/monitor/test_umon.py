@@ -117,6 +117,33 @@ class TestSampling:
         # Sampled estimate within 30% of the dense count at the top size.
         assert sampled_curve[-1] == pytest.approx(dense_curve[-1], rel=0.3)
 
+    def test_sampled_observed_counts_filter_survivors(self):
+        monitor = UMONMonitor(SIZES, sampling_shift=2)
+        for addr in range(64):
+            monitor.observe(addr)
+        assert 0 < monitor.sampled_observed < monitor.total_observed == 64
+
+    def test_sampled_observed_equals_total_without_sampling(self):
+        monitor = UMONMonitor(SIZES)
+        for addr in range(16):
+            monitor.observe(addr)
+        assert monitor.sampled_observed == monitor.total_observed == 16
+
+    def test_sampled_observed_batched_matches_scalar(self):
+        batched = UMONMonitor(SIZES, sampling_shift=1)
+        scalar = UMONMonitor(SIZES, sampling_shift=1)
+        addrs = np.arange(200, dtype=np.int64)
+        batched.observe_block(addrs)
+        for addr in range(200):
+            scalar.observe(addr)
+        assert batched.sampled_observed == scalar.sampled_observed > 0
+
+    def test_clear_resets_sampled_observed(self):
+        monitor = UMONMonitor(SIZES)
+        monitor.observe(1)
+        monitor.clear()
+        assert monitor.sampled_observed == 0
+
     def test_strided_stream_sampled_fairly(self):
         """A stride that is a multiple of ``2**shift`` samples ~1/2**shift.
 

@@ -1,0 +1,131 @@
+"""Tests for the trace summarizer (:mod:`repro.obs.summarize`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.summarize import load_trace, render_summary, summarize_trace
+
+
+def span_line(name, t0, t1, **attrs):
+    return json.dumps(
+        {
+            "kind": "span",
+            "name": name,
+            "t0": t0,
+            "t1": t1,
+            "dur": t1 - t0,
+            "wall": 0.0,
+            "pid": 1,
+            "id": "1-1",
+            "parent": None,
+            "attrs": attrs,
+        }
+    )
+
+
+def event_line(name):
+    return json.dumps(
+        {
+            "kind": "event",
+            "name": name,
+            "t": 0.0,
+            "wall": 0.0,
+            "pid": 1,
+            "parent": None,
+            "attrs": {},
+        }
+    )
+
+
+def write_trace(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestSummarize:
+    def test_phase_aggregation(self, tmp_path):
+        trace = write_trace(
+            tmp_path / "t.jsonl",
+            [
+                span_line("cell.compute", 0.0, 2.0),
+                span_line("cell.compute", 2.0, 3.0),
+                span_line("engine.run", 0.0, 3.5),
+                event_line("journal.append"),
+                event_line("journal.append"),
+            ],
+        )
+        summary = summarize_trace(trace)
+        assert summary.spans == 3
+        assert summary.skipped_lines == 0
+        assert summary.extent_seconds == pytest.approx(3.5)
+        assert summary.total_span_seconds == pytest.approx(6.5)
+        assert summary.events == {"journal.append": 2}
+        # Sorted by total time, engine.run (3.5s) first.
+        assert summary.phases[0].name == "engine.run"
+        compute = summary.phases[1]
+        assert compute.count == 2
+        assert compute.total_seconds == pytest.approx(3.0)
+        assert compute.mean_seconds == pytest.approx(1.5)
+        assert compute.min_seconds == pytest.approx(1.0)
+        assert compute.max_seconds == pytest.approx(2.0)
+
+    def test_damaged_lines_are_counted_not_fatal(self, tmp_path):
+        trace = write_trace(
+            tmp_path / "t.jsonl",
+            [
+                span_line("ok", 0.0, 1.0),
+                '{"kind": "span", "name": "torn", "t0": 1.0',  # torn append
+                "not json at all",
+                '{"kind": "mystery"}',  # foreign record
+                '{"kind": "span", "name": "no-dur"}',  # missing fields
+            ],
+        )
+        summary = summarize_trace(trace)
+        assert summary.spans == 1
+        assert summary.skipped_lines == 4
+
+    def test_missing_file_raises_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            summarize_trace(tmp_path / "absent.jsonl")
+
+    def test_load_trace_skips_blank_lines(self, tmp_path):
+        trace = write_trace(
+            tmp_path / "t.jsonl", [span_line("a", 0.0, 1.0), "", "  "]
+        )
+        records, skipped = load_trace(trace)
+        assert len(records) == 1 and skipped == 0
+
+
+class TestRender:
+    def test_table_contents(self, tmp_path):
+        trace = write_trace(
+            tmp_path / "t.jsonl",
+            [
+                span_line("cell.compute", 0.0, 2.0),
+                span_line("engine.run", 0.0, 2.5),
+                event_line("cell.retry"),
+            ],
+        )
+        text = render_summary(summarize_trace(trace))
+        assert "Trace summary" in text
+        assert "cell.compute" in text
+        assert "engine.run" in text
+        assert "share" in text
+        assert "cell.retry" in text
+        # engine.run holds 2.5 of 4.5 span-seconds.
+        assert "55.6%" in text
+
+    def test_empty_trace_renders(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", [event_line("only.events")])
+        text = render_summary(summarize_trace(trace))
+        assert "(no spans)" in text
+        assert "only.events" in text
+
+    def test_skipped_lines_reported(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", ["garbage"])
+        text = render_summary(summarize_trace(trace))
+        assert "skipped lines: 1" in text

@@ -1,0 +1,167 @@
+"""Tests for the span tracer (:mod:`repro.obs.trace`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACE_ENV,
+    Tracer,
+    configure_tracing,
+    default_trace_path,
+    span,
+    tracing_enabled,
+)
+
+
+def read_lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestDisabledFastPath:
+    def test_disabled_returns_shared_noop(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert span("anything", a=1) is NOOP_SPAN
+        assert not tracing_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, "0")
+        assert span("anything") is NOOP_SPAN
+
+    def test_noop_span_supports_full_protocol(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        with span("x", a=1) as handle:
+            assert handle.set(b=2) is handle
+        obs_trace.event("x", a=1)  # must not raise either
+
+    def test_reconfiguration_takes_effect_without_restart(
+        self, monkeypatch, tmp_path
+    ):
+        """Flipping REPRO_TRACE mid-process switches the sink."""
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert not tracing_enabled()
+        sink = tmp_path / "t.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        assert tracing_enabled()
+        with span("reconfig"):
+            pass
+        assert read_lines(sink)[0]["name"] == "reconfig"
+        monkeypatch.setenv(TRACE_ENV, "0")
+        assert not tracing_enabled()
+
+
+class TestSpanLines:
+    def test_span_line_schema(self, monkeypatch, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        with span("phase.one", scheme="untangle") as handle:
+            handle.set(cycles=42)
+        (line,) = read_lines(sink)
+        assert line["kind"] == "span"
+        assert line["name"] == "phase.one"
+        assert line["attrs"] == {"scheme": "untangle", "cycles": 42}
+        assert line["t1"] >= line["t0"]
+        assert line["dur"] == pytest.approx(line["t1"] - line["t0"])
+        assert line["parent"] is None
+        assert isinstance(line["pid"], int)
+
+    def test_nested_spans_record_parent_ids(self, monkeypatch, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = read_lines(sink)  # inner closes (writes) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_event_records_enclosing_span(self, monkeypatch, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        with span("outer"):
+            obs_trace.event("tick", n=1)
+        event_line, span_line = read_lines(sink)
+        assert event_line["kind"] == "event"
+        assert event_line["attrs"] == {"n": 1}
+        assert event_line["parent"] == span_line["id"]
+
+    def test_exception_annotates_span(self, monkeypatch, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        (line,) = read_lines(sink)
+        assert line["attrs"]["error"] == "ValueError"
+
+    def test_unjsonable_attrs_are_stringified(self, monkeypatch, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV, str(sink))
+        with span("odd", path=tmp_path):  # Path is not JSON-able
+            pass
+        (line,) = read_lines(sink)
+        assert line["attrs"]["path"] == str(tmp_path)
+
+
+class TestTracer:
+    def test_concurrent_threads_write_whole_lines(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+
+        def worker(i):
+            for j in range(50):
+                tracer.event("tick", thread=i, j=j)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        lines = read_lines(tmp_path / "t.jsonl")
+        assert len(lines) == 200  # every line parsed — no torn writes
+
+    def test_unwritable_sink_never_raises(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        tracer = Tracer(target)  # opening a directory fails
+        tracer.event("tick")  # swallowed, tracer marked broken
+        assert tracer._broken
+
+    def test_span_ids_unique_within_process(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.close()
+        ids = {line["id"] for line in read_lines(tmp_path / "t.jsonl")}
+        assert len(ids) == 2
+
+
+class TestConfigure:
+    def test_configure_sets_and_clears_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        configure_tracing(tmp_path / "t.jsonl")
+        try:
+            assert tracing_enabled()
+        finally:
+            configure_tracing(None)
+        assert not tracing_enabled()
+
+    def test_default_path_rides_with_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert default_trace_path() == tmp_path / "trace.jsonl"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_trace_path().name == "trace.jsonl"

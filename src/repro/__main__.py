@@ -15,6 +15,15 @@ cells out over a process pool and cache results on disk under
 are bit-identical either way. ``--telemetry`` prints the engine's cache
 and timing counters to stderr afterwards.
 
+Cells additionally share a cross-cell *precompute store*
+(``docs/performance.md``): workload traces and Untangle rate tables are
+computed once per campaign at ``<cache-dir>/store`` (or
+``REPRO_STORE_DIR``) and attached zero-copy by every worker.
+``--no-precompute-store`` (or ``REPRO_PRECOMPUTE=off``) forces the
+legacy rebuild-per-cell path; the store is independent of the result
+cache, so ``--no-cache`` alone still shares traces while re-simulating
+every cell.
+
 Fault tolerance: every finished cell is journaled to
 ``<cache-dir>/journal.jsonl``; an interrupted (Ctrl-C / SIGTERM) or
 killed campaign re-run with ``--resume`` (or ``REPRO_RESUME=1``)
@@ -40,8 +49,14 @@ import os
 import sys
 from pathlib import Path
 
-from repro.errors import CampaignInterrupted
+from repro.errors import CampaignInterrupted, ConfigurationError
 from repro.harness.exec import ExecutionEngine, ResultCache
+from repro.harness.store import (
+    PRECOMPUTE_ENV,
+    STORE_DIR_ENV,
+    PrecomputeStore,
+    precompute_from_env,
+)
 from repro.harness.faults import faults_from_env
 from repro.harness.journal import RunJournal
 from repro.harness.experiment import run_mix
@@ -97,7 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the on-disk result cache",
+        help=(
+            "disable the on-disk result cache (the precompute store "
+            "stays on — use --no-precompute-store to disable it too)"
+        ),
+    )
+    parser.add_argument(
+        "--no-precompute-store",
+        action="store_true",
+        help=(
+            "disable the cross-cell precompute store and rebuild every "
+            "workload trace / rate table per cell (legacy path; also: "
+            "REPRO_PRECOMPUTE=off)"
+        ),
     )
     parser.add_argument(
         "--telemetry",
@@ -192,6 +219,15 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
     (``<cache-dir>/journal.jsonl``); ``--no-cache`` disables both.
     ``REPRO_RESUME=1`` and ``REPRO_FAULTS`` are honored alongside the
     flags so chaos/recovery behavior can be driven from the environment.
+
+    The precompute store (``docs/performance.md``) lives at
+    ``<cache-dir>/store`` (or ``REPRO_STORE_DIR``) and is *independent*
+    of the result cache: ``--no-cache`` re-simulates every cell but
+    still shares workload traces and rate tables across them, while
+    ``--no-precompute-store`` / ``REPRO_PRECOMPUTE=off`` forces the
+    legacy rebuild-per-cell path. Passing ``--no-precompute-store``
+    while the environment explicitly enables the store is rejected as a
+    conflict.
     """
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     journal = (
@@ -199,6 +235,24 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
         if args.no_cache
         else RunJournal(Path(args.cache_dir) / "journal.jsonl")
     )
+    store = None
+    raw_precompute = os.environ.get(PRECOMPUTE_ENV, "").strip().lower()
+    if args.no_precompute_store:
+        if raw_precompute and precompute_from_env():
+            raise ConfigurationError(
+                f"--no-precompute-store conflicts with "
+                f"{PRECOMPUTE_ENV}={os.environ.get(PRECOMPUTE_ENV)!r}; "
+                "accepted: drop the flag, or set "
+                f"{PRECOMPUTE_ENV}=off (or unset it)"
+            )
+        # Through the environment so cells — serial or in workers — take
+        # the legacy build path even if REPRO_STORE_DIR is set.
+        os.environ[PRECOMPUTE_ENV] = "off"
+    elif precompute_from_env():
+        store_dir = os.environ.get(STORE_DIR_ENV) or (
+            Path(args.cache_dir) / "store"
+        )
+        store = PrecomputeStore(store_dir)
     resume = args.resume or os.environ.get("REPRO_RESUME", "") in (
         "1",
         "true",
@@ -217,6 +271,7 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
         resume=resume,
         faults=faults_from_env(),
         progress=progress,
+        store=store,
     )
 
 
@@ -236,7 +291,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         # Through the environment so forked/spawned workers inherit it.
         configure_tracing(args.trace)
-    engine = build_engine(args)
+    try:
+        engine = build_engine(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     try:
         if args.command == "mix":

@@ -22,6 +22,15 @@ from dataclasses import dataclass
 from repro.core.covert import CovertChannelModel
 from repro.core.dinkelbach import RmaxResult, solve_rmax
 from repro.errors import ChannelModelError
+from repro.obs import metrics as obs_metrics
+
+#: Counts Dinkelbach solves in this process — the precompute store
+#: (``repro.harness.store``) exists to keep this at one per table level
+#: per campaign, and zero on a warm store.
+_M_SOLVES = obs_metrics.get_registry().counter(
+    "repro_rmax_solves_total",
+    "Dinkelbach R_max solves performed in this process",
+)
 
 
 @dataclass(frozen=True)
@@ -34,6 +43,36 @@ class RateEntry:
     rate_upper_bound: float
     bits_per_transmission: float
     average_transmission_time: float
+
+
+def compute_entry(
+    base_model: CovertChannelModel,
+    maintains: int,
+    *,
+    solver_iterations: int = 300,
+    solver_seed: int = 0,
+) -> RateEntry:
+    """Solve one table entry from scratch (module-level, picklable).
+
+    This is the unit of work the precompute store parallelizes across a
+    process pool when populating a table; :meth:`RmaxTable._compute`
+    delegates here, so the two paths are the same code and bit-identical.
+    """
+    effective_cooldown = (maintains + 1) * base_model.cooldown
+    model = base_model.with_cooldown(effective_cooldown)
+    result: RmaxResult = solve_rmax(
+        model,
+        inner_iterations=solver_iterations,
+        seed=solver_seed + maintains,
+    )
+    return RateEntry(
+        maintains=maintains,
+        effective_cooldown=effective_cooldown,
+        rate=result.rate,
+        rate_upper_bound=result.rate_upper_bound,
+        bits_per_transmission=result.bits_per_transmission,
+        average_transmission_time=result.average_transmission_time,
+    )
 
 
 class RmaxTable:
@@ -101,20 +140,12 @@ class RmaxTable:
     def _compute(self, maintains: int) -> RateEntry:
         if maintains in self._entries:
             return self._entries[maintains]
-        effective_cooldown = (maintains + 1) * self._base_model.cooldown
-        model = self._base_model.with_cooldown(effective_cooldown)
-        result: RmaxResult = solve_rmax(
-            model,
-            inner_iterations=self._solver_iterations,
-            seed=self._solver_seed + maintains,
-        )
-        entry = RateEntry(
-            maintains=maintains,
-            effective_cooldown=effective_cooldown,
-            rate=result.rate,
-            rate_upper_bound=result.rate_upper_bound,
-            bits_per_transmission=result.bits_per_transmission,
-            average_transmission_time=result.average_transmission_time,
+        _M_SOLVES.inc()
+        entry = compute_entry(
+            self._base_model,
+            maintains,
+            solver_iterations=self._solver_iterations,
+            solver_seed=self._solver_seed,
         )
         self._entries[maintains] = entry
         return entry
@@ -151,6 +182,29 @@ class RmaxTable:
     def entries(self) -> list[RateEntry]:
         """All materialized-level entries, computing any outstanding."""
         return [self._compute(i) for i in self._levels]
+
+    def preload(self, entries: list[RateEntry]) -> bool:
+        """Adopt previously solved entries instead of solving.
+
+        Returns ``True`` only when every materialized level is covered by
+        an entry whose ``effective_cooldown`` matches this table's model
+        — a mismatched or incomplete set (e.g. a stale store artifact)
+        is rejected wholesale and the table stays unsolved, so the
+        caller falls back to computing.
+        """
+        by_level = {entry.maintains: entry for entry in entries}
+        for level in self._levels:
+            entry = by_level.get(level)
+            if (
+                entry is None
+                or entry.effective_cooldown
+                != (level + 1) * self._base_model.cooldown
+            ):
+                return False
+        self._entries.update(
+            (level, by_level[level]) for level in self._levels
+        )
+        return True
 
     @property
     def levels(self) -> list[int]:

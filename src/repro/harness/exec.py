@@ -72,6 +72,17 @@ from repro.harness.faults import FaultPlan, faults_from_env
 from repro.harness.journal import JournalEntry, RunJournal
 from repro.harness.profiling import maybe_profile, reset_claim
 from repro.harness.runconfig import RunProfile
+from repro.harness.store import (
+    STORE_DIR_ENV,
+    STORE_SHM_ENV,
+    PrecomputeStore,
+    apply_store_stats_delta,
+    clear_active_store,
+    precompute_from_env,
+    set_active_store,
+    store_stats_delta,
+    store_stats_snapshot,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -157,6 +168,28 @@ class MixSchemeCell:
 
         return run_mix_scheme(list(self.pairs), self.scheme, self.profile)
 
+    def store_needs(self) -> list[tuple]:
+        """Precomputable artifacts this cell will consume (store populate).
+
+        One workload trace per pair (mirroring ``run_mix_scheme``'s
+        seeds) plus — for the Untangle variants — the exact rate table
+        ``make_scheme`` will request.
+        """
+        needs: list[tuple] = [
+            ("trace", spec, crypto, self.profile.workload_scale,
+             self.profile.seed + index)
+            for index, (spec, crypto) in enumerate(self.pairs)
+        ]
+        if self.scheme == "untangle":
+            from repro.schemes.untangle import DEFAULT_TABLE_CAPACITY
+
+            needs.append(
+                ("rmax", self.profile.cooldown, DEFAULT_TABLE_CAPACITY)
+            )
+        elif self.scheme == "untangle-unopt":
+            needs.append(("rmax-worst", self.profile.cooldown))
+        return needs
+
     @staticmethod
     def cycles_of(value: Any) -> int:
         return int(value.total_cycles)
@@ -227,6 +260,19 @@ class SensitivityCell:
         return run_benchmark_at_size(
             SPEC_BENCHMARKS[self.benchmark], self.partition_lines, self.profile
         )
+
+    def store_needs(self) -> list[tuple]:
+        """One shared SPEC-only trace per benchmark, reused by all sizes."""
+        scale = self.profile.workload_scale
+        return [
+            (
+                "spec-stream",
+                self.benchmark,
+                scale.spec_instructions,
+                scale.lines_per_mb,
+                self.profile.seed,
+            )
+        ]
 
     @staticmethod
     def cycles_of(value: Any) -> int | None:
@@ -383,6 +429,18 @@ class EngineTelemetry:
     wall_seconds: float = 0.0
     cell_seconds: float = 0.0
     cycles_simulated: int = 0
+    #: Precompute-store accounting (PR 5), absorbed once per run from
+    #: the metrics registry (populate + serial cells + worker deltas).
+    store_trace_hits: int = 0
+    store_trace_misses: int = 0
+    store_trace_bytes: int = 0
+    store_rmax_hits: int = 0
+    store_rmax_misses: int = 0
+    store_quarantines: int = 0
+    #: Full workload compositions / Dinkelbach solves paid anywhere in
+    #: the campaign — a warm store drives both to zero.
+    workload_builds: int = 0
+    rmax_solves: int = 0
     records: list[CellRecord] = field(default_factory=list)
 
     def note(self, record: CellRecord) -> None:
@@ -439,7 +497,35 @@ class EngineTelemetry:
             "wall_seconds": self.wall_seconds,
             "cell_seconds": self.cell_seconds,
             "cycles_simulated": self.cycles_simulated,
+            "store_trace_hits": self.store_trace_hits,
+            "store_trace_misses": self.store_trace_misses,
+            "store_trace_bytes": self.store_trace_bytes,
+            "store_rmax_hits": self.store_rmax_hits,
+            "store_rmax_misses": self.store_rmax_misses,
+            "store_quarantines": self.store_quarantines,
+            "workload_builds": self.workload_builds,
+            "rmax_solves": self.rmax_solves,
         }
+
+    def absorb_store(self, delta: dict[str, float]) -> None:
+        """Fold one run's store/build/solve counter delta into telemetry.
+
+        ``delta`` comes from :func:`repro.harness.store.store_stats_delta`
+        over the run's registry snapshots — by then worker deltas have
+        already been replayed into the parent registry, so each unit of
+        work is counted exactly once regardless of where it executed.
+        """
+        self.store_trace_hits += int(delta.get("store_trace_hits", 0))
+        self.store_trace_misses += int(delta.get("store_trace_misses", 0))
+        self.store_trace_bytes += int(delta.get("store_trace_bytes", 0))
+        self.store_rmax_hits += int(delta.get("store_rmax_hits", 0))
+        self.store_rmax_misses += int(delta.get("store_rmax_misses", 0))
+        self.store_quarantines += int(
+            delta.get("store_quarantined_trace", 0)
+            + delta.get("store_quarantined_rmax", 0)
+        )
+        self.workload_builds += int(delta.get("workload_builds", 0))
+        self.rmax_solves += int(delta.get("rmax_solves", 0))
 
     def publish(self, registry=None) -> None:
         """Mirror the timing aggregates into the metrics registry.
@@ -542,15 +628,23 @@ def _worker_main(
             return
         index, cell = task
         start = time.perf_counter()
+        # Store/build/solve counters accumulate in *this* process's
+        # registry; ship the per-cell delta home so the parent registry
+        # (the one the exporters and telemetry read) accounts for work
+        # wherever it ran.
+        stats_before = store_stats_snapshot()
         try:
             value, wall = _execute_cell(cell, faults, worker_id)
-            message = (index, "ok", value, wall)
+            delta = store_stats_delta(stats_before, store_stats_snapshot())
+            message = (index, "ok", value, wall, delta)
         except Exception as exc:  # graceful degradation
+            delta = store_stats_delta(stats_before, store_stats_snapshot())
             message = (
                 index,
                 "error",
                 f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
+                delta,
             )
         try:
             conn.send(message)
@@ -562,6 +656,7 @@ def _worker_main(
                         "error",
                         f"result not transferable: {type(exc).__name__}: {exc}",
                         time.perf_counter() - start,
+                        delta,
                     )
                 )
             except Exception:
@@ -738,7 +833,8 @@ class _Supervisor:
         except (EOFError, OSError):
             message = None
         if message is not None:
-            index, status, payload, wall = message
+            index, status, payload, wall, stats_delta = message
+            apply_store_stats_delta(stats_delta)
             assert worker.task is not None and worker.task[0] == index
             _, cell, key = worker.task
             worker.task = None
@@ -882,6 +978,17 @@ class ExecutionEngine:
     progress:
         Optional callback receiving one structured line per finished
         cell, e.g. ``print`` or a logger method.
+    store:
+        Optional :class:`~repro.harness.store.PrecomputeStore`. Before
+        cells fan out, every distinct artifact the pending cells declare
+        via ``store_needs()`` is precomputed once (``store.populate``,
+        traced as a ``store.populate`` span); workers then attach
+        zero-copy instead of regenerating. The store is torn down
+        (shared-memory segments unlinked) when the run exits — the
+        SIGINT path included. ``None`` disables the layer; results are
+        bit-identical either way. Independent of ``cache``: the *result*
+        cache memoizes finished cells, the store memoizes the expensive
+        *inputs* of cells that do run.
     """
 
     def __init__(
@@ -897,6 +1004,7 @@ class ExecutionEngine:
         resume: bool = False,
         faults: FaultPlan | None = None,
         progress: Callable[[str], None] | None = None,
+        store: PrecomputeStore | None = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
@@ -916,6 +1024,7 @@ class ExecutionEngine:
         self.resume = resume
         self.faults = faults
         self.progress = progress
+        self.store = store
         self.telemetry = EngineTelemetry()
         self._interrupted = False
         self._serial_mode = True
@@ -1067,6 +1176,7 @@ class ExecutionEngine:
             else {}
         )
         quarantined_before = self.cache.quarantined if self.cache else 0
+        stats_before = store_stats_snapshot()
         reset_claim()  # each campaign gets one REPRO_PROFILE capture
         self._install_signals()
         try:
@@ -1111,6 +1221,28 @@ class ExecutionEngine:
                 else:
                     pending.append((index, cell, key))
 
+            if pending and self.store is not None:
+                # Populate-before-fan-out: every distinct artifact the
+                # pending cells declare is computed exactly once here,
+                # then served zero-copy to serial cells, forked workers
+                # (inherited mapping), and spawned/respawned workers
+                # (reattach via the exported environment).
+                set_active_store(self.store)
+                self.store.export_env()
+                needs: list[tuple] = []
+                for _, cell, _ in pending:
+                    hook = getattr(cell, "store_needs", None)
+                    if hook is not None:
+                        needs.extend(hook())
+                if needs:
+                    with obs_trace.span(
+                        "store.populate",
+                        store=self.store.describe(),
+                        needs=len(needs),
+                    ) as populate_span:
+                        ensured = self.store.populate(needs, jobs=self.jobs)
+                        populate_span.set(distinct=ensured)
+
             if pending:
                 if self.jobs == 1:
                     self._serial_mode = True
@@ -1145,6 +1277,19 @@ class ExecutionEngine:
                 self.telemetry.quarantines += (
                     self.cache.quarantined - quarantined_before
                 )
+            # One run-level registry delta: populate + serial cells +
+            # worker deltas (already replayed into this registry by
+            # _service), each counted exactly once.
+            self.telemetry.absorb_store(
+                store_stats_delta(stats_before, store_stats_snapshot())
+            )
+            if self.store is not None:
+                # Teardown on every exit path — SIGINT included — so no
+                # /dev/shm segment outlives the run.
+                self.store.release()
+                clear_active_store()
+                if self.store.directory is None:
+                    os.environ.pop(STORE_SHM_ENV, None)
             self.telemetry.wall_seconds += time.perf_counter() - start
             self.telemetry.publish()
             snap = self.telemetry.snapshot()
@@ -1155,6 +1300,9 @@ class ExecutionEngine:
                 replayed=snap["replayed"],
                 failed=snap["failed"],
                 interrupted=snap["interrupted"],
+                store_trace_hits=snap["store_trace_hits"],
+                store_trace_misses=snap["store_trace_misses"],
+                store_trace_bytes=snap["store_trace_bytes"],
             )
             run_span.__exit__(None, None, None)
         assert all(outcome is not None for outcome in outcomes)
@@ -1260,6 +1408,13 @@ def engine_from_env(
       of re-running them.
     * ``REPRO_FAULTS``: fault-injection spec for chaos runs (see
       :mod:`repro.harness.faults`).
+    * ``REPRO_PRECOMPUTE``: ``off`` disables the precompute store
+      (legacy build-per-cell path); default on.
+    * ``REPRO_STORE_DIR``: precompute-store directory. Defaults to
+      ``<cache-dir>/store`` — using ``REPRO_CACHE_DIR`` or
+      ``default_cache_dir`` even when ``REPRO_CACHE=0``, because the
+      *result* cache and the *input* store are independent layers; with
+      no directory at all the store falls back to shared memory.
 
     Malformed values raise :class:`~repro.errors.ConfigurationError`
     naming the offending value and the accepted forms.
@@ -1310,6 +1465,19 @@ def engine_from_env(
         journal = RunJournal(raw_journal)
     elif directory is not None:
         journal = RunJournal(Path(directory) / "journal.jsonl")
+    store: PrecomputeStore | None = None
+    if precompute_from_env():
+        # The trace store is allowed even when the result cache is off
+        # (REPRO_CACHE=0): it memoizes cell *inputs*, not results, so
+        # "always re-simulate" semantics are preserved either way.
+        explicit_dir = os.environ.get(STORE_DIR_ENV)
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or default_cache_dir
+        if explicit_dir:
+            store = PrecomputeStore(explicit_dir)
+        elif cache_dir is not None:
+            store = PrecomputeStore(Path(cache_dir) / "store")
+        else:
+            store = PrecomputeStore()  # shared-memory backend
     return ExecutionEngine(
         jobs=jobs,
         cache=cache,
@@ -1319,4 +1487,5 @@ def engine_from_env(
         resume=_truthy_env("REPRO_RESUME"),
         faults=faults_from_env(),
         progress=progress,
+        store=store,
     )

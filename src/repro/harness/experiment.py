@@ -19,11 +19,14 @@ from repro.schemes.schedule import ProgressSchedule
 from repro.schemes.shared import SharedScheme
 from repro.schemes.static import StaticScheme
 from repro.schemes.timebased import TimeScheme
-from repro.schemes.untangle import UntangleScheme, default_channel_model
-from repro.core.rates import worst_case_table
+from repro.harness.store import cached_build_workload
+from repro.schemes.untangle import (
+    UntangleScheme,
+    default_channel_model,
+    get_worst_case_rate_table,
+)
 from repro.sim.system import DomainSpec, MultiDomainSystem
 from repro.workloads.mixes import get_mix
-from repro.workloads.workload import build_workload
 
 #: Scheme names accepted by :func:`run_mix_scheme`.
 SCHEME_NAMES = ("static", "time", "untangle", "untangle-unopt", "shared")
@@ -155,7 +158,9 @@ def make_scheme(name: str, profile: RunProfile, num_domains: int):
         if name == "untangle-unopt":
             # Active-attacker accounting (Section 9): every assessment
             # charged at the single-cooldown rate — no Maintain credit.
-            table = worst_case_table(model)
+            # Memoized under its own worst-case key, never shared with
+            # the optimized table.
+            table = get_worst_case_rate_table(profile.cooldown)
         return UntangleScheme(
             arch,
             schedule,
@@ -174,7 +179,7 @@ def run_mix_scheme(
 ) -> SchemeRunResult:
     """Simulate one mix under one scheme."""
     workloads = [
-        build_workload(
+        cached_build_workload(
             spec, crypto, profile.workload_scale, seed=profile.seed + index
         )
         for index, (spec, crypto) in enumerate(pairs)

@@ -1,23 +1,32 @@
-"""Perf regression check against the committed kernel baseline.
+"""Perf regression check against the committed performance baselines.
 
-``benchmarks/bench_kernel.py`` records, in ``BENCH_kernel.json`` at the
-repository root, how much faster the batched simulation kernel is than
-the retained reference kernel — per scheme for an end-to-end cell, and
-for the raw cache kernel. Absolute wall-clock depends on the host, but
-the *speedup ratio* (reference / batched, both measured back-to-back on
-the same machine) is machine-independent to first order; it is what
-this module compares.
+Two benchmark drivers record machine-independent *speedup ratios* at the
+repository root (absolute wall-clock depends on the host; the ratio of
+two modes measured back-to-back on the same machine does not, to first
+order):
+
+* ``benchmarks/bench_kernel.py`` → ``BENCH_kernel.json``: batched vs
+  reference simulation kernel, per scheme and for the raw cache kernel;
+* ``benchmarks/bench_store.py`` → ``BENCH_store.json``
+  (``"kind": "store"``): a multi-mix campaign with the precompute store
+  disabled vs cold vs warm.
 
 A regression is flagged when a freshly measured speedup falls more than
 ``tolerance`` (default 30%) below the committed baseline's — i.e. the
-batched kernel lost a significant fraction of its advantage — or when a
-measurement reports non-identical results between the kernels (which is
-a correctness bug, never tolerated).
+optimization lost a significant fraction of its advantage — or when a
+measurement reports non-identical results between the modes (which is a
+correctness bug, never tolerated).
 
 CLI (the CI ``perf-smoke`` job)::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick --output fresh.json
     PYTHONPATH=src python -m repro.harness.perfbaseline --current fresh.json
+
+    PYTHONPATH=src python benchmarks/bench_store.py --quick --output fresh.json
+    PYTHONPATH=src python -m repro.harness.perfbaseline --current fresh.json
+
+The baseline defaults to the committed file matching the current
+payload's kind, so the same command line serves both checks.
 """
 
 from __future__ import annotations
@@ -33,12 +42,15 @@ from repro.errors import ConfigurationError
 #: The committed baseline written by ``benchmarks/bench_kernel.py``.
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_kernel.json"
 
+#: The committed baseline written by ``benchmarks/bench_store.py``.
+STORE_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_store.json"
+
 #: Allowed fractional loss of speedup before a measurement is a regression.
 DEFAULT_TOLERANCE = 0.30
 
 
 def load_bench(path: str | Path) -> dict:
-    """Parse one ``BENCH_kernel.json``, validating its layout version."""
+    """Parse one benchmark JSON, validating its layout version."""
     path = Path(path)
     try:
         payload = json.loads(path.read_text())
@@ -58,10 +70,30 @@ def load_bench(path: str | Path) -> dict:
 
 def _speedups(payload: dict) -> dict[str, float]:
     """Flatten a benchmark payload to ``{measurement: speedup}``."""
+    if payload.get("kind") == "store":
+        return {
+            "store/cold": float(payload["cold"]["speedup"]),
+            "store/warm": float(payload["warm"]["speedup"]),
+        }
     out = {"raw_kernel": float(payload["raw_kernel"]["speedup"])}
     for scheme, cell in payload["end_to_end"]["cells"].items():
         out[f"end_to_end/{scheme}"] = float(cell["speedup"])
     return out
+
+
+def _identity_failures(payload: dict) -> list[str]:
+    """Measurements whose modes reported non-identical results."""
+    if payload.get("kind") == "store":
+        return [
+            f"store/{mode}"
+            for mode in ("cold", "warm")
+            if not payload[mode].get("identical", False)
+        ]
+    return [
+        f"end_to_end/{scheme}"
+        for scheme, cell in payload["end_to_end"]["cells"].items()
+        if not cell.get("identical", False)
+    ]
 
 
 @dataclass(frozen=True)
@@ -95,12 +127,14 @@ def compare(
     """
     if not 0 <= tolerance < 1:
         raise ConfigurationError("tolerance must be in [0, 1)")
+    if current.get("kind") != baseline.get("kind"):
+        raise ConfigurationError(
+            f"cannot compare a {current.get('kind') or 'kernel'!r} benchmark "
+            f"against a {baseline.get('kind') or 'kernel'!r} baseline"
+        )
     regressions: list[Regression] = []
-    for scheme, cell in current["end_to_end"]["cells"].items():
-        if not cell.get("identical", False):
-            regressions.append(
-                Regression(f"end_to_end/{scheme}", 0.0, 0.0, 1.0)
-            )
+    for measurement in _identity_failures(current):
+        regressions.append(Regression(measurement, 0.0, 0.0, 1.0))
     base = _speedups(baseline)
     cur = _speedups(current)
     for measurement in sorted(base.keys() & cur.keys()):
@@ -122,8 +156,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=BASELINE_PATH,
-        help=f"committed baseline (default: {BASELINE_PATH})",
+        default=None,
+        help="committed baseline (default: the committed file matching the "
+        f"current payload's kind — {BASELINE_PATH.name} or "
+        f"{STORE_BASELINE_PATH.name})",
     )
     parser.add_argument(
         "--current",
@@ -138,8 +174,15 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional speedup loss (default: 0.30)",
     )
     args = parser.parse_args(argv)
-    baseline = load_bench(args.baseline)
     current = load_bench(args.current)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = (
+            STORE_BASELINE_PATH
+            if current.get("kind") == "store"
+            else BASELINE_PATH
+        )
+    baseline = load_bench(baseline_path)
     regressions = compare(current, baseline, args.tolerance)
     base, cur = _speedups(baseline), _speedups(current)
     for measurement in sorted(base.keys() | cur.keys()):

@@ -107,6 +107,16 @@ def render_table6(table: Table6) -> str:
     return "\n".join(lines)
 
 
+def _human_bytes(count: float) -> str:
+    """``1536`` → ``"1.5 KiB"`` (for the store line of the summary)."""
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024
+    return f"{count:.1f} GiB"  # pragma: no cover - loop always returns
+
+
 def render_telemetry(telemetry: EngineTelemetry) -> str:
     """Summarize one execution engine's counters as a text block.
 
@@ -154,6 +164,29 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
     if snap["backoff_seconds"] > 0:
         lines.append(
             f"  backoff:      {snap['backoff_seconds']:.2f}s of retry delay"
+        )
+    store_activity = (
+        snap["store_trace_hits"]
+        + snap["store_trace_misses"]
+        + snap["store_rmax_hits"]
+        + snap["store_rmax_misses"]
+    )
+    if store_activity:
+        lines.append(
+            f"  store:        traces {snap['store_trace_hits']} hits / "
+            f"{snap['store_trace_misses']} misses "
+            f"({_human_bytes(snap['store_trace_bytes'])} zero-copy), "
+            f"rmax {snap['store_rmax_hits']} hits / "
+            f"{snap['store_rmax_misses']} misses"
+        )
+        lines.append(
+            f"  rebuilt:      {snap['workload_builds']} workload "
+            f"compositions, {snap['rmax_solves']} R_max solves"
+        )
+    if snap["store_quarantines"]:
+        lines.append(
+            f"  store quarantined: {snap['store_quarantines']} corrupt "
+            "artifacts renamed *.corrupt"
         )
     if snap["interrupted"]:
         lines.append(

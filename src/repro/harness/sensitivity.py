@@ -18,11 +18,20 @@ from repro.config import ArchConfig
 from repro.core.annotations import AnnotationVector
 from repro.harness.exec import ExecutionEngine, SensitivityCell
 from repro.harness.runconfig import RunProfile, SCALED
+from repro.harness.store import cached_spec_stream
+from repro.obs import metrics as obs_metrics
 from repro.schemes.static import StaticScheme
 from repro.sim.cpu import CoreConfig, InstructionStream
 from repro.sim.system import DomainSpec, MultiDomainSystem
 from repro.workloads.patterns import place_memory_instructions
 from repro.workloads.spec import SPEC_BENCHMARKS, SpecBenchmark
+
+#: Same series the mix-workload composer books: a sensitivity stream is
+#: one (SPEC-only) trace composition.
+_M_BUILDS = obs_metrics.get_registry().counter(
+    "repro_workload_builds_total",
+    "Full workload-trace compositions performed in this process",
+)
 
 #: Normalized-IPC threshold defining the adequate LLC size (Section 8).
 ADEQUATE_IPC_THRESHOLD = 0.9
@@ -56,19 +65,54 @@ class SensitivityCurve:
         return self.adequate_size_lines() > static_partition_lines
 
 
+def compose_spec_stream_arrays(
+    benchmark: SpecBenchmark,
+    instructions: int,
+    lines_per_mb: int,
+    seed: int,
+) -> dict[str, np.ndarray]:
+    """The expensive half of :func:`build_spec_only_stream`: raw arrays.
+
+    This is the composition the precompute store persists; a sensitivity
+    study runs the same benchmark at 9 partition sizes, and every size
+    shares this one trace.
+    """
+    _M_BUILDS.inc()
+    rng = np.random.default_rng(seed)
+    period = max(1, round(1.0 / benchmark.mem_fraction))
+    mem_count = max(1, instructions // period)
+    accesses = benchmark.generate_accesses(mem_count, rng, lines_per_mb)
+    addresses = place_memory_instructions(accesses, benchmark.mem_fraction)
+    return {"addresses": addresses}
+
+
+def build_spec_only_stream_direct(
+    benchmark: SpecBenchmark,
+    instructions: int,
+    lines_per_mb: int,
+    seed: int,
+) -> InstructionStream:
+    """The store-less build path (composition + assembly in one call)."""
+    arrays = compose_spec_stream_arrays(
+        benchmark, instructions, lines_per_mb, seed
+    )
+    addresses = arrays["addresses"]
+    return InstructionStream(addresses, AnnotationVector.public(len(addresses)))
+
+
 def build_spec_only_stream(
     benchmark: SpecBenchmark,
     instructions: int,
     lines_per_mb: int,
     seed: int,
 ) -> InstructionStream:
-    """A standalone (no crypto) stream for one SPEC benchmark."""
-    rng = np.random.default_rng(seed)
-    period = max(1, round(1.0 / benchmark.mem_fraction))
-    mem_count = max(1, instructions // period)
-    accesses = benchmark.generate_accesses(mem_count, rng, lines_per_mb)
-    addresses = place_memory_instructions(accesses, benchmark.mem_fraction)
-    return InstructionStream(addresses, AnnotationVector.public(len(addresses)))
+    """A standalone (no crypto) stream for one SPEC benchmark.
+
+    Served from the precompute store when one is active (bit-identical,
+    shared across all partition sizes and worker processes); otherwise
+    built directly.
+    """
+    return cached_spec_stream(benchmark, instructions, lines_per_mb, seed)
 
 
 def run_benchmark_at_size(

@@ -25,7 +25,8 @@ Untangle scheme over a timing-dependent metric raises
 
 from __future__ import annotations
 
-from functools import lru_cache
+import dataclasses
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.config import ArchConfig
@@ -33,7 +34,7 @@ from repro.core.accountant import LeakageAccountant
 from repro.core.actions import ResizingAction
 from repro.core.covert import CovertChannelModel, uniform_delay
 from repro.core.principles import require_untangle_compliant
-from repro.core.rates import RmaxTable, worst_case_table
+from repro.core.rates import RateEntry, RmaxTable, compute_entry
 from repro.monitor.umon import UMONMonitor
 from repro.schemes.allocation import GreedyHitMaximizer
 from repro.schemes.base import BaseScheme
@@ -42,24 +43,223 @@ from repro.schemes.schedule import ProgressSchedule
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.system import MultiDomainSystem
 
+#: Capacity of the default optimized accounting table — also the value
+#: cells advertise in their ``store_needs`` so populate solves exactly
+#: the table the scheme will request.
+DEFAULT_TABLE_CAPACITY = 48
 
-@lru_cache(maxsize=32)
+
+@dataclass(frozen=True)
+class RateTableKey:
+    """The full identity of one memoized rate table.
+
+    An explicit key (rather than ``lru_cache`` argument tuples) so the
+    same table is one cache entry no matter how the call spells its
+    arguments — ``get_rate_table(4000)`` and
+    ``get_rate_table(4000, capacity=48)`` used to be *distinct*
+    ``lru_cache`` entries, costing a full re-solve. ``worst_case`` keeps
+    the unoptimized (capacity-1, ``R_max_0``-only) table from ever
+    colliding with an optimized table's entry.
+    """
+
+    cooldown: int
+    resolution_divisor: int = 16
+    horizon_cooldowns: int = 4
+    capacity: int = DEFAULT_TABLE_CAPACITY
+    worst_case: bool = False
+
+
+_RATE_TABLES: dict[RateTableKey, RmaxTable] = {}
+
+
+def clear_rate_table_cache() -> None:
+    """Drop every memoized table (test hook; also frees solver results)."""
+    _RATE_TABLES.clear()
+
+
 def get_rate_table(
     cooldown: int,
     resolution_divisor: int = 16,
     horizon_cooldowns: int = 4,
-    capacity: int = 48,
+    capacity: int = DEFAULT_TABLE_CAPACITY,
 ) -> RmaxTable:
-    """A process-wide cached, fully materialized rate table.
+    """A process-wide memoized, fully materialized rate table.
 
     Computing the table runs the Dinkelbach solver once per entry
     (~0.1 s each); experiments share tables across scheme instances the
-    way the paper's hardware would ship one precomputed table.
+    way the paper's hardware would ship one precomputed table. When a
+    precompute store is active the solved entries are also persisted and
+    reloaded across processes — see :mod:`repro.harness.store`.
     """
-    model = default_channel_model(cooldown, resolution_divisor, horizon_cooldowns)
-    table = RmaxTable(model, capacity=capacity)
-    table.entries()
+    return _rate_table(
+        RateTableKey(
+            cooldown=cooldown,
+            resolution_divisor=resolution_divisor,
+            horizon_cooldowns=horizon_cooldowns,
+            capacity=capacity,
+        )
+    )
+
+
+def get_worst_case_rate_table(
+    cooldown: int,
+    resolution_divisor: int = 16,
+    horizon_cooldowns: int = 4,
+) -> RmaxTable:
+    """The memoized capacity-1 table for unoptimized accounting.
+
+    Keyed separately from the optimized tables (``worst_case=True``) so
+    ``untangle-unopt`` never pollutes — or is served from — the
+    optimized-table cache.
+    """
+    return _rate_table(
+        RateTableKey(
+            cooldown=cooldown,
+            resolution_divisor=resolution_divisor,
+            horizon_cooldowns=horizon_cooldowns,
+            capacity=1,
+            worst_case=True,
+        )
+    )
+
+
+def _rate_table(key: RateTableKey, jobs: int = 1) -> RmaxTable:
+    """Memoizer behind :func:`get_rate_table`: solve once per key.
+
+    Order of consultation: process memo → precompute-store artifact
+    (exact JSON round-trip of the solved entries, keyed by the full
+    channel-model parameters) → Dinkelbach solves (parallelized over
+    table levels when ``jobs > 1`` during store populate). The solved
+    entries are exported back to the store so other processes — and
+    future campaigns — skip the solve entirely.
+    """
+    table = _RATE_TABLES.get(key)
+    if table is not None:
+        return table
+    model = default_channel_model(
+        key.cooldown, key.resolution_divisor, key.horizon_cooldowns
+    )
+    table = RmaxTable(model, capacity=key.capacity)
+
+    # The store import is lazy and optional: schemes must stay usable
+    # without the harness (e.g. library users constructing one scheme).
+    store = None
+    try:
+        from repro.harness.store import get_active_store, rmax_token
+
+        store = get_active_store()
+    except ImportError:  # pragma: no cover - harness always ships
+        pass
+
+    token = None
+    if store is not None:
+        token = rmax_token(
+            model, key.capacity, table._solver_iterations, table._solver_seed
+        )
+        stored = store.rmax_entries(token)
+        if stored is not None and table.preload(
+            [RateEntry(**entry) for entry in stored]
+        ):
+            _RATE_TABLES[key] = table
+            return table
+        store.count_rmax_miss()
+
+    if jobs > 1 and len(table.levels) > 1:
+        _solve_levels_parallel(table, jobs)
+    entries = table.entries()
+    if store is not None and token is not None:
+        store.put_rmax_entries(
+            token, [dataclasses.asdict(entry) for entry in entries]
+        )
+    _RATE_TABLES[key] = table
     return table
+
+
+def _solve_levels_parallel(table: RmaxTable, jobs: int) -> None:
+    """Solve a table's levels across a process pool, filling it in place.
+
+    Used only during store populate (before the engine's own workers
+    fan out). Each solve is independent — the per-level solver seed is
+    derived inside :func:`repro.core.rates.compute_entry` — so the
+    result is bit-identical to the serial path. The solve counter is
+    booked in this process since pool children's registries vanish.
+    """
+    import multiprocessing
+
+    from repro.core.rates import _M_SOLVES
+
+    pending = [level for level in table.levels if level not in table._entries]
+    if not pending:
+        return
+    try:
+        with multiprocessing.get_context().Pool(
+            min(jobs, len(pending)), initializer=_pool_child_signals
+        ) as pool:
+            solved = pool.starmap(
+                _solve_one_level,
+                [
+                    (
+                        table.base_model,
+                        level,
+                        table._solver_iterations,
+                        table._solver_seed,
+                    )
+                    for level in pending
+                ],
+            )
+    except OSError:  # pragma: no cover - pool unavailable; solve serially
+        return
+    _M_SOLVES.inc(len(solved))
+    table._entries.update((entry.maintains, entry) for entry in solved)
+
+
+def _pool_child_signals() -> None:
+    # Populate runs after the engine installs its SIGINT/SIGTERM
+    # handlers, so pool children inherit them and would raise a noisy
+    # KeyboardInterrupt when the pool terminates them. The parent owns
+    # interrupt handling; children die quietly.
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+
+def _solve_one_level(model, level, solver_iterations, solver_seed):
+    return compute_entry(
+        model,
+        level,
+        solver_iterations=solver_iterations,
+        solver_seed=solver_seed,
+    )
+
+
+def populate_rate_table(
+    cooldown: int,
+    *,
+    capacity: int = DEFAULT_TABLE_CAPACITY,
+    worst_case: bool = False,
+    jobs: int = 1,
+) -> RmaxTable:
+    """Pre-solve (or pre-load) the table a campaign's cells will request.
+
+    Called by :meth:`repro.harness.store.PrecomputeStore.populate`
+    before the engine fans out, so forked workers inherit the solved
+    memo and spawned/respawned workers load the store artifact instead
+    of re-running the solver. Mirrors exactly how the schemes key their
+    tables: the optimized table is requested with the *schedule*
+    cooldown (already rounded by :func:`default_channel_model`), the
+    worst-case table with the raw profile cooldown — see
+    :func:`repro.harness.experiment.make_scheme`.
+    """
+    if worst_case:
+        return _rate_table(
+            RateTableKey(cooldown=cooldown, capacity=1, worst_case=True),
+            jobs=jobs,
+        )
+    rounded = default_channel_model(cooldown).cooldown
+    return _rate_table(
+        RateTableKey(cooldown=rounded, capacity=capacity), jobs=jobs
+    )
 
 
 def default_channel_model(
@@ -101,7 +301,7 @@ class UntangleScheme(BaseScheme):
         hysteresis: float = 0.0,
         leakage_threshold_bits: float | None = None,
         optimized_accounting: bool = True,
-        table_capacity: int = 48,
+        table_capacity: int = DEFAULT_TABLE_CAPACITY,
         organization: str = "set",
     ):
         super().__init__(arch)
@@ -112,9 +312,7 @@ class UntangleScheme(BaseScheme):
                     schedule.cooldown, capacity=table_capacity
                 )
             else:
-                rmax_table = worst_case_table(
-                    default_channel_model(schedule.cooldown)
-                )
+                rmax_table = get_worst_case_rate_table(schedule.cooldown)
         self.rmax_table = rmax_table
         self._monitor_window = monitor_window
         self._monitor_sampling_shift = monitor_sampling_shift

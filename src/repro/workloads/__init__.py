@@ -22,7 +22,9 @@ from repro.workloads.spec import (
 from repro.workloads.workload import (
     BuiltWorkload,
     WorkloadScale,
+    assemble_workload,
     build_workload,
+    compose_workload_arrays,
 )
 
 __all__ = [
@@ -42,4 +44,6 @@ __all__ = [
     "WorkloadScale",
     "BuiltWorkload",
     "build_workload",
+    "compose_workload_arrays",
+    "assemble_workload",
 ]

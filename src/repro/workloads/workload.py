@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.annotations import AnnotationVector, concatenate_annotations
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
 from repro.sim.cpu import CoreConfig, InstructionStream
 from repro.workloads.crypto import CryptoBenchmark, get_crypto_benchmark
 from repro.workloads.patterns import place_memory_instructions
@@ -26,6 +27,13 @@ from repro.workloads.spec import (
     DEFAULT_LINES_PER_MB,
     SpecBenchmark,
     get_spec_benchmark,
+)
+
+#: Counts full (expensive) workload compositions in this process —
+#: the precompute store exists to keep this at one per unique trace.
+_M_BUILDS = obs_metrics.get_registry().counter(
+    "repro_workload_builds_total",
+    "Full workload-trace compositions performed in this process",
 )
 
 
@@ -101,33 +109,26 @@ def _build_chunk_stream(
     return stream, annotations
 
 
-def build_workload(
+def compose_workload_arrays(
     spec_name: str,
     crypto_name: str,
     scale: WorkloadScale | None = None,
     *,
     seed: int = 0,
     secret: int = 0,
-    timing_jitter: int = 0,
-) -> BuiltWorkload:
-    """Compose one ``SPEC + crypto`` workload into an instruction stream.
+) -> dict[str, np.ndarray]:
+    """The expensive half of :func:`build_workload`: the raw trace arrays.
 
-    Parameters
-    ----------
-    seed:
-        Workload-generation seed (public input randomness).
-    secret:
-        The crypto benchmark's secret input; affects its access pattern
-        through :attr:`CryptoBenchmark.secret_demand_lines` and its timing
-        through :attr:`CryptoBenchmark.secret_stall_cycles`. These secret
-        effects stay confined to annotated instructions — which is exactly
-        why Untangle's action sequence ignores them.
-    timing_jitter:
-        Max random extra cycles per memory access (timing perturbation for
-        differential tests).
+    Returns the composed ``addresses`` / ``metric_excluded`` /
+    ``progress_excluded`` / ``stall_cycles`` arrays — exactly the data
+    the precompute store persists and shares across cells. Everything
+    downstream of these arrays (:func:`assemble_workload`) is cheap and
+    deterministic, so caching this boundary keeps the store-path output
+    bit-identical to a direct build.
     """
     if scale is None:
         scale = WorkloadScale()
+    _M_BUILDS.inc()
     spec = get_spec_benchmark(spec_name)
     crypto = get_crypto_benchmark(crypto_name)
     rng = np.random.default_rng(seed)
@@ -180,6 +181,38 @@ def build_workload(
     addresses = np.concatenate(segments)
     annotation_vector = concatenate_annotations(annotations)
     stalls_all = np.concatenate(stall_segments)
+    return {
+        "addresses": addresses,
+        "metric_excluded": annotation_vector.metric_excluded,
+        "progress_excluded": annotation_vector.progress_excluded,
+        "stall_cycles": stalls_all,
+    }
+
+
+def assemble_workload(
+    spec_name: str,
+    crypto_name: str,
+    scale: WorkloadScale,
+    arrays: dict[str, np.ndarray],
+    *,
+    seed: int = 0,
+    timing_jitter: int = 0,
+) -> BuiltWorkload:
+    """The cheap half of :func:`build_workload`: arrays → ready workload.
+
+    ``arrays`` is the mapping produced by :func:`compose_workload_arrays`
+    (possibly served zero-copy from the precompute store). No randomness
+    is consumed here; jitter is a *core-model* parameter seeded from the
+    same ``seed`` the composition used, so store-served and directly
+    built workloads are indistinguishable.
+    """
+    spec = get_spec_benchmark(spec_name)
+    crypto = get_crypto_benchmark(crypto_name)
+    addresses = arrays["addresses"]
+    annotation_vector = AnnotationVector(
+        arrays["metric_excluded"], arrays["progress_excluded"]
+    )
+    stalls_all = arrays["stall_cycles"]
     stream = InstructionStream(
         addresses,
         annotation_vector,
@@ -198,4 +231,51 @@ def build_workload(
         core_config=core_config,
         spec=spec,
         crypto=crypto,
+    )
+
+
+def build_workload(
+    spec_name: str,
+    crypto_name: str,
+    scale: WorkloadScale | None = None,
+    *,
+    seed: int = 0,
+    secret: int = 0,
+    timing_jitter: int = 0,
+) -> BuiltWorkload:
+    """Compose one ``SPEC + crypto`` workload into an instruction stream.
+
+    Parameters
+    ----------
+    seed:
+        Workload-generation seed (public input randomness).
+    secret:
+        The crypto benchmark's secret input; affects its access pattern
+        through :attr:`CryptoBenchmark.secret_demand_lines` and its timing
+        through :attr:`CryptoBenchmark.secret_stall_cycles`. These secret
+        effects stay confined to annotated instructions — which is exactly
+        why Untangle's action sequence ignores them.
+    timing_jitter:
+        Max random extra cycles per memory access (timing perturbation for
+        differential tests).
+
+    This is the direct (store-less) path:
+    :func:`compose_workload_arrays` + :func:`assemble_workload` in one
+    call. Campaign code goes through
+    :func:`repro.harness.store.cached_build_workload`, which shares the
+    composed arrays across cells and processes when a precompute store
+    is active.
+    """
+    if scale is None:
+        scale = WorkloadScale()
+    arrays = compose_workload_arrays(
+        spec_name, crypto_name, scale, seed=seed, secret=secret
+    )
+    return assemble_workload(
+        spec_name,
+        crypto_name,
+        scale,
+        arrays,
+        seed=seed,
+        timing_jitter=timing_jitter,
     )

@@ -15,6 +15,14 @@ cells out over a process pool and cache results on disk under
 are bit-identical either way. ``--telemetry`` prints the engine's cache
 and timing counters to stderr afterwards.
 
+Parallel runs schedule through a work-stealing supervisor by default:
+``--sched steal`` (or ``REPRO_SCHED``) dispatches chunks of
+batch-compatible cells to one worker — sized by ``--batch-cells``
+(``0`` = auto) — seeded longest-expected-first from journal runtime
+history, with idle workers stealing from the most loaded peer;
+``--sched fifo`` restores legacy one-cell-at-a-time dispatch (see
+``docs/performance.md``).
+
 Cells additionally share a cross-cell *precompute store*
 (``docs/performance.md``): workload traces and Untangle rate tables are
 computed once per campaign at ``<cache-dir>/store`` (or
@@ -50,7 +58,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import CampaignInterrupted, ConfigurationError
-from repro.harness.exec import ExecutionEngine, ResultCache
+from repro.harness.exec import SCHEDULERS, ExecutionEngine, ResultCache
 from repro.harness.store import (
     PRECOMPUTE_ENV,
     STORE_DIR_ENV,
@@ -102,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for simulation cells "
             "(default: 1 = serial; 0 = one per CPU)"
+        ),
+    )
+    parser.add_argument(
+        "--sched",
+        choices=SCHEDULERS,
+        default=None,
+        help=(
+            "campaign scheduler: steal = per-worker deques with "
+            "work stealing (default), fifo = legacy per-cell global "
+            "queue (also: REPRO_SCHED)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cells per dispatched chunk under the steal scheduler "
+            "(0 = auto per batch group, 1 = per-cell dispatch; "
+            "also: REPRO_BATCH_CELLS)"
         ),
     )
     parser.add_argument(
@@ -259,6 +288,29 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
         "yes",
         "on",
     )
+    scheduler = args.sched or (
+        os.environ.get("REPRO_SCHED", "").strip().lower() or "steal"
+    )
+    if scheduler not in SCHEDULERS:
+        raise ConfigurationError(
+            f"REPRO_SCHED={scheduler!r} is not a scheduler; accepted: "
+            + ", ".join(SCHEDULERS)
+        )
+    batch_cells = args.batch_cells
+    if batch_cells is None:
+        raw_batch = os.environ.get("REPRO_BATCH_CELLS", "").strip()
+        if raw_batch:
+            try:
+                batch_cells = int(raw_batch)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_BATCH_CELLS={raw_batch!r} is not an integer; "
+                    "accepted: a non-negative integer (0 = auto)"
+                )
+    if batch_cells is not None and batch_cells < 0:
+        raise ConfigurationError(
+            "batch-cells must be >= 0 (0 = auto per batch group)"
+        )
     progress = (
         (lambda line: print(line, file=sys.stderr)) if args.telemetry else None
     )
@@ -272,6 +324,8 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
         faults=faults_from_env(),
         progress=progress,
         store=store,
+        scheduler=scheduler,
+        batch_cells=batch_cells,
     )
 
 

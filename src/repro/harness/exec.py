@@ -85,11 +85,23 @@ from repro.harness.store import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.sim.batch import cell_scratch
 
 #: Bump when the cached payload layout or the simulator's semantics
 #: change incompatibly; old entries are then quarantined, not misread.
-#: (2: entries carry a payload checksum.)
-CACHE_FORMAT_VERSION = 2
+#: (2: entries carry a payload checksum. 3: symmetric linear-
+#: interpolation partition quartiles; unfinished slices report partial
+#: IPC instead of 0.)
+CACHE_FORMAT_VERSION = 3
+
+#: Supported campaign schedulers: ``steal`` (per-worker deques seeded
+#: longest-expected-first, idle workers steal from the most loaded
+#: peer) and ``fifo`` (the legacy single global queue, retained as the
+#: per-cell dispatch baseline of ``benchmarks/bench_campaign.py``).
+SCHEDULERS = ("steal", "fifo")
+
+#: Hard ceiling on cells per dispatched chunk (auto sizing stays below).
+MAX_BATCH_CELLS = 32
 
 # Engine-level metrics, recorded per cell / per supervision event (never
 # per simulated access), so they are cheap enough to count always;
@@ -133,6 +145,14 @@ _M_CELL_SECONDS = _REG.histogram(
     "Per-cell wall time (completed cells)",
     buckets=obs_metrics.CELL_SECONDS_BUCKETS,
 )
+_M_STEALS = _REG.counter(
+    "repro_steals_total", "Chunks stolen from a peer worker's deque"
+)
+_M_BATCH_CELLS = _REG.histogram(
+    "repro_batch_cells",
+    "Cells per dispatched chunk",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+)
 
 
 # ----------------------------------------------------------------------
@@ -167,6 +187,16 @@ class MixSchemeCell:
         from repro.harness.experiment import run_mix_scheme
 
         return run_mix_scheme(list(self.pairs), self.scheme, self.profile)
+
+    def batch_group(self) -> tuple:
+        """Chunk-compatibility key for cell-major batching.
+
+        Cells sharing a scheme and profile have comparable runtimes and
+        identical store needs, so stacking them through one worker's
+        shared scratch arena amortizes well without creating stragglers
+        inside a chunk.
+        """
+        return ("mix-scheme", self.scheme, self.profile.name)
 
     def store_needs(self) -> list[tuple]:
         """Precomputable artifacts this cell will consume (store populate).
@@ -260,6 +290,11 @@ class SensitivityCell:
         return run_benchmark_at_size(
             SPEC_BENCHMARKS[self.benchmark], self.partition_lines, self.profile
         )
+
+    def batch_group(self) -> tuple:
+        """Chunk-compatibility key: all sizes of one profile batch well
+        (they share the benchmark-trace store needs and kernel shape)."""
+        return ("sensitivity", self.profile.name)
 
     def store_needs(self) -> list[tuple]:
         """One shared SPEC-only trace per benchmark, reused by all sizes."""
@@ -441,6 +476,12 @@ class EngineTelemetry:
     #: the campaign — a warm store drives both to zero.
     workload_builds: int = 0
     rmax_solves: int = 0
+    #: Chunks stolen from a peer worker's deque (steal scheduler only).
+    steals: int = 0
+    #: Chunks sent to workers / cells carried by those chunks. Equal
+    #: when ``batch_cells=1``; their ratio is the realized batch factor.
+    batches_dispatched: int = 0
+    batched_cells: int = 0
     records: list[CellRecord] = field(default_factory=list)
 
     def note(self, record: CellRecord) -> None:
@@ -505,6 +546,9 @@ class EngineTelemetry:
             "store_quarantines": self.store_quarantines,
             "workload_builds": self.workload_builds,
             "rmax_solves": self.rmax_solves,
+            "steals": self.steals,
+            "batches": self.batches_dispatched,
+            "batched_cells": self.batched_cells,
         }
 
     def absorb_store(self, delta: dict[str, float]) -> None:
@@ -584,6 +628,70 @@ def backoff_delay(
 
 
 # ----------------------------------------------------------------------
+# Cost model (steal-scheduler seeding)
+# ----------------------------------------------------------------------
+#: Relative expected cost by cell-label family, used when no journal
+#: history exists yet. Untangle variants pay monitors + Dinkelbach-style
+#: assessments; Time pays monitors; Static/Shared are bare simulation.
+_FAMILY_COST_WEIGHTS = {
+    "untangle": 4.0,
+    "untangle-unopt": 4.0,
+    "time": 2.0,
+    "static": 1.0,
+    "shared": 1.0,
+}
+
+
+def _cost_family(label: str) -> str:
+    """The scheduling family of a cell label (its trailing component).
+
+    ``mix[...]/untangle`` → ``untangle``; ``sensitivity[x]/4096`` →
+    ``4096`` (sensitivity sizes fall through to the default weight,
+    which is fine — they are mutually homogeneous).
+    """
+    return label.rsplit("/", 1)[-1]
+
+
+def runtime_hints_from_entries(
+    entries: dict[str, JournalEntry]
+) -> dict[str, float]:
+    """Mean computed wall-seconds per cost family, from journal history.
+
+    Only ``computed`` entries count: hits/replays report ~zero wall and
+    would drag a family's estimate toward "free".
+    """
+    sums: dict[str, list[float]] = {}
+    for entry in entries.values():
+        if entry.status != "computed":
+            continue
+        sums.setdefault(_cost_family(entry.label), []).append(
+            entry.wall_seconds
+        )
+    return {
+        family: sum(walls) / len(walls) for family, walls in sums.items()
+    }
+
+
+def expected_cost(cell: Any, hints: dict[str, float]) -> float:
+    """Expected relative runtime of one cell, for LPT deque seeding.
+
+    Preference order: measured journal history for the cell's family,
+    then the cell's own ``cost_hint()`` (if it defines one), then the
+    static family weight table. Only the *ordering* matters — an
+    inaccurate estimate degrades the seeding, never correctness, and
+    work stealing recovers the imbalance at run time.
+    """
+    family = _cost_family(cell.label)
+    hint = hints.get(family)
+    if hint is not None:
+        return hint
+    own = getattr(cell, "cost_hint", None)
+    if own is not None:
+        return float(own())
+    return _FAMILY_COST_WEIGHTS.get(family, 1.0)
+
+
+# ----------------------------------------------------------------------
 # Worker entry points (must be importable for multiprocessing)
 # ----------------------------------------------------------------------
 def _execute_cell(
@@ -605,7 +713,16 @@ def _worker_main(
     worker_id: int,
     faults: FaultPlan | None,
 ) -> None:
-    """Worker loop: receive ``(index, cell)`` tasks, send back results.
+    """Worker loop: receive chunks of ``(index, cell)`` tasks, send back
+    one result message per cell.
+
+    Cell-major batching: a chunk's cells run back-to-back under one
+    shared :func:`~repro.sim.batch.cell_scratch` arena, so the hot numpy
+    buffers of the cumsum/searchsorted cores are allocated once per
+    chunk instead of once per call. Results stream home *per cell* (the
+    message shape is unchanged from per-cell dispatch), so supervisor
+    accounting, deadlines, and retry bookkeeping see individual cells —
+    and results stay bit-identical to serial execution.
 
     SIGINT is ignored so a terminal Ctrl-C reaches only the supervisor,
     which then terminates workers deliberately (after flushing the
@@ -621,51 +738,66 @@ def _worker_main(
         pass
     while True:
         try:
-            task = conn.recv()
+            chunk = conn.recv()
         except (EOFError, OSError):
             return
-        if task is None:
+        if chunk is None:
             return
-        index, cell = task
-        start = time.perf_counter()
-        # Store/build/solve counters accumulate in *this* process's
-        # registry; ship the per-cell delta home so the parent registry
-        # (the one the exporters and telemetry read) accounts for work
-        # wherever it ran.
-        stats_before = store_stats_snapshot()
-        try:
-            value, wall = _execute_cell(cell, faults, worker_id)
-            delta = store_stats_delta(stats_before, store_stats_snapshot())
-            message = (index, "ok", value, wall, delta)
-        except Exception as exc:  # graceful degradation
-            delta = store_stats_delta(stats_before, store_stats_snapshot())
-            message = (
-                index,
-                "error",
-                f"{type(exc).__name__}: {exc}",
-                time.perf_counter() - start,
-                delta,
-            )
-        try:
-            conn.send(message)
-        except Exception as exc:  # e.g. an unpicklable result value
-            try:
-                conn.send(
-                    (
+        with cell_scratch():
+            for index, cell in chunk:
+                start = time.perf_counter()
+                # Store/build/solve counters accumulate in *this*
+                # process's registry; ship the per-cell delta home so
+                # the parent registry (the one the exporters and
+                # telemetry read) accounts for work wherever it ran.
+                stats_before = store_stats_snapshot()
+                try:
+                    value, wall = _execute_cell(cell, faults, worker_id)
+                    delta = store_stats_delta(
+                        stats_before, store_stats_snapshot()
+                    )
+                    message = (index, "ok", value, wall, delta)
+                except Exception as exc:  # graceful degradation
+                    delta = store_stats_delta(
+                        stats_before, store_stats_snapshot()
+                    )
+                    message = (
                         index,
                         "error",
-                        f"result not transferable: {type(exc).__name__}: {exc}",
+                        f"{type(exc).__name__}: {exc}",
                         time.perf_counter() - start,
                         delta,
                     )
-                )
-            except Exception:
-                return
+                try:
+                    conn.send(message)
+                except Exception as exc:  # e.g. an unpicklable result
+                    try:
+                        conn.send(
+                            (
+                                index,
+                                "error",
+                                "result not transferable: "
+                                f"{type(exc).__name__}: {exc}",
+                                time.perf_counter() - start,
+                                delta,
+                            )
+                        )
+                    except Exception:
+                        return
 
 
 # ----------------------------------------------------------------------
 # Worker supervision
 # ----------------------------------------------------------------------
+@dataclass
+class _Chunk:
+    """A run of batch-compatible cells dispatched to one worker as a unit."""
+
+    cells: list[tuple[int, Any, str]]  # (index, cell, key)
+    #: Summed expected cost — orders LPT seeding and steal-victim choice.
+    cost: float
+
+
 @dataclass
 class _Worker:
     """Supervisor-side handle for one worker process."""
@@ -673,7 +805,12 @@ class _Worker:
     process: Any
     conn: multiprocessing.connection.Connection
     id: int
-    task: tuple[int, Any, str] | None = None  # (index, cell, key)
+    #: Scheduling slot (deque index); stable across respawns.
+    slot: int
+    #: Cells of the in-flight chunk that have not reported a result yet;
+    #: ``chunk[0]`` is the cell currently executing (the deadline applies
+    #: to it alone). Empty when the worker is idle.
+    chunk: list[tuple[int, Any, str]] = field(default_factory=list)
     started: float = 0.0
     deadline: float | None = None
 
@@ -686,6 +823,24 @@ class _Supervisor:
     crashed worker is killed and respawned immediately, its task is
     rescheduled with backoff, and every other slot keeps streaming cells
     — no failure can stall the round or leak a pool slot.
+
+    Scheduling comes in two flavors, selected by ``engine.scheduler``:
+
+    * ``steal`` (default): pending cells are grouped into batch-
+      compatible *chunks* (cell-major batching: one worker runs a run of
+      cells under a shared scratch arena) and seeded onto per-slot
+      deques longest-expected-first (LPT, using journal runtime hints).
+      A worker that drains its own deque steals the cheapest chunk from
+      the most loaded peer, so one straggler slot cannot serialize the
+      tail of a campaign.
+    * ``fifo``: the legacy single global queue with per-cell dispatch,
+      retained as the baseline ``benchmarks/bench_campaign.py`` measures
+      the steal scheduler against.
+
+    Either way, workers report results per *cell*, attempts/deadlines
+    are booked per cell, and outcomes are bit-identical to serial
+    execution. Backed-off retries always live in the global ``queue``
+    and take priority over unstarted chunks.
     """
 
     #: How long one poll of the worker pipes blocks, seconds. Bounds
@@ -694,23 +849,93 @@ class _Supervisor:
 
     def __init__(self, engine: "ExecutionEngine", pending):
         self.engine = engine
+        self.scheduler = engine.scheduler
         self.context = multiprocessing.get_context()
-        # (index, cell, key, ready_at): ready_at defers backed-off retries.
-        self.queue: deque[tuple[int, Any, str, float]] = deque(
-            (index, cell, key, 0.0) for index, cell, key in pending
-        )
+        # (index, cell, key, ready_at): backed-off retries (and, under
+        # the fifo scheduler, all initial work). ready_at defers retries.
+        self.queue: deque[tuple[int, Any, str, float]] = deque()
         self.attempts = {index: 0 for index, _, _ in pending}
         #: Cumulative elapsed seconds per cell across all its attempts —
         #: crashed/hung/failed attempts included, so telemetry no longer
         #: undercounts failed cells as zero-cost.
         self.elapsed = {index: 0.0 for index, _, _ in pending}
+        slots = min(engine.jobs, len(pending))
+        self.deques: list[deque[_Chunk]] = [deque() for _ in range(slots)]
+        if self.scheduler == "steal":
+            self.hints = engine._runtime_hints()
+            self._seed_deques(self._plan_chunks(pending))
+        else:
+            self.hints = {}
+            self.queue.extend(
+                (index, cell, key, 0.0) for index, cell, key in pending
+            )
         self._next_worker_id = 0
-        self.workers = [
-            self._spawn() for _ in range(min(engine.jobs, len(pending)))
-        ]
+        self.workers = [self._spawn(slot) for slot in range(slots)]
 
     # ------------------------------------------------------------------
-    def _spawn(self) -> _Worker:
+    # Chunk planning and deque seeding (steal scheduler)
+    # ------------------------------------------------------------------
+    def _chunk_cost(self, cells) -> float:
+        return sum(expected_cost(cell, self.hints) for _, cell, _ in cells)
+
+    def _plan_chunks(self, pending) -> list[_Chunk]:
+        """Group batch-compatible cells into dispatch chunks.
+
+        Cells sharing a ``batch_group()`` key are packed, in input
+        order, into runs of at most ``engine.batch_cells`` cells. When
+        unset, the cap auto-sizes to leave every group at least
+        ``2 * slots`` chunks, so batching amortizes dispatch overhead
+        without ever costing load balance (small groups — e.g. the few
+        expensive Untangle cells of a mixed campaign — stay singletons).
+        Cells without a ``batch_group`` hook are never chunked.
+        """
+        slots = max(1, len(self.deques))
+        groups: dict[Any, list] = {}
+        order: list[tuple[Any, list]] = []  # plan order, groups coalesced
+        for task in pending:
+            hook = getattr(task[1], "batch_group", None)
+            if hook is None:
+                order.append((None, [task]))
+                continue
+            group = hook()
+            if group not in groups:
+                groups[group] = []
+                order.append((group, groups[group]))
+            groups[group].append(task)
+        chunks: list[_Chunk] = []
+        for group, cells in order:
+            if group is None:
+                cap = 1
+            elif self.engine.batch_cells is not None:
+                cap = min(MAX_BATCH_CELLS, self.engine.batch_cells)
+            else:
+                cap = max(1, min(MAX_BATCH_CELLS, len(cells) // (slots * 2)))
+            for start in range(0, len(cells), cap):
+                run = cells[start : start + cap]
+                chunks.append(_Chunk(cells=run, cost=self._chunk_cost(run)))
+        return chunks
+
+    def _seed_deques(self, chunks: list[_Chunk]) -> None:
+        """Longest-processing-time-first seeding.
+
+        Chunks are placed, most expensive first, onto the currently
+        least-loaded slot (the classic LPT greedy). Each deque therefore
+        holds its chunks in non-increasing cost order: owners pop
+        expensive work from the front, thieves steal cheap work from
+        the back.
+        """
+        if not self.deques:
+            return
+        load = [0.0] * len(self.deques)
+        for chunk in sorted(
+            chunks, key=lambda chunk: chunk.cost, reverse=True
+        ):
+            slot = min(range(len(load)), key=lambda s: (load[s], s))
+            self.deques[slot].append(chunk)
+            load[slot] += chunk.cost
+
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int) -> _Worker:
         parent_conn, child_conn = self.context.Pipe()
         worker_id = self._next_worker_id
         self._next_worker_id += 1
@@ -722,7 +947,9 @@ class _Supervisor:
         )
         process.start()
         child_conn.close()
-        return _Worker(process=process, conn=parent_conn, id=worker_id)
+        return _Worker(
+            process=process, conn=parent_conn, id=worker_id, slot=slot
+        )
 
     def _reap(self, worker: _Worker) -> None:
         """Tear one worker down for good (terminate if still alive)."""
@@ -740,13 +967,13 @@ class _Supervisor:
             pass
 
     def _replace(self, worker: _Worker) -> None:
-        """Kill a crashed/hung worker; respawn if there is work left."""
+        """Kill a crashed/hung worker; respawn into the same slot."""
         self._reap(worker)
         self.workers.remove(worker)
         # A replacement is always useful: the failed task is about to be
         # requeued by the caller (or other tasks are still queued), and
         # spawning is cheap next to multi-second simulation cells.
-        self.workers.append(self._spawn())
+        self.workers.append(self._spawn(worker.slot))
         self.engine.telemetry.workers_respawned += 1
         _M_WORKER["respawn"].inc()
         obs_trace.event("worker.respawn", worker=worker.id)
@@ -754,50 +981,167 @@ class _Supervisor:
     # ------------------------------------------------------------------
     def run(self) -> Iterator[tuple[int, CellOutcome]]:
         try:
-            while self.queue or any(w.task for w in self.workers):
+            while self._work_remaining() or any(
+                w.chunk for w in self.workers
+            ):
                 if self.engine._interrupted:
                     raise KeyboardInterrupt
-                self._assign()
+                yield from self._assign()
                 yield from self._collect()
         finally:
             self._shutdown()
 
-    def _pop_ready(self, now: float):
+    def _work_remaining(self) -> bool:
+        return bool(self.queue) or any(self.deques)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _next_chunk(self, slot: int, now: float):
+        """The next run of cells for an idle worker, or ``None``.
+
+        Backed-off retries (strictly older work) go first in both
+        scheduler modes; then the slot's own deque, front (most
+        expensive) first; then a steal from the most loaded peer.
+        """
         for position, task in enumerate(self.queue):
             if task[3] <= now:
                 del self.queue[position]
-                return task
-        return None
+                index, cell, key, _ = task
+                return [(index, cell, key)]
+        if self.scheduler != "steal":
+            return None
+        own = self.deques[slot]
+        if own:
+            return own.popleft().cells
+        return self._steal(slot)
 
-    def _assign(self) -> None:
-        now = time.monotonic()
-        for worker in self.workers:
-            if worker.task is not None:
+    def _steal(self, slot: int):
+        """Steal the cheapest chunk from the most loaded peer deque."""
+        victim = None
+        victim_load = 0.0
+        for other, peer in enumerate(self.deques):
+            if other == slot or not peer:
                 continue
-            task = self._pop_ready(now)
-            if task is None:
-                return
-            index, cell, key, _ = task
-            self.attempts[index] += 1
+            load = sum(chunk.cost for chunk in peer)
+            if victim is None or load > victim_load:
+                victim, victim_load = other, load
+        if victim is None:
+            return None
+        chunk = self.deques[victim].pop()  # cheapest end
+        self.engine.telemetry.steals += 1
+        _M_STEALS.inc()
+        obs_trace.event(
+            "cell.steal",
+            thief=slot,
+            victim=victim,
+            cells=len(chunk.cells),
+            label=chunk.cells[0][1].label,
+        )
+        return chunk.cells
+
+    def _assign(self) -> Iterator[tuple[int, CellOutcome]]:
+        now = time.monotonic()
+        for worker in list(self.workers):
+            if worker.chunk:
+                continue
+            cells = self._next_chunk(worker.slot, now)
+            if cells is None:
+                continue
+            yield from self._dispatch(worker, cells)
+
+    def _dispatch(
+        self, worker: _Worker, cells
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        """Send a chunk to an idle worker; handle a dead one in place."""
+        worker.chunk = list(cells)
+        self.engine.telemetry.batches_dispatched += 1
+        self.engine.telemetry.batched_cells += len(cells)
+        _M_BATCH_CELLS.observe(float(len(cells)))
+        if len(cells) > 1:
             obs_trace.event(
-                "cell.dispatch",
-                label=cell.label,
+                "batch.dispatch",
                 worker=worker.id,
-                attempt=self.attempts[index],
+                cells=len(cells),
+                first=cells[0][1].label,
             )
-            worker.task = (index, cell, key)
-            worker.started = now
-            worker.deadline = (
-                now + self.engine.timeout
-                if self.engine.timeout is not None
-                else None
+        self._start_cell(worker, time.monotonic())
+        try:
+            worker.conn.send([(index, cell) for index, cell, _ in cells])
+        except (OSError, ValueError):
+            yield from self._dispatch_failed(worker)
+
+    def _start_cell(self, worker: _Worker, now: float) -> None:
+        """Book the head of the worker's chunk as executing now.
+
+        Attempts increment per *cell start*, not per chunk dispatch, so
+        retry budgets are identical to per-cell dispatch; the deadline
+        restarts for each cell of a chunk as its predecessor reports.
+        """
+        index, cell, _ = worker.chunk[0]
+        self.attempts[index] += 1
+        obs_trace.event(
+            "cell.dispatch",
+            label=cell.label,
+            worker=worker.id,
+            attempt=self.attempts[index],
+        )
+        worker.started = now
+        worker.deadline = (
+            now + self.engine.timeout
+            if self.engine.timeout is not None
+            else None
+        )
+
+    def _dispatch_failed(
+        self, worker: _Worker
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        """``conn.send`` failed: the worker (or its pipe) is already dead.
+
+        Handled synchronously — crash accounted exactly once, worker
+        replaced, head cell retried, unstarted tail requeued — with the
+        deadline cleared *before* anything else, so the deadline sweep
+        can never also book a ``worker.timeout`` for a cell the worker
+        never received.
+        """
+        cells = worker.chunk
+        worker.chunk = []
+        worker.deadline = None
+        index, cell, key = cells[0]
+        self.elapsed[index] += time.monotonic() - worker.started
+        self.engine.telemetry.worker_crashes += 1
+        _M_WORKER["crash"].inc()
+        obs_trace.event(
+            "worker.crash",
+            worker=worker.id,
+            label=cell.label,
+            exitcode=worker.process.exitcode,
+        )
+        self._replace(worker)
+        self._requeue_unstarted(worker.slot, cells[1:])
+        yield from self._attempt_failed(
+            index, cell, key, "worker died before dispatch"
+        )
+
+    def _requeue_unstarted(self, slot: int, cells) -> None:
+        """Return a dead chunk's not-yet-started cells to the schedule.
+
+        These cells never incremented ``attempts`` and never reported a
+        result, so they come back unpenalized: ahead of other pending
+        work (they were next in line) and without consuming retries.
+        """
+        if not cells:
+            return
+        cells = list(cells)
+        if self.scheduler == "steal":
+            self.deques[slot].appendleft(
+                _Chunk(cells=cells, cost=self._chunk_cost(cells))
             )
-            try:
-                worker.conn.send((index, cell))
-            except (OSError, ValueError):
-                # Worker already dead; its sentinel wakes _collect, which
-                # reschedules the task through the crash path.
-                pass
+        else:
+            self.queue.extendleft(
+                (index, cell, key, 0.0)
+                for index, cell, key in reversed(cells)
+            )
 
     def _collect(self) -> Iterator[tuple[int, CellOutcome]]:
         handles: dict[Any, _Worker] = {}
@@ -817,7 +1161,7 @@ class _Supervisor:
         now = time.monotonic()
         for worker in list(self.workers):
             if (
-                worker.task is not None
+                worker.chunk
                 and worker.deadline is not None
                 and now > worker.deadline
                 and worker.id not in serviced
@@ -835,11 +1179,15 @@ class _Supervisor:
         if message is not None:
             index, status, payload, wall, stats_delta = message
             apply_store_stats_delta(stats_delta)
-            assert worker.task is not None and worker.task[0] == index
-            _, cell, key = worker.task
-            worker.task = None
-            worker.deadline = None
+            assert worker.chunk and worker.chunk[0][0] == index
+            _, cell, key = worker.chunk.pop(0)
             self.elapsed[index] += wall
+            if worker.chunk:
+                # The worker moved on to the chunk's next cell the moment
+                # it sent this result: restart attempts/deadline for it.
+                self._start_cell(worker, time.monotonic())
+            else:
+                worker.deadline = None
             if status == "ok":
                 yield index, CellOutcome(
                     cell=cell,
@@ -855,11 +1203,13 @@ class _Supervisor:
             return
         if worker.process.is_alive():
             return  # spurious wakeup
-        if worker.task is None:
+        if not worker.chunk:
             # An idle worker died (infant mortality): just replace it.
             self._replace(worker)
             return
-        index, cell, key = worker.task
+        cells = worker.chunk
+        worker.chunk = []
+        index, cell, key = cells[0]
         self.elapsed[index] += time.monotonic() - worker.started
         self.engine.telemetry.worker_crashes += 1
         _M_WORKER["crash"].inc()
@@ -871,12 +1221,15 @@ class _Supervisor:
         )
         error = f"worker crashed (exit code {worker.process.exitcode})"
         self._replace(worker)
+        self._requeue_unstarted(worker.slot, cells[1:])
         yield from self._attempt_failed(index, cell, key, error)
 
     def _expire(self, worker: _Worker) -> Iterator[tuple[int, CellOutcome]]:
-        """Kill a worker that blew its per-cell deadline; retry the cell."""
-        assert worker.task is not None
-        index, cell, key = worker.task
+        """Kill a worker that blew the head cell's deadline; retry it."""
+        assert worker.chunk
+        cells = worker.chunk
+        worker.chunk = []
+        index, cell, key = cells[0]
         self.elapsed[index] += time.monotonic() - worker.started
         self.engine.telemetry.worker_timeouts += 1
         _M_WORKER["timeout"].inc()
@@ -888,6 +1241,7 @@ class _Supervisor:
         )
         error = f"timeout after {self.engine.timeout:.1f}s (worker killed)"
         self._replace(worker)
+        self._requeue_unstarted(worker.slot, cells[1:])
         yield from self._attempt_failed(index, cell, key, error)
 
     def _attempt_failed(
@@ -923,7 +1277,7 @@ class _Supervisor:
 
     def _shutdown(self) -> None:
         for worker in self.workers:
-            if worker.task is None and worker.process.is_alive():
+            if not worker.chunk and worker.process.is_alive():
                 try:
                     worker.conn.send(None)  # polite stop for idle workers
                 except (OSError, ValueError):
@@ -989,6 +1343,17 @@ class ExecutionEngine:
         bit-identical either way. Independent of ``cache``: the *result*
         cache memoizes finished cells, the store memoizes the expensive
         *inputs* of cells that do run.
+    scheduler:
+        ``"steal"`` (default) assigns cells to per-worker deques seeded
+        longest-expected-first and lets idle workers steal from the most
+        loaded peer; ``"fifo"`` is the legacy single global queue with
+        per-cell dispatch. Results are bit-identical either way — only
+        the order and placement of work differ.
+    batch_cells:
+        Cells per dispatched chunk under the steal scheduler. ``None``
+        or ``0`` auto-sizes per batch group (see
+        ``_Supervisor._plan_chunks``); ``1`` forces per-cell dispatch;
+        larger values cap at :data:`MAX_BATCH_CELLS`.
     """
 
     def __init__(
@@ -1005,6 +1370,8 @@ class ExecutionEngine:
         faults: FaultPlan | None = None,
         progress: Callable[[str], None] | None = None,
         store: PrecomputeStore | None = None,
+        scheduler: str = "steal",
+        batch_cells: int | None = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
@@ -1014,7 +1381,17 @@ class ExecutionEngine:
             raise ConfigurationError("timeout must be positive")
         if backoff_base < 0 or backoff_cap < 0:
             raise ConfigurationError("backoff delays must be >= 0")
+        if scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {scheduler!r}; accepted: "
+                + ", ".join(SCHEDULERS)
+            )
+        if batch_cells is not None and batch_cells < 0:
+            raise ConfigurationError("batch_cells must be >= 0")
         self.jobs = jobs
+        self.scheduler = scheduler
+        #: ``None`` means auto-size per batch group; 0 normalizes to it.
+        self.batch_cells = batch_cells if batch_cells else None
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
@@ -1150,6 +1527,21 @@ class ExecutionEngine:
         except Exception:
             return None
 
+    def _runtime_hints(self) -> dict[str, float]:
+        """Per-family runtime estimates from journal history, if any.
+
+        Feeds the steal scheduler's LPT seeding; an empty dict (no
+        journal, fresh journal, unreadable journal) falls back to the
+        static family weights — scheduling quality degrades, never
+        correctness.
+        """
+        if self.journal is None:
+            return {}
+        try:
+            return runtime_hints_from_entries(self.journal.load())
+        except Exception:
+            return {}
+
     # ------------------------------------------------------------------
     def run(
         self, cells: Sequence[Any], *, campaign: str | None = None
@@ -1167,7 +1559,11 @@ class ExecutionEngine:
         done = 0
         self._campaign = campaign
         run_span = obs_trace.span(
-            "engine.run", campaign=campaign, jobs=self.jobs, cells=total
+            "engine.run",
+            campaign=campaign,
+            jobs=self.jobs,
+            cells=total,
+            scheduler=self.scheduler,
         )
         run_span.__enter__()
         journaled = (
@@ -1310,57 +1706,64 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
     def _run_serial(self, pending):
-        for index, cell, key in pending:
-            if self._interrupted:
-                raise KeyboardInterrupt
-            attempts = 0
-            error: str | None = None
-            # Accumulated *execution* time across attempts. Backoff
-            # sleeps are excluded, matching the supervised parallel
-            # path (which books only real worker time) — a retried
-            # serial cell used to report wall_seconds inflated by its
-            # own backoff delays.
-            elapsed = 0.0
-            value = None
-            status = "failed"
-            while attempts <= self.retries:
-                attempts += 1
-                attempt_start = time.perf_counter()
-                try:
-                    value, wall = _execute_cell(cell, self.faults)
-                    elapsed += wall
-                    status = "computed"
-                    error = None
-                    break
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:  # graceful degradation
-                    elapsed += time.perf_counter() - attempt_start
-                    error = f"{type(exc).__name__}: {exc}"
-                    if attempts <= self.retries:
-                        delay = backoff_delay(
-                            key, attempts, self.backoff_base, self.backoff_cap
-                        )
-                        self.telemetry.backoff_seconds += delay
-                        _M_BACKOFF.inc(delay)
-                        obs_trace.event(
-                            "cell.retry",
-                            label=cell.label,
-                            attempt=attempts,
-                            delay=delay,
-                            error=error,
-                        )
-                        if delay:
-                            time.sleep(delay)
-            yield index, CellOutcome(
-                cell=cell,
-                key=key,
-                value=value,
-                status=status,
-                wall_seconds=elapsed,
-                attempts=attempts,
-                error=error,
-            )
+        # One scratch arena for the whole serial run: the serial path is
+        # effectively a single maximal chunk, so it amortizes the hot
+        # numpy buffers exactly like a batched worker does.
+        with cell_scratch():
+            for index, cell, key in pending:
+                if self._interrupted:
+                    raise KeyboardInterrupt
+                attempts = 0
+                error: str | None = None
+                # Accumulated *execution* time across attempts. Backoff
+                # sleeps are excluded, matching the supervised parallel
+                # path (which books only real worker time) — a retried
+                # serial cell used to report wall_seconds inflated by
+                # its own backoff delays.
+                elapsed = 0.0
+                value = None
+                status = "failed"
+                while attempts <= self.retries:
+                    attempts += 1
+                    attempt_start = time.perf_counter()
+                    try:
+                        value, wall = _execute_cell(cell, self.faults)
+                        elapsed += wall
+                        status = "computed"
+                        error = None
+                        break
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # graceful degradation
+                        elapsed += time.perf_counter() - attempt_start
+                        error = f"{type(exc).__name__}: {exc}"
+                        if attempts <= self.retries:
+                            delay = backoff_delay(
+                                key,
+                                attempts,
+                                self.backoff_base,
+                                self.backoff_cap,
+                            )
+                            self.telemetry.backoff_seconds += delay
+                            _M_BACKOFF.inc(delay)
+                            obs_trace.event(
+                                "cell.retry",
+                                label=cell.label,
+                                attempt=attempts,
+                                delay=delay,
+                                error=error,
+                            )
+                            if delay:
+                                time.sleep(delay)
+                yield index, CellOutcome(
+                    cell=cell,
+                    key=key,
+                    value=value,
+                    status=status,
+                    wall_seconds=elapsed,
+                    attempts=attempts,
+                    error=error,
+                )
 
 
 # ----------------------------------------------------------------------
@@ -1408,6 +1811,11 @@ def engine_from_env(
       of re-running them.
     * ``REPRO_FAULTS``: fault-injection spec for chaos runs (see
       :mod:`repro.harness.faults`).
+    * ``REPRO_SCHED``: campaign scheduler, ``steal`` (default) or
+      ``fifo`` (legacy per-cell global queue).
+    * ``REPRO_BATCH_CELLS``: cells per dispatched chunk under the steal
+      scheduler (``0`` = auto-size per batch group, ``1`` = per-cell
+      dispatch).
     * ``REPRO_PRECOMPUTE``: ``off`` disables the precompute store
       (legacy build-per-cell path); default on.
     * ``REPRO_STORE_DIR``: precompute-store directory. Defaults to
@@ -1433,6 +1841,18 @@ def engine_from_env(
         default=1,
         minimum=0,
         accepted="a non-negative integer retry budget per cell",
+    )
+    scheduler = os.environ.get("REPRO_SCHED", "").strip().lower() or "steal"
+    if scheduler not in SCHEDULERS:
+        raise ConfigurationError(
+            f"REPRO_SCHED={scheduler!r} is not a scheduler; accepted: "
+            + ", ".join(SCHEDULERS)
+        )
+    batch_cells = _int_from_env(
+        "REPRO_BATCH_CELLS",
+        default=0,
+        minimum=0,
+        accepted="a non-negative integer (0 = auto, 1 = per-cell dispatch)",
     )
     timeout: float | None = None
     raw_timeout = os.environ.get("REPRO_TIMEOUT", "").strip()
@@ -1488,4 +1908,6 @@ def engine_from_env(
         faults=faults_from_env(),
         progress=progress,
         store=store,
+        scheduler=scheduler,
+        batch_cells=batch_cells,
     )

@@ -41,7 +41,7 @@ class WorkloadResult:
     assessments: int
     visible_actions: int
     leakage_bits: float
-    partition_quartiles: tuple[int, int, int, int, int]
+    partition_quartiles: tuple[float, float, float, float, float]
 
     @property
     def bits_per_assessment(self) -> float:

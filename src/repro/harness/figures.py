@@ -27,8 +27,8 @@ class WorkloadRow:
     normalized_ipc: dict[str, float]
     time_bits_per_assessment: float
     untangle_bits_per_assessment: float
-    time_partition_quartiles: tuple[int, int, int, int, int]
-    untangle_partition_quartiles: tuple[int, int, int, int, int]
+    time_partition_quartiles: tuple[float, float, float, float, float]
+    untangle_partition_quartiles: tuple[float, float, float, float, float]
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,10 @@ order):
   reference simulation kernel, per scheme and for the raw cache kernel;
 * ``benchmarks/bench_store.py`` → ``BENCH_store.json``
   (``"kind": "store"``): a multi-mix campaign with the precompute store
-  disabled vs cold vs warm.
+  disabled vs cold vs warm;
+* ``benchmarks/bench_campaign.py`` → ``BENCH_campaign.json``
+  (``"kind": "campaign"``): a skewed-cost campaign under legacy per-cell
+  fifo dispatch vs the work-stealing scheduler (per-cell and batched).
 
 A regression is flagged when a freshly measured speedup falls more than
 ``tolerance`` (default 30%) below the committed baseline's — i.e. the
@@ -45,6 +48,11 @@ BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_kernel.json"
 #: The committed baseline written by ``benchmarks/bench_store.py``.
 STORE_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_store.json"
 
+#: The committed baseline written by ``benchmarks/bench_campaign.py``.
+CAMPAIGN_BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "BENCH_campaign.json"
+)
+
 #: Allowed fractional loss of speedup before a measurement is a regression.
 DEFAULT_TOLERANCE = 0.30
 
@@ -75,6 +83,11 @@ def _speedups(payload: dict) -> dict[str, float]:
             "store/cold": float(payload["cold"]["speedup"]),
             "store/warm": float(payload["warm"]["speedup"]),
         }
+    if payload.get("kind") == "campaign":
+        return {
+            "campaign/stolen": float(payload["stolen"]["speedup"]),
+            "campaign/batched": float(payload["batched"]["speedup"]),
+        }
     out = {"raw_kernel": float(payload["raw_kernel"]["speedup"])}
     for scheme, cell in payload["end_to_end"]["cells"].items():
         out[f"end_to_end/{scheme}"] = float(cell["speedup"])
@@ -87,6 +100,12 @@ def _identity_failures(payload: dict) -> list[str]:
         return [
             f"store/{mode}"
             for mode in ("cold", "warm")
+            if not payload[mode].get("identical", False)
+        ]
+    if payload.get("kind") == "campaign":
+        return [
+            f"campaign/{mode}"
+            for mode in ("percell", "stolen", "batched")
             if not payload[mode].get("identical", False)
         ]
     return [
@@ -158,8 +177,8 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         help="committed baseline (default: the committed file matching the "
-        f"current payload's kind — {BASELINE_PATH.name} or "
-        f"{STORE_BASELINE_PATH.name})",
+        f"current payload's kind — {BASELINE_PATH.name}, "
+        f"{STORE_BASELINE_PATH.name}, or {CAMPAIGN_BASELINE_PATH.name})",
     )
     parser.add_argument(
         "--current",
@@ -177,11 +196,10 @@ def main(argv: list[str] | None = None) -> int:
     current = load_bench(args.current)
     baseline_path = args.baseline
     if baseline_path is None:
-        baseline_path = (
-            STORE_BASELINE_PATH
-            if current.get("kind") == "store"
-            else BASELINE_PATH
-        )
+        baseline_path = {
+            "store": STORE_BASELINE_PATH,
+            "campaign": CAMPAIGN_BASELINE_PATH,
+        }.get(current.get("kind"), BASELINE_PATH)
     baseline = load_bench(baseline_path)
     regressions = compare(current, baseline, args.tolerance)
     base, cur = _speedups(baseline), _speedups(current)

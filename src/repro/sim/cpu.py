@@ -60,6 +60,7 @@ from repro.config import ArchConfig
 from repro.core.annotations import AnnotationVector
 from repro.errors import ConfigurationError, SimulationError
 from repro.monitor.umon import mix64_array
+from repro.sim.batch import active_scratch
 from repro.sim.hierarchy import DomainMemory
 from repro.sim.kernelmode import batching_enabled
 from repro.sim.stats import DomainStats
@@ -510,12 +511,21 @@ class Core:
             # Interleave (gap advance, event retire) deltas and fold them
             # with one strictly-sequential cumulative sum; even entries
             # are the reference loop-top cycle values before each event.
+            # Under cell-major batching a chunk-shared scratch arena
+            # backs the delta/cumsum buffers (every entry is written
+            # before it is read, so reuse is bit-identical to np.empty).
             gaps = idx - np.concatenate(([rel_pos], idx[:-1] + 1))
-            deltas = np.empty(2 * n + 1, dtype=np.float64)
+            scratch = active_scratch()
+            if scratch is not None:
+                deltas = scratch.f64(2 * n + 1, slot=0)
+                cum = scratch.f64(2 * n + 1, slot=1)
+            else:
+                deltas = np.empty(2 * n + 1, dtype=np.float64)
+                cum = None
             deltas[0] = self.cycles
             deltas[1::2] = gaps * cpi
             deltas[2::2] = cpi + extras
-            tops = np.cumsum(deltas)[0::2]
+            tops = np.cumsum(deltas, out=cum)[0::2]
             # First event whose loop-top check would fail the budget.
             k = int(np.searchsorted(tops, until_cycle, side="left"))
             if k > n:

@@ -33,6 +33,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.config import ArchConfig
+from repro.sim.batch import active_scratch
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.kernelmode import make_cache
 from repro.sim.partition import LLCView
@@ -278,13 +279,29 @@ class DomainMemory:
         # Set indexes come from one vectorized modulo per level instead of
         # a Python ``%`` per access; resident lines map to None, so pop's
         # MISSING default doubles as the miss test while removing a hit's
-        # stale recency slot.
-        tagged_addrs = addrs + offset if offset else addrs
+        # stale recency slot. Under cell-major batching the transient
+        # index arrays stack into the chunk-shared scratch arena (fully
+        # overwritten per run, so reuse is bit-identical).
+        n = addrs.shape[0]
+        scratch = active_scratch()
+        if scratch is not None:
+            l1_indexes = np.mod(addrs, l1_num_sets, out=scratch.i64(n, slot=0))
+            if offset:
+                tagged_addrs = np.add(addrs, offset, out=scratch.i64(n, slot=1))
+            else:
+                tagged_addrs = addrs
+            llc_indexes = np.mod(
+                tagged_addrs, llc_num_sets, out=scratch.i64(n, slot=2)
+            )
+        else:
+            tagged_addrs = addrs + offset if offset else addrs
+            l1_indexes = addrs % l1_num_sets
+            llc_indexes = tagged_addrs % llc_num_sets
         for addr, index, tagged, llc_index in zip(
             addrs.tolist(),
-            (addrs % l1_num_sets).tolist(),
+            l1_indexes.tolist(),
             tagged_addrs.tolist(),
-            (tagged_addrs % llc_num_sets).tolist(),
+            llc_indexes.tolist(),
         ):
             ways = l1_sets[index]
             if l1_journal is not None and index not in l1_journal:

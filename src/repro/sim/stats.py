@@ -51,6 +51,21 @@ class DomainStats:
         self.measure_end_instructions = instructions
         self.finished = True
 
+    def close_measurement_window(self, cycle: float, instructions: int) -> None:
+        """Close an unfinished measurement window at simulation end.
+
+        A domain whose slice never completes before ``max_cycles`` used
+        to report IPC of 0 (no ``end_measurement`` call ever set the
+        window's end), silently under-reporting partial slices. Closing
+        the window records the work that actually ran while keeping
+        ``finished=False``, so completion checks still see the truth.
+        No-op for finished domains and for domains still in warmup.
+        """
+        if self.finished or self.measure_start_cycle is None:
+            return
+        self.measure_end_cycle = cycle
+        self.measure_end_instructions = instructions
+
     # ------------------------------------------------------------------
     @property
     def measured_instructions(self) -> int:
@@ -85,25 +100,35 @@ class DomainStats:
         if not self.finished:
             self.partition_samples.append(PartitionSample(cycle, lines))
 
-    def partition_size_quartiles(self) -> tuple[int, int, int, int, int]:
+    def partition_size_quartiles(self) -> tuple[float, float, float, float, float]:
         """(min, q1, median, q3, max) of sampled partition sizes.
 
         These are the five numbers behind each bar of the paper's
-        partition-size distribution charts.
+        partition-size distribution charts. Quartiles interpolate
+        linearly between order statistics (numpy's default percentile
+        method), which is symmetric by construction: the old
+        ``round(fraction * (n - 1))`` index rounded half-to-even
+        (banker's rounding), so for small sample counts q1 and q3 (and
+        the even-``n`` median) could land asymmetric distances from the
+        extremes. Interpolated values may fall between two sampled
+        (supported) sizes; min and max are always exact samples.
         """
         if not self.partition_samples:
             return (0, 0, 0, 0, 0)
         values = sorted(s.lines for s in self.partition_samples)
         n = len(values)
 
-        def percentile(fraction: float) -> int:
-            index = min(n - 1, max(0, round(fraction * (n - 1))))
-            return values[index]
+        def percentile(fraction: float) -> float:
+            rank = fraction * (n - 1)
+            low = int(rank)
+            high = min(n - 1, low + 1)
+            weight = rank - low
+            return values[low] * (1.0 - weight) + values[high] * weight
 
         return (
-            values[0],
+            float(values[0]),
             percentile(0.25),
             percentile(0.5),
             percentile(0.75),
-            values[-1],
+            float(values[-1]),
         )

@@ -233,6 +233,12 @@ class MultiDomainSystem:
             # max_cycles would otherwise be misreported as incomplete.
             if not completed:
                 completed = self.all_finished
+            # Close the measurement window of any domain whose slice the
+            # max_cycles cap cut short, so partial slices report IPC over
+            # the instructions that actually ran instead of a silent 0.
+            # ``finished`` stays False: completion checks are unaffected.
+            for core in self.cores:
+                core.stats.close_measurement_window(core.cycles, core.retired)
             span.set(
                 total_cycles=now,
                 quanta=quanta,

@@ -29,6 +29,26 @@ def payload(raw_speedup=4.0, cells=None, fmt=1):
     }
 
 
+def campaign_payload(stolen=1.8, batched=2.0, identical=True):
+    return {
+        "format": 1,
+        "kind": "campaign",
+        "quick": False,
+        "reps": 3,
+        "percell": {"seconds": 4.0, "identical": identical},
+        "stolen": {
+            "seconds": 4.0 / stolen,
+            "speedup": stolen,
+            "identical": identical,
+        },
+        "batched": {
+            "seconds": 4.0 / batched,
+            "speedup": batched,
+            "identical": identical,
+        },
+    }
+
+
 class TestCompare:
     def test_no_regression_when_equal(self):
         assert compare(payload(), payload()) == []
@@ -67,6 +87,27 @@ class TestCompare:
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ConfigurationError):
             compare(payload(), payload(), tolerance=1.5)
+
+    def test_campaign_kind_compares_its_own_measurements(self):
+        assert compare(campaign_payload(), campaign_payload()) == []
+        regressions = compare(
+            campaign_payload(stolen=0.9), campaign_payload(), tolerance=0.30
+        )
+        assert [r.measurement for r in regressions] == ["campaign/stolen"]
+
+    def test_campaign_identity_failure_outranks_timing(self):
+        current = campaign_payload()
+        current["batched"]["identical"] = False
+        regressions = compare(current, campaign_payload())
+        assert any(r.measurement == "campaign/batched" for r in regressions)
+        assert any("non-identical" in str(r) for r in regressions)
+
+    def test_cross_kind_comparison_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot compare"):
+            compare(campaign_payload(), payload())
+        store = {"format": 1, "kind": "store"}
+        with pytest.raises(ConfigurationError, match="cannot compare"):
+            compare(store, campaign_payload())
 
 
 class TestLoadBench:

@@ -67,11 +67,16 @@ class TestLeakageShape:
 
 class TestTraceValidity:
     def test_partition_sizes_stay_supported(self, result):
+        # The sampled extremes are real partition sizes; the inner
+        # quartiles interpolate between samples, so they are only
+        # required to stay inside the observed envelope.
         sizes = set(TEST.arch(2).supported_partition_lines)
         run = result.runs["untangle"]
         for workload in run.workloads:
-            for quartile in workload.partition_quartiles:
-                assert quartile in sizes
+            low, q1, median, q3, high = workload.partition_quartiles
+            assert low in sizes
+            assert high in sizes
+            assert low <= q1 <= median <= q3 <= high
 
     def test_visible_plus_maintain_equals_assessments(self, result):
         for scheme in ("time", "untangle"):

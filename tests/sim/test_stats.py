@@ -25,6 +25,36 @@ class TestMeasurement:
         assert stats.measured_instructions == 10
 
 
+class TestCloseMeasurementWindow:
+    def test_unfinished_slice_reports_partial_ipc(self):
+        """Regression: a slice cut short by the cycle cap reported IPC 0.
+
+        ``end_measurement`` was never called, leaving the window open;
+        closing it at simulation end books the instructions that did
+        run without marking the slice finished.
+        """
+        stats = DomainStats(domain=0)
+        stats.begin_measurement(100.0, 1000)
+        stats.close_measurement_window(300.0, 1400)
+        assert not stats.finished
+        assert stats.measured_instructions == 400
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_noop_for_finished_slice(self):
+        stats = DomainStats(domain=0)
+        stats.begin_measurement(0.0, 0)
+        stats.end_measurement(10.0, 10)
+        stats.close_measurement_window(50.0, 500)
+        assert stats.finished
+        assert stats.measured_instructions == 10
+
+    def test_noop_during_warmup(self):
+        stats = DomainStats(domain=0)
+        stats.close_measurement_window(50.0, 500)
+        assert stats.measured_instructions == 0
+        assert stats.ipc == 0.0
+
+
 class TestLeakageCounters:
     def test_bits_per_assessment(self):
         stats = DomainStats(domain=0)
@@ -71,3 +101,47 @@ class TestPartitionSamples:
         stats = DomainStats(domain=0)
         stats.record_partition_sample(0, 42)
         assert stats.partition_size_quartiles() == (42, 42, 42, 42, 42)
+
+    @staticmethod
+    def _quartiles_of(values):
+        stats = DomainStats(domain=0)
+        for i, lines in enumerate(values):
+            stats.record_partition_sample(i, lines)
+        return stats.partition_size_quartiles()
+
+    def test_quartiles_interpolate_even_n(self):
+        """Regression: ``round(0.25 * 3) == 1`` but ``round(0.75 * 3) == 2``
+        only by luck — banker's rounding of ``round(0.5)`` made q1/q3
+        asymmetric for other sample counts. Linear interpolation is
+        symmetric by construction."""
+        minimum, q1, median, q3, maximum = self._quartiles_of([10, 20, 30, 40])
+        assert (minimum, maximum) == (10, 40)
+        assert q1 == pytest.approx(17.5)
+        assert median == pytest.approx(25.0)
+        assert q3 == pytest.approx(32.5)
+
+    def test_quartiles_symmetric_for_symmetric_samples(self):
+        # For any symmetric sample set the quartiles must mirror around
+        # the median — exactly what banker's rounding used to break
+        # (n=6: old q1 index round(1.25)=1 vs q3 index round(3.75)=4,
+        # distances 1 and 1 from the ends, but n=10 gave 2 and 3).
+        for n in range(2, 12):
+            values = list(range(0, 10 * n, 10))
+            minimum, q1, median, q3, maximum = self._quartiles_of(values)
+            assert q1 - minimum == pytest.approx(maximum - q3)
+            assert median - q1 == pytest.approx(q3 - median)
+
+    def test_quartiles_small_n_pair(self):
+        minimum, q1, median, q3, maximum = self._quartiles_of([100, 200])
+        assert (minimum, maximum) == (100, 200)
+        assert q1 == pytest.approx(125.0)
+        assert median == pytest.approx(150.0)
+        assert q3 == pytest.approx(175.0)
+
+    def test_quartiles_match_numpy_percentiles(self):
+        np = pytest.importorskip("numpy")
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        _, q1, median, q3, _ = self._quartiles_of(values)
+        assert q1 == pytest.approx(np.percentile(values, 25))
+        assert median == pytest.approx(np.percentile(values, 50))
+        assert q3 == pytest.approx(np.percentile(values, 75))

@@ -86,6 +86,23 @@ class TestRun:
         assert not result.completed
         assert result.total_cycles <= 200
 
+    def test_capped_run_reports_partial_ipc(self, tiny_arch):
+        """Regression: a domain cut short by max_cycles reported IPC 0
+        even though it retired instructions the whole time — the
+        measurement window was never closed."""
+        system = MultiDomainSystem(
+            tiny_arch,
+            make_domains(tiny_arch, instructions=100_000),
+            StaticScheme(tiny_arch),
+            quantum=50,
+        )
+        result = system.run(max_cycles=200)
+        assert not result.completed
+        for stats in result.stats:
+            assert not stats.finished
+            assert stats.measured_instructions > 0
+            assert stats.ipc > 0
+
     def test_static_scheme_has_empty_traces(self, tiny_arch):
         system = MultiDomainSystem(
             tiny_arch, make_domains(tiny_arch), StaticScheme(tiny_arch)

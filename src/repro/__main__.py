@@ -37,9 +37,13 @@ Fault tolerance: every finished cell is journaled to
 killed campaign re-run with ``--resume`` (or ``REPRO_RESUME=1``)
 replays journaled cells and simulates only what never completed.
 ``--retries`` bounds per-cell retry attempts and ``--timeout`` sets the
-per-cell deadline after which a hung worker is killed and respawned.
-``REPRO_FAULTS`` injects crashes/hangs/corruption for chaos runs (see
-``repro.harness.faults``).
+per-cell deadline after which a hung worker is killed and respawned;
+``--heartbeat`` tunes the worker liveness beats that let the supervisor
+tell slow from hung mid-cell (see ``docs/robustness.md``). A campaign
+that completes with failed or poisoned cells exits non-zero, prints a
+per-cell failure summary, and renders ``<cache-dir>/failures.json``.
+``REPRO_FAULTS`` injects crashes/hangs/stalls/corruption/disk errors
+for chaos runs (see ``repro.harness.faults``).
 
 Observability (``docs/observability.md``): ``--trace PATH`` (or
 ``REPRO_TRACE``) appends structured spans/events for every cell,
@@ -213,7 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=(
             "per-cell deadline; a parallel worker past it is killed and "
-            "respawned (default: none)"
+            "respawned (default: none). With heartbeats on it bounds "
+            "inactivity: progress-carrying beats extend it"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "worker liveness heartbeat interval; lets the supervisor "
+            "tell slow from hung mid-cell (default: 1; 0 disables; "
+            "also: REPRO_HEARTBEAT)"
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -314,10 +330,28 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
     progress = (
         (lambda line: print(line, file=sys.stderr)) if args.telemetry else None
     )
+    heartbeat = args.heartbeat
+    if heartbeat is None:
+        raw_heartbeat = os.environ.get("REPRO_HEARTBEAT", "").strip()
+        if raw_heartbeat:
+            try:
+                heartbeat = float(raw_heartbeat)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_HEARTBEAT={raw_heartbeat!r} is not a number; "
+                    "accepted: a non-negative number of seconds (0 = off)"
+                )
+        else:
+            heartbeat = 1.0
+    if heartbeat < 0:
+        raise ConfigurationError(
+            "heartbeat must be >= 0 (0 disables heartbeats)"
+        )
     return ExecutionEngine(
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
+        heartbeat=heartbeat,
         retries=args.retries,
         journal=journal,
         resume=resume,
@@ -380,10 +414,64 @@ def main(argv: list[str] | None = None) -> int:
             print(render_telemetry(engine.telemetry), file=sys.stderr)
         _write_metrics(args)
         return 130
+    except Exception as exc:
+        # Rendering needs every cell's result; with failed/poisoned
+        # cells it can legitimately come up short (e.g. a figure's
+        # scheme run missing). That is the campaign's failure story —
+        # tell it via the per-cell summary below, not a traceback. A
+        # rendering crash on a fully green campaign is a real bug.
+        if not _failing_records(engine):
+            raise
+        print(
+            f"error: cannot render output ({type(exc).__name__}: {exc}) "
+            "— campaign results are incomplete",
+            file=sys.stderr,
+        )
     if args.telemetry and engine.telemetry.cells:
         print(render_telemetry(engine.telemetry), file=sys.stderr)
     _write_metrics(args)
-    return 0
+    return _campaign_exit_status(engine)
+
+
+def _failing_records(engine: ExecutionEngine) -> list:
+    return [
+        r
+        for r in engine.telemetry.records
+        if r.status in ("failed", "poisoned")
+    ]
+
+
+def _campaign_exit_status(engine: ExecutionEngine) -> int:
+    """0 for a fully successful campaign, 1 when any cell failed.
+
+    A campaign with failed/poisoned cells used to exit 0 — silently
+    green in CI and shell scripts even though results were missing from
+    the rendered figures. The per-cell summary names each casualty, and
+    the failure manifest / resume hint say how to retry them.
+    """
+    failing = _failing_records(engine)
+    if not failing:
+        return 0
+    print(
+        f"error: {len(failing)} of {engine.telemetry.cells} cells did "
+        "not complete:",
+        file=sys.stderr,
+    )
+    for record in failing:
+        print(
+            f"  {record.status.upper()} {record.label} "
+            f"(attempts={record.attempts}): {record.error}",
+            file=sys.stderr,
+        )
+    if engine.manifest_path is not None:
+        print(f"failure manifest: {engine.manifest_path}", file=sys.stderr)
+    if engine.journal is not None:
+        print(
+            "re-run with --resume (or REPRO_RESUME=1) to re-attempt "
+            "exactly these cells",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def _write_metrics(args: argparse.Namespace) -> None:

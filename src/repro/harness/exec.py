@@ -32,9 +32,27 @@ dependable as the system under test:
   per-cell deadline is killed and respawned, and its cell is retried
   with exponential backoff + deterministic jitter — one stuck cell can
   no longer occupy a pool slot for the rest of the run.
+* **Heartbeat liveness.** Workers interleave progress-carrying
+  heartbeats with their result stream, so the supervisor distinguishes
+  *slow* (progress advancing — deadlines extend) from *hung* (progress
+  frozen — ``worker.unresponsive`` fires, and a stall kill lands well
+  before a chunk of N cells would burn N deadlines).
+* **Poison-cell circuit breaker.** A cell whose every attempt killed
+  its worker is quarantined as ``poisoned`` instead of shooting workers
+  forever: the campaign completes, a failure manifest
+  (``failures.json``) is rendered, and ``--resume`` re-attempts exactly
+  the poisoned/failed cells.
+* **Degraded-mode I/O.** ``ENOSPC``/``EIO`` on the journal, result
+  cache, or precompute store downgrades that subsystem (journal →
+  no-resume warning, cache/store → compute-only) — visible in
+  telemetry, ``repro_degraded_total``, and the run span — instead of
+  aborting hours of surviving work.
 * **Graceful shutdown.** SIGINT/SIGTERM terminate workers cleanly,
   leave the journal valid, and surface a resume hint via
   :class:`~repro.errors.CampaignInterrupted`.
+* **Orphan reaping.** Startup sweeps shm store segments and fault-state
+  directories whose owning process died uncleanly (SIGKILL) — see
+  :mod:`repro.harness.reaper`.
 * **Cache integrity.** Entries carry a payload checksum; corrupt,
   truncated, or version-mismatched entries are quarantined (renamed
   ``*.corrupt``) and counted in telemetry instead of being silently
@@ -67,9 +85,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.errors import CampaignInterrupted, ConfigurationError
-from repro.harness.faults import FaultPlan, faults_from_env
+from repro.errors import CampaignInterrupted, ConfigurationError, JournalError
+from repro.harness.faults import FaultPlan, faults_from_env, release_fault_state
 from repro.harness.journal import JournalEntry, RunJournal
+from repro.harness.reaper import reap_orphans
 from repro.harness.profiling import maybe_profile, reset_claim
 from repro.harness.runconfig import RunProfile
 from repro.harness.store import (
@@ -85,6 +104,7 @@ from repro.harness.store import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.liveness import progress_beat, progress_value
 from repro.sim.batch import cell_scratch
 
 #: Bump when the cached payload layout or the simulator's semantics
@@ -103,6 +123,13 @@ SCHEDULERS = ("steal", "fifo")
 #: Hard ceiling on cells per dispatched chunk (auto sizing stays below).
 MAX_BATCH_CELLS = 32
 
+#: Layout version of the failure manifest (``failures.json``).
+MANIFEST_FORMAT_VERSION = 1
+
+#: File the failure manifest is rendered to, next to the journal (or in
+#: the cache directory when no journal is attached).
+MANIFEST_NAME = "failures.json"
+
 # Engine-level metrics, recorded per cell / per supervision event (never
 # per simulated access), so they are cheap enough to count always;
 # REPRO_METRICS only controls whether they are exported. They live in
@@ -115,7 +142,7 @@ _M_CELLS = {
         "Engine cell outcomes by status",
         status=status,
     )
-    for status in ("computed", "hit", "replayed", "failed")
+    for status in ("computed", "hit", "replayed", "failed", "poisoned")
 }
 _M_RETRIES = _REG.counter("repro_exec_retries_total", "Cell retry attempts")
 _M_CYCLES = _REG.counter(
@@ -127,7 +154,15 @@ _M_WORKER = {
         "Worker supervision events",
         kind=kind,
     )
-    for kind in ("crash", "timeout", "respawn")
+    for kind in ("crash", "timeout", "respawn", "unresponsive")
+}
+_M_DEGRADED = {
+    subsystem: _REG.counter(
+        "repro_degraded_total",
+        "I/O subsystems downgraded mid-campaign instead of aborting",
+        subsystem=subsystem,
+    )
+    for subsystem in ("journal", "cache", "store")
 }
 _M_BACKOFF = _REG.counter(
     "repro_exec_backoff_seconds_total", "Retry backoff delay scheduled"
@@ -403,6 +438,13 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Write one entry atomically.
+
+        Raises ``OSError`` (e.g. ``ENOSPC``/``EIO``) after cleaning up
+        the temp file: the engine downgrades the cache to compute-only
+        on the first write failure rather than silently dropping every
+        entry onto a full disk for the rest of the campaign.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -422,6 +464,7 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            raise
 
 
 # ----------------------------------------------------------------------
@@ -432,7 +475,7 @@ class CellRecord:
     """Per-cell telemetry line."""
 
     label: str
-    status: str  # "hit" | "replayed" | "computed" | "failed"
+    status: str  # "hit" | "replayed" | "computed" | "failed" | "poisoned"
     wall_seconds: float
     attempts: int
     cycles: int | None = None
@@ -450,13 +493,24 @@ class EngineTelemetry:
     simulations: int = 0
     retries: int = 0
     failures: int = 0
+    #: Subset of ``failures`` quarantined as poison: every attempt ended
+    #: in a worker death, so retrying further is hopeless by evidence.
+    poisoned: int = 0
     #: Corrupt/stale cache entries renamed ``*.corrupt`` by this engine.
     quarantines: int = 0
     #: Worker processes that died mid-cell (and were respawned).
     worker_crashes: int = 0
-    #: Workers killed for blowing the per-cell deadline.
+    #: Workers killed for blowing the per-cell deadline (or for stalling
+    #: past the stall deadline with frozen heartbeat progress).
     worker_timeouts: int = 0
     workers_respawned: int = 0
+    #: ``worker.unresponsive`` warnings: heartbeats silent or progress
+    #: frozen long enough to flag, before any kill decision.
+    worker_unresponsive: int = 0
+    #: I/O subsystems downgraded mid-run instead of aborting the
+    #: campaign: subsystem name -> first error, e.g.
+    #: ``{"cache": "OSError: [Errno 28] No space left on device"}``.
+    degraded: dict[str, str] = field(default_factory=dict)
     #: Total retry backoff delay scheduled (seconds).
     backoff_seconds: float = 0.0
     #: True when the run ended via SIGINT/SIGTERM.
@@ -507,7 +561,12 @@ class EngineTelemetry:
                 self.cycles_simulated += record.cycles
                 _M_CYCLES.inc(record.cycles)
         else:
+            # "poisoned" is a flavor of failure: it counts inside
+            # ``failures`` (keeping the accounting invariant four-way)
+            # with its own subset counter for the breakdown/manifest.
             self.failures += 1
+            if record.status == "poisoned":
+                self.poisoned += 1
         retries = max(0, record.attempts - 1)
         self.retries += retries
         if retries:
@@ -519,7 +578,8 @@ class EngineTelemetry:
         exporters render from.
 
         Invariant (pinned by tests):
-        ``computed + hit + replayed + failed == total``.
+        ``computed + hit + replayed + failed == total``
+        (``poisoned`` is a subset of ``failed``, not a fifth term).
         """
         return {
             "total": self.cells,
@@ -527,12 +587,15 @@ class EngineTelemetry:
             "hit": self.cache_hits,
             "replayed": self.journal_replays,
             "failed": self.failures,
+            "poisoned": self.poisoned,
             "misses": self.cache_misses,
             "retries": self.retries,
             "quarantined": self.quarantines,
             "worker_crashes": self.worker_crashes,
             "worker_timeouts": self.worker_timeouts,
             "workers_respawned": self.workers_respawned,
+            "worker_unresponsive": self.worker_unresponsive,
+            "degraded": dict(self.degraded),
             "backoff_seconds": self.backoff_seconds,
             "interrupted": self.interrupted,
             "wall_seconds": self.wall_seconds,
@@ -596,14 +659,14 @@ class CellOutcome:
     cell: Any
     key: str
     value: Any | None
-    status: str  # "hit" | "replayed" | "computed" | "failed"
+    status: str  # "hit" | "replayed" | "computed" | "failed" | "poisoned"
     wall_seconds: float
     attempts: int
     error: str | None = None
 
     @property
     def ok(self) -> bool:
-        return self.status != "failed"
+        return self.status not in ("failed", "poisoned")
 
 
 # ----------------------------------------------------------------------
@@ -708,10 +771,39 @@ def _execute_cell(
         return value, time.perf_counter() - start
 
 
+def _heartbeat_loop(
+    conn: multiprocessing.connection.Connection,
+    send_lock: threading.Lock,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    """Heartbeat thread body: ship the progress counter home periodically.
+
+    Each beat is ``("heartbeat", progress_value())`` — the supervisor
+    compares successive values to distinguish a *slow* cell (counter
+    advancing: simulation quanta are completing) from a *hung* one
+    (beats arriving with a frozen counter, or no beats at all once even
+    this thread is stopped). The thread runs as a daemon and exits on
+    the first failed send: a broken pipe means the supervisor is gone.
+
+    Note the limits of the evidence: Python threads share the GIL, so a
+    C extension that blocks *without releasing the GIL* also silences
+    the heartbeat — which is fine, because silence is treated exactly
+    like frozen progress.
+    """
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                conn.send(("heartbeat", progress_value()))
+        except Exception:
+            return
+
+
 def _worker_main(
     conn: multiprocessing.connection.Connection,
     worker_id: int,
     faults: FaultPlan | None,
+    heartbeat: float | None = None,
 ) -> None:
     """Worker loop: receive chunks of ``(index, cell)`` tasks, send back
     one result message per cell.
@@ -723,6 +815,11 @@ def _worker_main(
     message shape is unchanged from per-cell dispatch), so supervisor
     accounting, deadlines, and retry bookkeeping see individual cells —
     and results stay bit-identical to serial execution.
+
+    Liveness: with ``heartbeat`` set, a daemon thread interleaves
+    ``("heartbeat", progress)`` tuples with the result stream (the send
+    lock keeps messages whole), so the supervisor can tell slow from
+    hung *mid-cell* instead of waiting out a whole chunk of deadlines.
 
     SIGINT is ignored so a terminal Ctrl-C reaches only the supervisor,
     which then terminates workers deliberately (after flushing the
@@ -736,54 +833,71 @@ def _worker_main(
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):
         pass
-    while True:
-        try:
-            chunk = conn.recv()
-        except (EOFError, OSError):
-            return
-        if chunk is None:
-            return
-        with cell_scratch():
-            for index, cell in chunk:
-                start = time.perf_counter()
-                # Store/build/solve counters accumulate in *this*
-                # process's registry; ship the per-cell delta home so
-                # the parent registry (the one the exporters and
-                # telemetry read) accounts for work wherever it ran.
-                stats_before = store_stats_snapshot()
-                try:
-                    value, wall = _execute_cell(cell, faults, worker_id)
-                    delta = store_stats_delta(
-                        stats_before, store_stats_snapshot()
-                    )
-                    message = (index, "ok", value, wall, delta)
-                except Exception as exc:  # graceful degradation
-                    delta = store_stats_delta(
-                        stats_before, store_stats_snapshot()
-                    )
-                    message = (
-                        index,
-                        "error",
-                        f"{type(exc).__name__}: {exc}",
-                        time.perf_counter() - start,
-                        delta,
-                    )
-                try:
-                    conn.send(message)
-                except Exception as exc:  # e.g. an unpicklable result
+    send_lock = threading.Lock()
+    stop_beats = threading.Event()
+    if heartbeat:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, send_lock, stop_beats, heartbeat),
+            daemon=True,
+            name=f"repro-heartbeat-{worker_id}",
+        ).start()
+    try:
+        while True:
+            try:
+                chunk = conn.recv()
+            except (EOFError, OSError):
+                return
+            if chunk is None:
+                return
+            with cell_scratch():
+                for index, cell in chunk:
+                    start = time.perf_counter()
+                    # Store/build/solve counters accumulate in *this*
+                    # process's registry; ship the per-cell delta home so
+                    # the parent registry (the one the exporters and
+                    # telemetry read) accounts for work wherever it ran.
+                    stats_before = store_stats_snapshot()
                     try:
-                        conn.send(
-                            (
-                                index,
-                                "error",
-                                "result not transferable: "
-                                f"{type(exc).__name__}: {exc}",
-                                time.perf_counter() - start,
-                                delta,
-                            )
+                        value, wall = _execute_cell(cell, faults, worker_id)
+                        delta = store_stats_delta(
+                            stats_before, store_stats_snapshot()
                         )
-                    except Exception:
-                        return
+                        message = (index, "ok", value, wall, delta)
+                    except Exception as exc:  # graceful degradation
+                        delta = store_stats_delta(
+                            stats_before, store_stats_snapshot()
+                        )
+                        message = (
+                            index,
+                            "error",
+                            f"{type(exc).__name__}: {exc}",
+                            time.perf_counter() - start,
+                            delta,
+                        )
+                    # A finished cell is progress even if the cell's own
+                    # execution never beat (non-simulation cells).
+                    progress_beat()
+                    try:
+                        with send_lock:
+                            conn.send(message)
+                    except Exception as exc:  # e.g. an unpicklable result
+                        try:
+                            with send_lock:
+                                conn.send(
+                                    (
+                                        index,
+                                        "error",
+                                        "result not transferable: "
+                                        f"{type(exc).__name__}: {exc}",
+                                        time.perf_counter() - start,
+                                        delta,
+                                    )
+                                )
+                        except Exception:
+                            return
+    finally:
+        stop_beats.set()
 
 
 # ----------------------------------------------------------------------
@@ -813,6 +927,16 @@ class _Worker:
     chunk: list[tuple[int, Any, str]] = field(default_factory=list)
     started: float = 0.0
     deadline: float | None = None
+    #: When the last heartbeat (or result/dispatch) was observed.
+    last_beat: float = 0.0
+    #: Progress counter carried by the last heartbeat. Starts at 0 (the
+    #: counter of a fresh process), so a first cell that never advances
+    #: is correctly seen as frozen rather than as one unit of progress.
+    last_progress: int = 0
+    #: When progress was first observed frozen (None = progressing).
+    stall_since: float | None = None
+    #: The ``worker.unresponsive`` warning fired for the current stall.
+    unresponsive_fired: bool = False
 
 
 class _Supervisor:
@@ -869,6 +993,30 @@ class _Supervisor:
             self.queue.extend(
                 (index, cell, key, 0.0) for index, cell, key in pending
             )
+        #: Per-cell count of attempts that ended in a worker *death*
+        #: (crash / deadline kill / stall kill) rather than a reported
+        #: error — the poison circuit breaker's evidence.
+        self.deaths = {index: 0 for index, _, _ in pending}
+        # Liveness policy, derived once. A stall kill needs an explicit
+        # mandate: either the engine's stall_timeout, or a per-cell
+        # timeout to bound it by — heartbeats alone never license
+        # killing, because cells that do not instrument progress (no
+        # simulation quanta) would look permanently stalled.
+        hb = engine.heartbeat
+        self._stall_kill: float | None = None
+        self._unresponsive_after: float | None = None
+        if hb:
+            if engine.stall_timeout is not None:
+                self._stall_kill = engine.stall_timeout
+            elif engine.timeout is not None:
+                self._stall_kill = min(
+                    engine.timeout, max(5.0 * hb, 2.0)
+                )
+            self._unresponsive_after = 3.0 * hb
+            if self._stall_kill is not None:
+                self._unresponsive_after = min(
+                    self._unresponsive_after, 0.6 * self._stall_kill
+                )
         self._next_worker_id = 0
         self.workers = [self._spawn(slot) for slot in range(slots)]
 
@@ -941,14 +1089,23 @@ class _Supervisor:
         self._next_worker_id += 1
         process = self.context.Process(
             target=_worker_main,
-            args=(child_conn, worker_id, self.engine.faults),
+            args=(
+                child_conn,
+                worker_id,
+                self.engine.faults,
+                self.engine.heartbeat,
+            ),
             daemon=True,
             name=f"repro-exec-{worker_id}",
         )
         process.start()
         child_conn.close()
         return _Worker(
-            process=process, conn=parent_conn, id=worker_id, slot=slot
+            process=process,
+            conn=parent_conn,
+            id=worker_id,
+            slot=slot,
+            last_beat=time.monotonic(),
         )
 
     def _reap(self, worker: _Worker) -> None:
@@ -1092,6 +1249,11 @@ class _Supervisor:
             if self.engine.timeout is not None
             else None
         )
+        # A fresh cell gets a fresh stall clock (the dispatch itself is
+        # the most recent sign of life).
+        worker.last_beat = now
+        worker.stall_since = None
+        worker.unresponsive_fired = False
 
     def _dispatch_failed(
         self, worker: _Worker
@@ -1120,7 +1282,7 @@ class _Supervisor:
         self._replace(worker)
         self._requeue_unstarted(worker.slot, cells[1:])
         yield from self._attempt_failed(
-            index, cell, key, "worker died before dispatch"
+            index, cell, key, "worker died before dispatch", worker_died=True
         )
 
     def _requeue_unstarted(self, slot: int, cells) -> None:
@@ -1167,13 +1329,130 @@ class _Supervisor:
                 and worker.id not in serviced
             ):
                 yield from self._expire(worker)
+        if self._unresponsive_after is not None:
+            yield from self._stall_sweep(now, serviced)
+
+    def _stalled_for(self, worker: _Worker, now: float) -> float:
+        """Seconds of stall evidence against a worker's current cell.
+
+        Two independent signals, strongest wins: the progress counter
+        has been frozen across heartbeats since ``stall_since``, or the
+        pipe has been *silent* well past the beat interval (the process
+        is stopped, wedged in a non-GIL-releasing call, or its beat
+        thread is dead) — silence only starts counting once it exceeds
+        two intervals, so ordinary scheduling jitter never registers.
+        """
+        frozen = (
+            now - worker.stall_since if worker.stall_since is not None else 0.0
+        )
+        silent = now - worker.last_beat
+        if silent <= 2.0 * (self.engine.heartbeat or 0.0):
+            silent = 0.0
+        return max(frozen, silent)
+
+    def _stall_sweep(
+        self, now: float, serviced: set[int]
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        """Escalate workers whose heartbeats show no progress.
+
+        First ``worker.unresponsive`` — an early warning fired well
+        before any kill, so operators watching the trace see a hang
+        forming instead of discovering it a full deadline later. Then,
+        if stall kills are licensed (see ``__init__``), the worker is
+        killed at ``_stall_kill`` seconds of evidence: a chunk of N
+        cells no longer needs N deadlines to declare a dead worker.
+        """
+        for worker in list(self.workers):
+            if not worker.chunk or worker.id in serviced:
+                continue
+            if worker not in self.workers:
+                continue
+            stalled = self._stalled_for(worker, now)
+            if (
+                not worker.unresponsive_fired
+                and stalled >= self._unresponsive_after
+            ):
+                worker.unresponsive_fired = True
+                self.engine.telemetry.worker_unresponsive += 1
+                _M_WORKER["unresponsive"].inc()
+                obs_trace.event(
+                    "worker.unresponsive",
+                    worker=worker.id,
+                    label=worker.chunk[0][1].label,
+                    stalled_seconds=round(stalled, 3),
+                    progress=worker.last_progress,
+                )
+            if self._stall_kill is not None and stalled >= self._stall_kill:
+                yield from self._stall_expire(worker, stalled)
+
+    def _stall_expire(
+        self, worker: _Worker, stalled: float
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        """Kill a worker whose cell stalled past the stall deadline."""
+        cells = worker.chunk
+        worker.chunk = []
+        index, cell, key = cells[0]
+        self.elapsed[index] += time.monotonic() - worker.started
+        self.engine.telemetry.worker_timeouts += 1
+        _M_WORKER["timeout"].inc()
+        obs_trace.event(
+            "worker.stall-kill",
+            worker=worker.id,
+            label=cell.label,
+            stalled_seconds=round(stalled, 3),
+        )
+        error = (
+            f"no progress for {stalled:.1f}s despite heartbeats "
+            "(worker killed)"
+        )
+        self._replace(worker)
+        self._requeue_unstarted(worker.slot, cells[1:])
+        yield from self._attempt_failed(
+            index, cell, key, error, worker_died=True
+        )
+
+    def _note_beat(self, worker: _Worker, progress: int) -> None:
+        """Fold one heartbeat into the worker's liveness state.
+
+        Advancing progress is proof of life: it clears the stall clock
+        and — when a per-cell timeout is set — extends the deadline, so
+        the timeout bounds *inactivity* rather than total runtime and a
+        slow-but-working cell is never killed mid-computation. A frozen
+        counter starts the stall clock; the sweep in :meth:`_collect`
+        escalates it to a warning and (policy permitting) a kill.
+        """
+        now = time.monotonic()
+        worker.last_beat = now
+        if progress > worker.last_progress:
+            worker.last_progress = progress
+            worker.stall_since = None
+            worker.unresponsive_fired = False
+            if worker.chunk and self.engine.timeout is not None:
+                worker.deadline = now + self.engine.timeout
+        elif worker.stall_since is None:
+            worker.stall_since = now
 
     def _service(self, worker: _Worker) -> Iterator[tuple[int, CellOutcome]]:
-        """Handle a worker whose pipe or sentinel became ready."""
+        """Handle a worker whose pipe or sentinel became ready.
+
+        Heartbeats are drained greedily (they only update liveness
+        state); at most one *result* is consumed per call, preserving
+        the one-result-per-service accounting the rest of the
+        supervisor is built around.
+        """
         message = None
         try:
-            if worker.conn.poll():
-                message = worker.conn.recv()
+            while worker.conn.poll():
+                received = worker.conn.recv()
+                if (
+                    isinstance(received, tuple)
+                    and received
+                    and received[0] == "heartbeat"
+                ):
+                    self._note_beat(worker, received[1])
+                    continue
+                message = received
+                break
         except (EOFError, OSError):
             message = None
         if message is not None:
@@ -1222,7 +1501,9 @@ class _Supervisor:
         error = f"worker crashed (exit code {worker.process.exitcode})"
         self._replace(worker)
         self._requeue_unstarted(worker.slot, cells[1:])
-        yield from self._attempt_failed(index, cell, key, error)
+        yield from self._attempt_failed(
+            index, cell, key, error, worker_died=True
+        )
 
     def _expire(self, worker: _Worker) -> Iterator[tuple[int, CellOutcome]]:
         """Kill a worker that blew the head cell's deadline; retry it."""
@@ -1242,11 +1523,31 @@ class _Supervisor:
         error = f"timeout after {self.engine.timeout:.1f}s (worker killed)"
         self._replace(worker)
         self._requeue_unstarted(worker.slot, cells[1:])
-        yield from self._attempt_failed(index, cell, key, error)
+        yield from self._attempt_failed(
+            index, cell, key, error, worker_died=True
+        )
 
     def _attempt_failed(
-        self, index: int, cell: Any, key: str, error: str
+        self,
+        index: int,
+        cell: Any,
+        key: str,
+        error: str,
+        *,
+        worker_died: bool = False,
     ) -> Iterator[tuple[int, CellOutcome]]:
+        """Book one failed attempt: retry with backoff, or give up.
+
+        ``worker_died`` marks attempts that took their worker down with
+        them (crash, deadline kill, stall kill). A cell whose *every*
+        attempt killed a worker is quarantined as ``poisoned`` rather
+        than merely ``failed``: the evidence says retrying it again
+        would only shoot more workers, so the circuit breaker trips,
+        the rest of the campaign completes, and the journal entry
+        ensures a ``--resume`` re-attempts exactly this cell.
+        """
+        if worker_died:
+            self.deaths[index] += 1
         if self.attempts[index] <= self.engine.retries:
             delay = backoff_delay(
                 key,
@@ -1265,11 +1566,22 @@ class _Supervisor:
             )
             self.queue.append((index, cell, key, time.monotonic() + delay))
             return
+        poisoned = (
+            self.deaths[index] > 0
+            and self.deaths[index] == self.attempts[index]
+        )
+        if poisoned:
+            obs_trace.event(
+                "cell.poisoned",
+                label=cell.label,
+                attempts=self.attempts[index],
+                error=error,
+            )
         yield index, CellOutcome(
             cell=cell,
             key=key,
             value=None,
-            status="failed",
+            status="poisoned" if poisoned else "failed",
             wall_seconds=self.elapsed[index],
             attempts=self.attempts[index],
             error=error,
@@ -1314,6 +1626,25 @@ class ExecutionEngine:
         Per-cell deadline in seconds (parallel mode only: a serial run
         cannot preempt the simulation it is executing). A worker past
         its deadline is killed and respawned. ``None`` waits forever.
+        With heartbeats on, the deadline is *extended* whenever a beat
+        shows advancing progress: it bounds inactivity, not runtime, so
+        slow-but-working cells survive while hung ones die early.
+    heartbeat:
+        Interval in seconds of worker liveness heartbeats (default 1).
+        Each beat carries the worker's progress counter (advanced per
+        simulation quantum and per finished cell), letting the
+        supervisor distinguish slow from hung mid-chunk: frozen
+        progress fires a ``worker.unresponsive`` warning after ~3
+        intervals, and — when a ``timeout`` or ``stall_timeout``
+        licenses killing — a stall kill well before a chunk of N cells
+        would burn N deadlines. ``0``/``None`` disables heartbeats.
+    stall_timeout:
+        Seconds of frozen progress after which a stalled worker is
+        killed (requires ``heartbeat``). Defaults to
+        ``min(timeout, max(5 * heartbeat, 2.0))`` when a timeout is
+        set; without either, stalls only warn — heartbeats alone never
+        license killing, because cells that do not instrument progress
+        would look permanently stalled.
     retries:
         How many times a failed, crashed, or timed-out cell is
         re-attempted (default one retry).
@@ -1362,6 +1693,8 @@ class ExecutionEngine:
         cache: ResultCache | None = None,
         *,
         timeout: float | None = None,
+        heartbeat: float | None = 1.0,
+        stall_timeout: float | None = None,
         retries: int = 1,
         backoff_base: float = 0.05,
         backoff_cap: float = 30.0,
@@ -1379,6 +1712,15 @@ class ExecutionEngine:
             raise ConfigurationError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ConfigurationError("timeout must be positive")
+        if heartbeat is not None and heartbeat < 0:
+            raise ConfigurationError("heartbeat must be >= 0")
+        heartbeat = heartbeat or None  # 0 disables, like REPRO_HEARTBEAT=0
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ConfigurationError("stall_timeout must be positive")
+        if stall_timeout is not None and heartbeat is None:
+            raise ConfigurationError(
+                "stall_timeout requires heartbeats (heartbeat > 0)"
+            )
         if backoff_base < 0 or backoff_cap < 0:
             raise ConfigurationError("backoff delays must be >= 0")
         if scheduler not in SCHEDULERS:
@@ -1394,6 +1736,8 @@ class ExecutionEngine:
         self.batch_cells = batch_cells if batch_cells else None
         self.cache = cache
         self.timeout = timeout
+        self.heartbeat = heartbeat
+        self.stall_timeout = stall_timeout
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -1403,6 +1747,8 @@ class ExecutionEngine:
         self.progress = progress
         self.store = store
         self.telemetry = EngineTelemetry()
+        #: Path of the failure manifest rendered by the last run, if any.
+        self.manifest_path: Path | None = None
         self._interrupted = False
         self._serial_mode = True
         self._campaign: str | None = None
@@ -1467,6 +1813,41 @@ class ExecutionEngine:
             parts.append(f"error={outcome.error}")
         self.progress(" ".join(parts))
 
+    def _degrade(self, subsystem: str, error: Exception) -> None:
+        """Downgrade one I/O subsystem after a write failure.
+
+        A full or failing disk under the journal, result cache, or
+        precompute store must cost *durability* (no resume, no memoized
+        results, no shared inputs), never the campaign itself — hours
+        of surviving simulation work would be lost to an error in a
+        bookkeeping layer. The first failure per subsystem is recorded
+        in telemetry (``degraded:`` lines), metrics
+        (``repro_degraded_total``), the trace (``degraded`` event and
+        an ``engine.run`` span attribute), and the progress stream;
+        subsequent writes to that subsystem are skipped.
+        """
+        if subsystem in self.telemetry.degraded:
+            return
+        detail = f"{type(error).__name__}: {error}"
+        self.telemetry.degraded[subsystem] = detail
+        _M_DEGRADED[subsystem].inc()
+        obs_trace.event("degraded", subsystem=subsystem, error=detail)
+        consequence = {
+            "journal": "campaign continues WITHOUT crash recovery "
+            "(--resume will re-run cells finished from here on)",
+            "cache": "campaign continues compute-only "
+            "(results from here on are not memoized)",
+            "store": "campaign continues compute-only "
+            "(workers rebuild inputs instead of attaching)",
+        }[subsystem]
+        if self.progress is not None:
+            self.progress(f"[exec] degraded: {subsystem} — {detail}; {consequence}")
+
+    def _check_io(self, subsystem: str) -> None:
+        """Raise any injected I/O fault armed for ``subsystem``."""
+        if self.faults is not None:
+            self.faults.check_io(subsystem)
+
     def _finish(
         self, outcome: CellOutcome, done: int, total: int
     ) -> CellOutcome:
@@ -1485,36 +1866,53 @@ class ExecutionEngine:
                 error=outcome.error,
             )
         )
-        if outcome.status == "computed" and self.cache is not None:
-            self.cache.put(
-                outcome.key,
-                {
-                    "cell": outcome.cell.cache_token(),
-                    "value": outcome.cell.encode(outcome.value),
-                    "wall_seconds": outcome.wall_seconds,
-                },
-            )
-            if self.faults is not None and self.faults.should_corrupt(
-                outcome.cell.label
-            ):
-                self.faults.corrupt_file(self.cache._path(outcome.key))
-        if self.journal is not None and outcome.status != "replayed":
-            self.journal.record(
-                JournalEntry(
-                    key=outcome.key,
-                    label=outcome.cell.label,
-                    status=outcome.status,
-                    wall_seconds=outcome.wall_seconds,
-                    attempts=outcome.attempts,
-                    campaign=self._campaign,
-                    value=(
-                        outcome.cell.encode(outcome.value)
-                        if outcome.ok
-                        else None
-                    ),
-                    error=outcome.error,
+        if (
+            outcome.status == "computed"
+            and self.cache is not None
+            and "cache" not in self.telemetry.degraded
+        ):
+            try:
+                self._check_io("cache")
+                self.cache.put(
+                    outcome.key,
+                    {
+                        "cell": outcome.cell.cache_token(),
+                        "value": outcome.cell.encode(outcome.value),
+                        "wall_seconds": outcome.wall_seconds,
+                    },
                 )
-            )
+            except OSError as exc:
+                self._degrade("cache", exc)
+            else:
+                if self.faults is not None and self.faults.should_corrupt(
+                    outcome.cell.label
+                ):
+                    self.faults.corrupt_file(self.cache._path(outcome.key))
+        if (
+            self.journal is not None
+            and outcome.status != "replayed"
+            and "journal" not in self.telemetry.degraded
+        ):
+            try:
+                self._check_io("journal")
+                self.journal.record(
+                    JournalEntry(
+                        key=outcome.key,
+                        label=outcome.cell.label,
+                        status=outcome.status,
+                        wall_seconds=outcome.wall_seconds,
+                        attempts=outcome.attempts,
+                        campaign=self._campaign,
+                        value=(
+                            outcome.cell.encode(outcome.value)
+                            if outcome.ok
+                            else None
+                        ),
+                        error=outcome.error,
+                    )
+                )
+            except (OSError, JournalError) as exc:
+                self._degrade("journal", exc)
         self._emit(outcome, done, total)
         return outcome
 
@@ -1541,6 +1939,89 @@ class ExecutionEngine:
             return runtime_hints_from_entries(self.journal.load())
         except Exception:
             return {}
+
+    # ------------------------------------------------------------------
+    # Failure manifest
+    # ------------------------------------------------------------------
+    def _manifest_target(self) -> Path | None:
+        if self.journal is not None:
+            return Path(self.journal.path).parent / MANIFEST_NAME
+        if self.cache is not None:
+            return Path(self.cache.directory) / MANIFEST_NAME
+        return None
+
+    def _write_manifest(
+        self, outcomes: list[CellOutcome | None], total: int
+    ) -> None:
+        """Render ``failures.json`` next to the journal after a run.
+
+        Written when any cell ended ``failed``/``poisoned`` (and on a
+        fully clean run any stale manifest from a previous campaign is
+        removed, so its presence is a reliable signal). Interrupted
+        runs skip it: their story is the journal plus the resume hint.
+        The write is atomic and failure-tolerant — a manifest must
+        never be able to take down the campaign it reports on.
+        """
+        target = self._manifest_target()
+        if target is None:
+            return
+        failing = [o for o in outcomes if o is not None and not o.ok]
+        if not failing:
+            try:
+                target.unlink()
+            except OSError:
+                pass
+            self.manifest_path = None
+            return
+        manifest = {
+            "format": MANIFEST_FORMAT_VERSION,
+            "campaign": self._campaign,
+            "total": total,
+            "failed": sum(1 for o in failing if o.status == "failed"),
+            "poisoned": sum(1 for o in failing if o.status == "poisoned"),
+            "degraded": dict(self.telemetry.degraded),
+            "cells": [
+                {
+                    "label": o.cell.label,
+                    "key": o.key,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "wall_seconds": o.wall_seconds,
+                    "error": o.error,
+                }
+                for o in failing
+            ],
+            "resume": (
+                "re-run with --resume (or REPRO_RESUME=1) to re-attempt "
+                "exactly these cells"
+                if self.journal is not None
+                else "no journal attached; a re-run re-attempts uncached cells"
+            ),
+        }
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=target.parent, prefix=".failures-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(manifest, handle, indent=2)
+                os.replace(tmp, target)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.manifest_path = target
+        obs_trace.event(
+            "manifest.written",
+            path=str(target),
+            failed=manifest["failed"],
+            poisoned=manifest["poisoned"],
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -1574,6 +2055,11 @@ class ExecutionEngine:
         quarantined_before = self.cache.quarantined if self.cache else 0
         stats_before = store_stats_snapshot()
         reset_claim()  # each campaign gets one REPRO_PROFILE capture
+        # Startup hygiene: reclaim shm segments and fault-state dirs a
+        # SIGKILL'd previous run could not tear down (owner-PID probed,
+        # so concurrent live campaigns are never touched).
+        reap_orphans()
+        self.manifest_path = None
         self._install_signals()
         try:
             pending: list[tuple[int, Any, str]] = []
@@ -1622,22 +2108,35 @@ class ExecutionEngine:
                 # pending cells declare is computed exactly once here,
                 # then served zero-copy to serial cells, forked workers
                 # (inherited mapping), and spawned/respawned workers
-                # (reattach via the exported environment).
-                set_active_store(self.store)
-                self.store.export_env()
-                needs: list[tuple] = []
-                for _, cell, _ in pending:
-                    hook = getattr(cell, "store_needs", None)
-                    if hook is not None:
-                        needs.extend(hook())
-                if needs:
-                    with obs_trace.span(
-                        "store.populate",
-                        store=self.store.describe(),
-                        needs=len(needs),
-                    ) as populate_span:
-                        ensured = self.store.populate(needs, jobs=self.jobs)
-                        populate_span.set(distinct=ensured)
+                # (reattach via the exported environment). An I/O error
+                # (full/failing disk) downgrades the run to compute-only
+                # — workers rebuild inputs — instead of aborting it.
+                try:
+                    self._check_io("store")
+                    set_active_store(self.store)
+                    self.store.export_env()
+                    needs: list[tuple] = []
+                    for _, cell, _ in pending:
+                        hook = getattr(cell, "store_needs", None)
+                        if hook is not None:
+                            needs.extend(hook())
+                    if needs:
+                        with obs_trace.span(
+                            "store.populate",
+                            store=self.store.describe(),
+                            needs=len(needs),
+                        ) as populate_span:
+                            ensured = self.store.populate(
+                                needs, jobs=self.jobs
+                            )
+                            populate_span.set(distinct=ensured)
+                except OSError as exc:
+                    self._degrade("store", exc)
+                    # Detach so neither this process nor any (re)spawned
+                    # worker keeps hitting the failing backend.
+                    clear_active_store()
+                    os.environ.pop(STORE_DIR_ENV, None)
+                    os.environ.pop(STORE_SHM_ENV, None)
 
             if pending:
                 if self.jobs == 1:
@@ -1668,7 +2167,15 @@ class ExecutionEngine:
         finally:
             self._restore_signals()
             self._serial_mode = True
+            if not self.telemetry.interrupted:
+                # Interrupted runs tell their story via the journal +
+                # resume hint; completed runs with failures render the
+                # failure manifest (and clean runs remove a stale one).
+                self._write_manifest(outcomes, total)
             self._campaign = None
+            # One-shot chaos state is per-run: drop the auto-created
+            # fault-state directory (recreated if this plan runs again).
+            release_fault_state(self.faults)
             if self.cache is not None:
                 self.telemetry.quarantines += (
                     self.cache.quarantined - quarantined_before
@@ -1695,6 +2202,8 @@ class ExecutionEngine:
                 hit=snap["hit"],
                 replayed=snap["replayed"],
                 failed=snap["failed"],
+                poisoned=snap["poisoned"],
+                degraded=sorted(self.telemetry.degraded),
                 interrupted=snap["interrupted"],
                 store_trace_hits=snap["store_trace_hits"],
                 store_trace_misses=snap["store_trace_misses"],
@@ -1790,6 +2299,26 @@ def _truthy_env(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
+def _seconds_from_env(name: str, default: float | None) -> float | None:
+    """A seconds value from the environment; ``0`` means disabled."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name}={raw!r} is not a number; accepted: a non-negative "
+            "number of seconds (0 = disabled)"
+        )
+    if value < 0:
+        raise ConfigurationError(
+            f"{name}={raw!r} is out of range; accepted: a non-negative "
+            "number of seconds (0 = disabled)"
+        )
+    return value if value else None
+
+
 def engine_from_env(
     default_cache_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
@@ -1804,6 +2333,11 @@ def engine_from_env(
     * ``REPRO_RETRIES``: retry budget per cell (default 1).
     * ``REPRO_TIMEOUT``: per-cell deadline in seconds for parallel runs
       (default none; ``0`` also means none).
+    * ``REPRO_HEARTBEAT``: worker liveness heartbeat interval in
+      seconds (default 1; ``0`` disables heartbeats).
+    * ``REPRO_STALL_TIMEOUT``: seconds of frozen heartbeat progress
+      after which a stalled worker is killed (default derived from the
+      timeout; requires heartbeats).
     * ``REPRO_JOURNAL``: journal path (default
       ``<cache-dir>/journal.jsonl`` whenever a cache directory is in
       use; ``0`` disables journaling).
@@ -1871,6 +2405,8 @@ def engine_from_env(
             )
         if timeout == 0:
             timeout = None
+    heartbeat = _seconds_from_env("REPRO_HEARTBEAT", 1.0)
+    stall_timeout = _seconds_from_env("REPRO_STALL_TIMEOUT", None)
     cache: ResultCache | None = None
     directory: str | Path | None = None
     if os.environ.get("REPRO_CACHE", "1") != "0":
@@ -1902,6 +2438,8 @@ def engine_from_env(
         jobs=jobs,
         cache=cache,
         timeout=timeout,
+        heartbeat=heartbeat,
+        stall_timeout=stall_timeout,
         retries=retries,
         journal=journal,
         resume=_truthy_env("REPRO_RESUME"),

@@ -67,7 +67,7 @@ class JournalEntry:
 
     key: str
     label: str
-    status: str  # "computed" | "hit" | "failed"
+    status: str  # "computed" | "hit" | "failed" | "poisoned"
     wall_seconds: float
     attempts: int
     campaign: str | None = None
@@ -77,7 +77,10 @@ class JournalEntry:
 
     @property
     def ok(self) -> bool:
-        return self.status != "failed"
+        # Poisoned cells (retry budget exhausted by worker deaths) are
+        # journaled so a --resume campaign knows to re-attempt exactly
+        # them — an ok entry would be replayed and never retried.
+        return self.status not in ("failed", "poisoned")
 
 
 class RunJournal:

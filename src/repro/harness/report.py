@@ -137,6 +137,8 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
         f"{snap['hit']} cache hits, "
         f"{snap['computed']} simulated, {snap['failed']} failed"
     )
+    if snap["poisoned"]:
+        breakdown += f" ({snap['poisoned']} poisoned)"
     if snap["replayed"]:
         breakdown = f"{snap['replayed']} journal replays, " + breakdown
     lines = [
@@ -161,10 +163,15 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
             f"  quarantined:  {snap['quarantined']} corrupt cache "
             "entries renamed *.corrupt"
         )
-    if snap["worker_crashes"] or snap["worker_timeouts"]:
+    if (
+        snap["worker_crashes"]
+        or snap["worker_timeouts"]
+        or snap["worker_unresponsive"]
+    ):
         lines.append(
             f"  supervision:  {snap['worker_crashes']} worker crashes, "
-            f"{snap['worker_timeouts']} deadline kills, "
+            f"{snap['worker_timeouts']} deadline/stall kills, "
+            f"{snap['worker_unresponsive']} unresponsive warnings, "
             f"{snap['workers_respawned']} respawns"
         )
     if snap["backoff_seconds"] > 0:
@@ -194,14 +201,21 @@ def render_telemetry(telemetry: EngineTelemetry) -> str:
             f"  store quarantined: {snap['store_quarantines']} corrupt "
             "artifacts renamed *.corrupt"
         )
+    for subsystem in sorted(snap["degraded"]):
+        lines.append(
+            f"  degraded:     {subsystem} — {snap['degraded'][subsystem]} "
+            "(campaign continued without it)"
+        )
     if snap["interrupted"]:
         lines.append(
             "  interrupted:  yes (journaled cells resume with --resume / "
             "REPRO_RESUME=1)"
         )
-    failed = [r for r in telemetry.records if r.status == "failed"]
-    for record in failed:
-        lines.append(f"  FAILED {record.label}: {record.error}")
+    for record in telemetry.records:
+        if record.status in ("failed", "poisoned"):
+            lines.append(
+                f"  {record.status.upper()} {record.label}: {record.error}"
+            )
     return "\n".join(lines)
 
 

@@ -403,7 +403,13 @@ class _ShmBackend:
     ) -> dict[str, np.ndarray]:
         if not self.owner:
             return arrays  # workers never create segments (see class doc)
-        header: dict[str, Any] = {"format": STORE_FORMAT_VERSION, "arrays": {}}
+        # owner_pid lets repro.harness.reaper tell a segment whose owner
+        # was SIGKILL'd (stale, reap) from one backing a live campaign.
+        header: dict[str, Any] = {
+            "format": STORE_FORMAT_VERSION,
+            "owner_pid": os.getpid(),
+            "arrays": {},
+        }
         payload = {
             name: np.ascontiguousarray(array) for name, array in arrays.items()
         }

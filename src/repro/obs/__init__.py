@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     get_registry,
     metrics_output_path,
 )
+from repro.obs.liveness import progress_beat, progress_value
 from repro.obs.trace import (
     TRACE_ENV,
     Tracer,
@@ -42,6 +43,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "progress_beat",
+    "progress_value",
     "Counter",
     "Gauge",
     "Histogram",

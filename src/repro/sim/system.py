@@ -28,6 +28,7 @@ from repro.core.trace import ResizingTrace
 from repro.errors import ConfigurationError, SimulationError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.liveness import progress_beat
 from repro.sim.cpu import Core, CoreConfig, InstructionStream, StopReason
 from repro.sim.hierarchy import DomainMemory
 from repro.sim.kernelmode import kernel_mode
@@ -224,6 +225,10 @@ class MultiDomainSystem:
                             break
                 now = quantum_end
                 quanta += 1
+                # Liveness evidence for the engine's worker heartbeats:
+                # a quantum is thousands of simulated accesses, so this
+                # is far off the hot path.
+                progress_beat()
                 self.scheme.on_quantum(self, now)
                 if now >= next_sample:
                     self.sample_partition_sizes(now)

@@ -1,0 +1,35 @@
+"""Child process for the orphan-reaper integration test.
+
+Creates one shared-memory store segment, reports its name on stdout,
+then idles until the parent SIGKILLs its whole process group. Killing
+the group takes Python's resource-tracker helper down too — the same
+way an OOM kill or ``kill -9`` of a session leader does — so nothing
+gets a chance to unlink the segment and it is genuinely orphaned.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.harness.store import _ShmBackend
+
+
+def main() -> int:
+    token = sys.argv[1]
+    backend = _ShmBackend(token, owner=True)
+    digest = "ab" * 32
+    backend.store(
+        digest,
+        {"kind": "reaper-test"},
+        {"x": np.arange(64, dtype=np.int64)},
+    )
+    print("SEGMENT " + backend._name(digest), flush=True)
+    time.sleep(120)  # parent kills us long before this
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -338,7 +338,11 @@ class TestTimeout:
     def test_slow_cell_times_out_and_grid_continues(self):
         engine = ExecutionEngine(jobs=2, timeout=0.5, retries=0)
         outcomes = engine.run([SleepCell(30.0), SleepCell(0.01)])
-        assert outcomes[0].status == "failed"
+        # Every attempt (the only one: retries=0) killed its worker, so
+        # the circuit breaker books the cell as poisoned, not merely
+        # failed; either way it is not ok and the grid continues.
+        assert outcomes[0].status == "poisoned"
+        assert not outcomes[0].ok
         assert "timeout" in outcomes[0].error
         assert outcomes[1].status == "computed"
         assert outcomes[1].value == 0.01
@@ -352,7 +356,7 @@ class TestTimeout:
         engine = ExecutionEngine(jobs=2, timeout=0.5, retries=0)
         outcomes = engine.run([SleepCell(30.0), SleepCell(0.01)])
         assert outcomes[0].wall_seconds >= 0.4
-        failed = [r for r in engine.telemetry.records if r.status == "failed"]
+        failed = [r for r in engine.telemetry.records if not r.status == "computed"]
         assert failed and failed[0].wall_seconds >= 0.4
         assert engine.telemetry.cell_seconds >= 0.4
 
@@ -361,7 +365,7 @@ class TestTimeout:
             jobs=2, timeout=0.3, retries=1, backoff_base=0.01
         )
         outcomes = engine.run([SleepCell(30.0)])
-        assert outcomes[0].status == "failed"
+        assert outcomes[0].status == "poisoned"  # both attempts killed workers
         assert outcomes[0].attempts == 2
         # Two killed attempts of ~0.3s each.
         assert outcomes[0].wall_seconds >= 0.5

@@ -102,7 +102,10 @@ class TestWorkerCrashRecovery:
             jobs=2, retries=1, backoff_base=0.01, faults=plan
         )
         outcomes = engine.run([SleepCell(0.05), SleepCell(0.01)])
-        assert outcomes[0].status == "failed"
+        # Every attempt crashed its worker: the circuit breaker
+        # quarantines the cell as poisoned (a flavor of failed).
+        assert outcomes[0].status == "poisoned"
+        assert not outcomes[0].ok
         assert "worker crashed" in outcomes[0].error
         assert outcomes[0].attempts == 2
         assert outcomes[1].status == "computed"  # grid kept going

@@ -134,3 +134,29 @@ class TestSigintResume:
         assert resumed["simulations"] == TOTAL_CELLS - completed
         assert resumed["replays"] == completed
         assert resumed["statuses"].count("computed") == TOTAL_CELLS - completed
+
+
+class TestSigtermResume:
+    def test_sigterm_is_as_graceful_as_sigint(self, tmp_path):
+        """Orchestrators (Slurm, Kubernetes, systemd) send SIGTERM, not
+        SIGINT. The engine installs the same graceful handler for both:
+        drain the in-flight cell, journal it, exit 130 with the resume
+        hint."""
+        journal = tmp_path / "journal.jsonl"
+        proc = start_child(journal)
+        read_until_progress(proc, 1)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 130, out
+        assert "INTERRUPTED" in out
+        assert "--resume" in out
+
+        fresh = RunJournal(journal)
+        loaded = fresh.load()
+        assert fresh.corrupt_lines == 0
+        completed = sum(1 for e in loaded.values() if e.ok)
+        assert 1 <= completed < TOTAL_CELLS
+
+        resumed = run_to_completion(journal, "--resume")
+        assert resumed["replays"] == completed
+        assert resumed["simulations"] == TOTAL_CELLS - completed

@@ -15,18 +15,29 @@ the repository root:
   steal-on-idle, still one cell per dispatch;
 * **batched** — the ``steal`` scheduler with ``batch_cells=8``: a
   whole batch group rides in one chunk to one worker, sharing that
-  process's scratch arena and memoizers.
+  process's scratch arena and memoizers;
+* **stacked** — the batched configuration plus ``stack_lanes=0``: each
+  chunk's cells run as interleaved *lanes* of one vectorized kernel
+  pass (:class:`repro.sim.batch.StackedLanes`), sharing workload
+  builds and servicing every lane's cumulative sums with single 2-D
+  ``np.cumsum`` calls, and the supervisor pre-computes shared pure
+  state (L1 service traces, untangle rate tables) in the parent before
+  forking, so every worker inherits it copy-on-write instead of
+  recomputing it. Like batching, the win is less total work (shared
+  builds, fewer interpreter/numpy round trips), so it survives a
+  single-core host; results stay bit-identical to serial, lane
+  divergences and all.
 
-The campaign is deliberately skewed in *per-cell setup cost*: eight
+The campaign is deliberately skewed in *per-cell setup cost*: the
 untangle cells lead the grid, and the first untangle cell in each
 worker process pays the Dinkelbach rate-table solve (the store is
 disabled, exactly the legacy sessions the scheduler must cope with).
 Per-cell dispatch — fifo or stolen singletons — hands the leading
 untangle cells to all four workers, so the campaign pays the solve
-*four times*. Cell-major chunking dispatches the untangle group to a
-single worker, which solves once and reuses the table for the other
-seven cells: less total work, not just better overlap, so the speedup
-survives even a single-core CI host. Work stealing's own benefit is
+*four times*. Cell-major chunking dispatches the untangle group as
+whole chunks to far fewer workers, each of which solves once and
+reuses the table for the rest of its chunk: less total work, not just
+better overlap, so the speedup survives even a single-core CI host. Work stealing's own benefit is
 overlap — rebalancing stragglers across cores — so on a few-core host
 the ``stolen`` mode measures ~1.0x, and can even dip below it when a
 stolen untangle cell lands on a worker that has not solved yet and
@@ -89,10 +100,23 @@ MODES: dict[str, dict] = {
     "percell": {"jobs": JOBS, "scheduler": "fifo"},
     "stolen": {"jobs": JOBS, "scheduler": "steal", "batch_cells": 1},
     "batched": {"jobs": JOBS, "scheduler": "steal", "batch_cells": 8},
+    "stacked": {
+        "jobs": JOBS,
+        "scheduler": "steal",
+        "batch_cells": 8,
+        "stack_lanes": 0,
+    },
 }
 
 #: Scheduling telemetry shipped from the child for the report.
-TELEMETRY_KEYS = ("steals", "batches", "batched_cells", "wall_seconds")
+TELEMETRY_KEYS = (
+    "steals",
+    "batches",
+    "batched_cells",
+    "stacked_cells",
+    "lane_divergences",
+    "wall_seconds",
+)
 
 
 def campaign_cells(quick: bool):
@@ -101,20 +125,23 @@ def campaign_cells(quick: bool):
     Untangle-first is scheme-major submission order (as real campaign
     drivers emit it) and the adversarial case for per-cell dispatch:
     the supervisor hands the leading cells to distinct workers, so
-    every worker pays the rate-table solve. ``--quick`` halves the mix
-    range (same shape, so the solve skew and speedups stay comparable
-    to the committed full-run baseline).
+    every worker pays the rate-table solve. The full run covers every
+    paper mix (1-16); ``--quick`` keeps the first four (same shape, so
+    the solve skew and speedups stay comparable to the committed
+    full-run baseline).
 
     Some paper mixes share their leading ``PAIRS`` workload pairs
-    (mixes 1 and 2 are identical at depth 2), which would put the same
-    cell — same label, same result — in the grid twice; duplicates are
-    dropped so the fingerprint covers every cell exactly once.
+    (at depth 2: mixes 1 and 2, 8 and 9, 14 and 15, and 4 and 16 are
+    identical), which would put the same cell — same label, same
+    result — in the grid twice; duplicates are dropped so the
+    fingerprint covers every cell exactly once. The deduplicated full
+    grid is twelve cells per scheme.
     """
     from repro.harness.exec import MixSchemeCell
     from repro.harness.runconfig import BENCH
     from repro.workloads.mixes import get_mix
 
-    mixes = range(1, 5) if quick else range(1, 9)
+    mixes = range(1, 5) if quick else range(1, 17)
     cells = []
     seen = set()
     for scheme in ("untangle",) + FAST_SCHEMES:
@@ -151,6 +178,11 @@ def run_campaign(mode: str, quick: bool) -> dict:
         != snap["total"]
     ):
         raise AssertionError(f"telemetry invariant violated: {snap}")
+    if mode == "stacked" and snap["stacked_cells"] != snap["total"]:
+        raise AssertionError(
+            "stacked mode left cells outside the lane stacks: "
+            f"{snap['stacked_cells']}/{snap['total']}"
+        )
     return {
         "wall": wall,
         "fingerprint": {
@@ -180,6 +212,7 @@ def _measure(mode: str, quick: bool) -> dict:
         "REPRO_JOBS",
         "REPRO_SCHED",
         "REPRO_BATCH_CELLS",
+        "REPRO_SIM_STACK",
         "REPRO_CACHE",
         "REPRO_CACHE_DIR",
         "REPRO_JOURNAL",
@@ -206,7 +239,9 @@ def _measure(mode: str, quick: bool) -> dict:
 
 
 def bench_campaign(quick: bool, reps: int) -> dict:
-    walls: dict[str, list[float]] = {"percell": [], "stolen": [], "batched": []}
+    walls: dict[str, list[float]] = {
+        "percell": [], "stolen": [], "batched": [], "stacked": []
+    }
     telemetry: dict[str, dict] = {}
     fingerprints: list = []
 
@@ -216,7 +251,7 @@ def bench_campaign(quick: bool, reps: int) -> dict:
     print(f"  serial reference {serial['wall']:6.2f}s", flush=True)
 
     for rep in range(reps):
-        for mode in ("percell", "stolen", "batched"):
+        for mode in ("percell", "stolen", "batched", "stacked"):
             report = _measure(mode, quick)
             walls[mode].append(report["wall"])
             telemetry[mode] = report["telemetry"]
@@ -237,6 +272,7 @@ def bench_campaign(quick: bool, reps: int) -> dict:
     percell = min(walls["percell"])
     stolen = min(walls["stolen"])
     batched = min(walls["batched"])
+    stacked = min(walls["stacked"])
     return {
         "campaign": {
             "profile": "bench",
@@ -263,6 +299,15 @@ def bench_campaign(quick: bool, reps: int) -> dict:
             "speedup": percell / batched,
             "identical": identical,
             "telemetry": telemetry["batched"],
+        },
+        "stacked": {
+            "seconds": stacked,
+            "speedup": percell / stacked,
+            # The headline ratio for the stacked-lanes layer: what
+            # stacking buys over the already-chunked configuration.
+            "speedup_vs_batched": batched / stacked,
+            "identical": identical,
+            "telemetry": telemetry["stacked"],
         },
     }
 
@@ -305,12 +350,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     results = bench_campaign(args.quick, reps)
 
-    for mode in ("percell", "stolen", "batched"):
+    for mode in ("percell", "stolen", "batched", "stacked"):
         entry = results[mode]
         speedup = (
             f"  speedup={entry['speedup']:5.2f}x" if "speedup" in entry else ""
         )
-        print(f"  {mode:8s} {entry['seconds']:6.2f}s{speedup}", flush=True)
+        vs_batched = (
+            f"  vs-batched={entry['speedup_vs_batched']:5.2f}x"
+            if "speedup_vs_batched" in entry
+            else ""
+        )
+        print(
+            f"  {mode:8s} {entry['seconds']:6.2f}s{speedup}{vs_batched}",
+            flush=True,
+        )
 
     payload = {
         "format": FORMAT_VERSION,

@@ -36,7 +36,7 @@ _PROBABILITY_FLOOR = 1e-12
 
 
 def _project_floor(p: np.ndarray) -> np.ndarray:
-    p = np.clip(p, _PROBABILITY_FLOOR, None)
+    p = np.maximum(p, _PROBABILITY_FLOOR)
     return p / p.sum()
 
 
@@ -48,12 +48,19 @@ def maximize_concave_on_simplex(
     iterations: int = 400,
     restarts: int = 3,
     seed: int = 0,
+    gradient_rows: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> tuple[np.ndarray, float]:
     """Maximize a concave function over the probability simplex.
 
     Exponentiated-gradient ascent with a decaying step size and random
     restarts (the problem is concave, so restarts only guard against slow
     progress from poor scaling, not local optima).
+
+    ``gradient_rows``, when provided, evaluates the gradient for a whole
+    ``(restarts, n)`` matrix of iterates at once (one row per restart)
+    and replaces the per-restart ``gradient`` calls in the inner loop —
+    worthwhile because the loop runs tens of thousands of times on small
+    vectors, where per-call dispatch dominates.
 
     Returns the best ``(p, objective(p))`` found.
     """
@@ -64,32 +71,51 @@ def maximize_concave_on_simplex(
         return p, objective(p)
 
     rng = np.random.default_rng(seed)
-    best_p: np.ndarray | None = None
-    best_value = -np.inf
     starts = [np.full(n, 1.0 / n)]
     for _ in range(max(restarts - 1, 0)):
         starts.append(_project_floor(rng.dirichlet(np.ones(n))))
 
-    for p0 in starts:
-        p = p0.copy()
-        grad0 = gradient(p)
-        scale = float(np.max(np.abs(grad0))) or 1.0
-        base_step = 1.0 / scale
-        for t in range(1, iterations + 1):
-            grad = gradient(p)
-            # Center the gradient: adding a constant to all coordinates
-            # does not change the EG direction but improves conditioning.
-            grad = grad - float(p @ grad)
-            step = base_step / np.sqrt(t)
-            with np.errstate(over="ignore"):
-                p = p * np.exp(np.clip(step * grad, -30.0, 30.0))
-            p = _project_floor(p)
-        value = objective(p)
+    # All restarts advance in lock-step as rows of one (S, n) array: the
+    # EG update (center, step, exp, floor, renormalize) is a handful of
+    # elementwise array ops whose fixed numpy dispatch cost would
+    # otherwise be paid once per restart per iteration. The gradient
+    # callable still sees one probability vector at a time.
+    pbatch = np.stack(starts)
+    nstarts = pbatch.shape[0]
+    if gradient_rows is not None:
+        grads = np.asarray(gradient_rows(pbatch), dtype=np.float64)
+    else:
+        grads = np.empty_like(pbatch)
+        for i in range(nstarts):
+            grads[i] = gradient(pbatch[i])
+    scale = np.max(np.abs(grads), axis=1)
+    scale[scale == 0.0] = 1.0
+    base_step = (1.0 / scale)[:, None]
+    # Overflow in exp is impossible: the exponent is clamped to [-30, 30].
+    for t in range(1, iterations + 1):
+        if gradient_rows is not None:
+            grads = np.asarray(gradient_rows(pbatch), dtype=np.float64)
+        else:
+            for i in range(nstarts):
+                grads[i] = gradient(pbatch[i])
+        # Center the gradient: adding a constant to all coordinates
+        # does not change the EG direction but improves conditioning.
+        grads -= np.einsum("ij,ij->i", pbatch, grads)[:, None]
+        grads *= base_step / np.sqrt(t)
+        np.clip(grads, -30.0, 30.0, out=grads)
+        np.exp(grads, out=grads)
+        pbatch *= grads
+        np.maximum(pbatch, _PROBABILITY_FLOOR, out=pbatch)
+        pbatch /= pbatch.sum(axis=1, keepdims=True)
+    best_p: np.ndarray | None = None
+    best_value = -np.inf
+    for i in range(nstarts):
+        value = objective(pbatch[i])
         if value > best_value:
             best_value = value
-            best_p = p
+            best_p = pbatch[i]
     assert best_p is not None
-    return best_p, best_value
+    return best_p.copy(), best_value
 
 
 @dataclass
@@ -133,6 +159,8 @@ def solve_fractional(
     bound_margin: float = 0.02,
     seed: int = 0,
     certify: bool = True,
+    numerator_gradient_rows: Callable[[np.ndarray], np.ndarray] | None = None,
+    denominator_gradient_rows: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> DinkelbachResult:
     """Solve ``max_p N(p)/D(p)`` over the simplex via Dinkelbach's transform.
 
@@ -149,12 +177,23 @@ def solve_fractional(
     """
 
     def solve_inner(q: float, iterations: int, seed_offset: int) -> tuple[np.ndarray, float]:
+        rows = None
+        if (
+            numerator_gradient_rows is not None
+            and denominator_gradient_rows is not None
+        ):
+            # One batched gradient per iteration for all restart rows.
+            rows = lambda pbatch: (  # noqa: E731
+                numerator_gradient_rows(pbatch)
+                - q * denominator_gradient_rows(pbatch)
+            )
         return maximize_concave_on_simplex(
             lambda p: numerator(p) - q * denominator(p),
             lambda p: numerator_gradient(p) - q * denominator_gradient(p),
             n,
             iterations=iterations,
             seed=seed + seed_offset,
+            gradient_rows=rows,
         )
 
     q = 0.0
@@ -272,7 +311,10 @@ def solve_rmax(
     runtime accountant. The returned ``rate_upper_bound`` passed the
     ``F(q') <= 0`` certification.
     """
-    transition = model.transition_matrix
+    transition = np.ascontiguousarray(model.transition_matrix, dtype=np.float64)
+    # The gradient is evaluated tens of thousands of times per solve; a
+    # C-contiguous transpose keeps both matvecs on the fast BLAS path.
+    transition_t = np.ascontiguousarray(transition.T)
     durations = model.durations.astype(np.float64)
     h_delta = model.delay_entropy_bits()
 
@@ -281,13 +323,23 @@ def solve_rmax(
 
     def numerator_gradient(p: np.ndarray) -> np.ndarray:
         p_y = transition @ p
-        return transition.T @ entropy_gradient_vec(p_y)
+        return transition_t @ entropy_gradient_vec(p_y)
+
+    def numerator_gradient_rows(pbatch: np.ndarray) -> np.ndarray:
+        # Row-wise twin of numerator_gradient: (S, n) iterates in, one
+        # (S, n) gradient matrix out, via two matmuls instead of 2 S
+        # matvecs (entropy_gradient_vec is elementwise, so it batches).
+        p_y = pbatch @ transition_t
+        return entropy_gradient_vec(p_y) @ transition
 
     def denominator(p: np.ndarray) -> float:
         return float(durations @ p)
 
     def denominator_gradient(p: np.ndarray) -> np.ndarray:
         return durations
+
+    def denominator_gradient_rows(pbatch: np.ndarray) -> np.ndarray:
+        return durations  # broadcasts over the rows
 
     result = solve_fractional(
         numerator,
@@ -300,6 +352,8 @@ def solve_rmax(
         inner_iterations=inner_iterations,
         seed=seed,
         certify=False,
+        numerator_gradient_rows=numerator_gradient_rows,
+        denominator_gradient_rows=denominator_gradient_rows,
     )
     p_star = result.argmax
     certified = certified_rate_upper_bound(

@@ -223,6 +223,44 @@ class MixSchemeCell:
 
         return run_mix_scheme(list(self.pairs), self.scheme, self.profile)
 
+    @staticmethod
+    def execute_stacked(cells: list["MixSchemeCell"], max_lanes: int | None = None) -> list:
+        """Execute a batch-compatible chunk of cells as stacked lanes.
+
+        The chunk driver calls this instead of per-cell :meth:`execute`
+        when lane stacking is enabled. Returns one result (or exception
+        instance, for an isolated lane failure) per cell, in order —
+        bit-identical to the sequential path
+        (``tests/sim/test_stacked_lanes.py``).
+        """
+        from repro.harness.experiment import run_mix_schemes_stacked
+
+        return run_mix_schemes_stacked(
+            [(list(cell.pairs), cell.scheme, cell.profile) for cell in cells],
+            max_lanes=max_lanes,
+        )
+
+    @staticmethod
+    def prefork_warm(cells: list["MixSchemeCell"]) -> int:
+        """Pre-compute shared pure state in the dispatching process.
+
+        The supervisor calls this once, right before forking workers,
+        when lane stacking is enabled: L1 service traces and untangle
+        rate tables are pure functions of the cell inputs, so one
+        walk/solve here is inherited copy-on-write by every worker
+        instead of being repeated per worker that draws a chunk needing
+        it. Purely an optimization — results are identical without it.
+        """
+        from repro.harness.experiment import warm_l1_traces, warm_rate_tables
+
+        warmed = warm_l1_traces(
+            [(list(cell.pairs), cell.profile) for cell in cells]
+        )
+        warmed += warm_rate_tables(
+            [(cell.scheme, cell.profile) for cell in cells]
+        )
+        return warmed
+
     def batch_group(self) -> tuple:
         """Chunk-compatibility key for cell-major batching.
 
@@ -536,6 +574,12 @@ class EngineTelemetry:
     #: when ``batch_cells=1``; their ratio is the realized batch factor.
     batches_dispatched: int = 0
     batched_cells: int = 0
+    #: Cells executed inside stacked-lanes groups and the lane
+    #: divergences (assessments, early finishes) those groups saw —
+    #: absorbed from the ``repro_stacked_*`` counters, wherever the
+    #: lanes actually ran (serial driver or worker processes).
+    stacked_cells: int = 0
+    lane_divergences: int = 0
     records: list[CellRecord] = field(default_factory=list)
 
     def note(self, record: CellRecord) -> None:
@@ -612,6 +656,8 @@ class EngineTelemetry:
             "steals": self.steals,
             "batches": self.batches_dispatched,
             "batched_cells": self.batched_cells,
+            "stacked_cells": self.stacked_cells,
+            "lane_divergences": self.lane_divergences,
         }
 
     def absorb_store(self, delta: dict[str, float]) -> None:
@@ -633,6 +679,8 @@ class EngineTelemetry:
         )
         self.workload_builds += int(delta.get("workload_builds", 0))
         self.rmax_solves += int(delta.get("rmax_solves", 0))
+        self.stacked_cells += int(delta.get("stacked_cells", 0))
+        self.lane_divergences += int(delta.get("lane_divergences", 0))
 
     def publish(self, registry=None) -> None:
         """Mirror the timing aggregates into the metrics registry.
@@ -717,34 +765,56 @@ def _cost_family(label: str) -> str:
 
 def runtime_hints_from_entries(
     entries: dict[str, JournalEntry]
-) -> dict[str, float]:
-    """Mean computed wall-seconds per cost family, from journal history.
+) -> dict[Any, float]:
+    """Mean computed wall-seconds by label, (family, profile), and family.
 
     Only ``computed`` entries count: hits/replays report ~zero wall and
-    would drag a family's estimate toward "free".
+    would drag an estimate toward "free". Three hint granularities are
+    built from one pass:
+
+    * exact cell label — real per-cell history, what lets the
+      cost-aware chunk planner see skew *inside* one batch group (whose
+      cells all share a family and profile);
+    * ``(family, profile)`` — so a ``bench``-profile campaign never
+      inherits stale full-profile means and misplans its chunks
+      (profiles differ in workload scale by orders of magnitude);
+    * bare family — legacy granularity, kept only for journal entries
+      recorded before profiles were journaled (no profile field).
     """
-    sums: dict[str, list[float]] = {}
+    sums: dict[Any, list[float]] = {}
     for entry in entries.values():
         if entry.status != "computed":
             continue
-        sums.setdefault(_cost_family(entry.label), []).append(
-            entry.wall_seconds
-        )
-    return {
-        family: sum(walls) / len(walls) for family, walls in sums.items()
-    }
+        family = _cost_family(entry.label)
+        sums.setdefault(entry.label, []).append(entry.wall_seconds)
+        if entry.profile is not None:
+            sums.setdefault((family, entry.profile), []).append(
+                entry.wall_seconds
+            )
+        else:
+            sums.setdefault(family, []).append(entry.wall_seconds)
+    return {key: sum(walls) / len(walls) for key, walls in sums.items()}
 
 
-def expected_cost(cell: Any, hints: dict[str, float]) -> float:
+def expected_cost(cell: Any, hints: dict[Any, float]) -> float:
     """Expected relative runtime of one cell, for LPT deque seeding.
 
-    Preference order: measured journal history for the cell's family,
-    then the cell's own ``cost_hint()`` (if it defines one), then the
-    static family weight table. Only the *ordering* matters — an
-    inaccurate estimate degrades the seeding, never correctness, and
-    work stealing recovers the imbalance at run time.
+    Preference order: measured journal history — the cell's own label,
+    then its (family, profile), then the legacy bare family — then the
+    cell's own ``cost_hint()`` (if it defines one), then the static
+    family weight table. Only the *ordering* matters — an inaccurate
+    estimate degrades the seeding, never correctness, and work stealing
+    recovers the imbalance at run time.
     """
     family = _cost_family(cell.label)
+    hint = hints.get(cell.label)
+    if hint is not None:
+        return hint
+    profile = getattr(cell, "profile", None)
+    if profile is not None:
+        hint = hints.get((family, profile.name))
+        if hint is not None:
+            return hint
     hint = hints.get(family)
     if hint is not None:
         return hint
@@ -769,6 +839,114 @@ def _execute_cell(
         start = time.perf_counter()
         value = maybe_profile(cell.label, cell.execute, worker_id)
         return value, time.perf_counter() - start
+
+
+def _stackable(chunk, stack: int | None) -> bool:
+    """True when a chunk qualifies for lane-stacked execution.
+
+    Requires stacking enabled, at least two cells, and every cell of
+    the chunk implementing ``execute_stacked`` under one shared batch
+    group. Chunks are planned group-homogeneous, so the group check is
+    belt-and-braces against a stolen retry or a hand-built chunk.
+    """
+    if stack is None or len(chunk) < 2:
+        return False
+    first = chunk[0][1]
+    if getattr(type(first), "execute_stacked", None) is None:
+        return False
+    hook = getattr(first, "batch_group", None)
+    if hook is None:
+        return False
+    group = hook()
+    for _, cell in chunk[1:]:
+        if getattr(type(cell), "execute_stacked", None) is None:
+            return False
+        peer_hook = getattr(cell, "batch_group", None)
+        if peer_hook is None or peer_hook() != group:
+            return False
+    return True
+
+
+def _stacked_messages(chunk, faults, worker_id, stack: int):
+    """Run one batch-compatible chunk as stacked lanes; yield messages.
+
+    The whole chunk executes inside one ``execute_stacked`` call
+    (``stack == 0`` auto-sizes the lane count to the chunk), then one
+    result message per cell streams home in chunk order — the same
+    shape the sequential path sends, so supervisor accounting is
+    untouched. Per-cell wall is the chunk wall split evenly (lanes
+    genuinely interleave, so no truer attribution exists); the store
+    delta rides on the first message only, so absorbed totals match a
+    sequential run. A lane that raised is an ``error`` message for that
+    cell alone; a failure of the stacked driver itself fails every cell
+    of the chunk (the supervisor's retry path then re-runs them, most
+    as singletons).
+    """
+    cells = [cell for _, cell in chunk]
+    if faults is not None:
+        for cell in cells:
+            faults.on_cell_start(cell.label, worker_id)
+    start = time.perf_counter()
+    stats_before = store_stats_snapshot()
+    failure: str | None = None
+    results: list[Any] = []
+    with obs_trace.span(
+        "chunk.stacked", cells=len(cells), first=cells[0].label, worker=worker_id
+    ):
+        try:
+            results = maybe_profile(
+                cells[0].label,
+                lambda: type(cells[0]).execute_stacked(
+                    cells, max_lanes=stack if stack else None
+                ),
+                worker_id,
+            )
+        except Exception as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+    delta = store_stats_delta(stats_before, store_stats_snapshot())
+    wall = (time.perf_counter() - start) / len(cells)
+    for position, (index, _) in enumerate(chunk):
+        cell_delta = delta if position == 0 else {}
+        if failure is not None:
+            yield (index, "error", failure, wall, cell_delta)
+        elif isinstance(results[position], BaseException):
+            exc = results[position]
+            yield (
+                index,
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                wall,
+                cell_delta,
+            )
+        else:
+            yield (index, "ok", results[position], wall, cell_delta)
+
+
+def _chunk_messages(chunk, faults, worker_id, stack: int | None):
+    """Yield one result message per cell of a chunk, stacking when able."""
+    if _stackable(chunk, stack):
+        yield from _stacked_messages(chunk, faults, worker_id, stack)
+        return
+    for index, cell in chunk:
+        start = time.perf_counter()
+        # Store/build/solve counters accumulate in *this* process's
+        # registry; ship the per-cell delta home so the parent registry
+        # (the one the exporters and telemetry read) accounts for work
+        # wherever it ran.
+        stats_before = store_stats_snapshot()
+        try:
+            value, wall = _execute_cell(cell, faults, worker_id)
+            delta = store_stats_delta(stats_before, store_stats_snapshot())
+            yield (index, "ok", value, wall, delta)
+        except Exception as exc:  # graceful degradation
+            delta = store_stats_delta(stats_before, store_stats_snapshot())
+            yield (
+                index,
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+                delta,
+            )
 
 
 def _heartbeat_loop(
@@ -804,6 +982,7 @@ def _worker_main(
     worker_id: int,
     faults: FaultPlan | None,
     heartbeat: float | None = None,
+    stack: int | None = None,
 ) -> None:
     """Worker loop: receive chunks of ``(index, cell)`` tasks, send back
     one result message per cell.
@@ -815,6 +994,14 @@ def _worker_main(
     message shape is unchanged from per-cell dispatch), so supervisor
     accounting, deadlines, and retry bookkeeping see individual cells —
     and results stay bit-identical to serial execution.
+
+    With ``stack`` set (engine ``stack_lanes``), a chunk whose cells
+    all support it instead executes as stacked lanes — one interleaved
+    pass over all cells (:class:`~repro.sim.batch.StackedLanes`) — and
+    its per-cell messages stream home when the stack drains. The
+    per-cell deadline then effectively covers the whole chunk, which is
+    sound: heartbeats carry simulation progress, so slow-but-working
+    stacks extend their deadline exactly like slow single cells.
 
     Liveness: with ``heartbeat`` set, a daemon thread interleaves
     ``("heartbeat", progress)`` tuples with the result stream (the send
@@ -851,30 +1038,7 @@ def _worker_main(
             if chunk is None:
                 return
             with cell_scratch():
-                for index, cell in chunk:
-                    start = time.perf_counter()
-                    # Store/build/solve counters accumulate in *this*
-                    # process's registry; ship the per-cell delta home so
-                    # the parent registry (the one the exporters and
-                    # telemetry read) accounts for work wherever it ran.
-                    stats_before = store_stats_snapshot()
-                    try:
-                        value, wall = _execute_cell(cell, faults, worker_id)
-                        delta = store_stats_delta(
-                            stats_before, store_stats_snapshot()
-                        )
-                        message = (index, "ok", value, wall, delta)
-                    except Exception as exc:  # graceful degradation
-                        delta = store_stats_delta(
-                            stats_before, store_stats_snapshot()
-                        )
-                        message = (
-                            index,
-                            "error",
-                            f"{type(exc).__name__}: {exc}",
-                            time.perf_counter() - start,
-                            delta,
-                        )
+                for message in _chunk_messages(chunk, faults, worker_id, stack):
                     # A finished cell is progress even if the cell's own
                     # execution never beat (non-simulation cells).
                     progress_beat()
@@ -886,12 +1050,12 @@ def _worker_main(
                             with send_lock:
                                 conn.send(
                                     (
-                                        index,
+                                        message[0],
                                         "error",
                                         "result not transferable: "
                                         f"{type(exc).__name__}: {exc}",
-                                        time.perf_counter() - start,
-                                        delta,
+                                        message[3],
+                                        message[4],
                                     )
                                 )
                         except Exception:
@@ -1018,7 +1182,38 @@ class _Supervisor:
                     self._unresponsive_after, 0.6 * self._stall_kill
                 )
         self._next_worker_id = 0
+        if (
+            engine.stack_lanes is not None
+            and self.context.get_start_method() == "fork"
+        ):
+            self._prefork_warm(pending)
         self.workers = [self._spawn(slot) for slot in range(slots)]
+
+    def _prefork_warm(self, pending) -> None:
+        """Warm shareable per-cell precompute before the workers fork.
+
+        Cell types may expose ``prefork_warm(cells)`` to walk precompute
+        that is a pure function of the cell inputs (e.g. the L1 service
+        traces stacked lanes share). Doing it here, in the parent, makes
+        the warmed state copy-on-write-inherited by every worker instead
+        of recomputed per worker. Best-effort: a warming failure only
+        forfeits the head start, never the run.
+        """
+        by_type: dict[type, list] = {}
+        for _, cell, _ in pending:
+            if getattr(type(cell), "prefork_warm", None) is not None:
+                by_type.setdefault(type(cell), []).append(cell)
+        for cell_type, cells in by_type.items():
+            try:
+                warmed = cell_type.prefork_warm(cells)
+            except Exception as exc:  # noqa: BLE001 - warming is optional
+                obs_trace.event(
+                    "warm.failed", cell_type=cell_type.__name__, error=str(exc)
+                )
+            else:
+                obs_trace.event(
+                    "warm.prefork", cell_type=cell_type.__name__, warmed=warmed
+                )
 
     # ------------------------------------------------------------------
     # Chunk planning and deque seeding (steal scheduler)
@@ -1026,8 +1221,13 @@ class _Supervisor:
     def _chunk_cost(self, cells) -> float:
         return sum(expected_cost(cell, self.hints) for _, cell, _ in cells)
 
+    #: A batch group is *skewed* when its most expensive cell is hinted
+    #: at more than this multiple of the group's median cell cost; the
+    #: outliers then dispatch as singleton chunks.
+    SKEW_FACTOR = 2.0
+
     def _plan_chunks(self, pending) -> list[_Chunk]:
-        """Group batch-compatible cells into dispatch chunks.
+        """Group batch-compatible cells into dispatch chunks, cost-aware.
 
         Cells sharing a ``batch_group()`` key are packed, in input
         order, into runs of at most ``engine.batch_cells`` cells. When
@@ -1036,6 +1236,16 @@ class _Supervisor:
         without ever costing load balance (small groups — e.g. the few
         expensive Untangle cells of a mixed campaign — stay singletons).
         Cells without a ``batch_group`` hook are never chunked.
+
+        Cost awareness: when journal-hinted runtimes inside one group
+        are skewed (:attr:`SKEW_FACTOR`), the stragglers split off as
+        singleton chunks instead of chunking purely by count — a chunk
+        is a scheduling atom, so a straggler packed with cheap peers
+        would pin them all to one worker's lap (and hand the
+        stacked-lanes driver a chunk whose lanes finish wildly apart).
+        Per-cell skew is only visible through per-label journal
+        history; without it every cell in a group shares one estimate
+        and the split never triggers.
         """
         slots = max(1, len(self.deques))
         groups: dict[Any, list] = {}
@@ -1058,10 +1268,35 @@ class _Supervisor:
                 cap = min(MAX_BATCH_CELLS, self.engine.batch_cells)
             else:
                 cap = max(1, min(MAX_BATCH_CELLS, len(cells) // (slots * 2)))
+            stragglers, cells = self._split_skewed(group, cells)
+            for task in stragglers:
+                chunks.append(
+                    _Chunk(cells=[task], cost=self._chunk_cost([task]))
+                )
             for start in range(0, len(cells), cap):
                 run = cells[start : start + cap]
                 chunks.append(_Chunk(cells=run, cost=self._chunk_cost(run)))
         return chunks
+
+    def _split_skewed(self, group, cells):
+        """Partition one batch group into (stragglers, normal cells).
+
+        Both halves preserve input order. A group is left whole unless
+        its hinted max exceeds ``SKEW_FACTOR`` times its median — with
+        family-level hints only (identical estimates across the group)
+        that never happens, so this is exactly the lever per-label
+        journal hints unlock.
+        """
+        if group is None or len(cells) < 2:
+            return [], list(cells)
+        costs = [expected_cost(cell, self.hints) for _, cell, _ in cells]
+        median = sorted(costs)[len(costs) // 2]
+        threshold = self.SKEW_FACTOR * median
+        if median <= 0 or max(costs) <= threshold:
+            return [], list(cells)
+        stragglers = [t for t, c in zip(cells, costs) if c > threshold]
+        normal = [t for t, c in zip(cells, costs) if c <= threshold]
+        return stragglers, normal
 
     def _seed_deques(self, chunks: list[_Chunk]) -> None:
         """Longest-processing-time-first seeding.
@@ -1094,6 +1329,7 @@ class _Supervisor:
                 worker_id,
                 self.engine.faults,
                 self.engine.heartbeat,
+                self.engine.stack_lanes,
             ),
             daemon=True,
             name=f"repro-exec-{worker_id}",
@@ -1173,14 +1409,26 @@ class _Supervisor:
             return own.popleft().cells
         return self._steal(slot)
 
+    def _peer_load(self, slot: int) -> tuple[float, int]:
+        """A slot's remaining load: summed expected chunk cost.
+
+        Cost — not chunk count — is the victim-selection weight, so a
+        peer holding one huge straggler outranks a peer holding many
+        already-cheap chunks. Chunk count is only the tie-break (more
+        chunks = more stealable units when costs are equal, e.g. when
+        no journal history exists yet and every hint is identical).
+        """
+        peer = self.deques[slot]
+        return (sum(chunk.cost for chunk in peer), len(peer))
+
     def _steal(self, slot: int):
         """Steal the cheapest chunk from the most loaded peer deque."""
         victim = None
-        victim_load = 0.0
+        victim_load: tuple[float, int] = (0.0, 0)
         for other, peer in enumerate(self.deques):
             if other == slot or not peer:
                 continue
-            load = sum(chunk.cost for chunk in peer)
+            load = self._peer_load(other)
             if victim is None or load > victim_load:
                 victim, victim_load = other, load
         if victim is None:
@@ -1685,6 +1933,17 @@ class ExecutionEngine:
         or ``0`` auto-sizes per batch group (see
         ``_Supervisor._plan_chunks``); ``1`` forces per-cell dispatch;
         larger values cap at :data:`MAX_BATCH_CELLS`.
+    stack_lanes:
+        Lane-stacked multi-cell execution
+        (:class:`~repro.sim.batch.StackedLanes`). ``None`` (default)
+        runs each chunk's cells sequentially; ``0`` stacks every
+        batch-compatible chunk with lane count auto-sized to the chunk;
+        ``K >= 1`` caps each stack at K lanes. Stacking applies only to
+        cells that implement ``execute_stacked`` and share a batch
+        group — anything else silently falls back to the sequential
+        path. Results are bit-identical either way (the stacked cumsum
+        performs the same per-lane float chain; see
+        ``docs/performance.md`` layer 4).
     """
 
     def __init__(
@@ -1705,6 +1964,7 @@ class ExecutionEngine:
         store: PrecomputeStore | None = None,
         scheduler: str = "steal",
         batch_cells: int | None = None,
+        stack_lanes: int | None = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
@@ -1730,10 +1990,14 @@ class ExecutionEngine:
             )
         if batch_cells is not None and batch_cells < 0:
             raise ConfigurationError("batch_cells must be >= 0")
+        if stack_lanes is not None and stack_lanes < 0:
+            raise ConfigurationError("stack_lanes must be >= 0")
         self.jobs = jobs
         self.scheduler = scheduler
         #: ``None`` means auto-size per batch group; 0 normalizes to it.
         self.batch_cells = batch_cells if batch_cells else None
+        #: ``None`` = stacking off; 0 = auto lanes; K >= 1 = lane cap.
+        self.stack_lanes = stack_lanes
         self.cache = cache
         self.timeout = timeout
         self.heartbeat = heartbeat
@@ -1909,6 +2173,9 @@ class ExecutionEngine:
                             else None
                         ),
                         error=outcome.error,
+                        profile=getattr(
+                            getattr(outcome.cell, "profile", None), "name", None
+                        ),
                     )
                 )
             except (OSError, JournalError) as exc:
@@ -1925,8 +2192,9 @@ class ExecutionEngine:
         except Exception:
             return None
 
-    def _runtime_hints(self) -> dict[str, float]:
-        """Per-family runtime estimates from journal history, if any.
+    def _runtime_hints(self) -> dict[Any, float]:
+        """Runtime estimates from journal history, if any (per label,
+        per (family, profile), and legacy per family).
 
         Feeds the steal scheduler's LPT seeding; an empty dict (no
         journal, fresh journal, unreadable journal) falls back to the
@@ -2219,9 +2487,24 @@ class ExecutionEngine:
         # effectively a single maximal chunk, so it amortizes the hot
         # numpy buffers exactly like a batched worker does.
         with cell_scratch():
+            stacked: dict[int, tuple[Any, float]] = {}
+            if self.stack_lanes is not None:
+                stacked = self._stack_serial(pending)
             for index, cell, key in pending:
                 if self._interrupted:
                     raise KeyboardInterrupt
+                if index in stacked:
+                    value, wall = stacked[index]
+                    yield index, CellOutcome(
+                        cell=cell,
+                        key=key,
+                        value=value,
+                        status="computed",
+                        wall_seconds=wall,
+                        attempts=1,
+                        error=None,
+                    )
+                    continue
                 attempts = 0
                 error: str | None = None
                 # Accumulated *execution* time across attempts. Backoff
@@ -2273,6 +2556,57 @@ class ExecutionEngine:
                     attempts=attempts,
                     error=error,
                 )
+
+    def _stack_serial(self, pending) -> dict[int, tuple[Any, float]]:
+        """Pre-execute stackable pending cells as stacked-lanes groups.
+
+        Groups cells by ``batch_group()`` (cells lacking the hooks stay
+        sequential), runs each group of two or more through
+        ``execute_stacked`` — lane count capped at ``stack_lanes`` when
+        nonzero — and returns ``{index: (value, wall)}`` for the lanes
+        that succeeded. Per-cell wall is the group wall split evenly,
+        matching the parallel workers' attribution. A lane that raised
+        is simply omitted, and a failure of the whole group omits every
+        member: the sequential loop then re-runs those cells from
+        scratch with their full retry budget, so stacking never costs
+        fault isolation.
+        """
+        groups: dict[tuple, list[tuple[int, Any]]] = {}
+        for index, cell, _ in pending:
+            if getattr(type(cell), "execute_stacked", None) is None:
+                continue
+            hook = getattr(cell, "batch_group", None)
+            if hook is None:
+                continue
+            groups.setdefault(hook(), []).append((index, cell))
+        values: dict[int, tuple[Any, float]] = {}
+        cap = self.stack_lanes or None
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            if self._interrupted:
+                raise KeyboardInterrupt
+            cells = [cell for _, cell in members]
+            if self.faults is not None:
+                for cell in cells:
+                    self.faults.on_cell_start(cell.label, None)
+            start = time.perf_counter()
+            with obs_trace.span(
+                "chunk.stacked", cells=len(cells), first=cells[0].label
+            ):
+                try:
+                    results = type(cells[0]).execute_stacked(
+                        cells, max_lanes=cap
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception:  # whole group falls back to sequential
+                    continue
+            wall = (time.perf_counter() - start) / len(members)
+            for (index, _), result in zip(members, results):
+                if not isinstance(result, BaseException):
+                    values[index] = (result, wall)
+        return values
 
 
 # ----------------------------------------------------------------------
@@ -2350,6 +2684,9 @@ def engine_from_env(
     * ``REPRO_BATCH_CELLS``: cells per dispatched chunk under the steal
       scheduler (``0`` = auto-size per batch group, ``1`` = per-cell
       dispatch).
+    * ``REPRO_SIM_STACK``: lane-stacked multi-cell execution. Unset =
+      off; ``0`` = stack every compatible chunk, lanes auto-sized to
+      the chunk; ``K`` = cap each stack at K lanes.
     * ``REPRO_PRECOMPUTE``: ``off`` disables the precompute store
       (legacy build-per-cell path); default on.
     * ``REPRO_STORE_DIR``: precompute-store directory. Defaults to
@@ -2388,6 +2725,15 @@ def engine_from_env(
         minimum=0,
         accepted="a non-negative integer (0 = auto, 1 = per-cell dispatch)",
     )
+    stack_lanes: int | None = None
+    if os.environ.get("REPRO_SIM_STACK", "").strip():
+        stack_lanes = _int_from_env(
+            "REPRO_SIM_STACK",
+            default=0,
+            minimum=0,
+            accepted="a non-negative integer (0 = auto lane count, "
+            "K = cap stacks at K lanes; unset = stacking off)",
+        )
     timeout: float | None = None
     raw_timeout = os.environ.get("REPRO_TIMEOUT", "").strip()
     if raw_timeout:
@@ -2448,4 +2794,5 @@ def engine_from_env(
         store=store,
         scheduler=scheduler,
         batch_cells=batch_cells,
+        stack_lanes=stack_lanes,
     )

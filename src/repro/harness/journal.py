@@ -74,6 +74,12 @@ class JournalEntry:
     #: Encoded (JSON-able) result payload for successful cells.
     value: Any | None = None
     error: str | None = None
+    #: Run-profile name of the cell, when it carries one. Runtime hints
+    #: are keyed by (scheme family, profile) so campaigns under one
+    #: profile never inherit another profile's wall-time means. Optional
+    #: and absent from old journals — no format bump needed: the
+    #: checksum covers whatever fields a line actually has.
+    profile: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -180,6 +186,7 @@ class RunJournal:
                     campaign=fields.get("campaign"),
                     value=fields.get("value"),
                     error=fields.get("error"),
+                    profile=fields.get("profile"),
                 )
             except KeyError:
                 self.corrupt_lines += 1

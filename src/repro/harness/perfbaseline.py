@@ -84,10 +84,15 @@ def _speedups(payload: dict) -> dict[str, float]:
             "store/warm": float(payload["warm"]["speedup"]),
         }
     if payload.get("kind") == "campaign":
-        return {
+        out = {
             "campaign/stolen": float(payload["stolen"]["speedup"]),
             "campaign/batched": float(payload["batched"]["speedup"]),
         }
+        # Lane stacking landed after the first committed baselines;
+        # older payloads simply lack the arm (compare() intersects).
+        if "stacked" in payload:
+            out["campaign/stacked"] = float(payload["stacked"]["speedup"])
+        return out
     out = {"raw_kernel": float(payload["raw_kernel"]["speedup"])}
     for scheme, cell in payload["end_to_end"]["cells"].items():
         out[f"end_to_end/{scheme}"] = float(cell["speedup"])
@@ -105,8 +110,8 @@ def _identity_failures(payload: dict) -> list[str]:
     if payload.get("kind") == "campaign":
         return [
             f"campaign/{mode}"
-            for mode in ("percell", "stolen", "batched")
-            if not payload[mode].get("identical", False)
+            for mode in ("percell", "stolen", "batched", "stacked")
+            if mode in payload and not payload[mode].get("identical", False)
         ]
     return [
         f"end_to_end/{scheme}"

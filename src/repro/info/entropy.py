@@ -112,8 +112,12 @@ def entropy_gradient_vec(p: np.ndarray) -> np.ndarray:
     move mass back onto them.
     """
     p = np.asarray(p, dtype=np.float64)
-    grad = np.empty_like(p)
     mask = p > 0.0
+    if mask.all():
+        # Fast path for strictly positive vectors (the common case in
+        # the solver's inner loop): skip the fancy-indexed scatter.
+        return -(np.log2(p) + _LOG2E)
+    grad = np.empty_like(p)
     grad[mask] = -(np.log2(p[mask]) + _LOG2E)
     grad[~mask] = -(np.log2(1e-300) + _LOG2E)
     return grad

@@ -52,6 +52,7 @@ while its statistics stay frozen.
 from __future__ import annotations
 
 import enum
+from collections.abc import Generator
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,7 +61,7 @@ from repro.config import ArchConfig
 from repro.core.annotations import AnnotationVector
 from repro.errors import ConfigurationError, SimulationError
 from repro.monitor.umon import mix64_array
-from repro.sim.batch import active_scratch
+from repro.sim.batch import active_scratch, drive_kernel
 from repro.sim.hierarchy import DomainMemory
 from repro.sim.kernelmode import batching_enabled
 from repro.sim.stats import DomainStats
@@ -338,7 +339,24 @@ class Core:
         metric snapshots) functions of the instruction stream alone.
         """
         if self._use_batched:
-            return self._run_batched(until_cycle, progress_target)
+            return drive_kernel(self._batched_gen(until_cycle, progress_target))
+        return self._run_reference(until_cycle, progress_target)
+
+    def run_gen(
+        self, until_cycle: float, progress_target: int | None = None
+    ) -> "Generator":
+        """Generator form of :meth:`run` for external cumsum service.
+
+        Yields ``("cumsum", deltas, cum)`` requests (see
+        :meth:`_batched_gen`) and returns the :class:`StopReason` via
+        ``StopIteration.value``. A reference-kernel core never yields —
+        the whole quantum runs inside the first ``next()`` — so drivers
+        can treat every core uniformly. :func:`repro.sim.batch.drive_kernel`
+        services the requests locally; the stacked-lanes driver services
+        several cores' requests with one vectorized call instead.
+        """
+        if self._use_batched:
+            return (yield from self._batched_gen(until_cycle, progress_target))
         return self._run_reference(until_cycle, progress_target)
 
     def _run_reference(
@@ -371,9 +389,9 @@ class Core:
             self._mem_cursor += 1
         return StopReason.QUANTUM
 
-    def _run_batched(
+    def _batched_gen(
         self, until_cycle: float, progress_target: int | None
-    ) -> StopReason:
+    ) -> Generator:
         """Batched kernel: speculatively resolve event runs, commit exactly.
 
         Bit-exact with :meth:`_run_reference`. Each iteration picks a run
@@ -398,6 +416,13 @@ class Core:
         Speculation is sound because within one ``run()`` call the LLC
         view is effectively private: other cores and resizes only act
         between calls, at quantum and assessment granularity.
+
+        The cumulative sum itself is delegated: the generator yields
+        ``("cumsum", deltas, cum)`` and expects ``np.cumsum(deltas)``
+        back from ``send``. ``deltas`` may live in the shared scratch
+        arena, so a driver interleaving several generators must copy it
+        before resuming any other lane; the reply only needs to stay
+        valid until this lane's next request.
         """
         stream = self.stream
         ev = stream.event_positions
@@ -525,7 +550,7 @@ class Core:
             deltas[0] = self.cycles
             deltas[1::2] = gaps * cpi
             deltas[2::2] = cpi + extras
-            tops = np.cumsum(deltas, out=cum)[0::2]
+            tops = (yield ("cumsum", deltas, cum))[0::2]
             # First event whose loop-top check would fail the budget.
             k = int(np.searchsorted(tops, until_cycle, side="left"))
             if k > n:

@@ -43,6 +43,100 @@ from repro.sim.partition import LLCView
 #: so ``ways.pop(addr, MISSING) is None`` is a one-lookup hit test.
 MISSING = object()
 
+#: Minimum positions an :class:`L1ServiceTrace` walk extends by at once:
+#: resolves request a few hundred positions at a time, and thousands of
+#: tiny ``access_run`` calls would be overhead-bound. :meth:`warm` also
+#: walks one block past the stream period so lanes that consume a little
+#: more than one full pass (the common case) never extend at all.
+_TRACE_EXTEND_BLOCK = 8192
+
+
+class L1ServiceTrace:
+    """Precomputed L1 hit/miss decisions for one workload stream.
+
+    The private L1 is unaffected by the LLC, the monitor, and the other
+    domains: its hit/miss pattern over a stream is a pure function of
+    the address sequence alone (see the module docstring's feedback
+    argument). That makes the pattern *shareable* — lanes of a stacked
+    chunk that simulate the same stream (and every speculative replay
+    within one lane) can all be served from a single walk of the L1
+    instead of each re-walking it with journaling and rollback.
+
+    The trace walks the stream's memory-access sequence lazily and
+    cyclically (streams wrap for pressure maintenance), extending an
+    append-only hit/miss buffer on demand through
+    :meth:`~repro.sim.cache.SetAssociativeCache.access_run` on a
+    private replica built by the same :func:`~repro.sim.kernelmode.make_cache`
+    the live hierarchy uses — so the recorded decisions are bit-identical
+    to the decisions the lane's own L1 would have made. Handed-out
+    slices are views of an append-only buffer, so concurrent lanes at
+    different positions never invalidate each other.
+    """
+
+    __slots__ = ("geometry", "_cache", "_addrs", "_period", "_hits", "_walked")
+
+    def __init__(self, mem_addrs: np.ndarray, config: ArchConfig):
+        l1_sets = max(1, config.l1_lines // config.l1_associativity)
+        self.geometry = (l1_sets, config.l1_associativity)
+        self._cache = make_cache(l1_sets, config.l1_associativity)
+        self._addrs = np.ascontiguousarray(mem_addrs, dtype=np.int64)
+        self._period = int(self._addrs.shape[0])
+        self._hits = np.zeros(0, dtype=bool)
+        self._walked = 0
+
+    @classmethod
+    def for_stream(cls, stream, config: ArchConfig) -> "L1ServiceTrace":
+        """Trace over a stream's memory events (stall slots excluded)."""
+        addrs = stream.addresses[stream.event_positions]
+        return cls(addrs[addrs >= 0], config)
+
+    def warm(self) -> None:
+        """Eagerly walk one full pass of the stream.
+
+        Campaign engines call this in the parent process before forking
+        workers: the walked buffer is inherited copy-on-write, so each
+        worker only extends the trace past the first pass instead of
+        replaying it from zero. Typical lanes consume little more than
+        one pass, so one pass captures the bulk of the walk.
+        """
+        target = self._period + _TRACE_EXTEND_BLOCK
+        if self._period and self._walked < target:
+            self._extend(target)
+
+    def hits(self, start: int, stop: int) -> np.ndarray:
+        """Hit/miss booleans for absolute access positions [start, stop)."""
+        if stop > self._walked:
+            self._extend(stop)
+        return self._hits[start:stop]
+
+    def _extend(self, target: int) -> None:
+        if self._period == 0:
+            raise ValueError("cannot trace a stream with no memory accesses")
+        # Walk well past the request: resolves ask for a few hundred
+        # positions at a time, and thousands of tiny access_run calls
+        # would be overhead-bound. Extending in blocks keeps the walk
+        # to a handful of bulk calls per stream, at a bounded overshoot
+        # of one block past what the lanes actually consume.
+        target = max(target, self._walked + _TRACE_EXTEND_BLOCK)
+        if target > self._hits.shape[0]:
+            capacity = max(self._hits.shape[0], self._period)
+            while capacity < target:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=bool)
+            grown[: self._walked] = self._hits[: self._walked]
+            # Old buffer (and every view into it) stays alive and final;
+            # only positions past _walked are ever written again.
+            self._hits = grown
+        addrs = self._addrs
+        walked = self._walked
+        while walked < target:
+            offset = walked % self._period
+            n = min(self._period - offset, target - walked)
+            segment, _ = self._cache.access_run(addrs[offset : offset + n])
+            self._hits[walked : walked + n] = segment
+            walked += n
+        self._walked = walked
+
 
 class MemoryLevel(enum.IntEnum):
     """The level of the hierarchy that served an access."""
@@ -87,6 +181,8 @@ class DomainMemory:
         "_dram_latency",
         "_distinct_latencies",
         "level_counts",
+        "_l1_trace",
+        "_l1_trace_pos",
     )
 
     def __init__(
@@ -111,6 +207,31 @@ class DomainMemory:
             len({config.l1_latency, config.llc_latency, config.dram_latency}) == 3
         )
         self.level_counts = {level: 0 for level in MemoryLevel}
+        self._l1_trace: L1ServiceTrace | None = None
+        self._l1_trace_pos = 0
+
+    def install_l1_trace(self, trace: L1ServiceTrace) -> None:
+        """Serve L1 decisions from a shared precomputed service trace.
+
+        Afterwards the live ``l1`` cache object is never walked: resolves
+        slice the trace at this domain's committed stream position and
+        only the L1-missing subsequence pays a per-access LLC walk. The
+        caller must install the trace *before* the first access, the
+        trace must cover exactly this domain's memory-access sequence in
+        order, and resolves must alternate strictly with commits (the
+        batched kernel's discipline) — the trace position advances only
+        at commit, which is what makes speculative rollback free on the
+        L1 side. ``l1.stats`` keeps hit/miss counts for served accesses;
+        eviction counts are not modeled on the traced path (no consumer
+        reads them).
+        """
+        if trace.geometry != (self.l1.num_sets, self.l1.associativity):
+            raise ValueError(
+                f"trace geometry {trace.geometry} does not match the L1 "
+                f"({self.l1.num_sets} sets x {self.l1.associativity} ways)"
+            )
+        self._l1_trace = trace
+        self._l1_trace_pos = 0
 
     @property
     def monitor_wants_hashes(self) -> bool:
@@ -132,7 +253,17 @@ class DomainMemory:
         the caches normally (the data still moves!) but are hidden from
         the monitor when annotations are respected.
         """
-        if self.l1.access(line_addr):
+        trace = self._l1_trace
+        if trace is not None:
+            pos = self._l1_trace_pos
+            self._l1_trace_pos = pos + 1
+            stats = self.l1.stats
+            if trace.hits(pos, pos + 1)[0]:
+                stats.hits += 1
+                self.level_counts[MemoryLevel.L1] += 1
+                return self._l1_latency
+            stats.misses += 1
+        elif self.l1.access(line_addr):
             self.level_counts[MemoryLevel.L1] += 1
             return self._l1_latency
         if self.monitor is not None and (
@@ -173,6 +304,8 @@ class DomainMemory:
         loop of the simulator — instead of two staged
         :meth:`~repro.sim.cache.SetAssociativeCache.access_run` calls.
         """
+        if self._l1_trace is not None:
+            return self._resolve_block_traced(addrs, speculative)
         l1 = self.l1
         binding = getattr(self.llc_view, "kernel_binding", None)
         if (
@@ -353,6 +486,210 @@ class DomainMemory:
         token = (addrs, latency_array, None, l1_snapshot, llc_snapshot)
         return latency_array, token
 
+    def _resolve_block_traced(
+        self, addrs: np.ndarray, speculative: bool
+    ) -> tuple[np.ndarray, tuple]:
+        """Resolve via the installed L1 service trace.
+
+        L1 decisions are a slice of the shared trace at this domain's
+        committed position — no dict walk, no journal, and rollback is
+        free (the position only advances at commit). Only the L1-missing
+        subsequence walks the LLC: through one lazily-journaled loop
+        over the raw packed-recency dicts when the view exposes a
+        ``kernel_binding`` (the same fusion :meth:`_resolve_block_fused`
+        applies), else through the staged ``snapshot_for``/``access_run``
+        primitives. Either way LLC state and counters evolve exactly as
+        the generic path's would.
+        """
+        n = int(addrs.shape[0])
+        pos = self._l1_trace_pos
+        l1_hits = self._l1_trace.hits(pos, pos + n)
+        miss_mask = ~l1_hits
+        miss_addrs = addrs[miss_mask]
+        latencies = np.full(n, self._l1_latency, dtype=np.int64)
+        if miss_addrs.shape[0]:
+            llc_snapshot = None
+            llc_hits = None
+            binding = getattr(self.llc_view, "kernel_binding", None)
+            if binding is not None:
+                llc_cache, offset, domain_stats = binding()
+                if type(llc_cache) is SetAssociativeCache and llc_cache._lru:
+                    llc_snapshot, llc_hits = self._llc_walk_journaled(
+                        miss_addrs, speculative, llc_cache, offset, domain_stats
+                    )
+            if llc_hits is None:
+                llc_snapshot = (
+                    self.llc_view.snapshot_for(miss_addrs)
+                    if speculative
+                    else None
+                )
+                llc_hits = self.llc_view.access_run(miss_addrs)
+            latencies[miss_mask] = np.where(
+                llc_hits, self._llc_latency, self._dram_latency
+            )
+        else:
+            llc_snapshot = None
+            llc_hits = miss_addrs.astype(bool)
+        token = (
+            addrs,
+            latencies,
+            (miss_mask, llc_hits),
+            (self._l1_trace, speculative),
+            llc_snapshot,
+        )
+        return latencies, token
+
+    def _llc_walk_journaled(
+        self,
+        addrs: np.ndarray,
+        speculative: bool,
+        cache: SetAssociativeCache,
+        offset: int,
+        domain_stats,
+    ) -> tuple[tuple | None, np.ndarray]:
+        """One-loop LLC walk over the raw packed-recency dicts.
+
+        The traced resolve's LLC half of :meth:`_resolve_block_fused`:
+        semantically identical to ``snapshot_for`` + ``access_run`` on
+        the view (same dict operations in the same order, stats applied
+        in bulk), but the snapshot is journaled lazily as sets are first
+        touched instead of in an eager pre-pass. Returns the snapshot in
+        the exact layout the view's ``restore_snapshot`` expects, plus
+        the per-access hit vector.
+        """
+        if speculative:
+            journal: dict | None = {}
+            stats = cache.stats
+            cache_snapshot = (
+                journal,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.invalidations,
+                cache._resident,
+            )
+            if domain_stats is None:
+                snapshot: tuple | None = cache_snapshot
+            else:
+                snapshot = (
+                    cache_snapshot,
+                    domain_stats.hits,
+                    domain_stats.misses,
+                )
+        else:
+            journal = None
+            snapshot = None
+        sets = cache._sets
+        num_sets = cache.num_sets
+        assoc = cache.associativity
+        tagged = addrs + offset if offset else addrs
+        indexes = tagged % num_sets
+        hit = miss = evict = 0
+        out: list[bool] = []
+        append = out.append
+        for addr, index in zip(tagged.tolist(), indexes.tolist()):
+            ways = sets[index]
+            if journal is not None and index not in journal:
+                journal[index] = dict(ways)
+            if ways.pop(addr, MISSING) is None:
+                ways[addr] = None
+                hit += 1
+                append(True)
+            else:
+                if len(ways) >= assoc:
+                    del ways[next(iter(ways))]
+                    evict += 1
+                ways[addr] = None
+                miss += 1
+                append(False)
+        stats = cache.stats
+        stats.hits += hit
+        stats.misses += miss
+        stats.evictions += evict
+        cache._resident += miss - evict
+        if domain_stats is not None:
+            domain_stats.hits += hit
+            domain_stats.misses += miss
+        return snapshot, np.array(out, dtype=bool)
+
+    def _commit_block_traced(
+        self,
+        token: tuple,
+        count: int,
+        metric_excluded: np.ndarray | None,
+        hashes: np.ndarray | None,
+    ) -> None:
+        """Commit a traced resolve's prefix.
+
+        The L1 side needs no restore or replay — advancing the trace
+        position by ``count`` *is* the commit. A partial commit restores
+        the LLC snapshot and re-walks the kept prefix's misses for state
+        (the walk is deterministic from the restored state, so its hit
+        pattern equals the original resolve's prefix).
+        """
+        addrs, latencies, masks, (_, speculative), llc_snapshot = token
+        n = int(addrs.shape[0])
+        miss_mask, llc_hits = masks
+        if count < n:
+            if not speculative:
+                raise ValueError("partial commit requires a speculative resolve")
+            miss_mask = miss_mask[:count]
+            kept_misses = int(np.count_nonzero(miss_mask))
+            if llc_snapshot is not None:
+                self.llc_view.restore_snapshot(llc_snapshot)
+                if kept_misses:
+                    # Deterministic replay of the kept prefix's misses
+                    # for LLC state; fused when the view allows it.
+                    replay = addrs[:count][miss_mask]
+                    binding = getattr(self.llc_view, "kernel_binding", None)
+                    replayed = False
+                    if binding is not None:
+                        llc_cache, offset, domain_stats = binding()
+                        if (
+                            type(llc_cache) is SetAssociativeCache
+                            and llc_cache._lru
+                        ):
+                            self._llc_walk_journaled(
+                                replay, False, llc_cache, offset, domain_stats
+                            )
+                            replayed = True
+                    if not replayed:
+                        self.llc_view.access_run(replay)
+            llc_hits = llc_hits[:kept_misses]
+            addrs = addrs[:count]
+        if not count:
+            return
+        self._l1_trace_pos += count
+        num_misses = int(np.count_nonzero(miss_mask))
+        counts = self.level_counts
+        counts[MemoryLevel.L1] += count - num_misses
+        num_llc = int(np.count_nonzero(llc_hits))
+        counts[MemoryLevel.LLC] += num_llc
+        counts[MemoryLevel.DRAM] += num_misses - num_llc
+        stats = self.l1.stats
+        stats.hits += count - num_misses
+        stats.misses += num_misses
+        if num_misses == 0:
+            return
+        monitor = self.monitor
+        if monitor is not None:
+            if self.monitor_respects_annotations and metric_excluded is not None:
+                keep = miss_mask & ~metric_excluded[:count]
+            else:
+                keep = miss_mask
+            monitored = addrs[keep]
+            if monitored.shape[0]:
+                monitored_hashes = (
+                    hashes[:count][keep] if hashes is not None else None
+                )
+                observe_block = getattr(monitor, "observe_block", None)
+                if observe_block is not None:
+                    observe_block(monitored, monitored_hashes)
+                else:
+                    observe = monitor.observe
+                    for line_addr in monitored.tolist():
+                        observe(line_addr)
+
     def commit_block(
         self,
         token: tuple,
@@ -369,6 +706,8 @@ class DomainMemory:
         exactly as if only those accesses had happened. ``metric_excluded``
         and ``hashes`` are aligned with the block's address array.
         """
+        if self._l1_trace is not None:
+            return self._commit_block_traced(token, count, metric_excluded, hashes)
         addrs, latencies, masks, l1_snapshot, llc_snapshot = token
         n = int(addrs.shape[0])
         if count < n:

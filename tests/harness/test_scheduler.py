@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 
 import pytest
 
 from repro.harness.exec import (
     ExecutionEngine,
     MixSchemeCell,
+    _Chunk,
     _Supervisor,
     cell_key,
     expected_cost,
@@ -78,6 +80,49 @@ class BatchableCell(SleepCell):
 
     def batch_group(self):
         return ("batchable",)
+
+
+class StackableCell(BatchableCell):
+    """A batchable cell that also opts into lane-stacked execution.
+
+    ``execute`` and ``execute_stacked`` return distinguishable values,
+    so a test can prove which path actually ran a cell.
+    """
+
+    def batch_group(self):
+        return ("stackable",)
+
+    def execute(self):
+        return f"seq:{self.ident}"
+
+    @staticmethod
+    def execute_stacked(cells, max_lanes=None):
+        return [f"stacked:{cell.ident}" for cell in cells]
+
+
+class FlakyStackCell(StackableCell):
+    """Stacked execution fails exactly the odd-numbered lanes."""
+
+    def batch_group(self):
+        return ("flaky-stack",)
+
+    @staticmethod
+    def execute_stacked(cells, max_lanes=None):
+        return [
+            RuntimeError("lane exploded")
+            if cell.ident % 2
+            else f"stacked:{cell.ident}"
+            for cell in cells
+        ]
+
+
+def _planner(engine, hints, slots=2):
+    """A supervisor stripped to its planning state — no worker spawns."""
+    supervisor = _Supervisor.__new__(_Supervisor)
+    supervisor.engine = engine
+    supervisor.deques = [deque() for _ in range(slots)]
+    supervisor.hints = hints
+    return supervisor
 
 
 def read_events(path, name):
@@ -263,3 +308,203 @@ class TestResumeUnderSteal:
         # Replayed cells never reach the supervisor: only the four new
         # cells were chunked and dispatched.
         assert snap["batched_cells"] == 4
+
+
+class TestHintGranularity:
+    """Journal runtime hints: label, (family, profile), legacy family."""
+
+    def test_profiled_entries_build_label_and_profile_keys(self):
+        entries = {
+            "a": JournalEntry(
+                "a", "mix[x]/untangle", "computed", 4.0, 1, profile="test"
+            ),
+            "b": JournalEntry(
+                "b", "mix[y]/untangle", "computed", 2.0, 1, profile="test"
+            ),
+            "c": JournalEntry(
+                "c", "mix[x]/untangle", "computed", 40.0, 1, profile="bench"
+            ),
+        }
+        hints = runtime_hints_from_entries(entries)
+        assert hints[("untangle", "test")] == pytest.approx(3.0)
+        assert hints[("untangle", "bench")] == pytest.approx(40.0)
+        # Labels repeat across profiles; the label mean pools them.
+        assert hints["mix[x]/untangle"] == pytest.approx(22.0)
+        # Profiled entries never feed the legacy bare-family key.
+        assert "untangle" not in hints
+
+    def test_expected_cost_prefers_label_then_profile_then_family(self):
+        cell = MixSchemeCell(pairs=PAIRS, scheme="untangle", profile=TEST)
+        label_hints = {
+            cell.label: 5.0,
+            ("untangle", "test"): 9.0,
+            "untangle": 2.0,
+        }
+        assert expected_cost(cell, label_hints) == pytest.approx(5.0)
+        del label_hints[cell.label]
+        assert expected_cost(cell, label_hints) == pytest.approx(9.0)
+        del label_hints[("untangle", "test")]
+        # Legacy journals (no profile recorded) still order the seeding.
+        assert expected_cost(cell, label_hints) == pytest.approx(2.0)
+
+    def test_wrong_profile_history_is_ignored(self):
+        cell = MixSchemeCell(pairs=PAIRS, scheme="untangle", profile=TEST)
+        # Only bench-profile history exists: a test-profile campaign
+        # must fall through to the family weight, not inherit walls
+        # that are orders of magnitude off.
+        bench_only = {("untangle", "bench"): 1000.0}
+        assert expected_cost(cell, bench_only) == expected_cost(cell, {})
+
+
+class TestCostAwarePlanning:
+    def _cells(self, count):
+        return [BatchableCell(i, 0.0, hint=1.0) for i in range(count)]
+
+    @staticmethod
+    def _pending(cells):
+        return [(i, cell, cell_key(cell)) for i, cell in enumerate(cells)]
+
+    def test_skewed_group_splits_stragglers_out(self):
+        cells = self._cells(6)
+        hints = {cell.label: 1.0 for cell in cells}
+        hints[cells[2].label] = 10.0  # > 2x the median of 1.0
+        planner = _planner(ExecutionEngine(jobs=2, batch_cells=6), hints)
+        chunks = planner._plan_chunks(self._pending(cells))
+        assert sorted(len(chunk.cells) for chunk in chunks) == [1, 5]
+        singleton = next(c for c in chunks if len(c.cells) == 1)
+        assert singleton.cells[0][1] is cells[2]
+        assert singleton.cost == pytest.approx(10.0)
+        # The remaining chunk preserves input order.
+        rest = next(c for c in chunks if len(c.cells) == 5)
+        assert [task[1].ident for task in rest.cells] == [0, 1, 3, 4, 5]
+
+    def test_uniform_hints_never_split(self):
+        cells = self._cells(6)
+        hints = {cell.label: 3.0 for cell in cells}
+        planner = _planner(ExecutionEngine(jobs=2, batch_cells=6), hints)
+        chunks = planner._plan_chunks(self._pending(cells))
+        assert [len(chunk.cells) for chunk in chunks] == [6]
+
+    def test_skew_below_threshold_keeps_group_whole(self):
+        cells = self._cells(5)
+        hints = {cell.label: 1.0 for cell in cells}
+        hints[cells[0].label] = 2.0  # exactly 2x median: not a straggler
+        planner = _planner(ExecutionEngine(jobs=2, batch_cells=5), hints)
+        chunks = planner._plan_chunks(self._pending(cells))
+        assert [len(chunk.cells) for chunk in chunks] == [5]
+
+    def test_split_runs_end_to_end(self, tmp_path):
+        """A journal seeded with one straggler label reshapes dispatch."""
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        cells = [BatchableCell(i, 0.0, hint=1.0) for i in range(6)]
+        for cell in cells:
+            journal.record(
+                JournalEntry(
+                    cell_key(cell),
+                    cell.label,
+                    "computed",
+                    9.0 if cell.ident == 0 else 1.0,
+                    1,
+                )
+            )
+        journal.close()
+        engine = ExecutionEngine(
+            jobs=2, batch_cells=6, journal=RunJournal(journal.path)
+        )
+        outcomes = engine.run(cells)
+        assert all(o.status == "computed" for o in outcomes)
+        snap = engine.telemetry.snapshot()
+        assert snap["batches"] == 2  # straggler singleton + the rest
+        assert snap["batched_cells"] == 6
+
+
+class TestPeerLoad:
+    def _supervisor_with_deques(self, deques):
+        supervisor = _planner(
+            ExecutionEngine(jobs=2), hints={}, slots=len(deques)
+        )
+        for slot, chunks in enumerate(deques):
+            supervisor.deques[slot].extend(chunks)
+        return supervisor
+
+    @staticmethod
+    def _chunk(ident, cost):
+        cell = BatchableCell(ident, 0.0, hint=cost)
+        return _Chunk(cells=[(ident, cell, f"k{ident}")], cost=cost)
+
+    def test_victim_is_costliest_peer_not_longest(self):
+        heavy = [self._chunk(0, 10.0)]
+        many = [self._chunk(i, 1.0) for i in range(1, 4)]
+        supervisor = self._supervisor_with_deques([[], heavy, many])
+        assert supervisor._peer_load(1) == (10.0, 1)
+        assert supervisor._peer_load(2) == (3.0, 3)
+        stolen = supervisor._steal(0)
+        assert stolen is not None
+        assert stolen[0][0] == 0  # came from the heavy deque
+        assert supervisor.engine.telemetry.steals == 1
+
+    def test_chunk_count_breaks_cost_ties(self):
+        one = [self._chunk(0, 2.0)]
+        two = [self._chunk(1, 1.0), self._chunk(2, 1.0)]
+        supervisor = self._supervisor_with_deques([[], one, two])
+        stolen = supervisor._steal(0)
+        # Equal cost: the peer with more stealable units is the victim
+        # (its back chunk is cheapest, so ident 2 comes over).
+        assert stolen[0][0] == 2
+
+
+class TestStackedDispatch:
+    def test_parallel_chunks_route_through_execute_stacked(self):
+        cells = [StackableCell(i, 0.0, hint=1.0) for i in range(6)]
+        engine = ExecutionEngine(jobs=2, batch_cells=3, stack_lanes=0)
+        outcomes = engine.run(cells)
+        assert [o.value for o in outcomes] == [
+            f"stacked:{i}" for i in range(6)
+        ]
+        snap = engine.telemetry.snapshot()
+        assert "stacked_cells" in snap and "lane_divergences" in snap
+
+    def test_serial_groups_route_through_execute_stacked(self):
+        cells = [StackableCell(i, 0.0, hint=1.0) for i in range(4)]
+        engine = ExecutionEngine(jobs=1, stack_lanes=0)
+        outcomes = engine.run(cells)
+        assert [o.value for o in outcomes] == [
+            f"stacked:{i}" for i in range(4)
+        ]
+
+    def test_stacking_off_by_default(self):
+        cells = [StackableCell(i, 0.0, hint=1.0) for i in range(4)]
+        engine = ExecutionEngine(jobs=1)
+        outcomes = engine.run(cells)
+        assert [o.value for o in outcomes] == [f"seq:{i}" for i in range(4)]
+
+    def test_failed_lane_falls_back_and_retries_sequentially(self):
+        cells = [FlakyStackCell(i, 0.0, hint=1.0) for i in range(4)]
+        engine = ExecutionEngine(jobs=1, stack_lanes=0, backoff_base=0.0)
+        outcomes = engine.run(cells)
+        assert all(o.status == "computed" for o in outcomes)
+        # Even lanes came out of the stack; odd lanes were isolated
+        # failures re-run through the sequential path.
+        assert [o.value for o in outcomes] == [
+            "stacked:0", "seq:1", "stacked:2", "seq:3"
+        ]
+
+    def test_real_cells_book_stacked_telemetry(self):
+        cells = [
+            MixSchemeCell(pairs=PAIRS, scheme="static", profile=TEST),
+            MixSchemeCell(
+                pairs=(("xz_1", "AES-128"), ("mcf_0", "SHA-256")),
+                scheme="static",
+                profile=TEST,
+            ),
+        ]
+        engine = ExecutionEngine(jobs=1, stack_lanes=0)
+        outcomes = engine.run(cells)
+        assert all(o.status == "computed" for o in outcomes)
+        assert engine.telemetry.snapshot()["stacked_cells"] == 2
+
+    def test_stack_lanes_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExecutionEngine(jobs=1, stack_lanes=-1)

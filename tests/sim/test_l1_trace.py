@@ -1,0 +1,160 @@
+"""Unit tests for the shared L1 service trace and the traced resolve path.
+
+The end-to-end stacked-lanes suite already pins bit-identity of whole
+simulations; these tests pin the trace primitive directly — the cyclic
+walk, the warm/extend contract, geometry checking, and a differential
+drive of a traced ``DomainMemory`` against an untraced twin through the
+resolve/commit discipline, partial commits included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ArchConfig
+from repro.sim.hierarchy import (
+    _TRACE_EXTEND_BLOCK,
+    DomainMemory,
+    L1ServiceTrace,
+    MemoryLevel,
+)
+from repro.sim.kernelmode import make_cache
+from repro.sim.partition import PartitionedLLC
+
+
+def _cyclic(addrs: np.ndarray, start: int, n: int) -> np.ndarray:
+    """Positions [start, start+n) of the cyclic stream over ``addrs``."""
+    period = addrs.shape[0]
+    idx = (np.arange(start, start + n)) % period
+    return addrs[idx]
+
+
+@pytest.fixture()
+def stream_addrs() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    # Enough distinct lines to force L1 misses and evictions on the
+    # tiny machine (16 lines / 4 ways), with reuse for hits.
+    return rng.integers(0, 96, size=400, dtype=np.int64)
+
+
+class TestTraceWalk:
+    def test_matches_live_l1_walk(self, tiny_arch, stream_addrs):
+        trace = L1ServiceTrace(stream_addrs, tiny_arch)
+        n = 3 * stream_addrs.shape[0] + 37  # multiple wraps, ragged stop
+        got = trace.hits(0, n)
+
+        l1_sets = max(1, tiny_arch.l1_lines // tiny_arch.l1_associativity)
+        replica = make_cache(l1_sets, tiny_arch.l1_associativity)
+        expected, _ = replica.access_run(_cyclic(stream_addrs, 0, n))
+        assert np.array_equal(np.asarray(got), expected)
+
+    def test_slices_are_stable_across_growth(self, tiny_arch, stream_addrs):
+        trace = L1ServiceTrace(stream_addrs, tiny_arch)
+        early = np.asarray(trace.hits(0, 50)).copy()
+        view = trace.hits(0, 50)
+        # Force several buffer reallocations, then re-check the view.
+        trace.hits(0, 6 * stream_addrs.shape[0])
+        assert np.array_equal(np.asarray(view), early)
+        assert np.array_equal(np.asarray(trace.hits(0, 50)), early)
+
+    def test_warm_covers_one_pass_plus_block(self, tiny_arch, stream_addrs):
+        trace = L1ServiceTrace(stream_addrs, tiny_arch)
+        trace.warm()
+        walked = trace._walked
+        assert walked >= stream_addrs.shape[0] + _TRACE_EXTEND_BLOCK
+        # A consumer staying inside the warmed range never extends.
+        trace.hits(0, stream_addrs.shape[0])
+        assert trace._walked == walked
+        trace.warm()  # idempotent
+        assert trace._walked == walked
+
+    def test_empty_stream(self, tiny_arch):
+        trace = L1ServiceTrace(np.empty(0, dtype=np.int64), tiny_arch)
+        trace.warm()  # a no-op, not an error
+        with pytest.raises(ValueError):
+            trace.hits(0, 1)
+
+    def test_for_stream_filters_stall_slots(self, tiny_arch):
+        class FakeStream:
+            addresses = np.array([5, -1, 7, -1, 9], dtype=np.int64)
+            event_positions = np.array([0, 1, 2, 4])
+
+        trace = L1ServiceTrace.for_stream(FakeStream(), tiny_arch)
+        assert trace._period == 3  # -1 stall slots dropped
+
+
+class TestInstall:
+    def test_geometry_mismatch_raises(self, tiny_arch, stream_addrs):
+        other = ArchConfig.scaled()
+        assert (other.l1_lines, other.l1_associativity) != (
+            tiny_arch.l1_lines,
+            tiny_arch.l1_associativity,
+        )
+        trace = L1ServiceTrace(stream_addrs, other)
+        memory = _make_memory(tiny_arch)
+        with pytest.raises(ValueError, match="geometry"):
+            memory.install_l1_trace(trace)
+
+
+class RecordingMonitor:
+    def __init__(self):
+        self.observed: list[int] = []
+
+    def observe(self, line_addr):
+        self.observed.append(line_addr)
+
+
+def _make_memory(arch: ArchConfig) -> DomainMemory:
+    llc = PartitionedLLC(
+        arch.llc_lines,
+        arch.llc_associativity,
+        arch.num_cores,
+        arch.default_partition_lines,
+    )
+    return DomainMemory(arch, llc.view(0), monitor=RecordingMonitor())
+
+
+class TestTracedDifferential:
+    """Drive traced and untraced twins through resolve/commit lock-step."""
+
+    def _drive(self, tiny_arch, stream_addrs, commit_plan):
+        traced = _make_memory(tiny_arch)
+        plain = _make_memory(tiny_arch)
+        trace = L1ServiceTrace(stream_addrs, tiny_arch)
+        traced.install_l1_trace(trace)
+
+        rng = np.random.default_rng(11)
+        pos = 0
+        for block_len, count in commit_plan:
+            block = _cyclic(stream_addrs, pos, block_len)
+            excluded = rng.random(block_len) < 0.25
+            lat_traced, tok_traced = traced.resolve_block(block)
+            lat_plain, tok_plain = plain.resolve_block(block)
+            assert np.array_equal(lat_traced, lat_plain)
+            traced.commit_block(tok_traced, count, metric_excluded=excluded)
+            plain.commit_block(tok_plain, count, metric_excluded=excluded)
+            pos += count
+
+        assert traced.level_counts == plain.level_counts
+        # Eviction counts are not modeled on the traced L1, but the
+        # served hit/miss counts must agree.
+        assert traced.l1.stats.hits == plain.l1.stats.hits
+        assert traced.l1.stats.misses == plain.l1.stats.misses
+        assert traced.monitor.observed == plain.monitor.observed
+        assert traced.level_counts[MemoryLevel.L1] > 0
+        assert traced.level_counts[MemoryLevel.DRAM] > 0
+        return traced, plain
+
+    def test_full_commits(self, tiny_arch, stream_addrs):
+        plan = [(60, 60)] * 9  # wraps past the period
+        self._drive(tiny_arch, stream_addrs, plan)
+
+    def test_partial_commits_roll_back_and_replay(self, tiny_arch, stream_addrs):
+        plan = [(50, 50), (64, 23), (64, 0), (40, 40), (80, 17), (64, 64)]
+        traced, plain = self._drive(tiny_arch, stream_addrs, plan)
+        # The LLC genuinely walked both twins identically, rollback
+        # replays included.
+        t_stats = traced.llc_view.kernel_binding()[0].stats
+        p_stats = plain.llc_view.kernel_binding()[0].stats
+        assert (t_stats.hits, t_stats.misses) == (p_stats.hits, p_stats.misses)

@@ -1,0 +1,262 @@
+"""Differential tests: the stacked-lanes driver vs sequential execution.
+
+:class:`~repro.sim.batch.StackedLanes` claims lane-level *bit identity*
+with the sequential batched kernel: interleaving K cells' kernel
+generators and servicing each round of their cumsum requests with one
+2-D ``np.cumsum(slab, axis=1)`` must produce, for every lane, exactly
+the result :func:`~repro.sim.batch.drive_kernel` produces for that
+lane alone. These tests pin the contract at three levels:
+
+* toy kernel generators (exact float equality, divergence counting,
+  early finish, per-lane exception isolation, slab growth mid-run);
+* full system runs — every scheme's mix cell stacked against its own
+  sequential run, including lanes that diverge mid-chunk on resizing
+  assessments and lanes that finish early;
+* the shared scratch arena reused across chunk boundaries (the
+  allocation-sharing layer under the stacked driver) against fresh
+  per-cell allocation.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchConfig
+from repro.harness.exec import MixSchemeCell
+from repro.harness.experiment import (
+    SCHEME_NAMES,
+    prepare_mix_scheme,
+    run_mix_scheme,
+    run_mix_schemes_stacked,
+)
+from repro.harness.runconfig import TEST
+from repro.sim.batch import StackedLanes, cell_scratch, drive_kernel
+from repro.sim.hierarchy import DomainMemory
+from repro.sim.partition import PartitionedLLC
+
+PAIRS = [("gcc_2", "AES-128"), ("imagick_0", "SHA-256")]
+
+
+# ----------------------------------------------------------------------
+# Toy kernel generators: the protocol in isolation
+# ----------------------------------------------------------------------
+def _toy_lane(blocks, markers_at=(), fail_at=None):
+    """A kernel generator summing cumsum tops over ``blocks``.
+
+    Mirrors the real kernel's shape: optional divergence markers
+    between requests, a scalar tail after the last request, and a
+    meaningful return value built *from the replies* — so any reply
+    corruption (wrong row, stale view, wrong width) changes the result.
+    """
+
+    def gen():
+        total = 0.0
+        for i, block in enumerate(blocks):
+            if fail_at is not None and i == fail_at:
+                raise RuntimeError(f"lane failed at block {i}")
+            if i in markers_at:
+                yield ("diverge", "assessment", 0)
+            deltas = np.asarray(block, dtype=np.float64)
+            out = np.empty_like(deltas)
+            cum = yield ("cumsum", deltas, out)
+            total += float(cum[-1]) + float(cum[0])
+        return total
+
+    return gen()
+
+
+_BLOCK = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=30,
+)
+_LANE = st.lists(_BLOCK, min_size=1, max_size=8)
+
+
+class TestStackedLanesUnit:
+    @settings(max_examples=60, deadline=None)
+    @given(lanes=st.lists(_LANE, min_size=1, max_size=6))
+    def test_bit_identical_to_sequential_drive(self, lanes):
+        sequential = [drive_kernel(_toy_lane(blocks)) for blocks in lanes]
+        stacked = StackedLanes([_toy_lane(blocks) for blocks in lanes]).run()
+        assert stacked.results == sequential  # exact float equality
+
+    def test_rowwise_cumsum_matches_per_row(self):
+        """The vectorization claim itself: axis-1 cumsum == per-row 1-D."""
+        rng = np.random.default_rng(3)
+        slab = rng.standard_normal((8, 257))
+        stacked = np.cumsum(slab, axis=1)
+        for row in range(slab.shape[0]):
+            assert np.array_equal(stacked[row], np.cumsum(slab[row]))
+
+    def test_divergence_markers_and_early_finish_counted(self):
+        # Lane 0: 3 blocks, one marker. Lane 1: 1 block (finishes while
+        # lane 0 still runs: one "finish" divergence). Lane 2: 3 blocks,
+        # finishes last alongside lane 0 — whichever of the two remains
+        # alone does not count its own finish.
+        lanes = [
+            _toy_lane([[1.0], [2.0], [3.0]], markers_at=(1,)),
+            _toy_lane([[4.0]]),
+            _toy_lane([[5.0], [6.0], [7.0]]),
+        ]
+        stacked = StackedLanes(lanes).run()
+        # 1 marker + lane 1's early finish + the second-to-last finisher.
+        assert stacked.divergences == 3
+
+    def test_lane_exception_is_isolated(self):
+        lanes = [
+            _toy_lane([[1.0, 2.0], [3.0]]),
+            _toy_lane([[4.0], [5.0]], fail_at=1),
+            _toy_lane([[6.0], [7.0], [8.0]]),
+        ]
+        expected = [
+            drive_kernel(_toy_lane([[1.0, 2.0], [3.0]])),
+            None,
+            drive_kernel(_toy_lane([[6.0], [7.0], [8.0]])),
+        ]
+        stacked = StackedLanes(lanes).run()
+        assert isinstance(stacked.results[1], RuntimeError)
+        assert stacked.results[0] == expected[0]
+        assert stacked.results[2] == expected[2]
+
+    def test_slab_growth_mid_run_preserves_results(self):
+        """Widths that jump force a slab reallocation between rounds."""
+        lanes = [
+            [[1.0] * 2, [2.0] * 500, [3.0] * 4],
+            [[4.0] * 70, [5.0] * 3, [6.0] * 900],
+        ]
+        sequential = [drive_kernel(_toy_lane(blocks)) for blocks in lanes]
+        stacked = StackedLanes([_toy_lane(blocks) for blocks in lanes]).run()
+        assert stacked.results == sequential
+
+    def test_mixed_widths_in_one_round(self):
+        """Shorter rows must ignore the longer rows' columns entirely."""
+        lanes = [
+            [[1.0] * 1, [2.0] * 11],
+            [[3.0] * 64, [4.0] * 2],
+            [[5.0] * 7, [6.0] * 33],
+        ]
+        sequential = [drive_kernel(_toy_lane(blocks)) for blocks in lanes]
+        stacked = StackedLanes([_toy_lane(blocks) for blocks in lanes]).run()
+        assert stacked.results == sequential
+
+
+# ----------------------------------------------------------------------
+# End-to-end: full mix cells, every scheme
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sequential_runs():
+    return {
+        scheme: run_mix_scheme(list(PAIRS), scheme, TEST)
+        for scheme in SCHEME_NAMES
+    }
+
+
+class TestStackedEndToEnd:
+    def test_every_scheme_bit_identical(self, sequential_runs):
+        """All schemes as heterogeneous lanes of ONE stack.
+
+        Heterogeneous lanes are the adversarial case: the assessing
+        schemes (time, untangle) diverge mid-chunk on resizings while
+        static/shared march straight through, and cells retire at
+        different instruction counts, so early-finish divergence and
+        post-divergence re-joining are all exercised in one run.
+        """
+        cells = [(list(PAIRS), scheme, TEST) for scheme in SCHEME_NAMES]
+        stacked = run_mix_schemes_stacked(cells)
+        for scheme, result in zip(SCHEME_NAMES, stacked):
+            assert not isinstance(result, BaseException), result
+            assert MixSchemeCell.encode(result) == MixSchemeCell.encode(
+                sequential_runs[scheme]
+            ), scheme
+
+    def test_lane_cap_chunks_are_bit_identical(self, sequential_runs):
+        cells = [(list(PAIRS), scheme, TEST) for scheme in SCHEME_NAMES]
+        stacked = run_mix_schemes_stacked(cells, max_lanes=2)
+        for scheme, result in zip(SCHEME_NAMES, stacked):
+            assert MixSchemeCell.encode(result) == MixSchemeCell.encode(
+                sequential_runs[scheme]
+            ), scheme
+
+    def test_mid_chunk_divergence_really_happens(self):
+        """The equivalence above must cover diverged lanes, not dodge
+        them: an untangle lane performs resizing assessments mid-run,
+        so the stack must observe divergences (and still return the
+        bit-identical result, checked by the tests above)."""
+        prepared = [
+            prepare_mix_scheme(list(PAIRS), scheme, TEST)
+            for scheme in ("untangle", "static")
+        ]
+        stack = StackedLanes(
+            [p.system.run_gen(p.profile.max_cycles) for p in prepared]
+        ).run()
+        assert stack.divergences > 0
+        for prep, outcome in zip(prepared, stack.results):
+            assert not isinstance(outcome, BaseException)
+            prep.system.finish(*outcome)
+
+
+# ----------------------------------------------------------------------
+# Scratch arena reuse across chunk boundaries (the layer underneath)
+# ----------------------------------------------------------------------
+def _run_cells(cell_blocks, nested: bool):
+    """Run a 'chunk' of little cells; return every observable.
+
+    ``nested=True`` mirrors the worker/stacked driver: one chunk-level
+    arena with a (reentrant, no-op) per-cell activation inside it, so
+    buffers are reused across cells *and* across the chunk boundary.
+    ``nested=False`` allocates fresh per cell.
+    """
+    arch = ArchConfig.tiny(num_cores=2)
+    outputs = []
+    with ExitStack() as chunk:
+        if nested:
+            chunk.enter_context(cell_scratch())
+        for blocks in cell_blocks:
+            with ExitStack() as cell:
+                if nested:
+                    cell.enter_context(cell_scratch())
+                llc = PartitionedLLC(
+                    arch.llc_lines,
+                    arch.llc_associativity,
+                    arch.num_cores,
+                    arch.default_partition_lines,
+                )
+                memory = DomainMemory(arch, llc.view(0))
+                for block in blocks:
+                    latencies = memory.access_block(
+                        np.asarray(block, dtype=np.int64)
+                    )
+                    outputs.append(latencies.tolist())
+                outputs.append(dict(memory.level_counts))
+    return outputs
+
+
+class TestScratchAcrossChunks:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cell_blocks=st.lists(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=150),
+                    min_size=1,
+                    max_size=40,
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_nested_reused_arena_matches_fresh_allocation(self, cell_blocks):
+        assert _run_cells(cell_blocks, nested=True) == _run_cells(
+            cell_blocks, nested=False
+        )

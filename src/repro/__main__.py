@@ -3,10 +3,18 @@
 Runs the paper's experiments from a terminal without writing any code:
 
 * ``python -m repro mix 1``              — one figure group (Figure 10 style)
+* ``python -m repro mix 1 --schemes static threshold``  — ad-hoc scheme set
 * ``python -m repro sensitivity``        — Figure 11 (all 36 benchmarks)
 * ``python -m repro table6``             — Table 6 (mixes 1-4)
 * ``python -m repro rmax``               — Appendix A rate table
+* ``python -m repro scenario spec.toml`` — run a declarative scenario file
+* ``python -m repro conform --all``      — scheme conformance battery
 * ``python -m repro mix 1 --profile test``  — faster, smaller profile
+
+Scheme names everywhere (``--schemes``, scenario files) resolve through
+the plugin registry (``repro.registry``), so third-party schemes
+registered via ``repro.plugins`` entry points are first-class citizens
+of every command, including ``conform``.
 
 Simulation commands accept ``--jobs N`` to fan independent simulation
 cells out over a process pool and cache results on disk under
@@ -75,12 +83,16 @@ from repro.harness.experiment import run_mix
 from repro.harness.profiling import PROFILE_DIR_ENV, PROFILE_ENV
 from repro.harness.figures import figure_group
 from repro.harness.report import (
+    render_conformance,
     render_figure_group,
+    render_mix_result,
+    render_scenario,
     render_sensitivity,
     render_table6,
     render_telemetry,
 )
 from repro.harness.runconfig import PROFILES
+from repro.registry import scheme_names
 from repro.harness.sensitivity import run_sensitivity_study
 from repro.harness.tables import table6
 from repro.obs import configure_tracing
@@ -248,6 +260,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     mix = commands.add_parser("mix", help="run one workload mix (Figures 10/12-17)")
     mix.add_argument("mix_id", type=int, choices=range(1, 17))
+    mix.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=scheme_names(),
+        default=None,
+        metavar="SCHEME",
+        help=(
+            "registry scheme names to run instead of the default "
+            "campaign set (registered: " + ", ".join(scheme_names()) + ")"
+        ),
+    )
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="run a declarative scenario spec (TOML/JSON; docs/scenarios.md)",
+    )
+    scenario.add_argument("spec_path", help="scenario file (.toml or .json)")
+
+    conform = commands.add_parser(
+        "conform",
+        help=(
+            "scheme conformance battery: P1/P2 principles, action-leakage, "
+            "kernel bit-identity, lane stacking, store tokens, telemetry"
+        ),
+    )
+    conform.add_argument(
+        "schemes",
+        nargs="*",
+        metavar="SCHEME",
+        help="schemes to check (default: every registered scheme)",
+    )
+    conform.add_argument(
+        "--all",
+        action="store_true",
+        help="check every registered scheme plus registration drift",
+    )
+    conform.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload-pair set (the default; CI speed)",
+    )
+    conform.add_argument(
+        "--full",
+        action="store_true",
+        help="extended workload-pair set (slower, broader coverage)",
+    )
+    conform.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="test",
+        help=(
+            "profile for conformance runs (default: test — the checks "
+            "are differential properties, not performance measurements)"
+        ),
+    )
 
     commands.add_parser(
         "sensitivity", help="LLC sensitivity study of all 36 benchmarks (Figure 11)"
@@ -397,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace-summarize":
         print(render_summary(summarize_trace(args.trace_path)))
         return 0
+    if args.command == "conform":
+        return _run_conform(args)
     profile = PROFILES[args.profile]
     if args.cprofile:
         # Workers inherit the environment, so the request reaches the
@@ -416,9 +485,21 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.command == "mix":
-            result = run_mix(args.mix_id, profile, engine=engine)
-            group = figure_group(args.mix_id, profile, mix_result=result)
-            print(render_figure_group(group))
+            schemes = _dedup(args.schemes) if args.schemes else None
+            result = run_mix(args.mix_id, profile, schemes, engine=engine)
+            if schemes is None:
+                group = figure_group(args.mix_id, profile, mix_result=result)
+                print(render_figure_group(group))
+            else:
+                # An ad-hoc scheme set need not contain the figure's
+                # static/time/untangle columns; render the plain table.
+                print(render_mix_result(result))
+        elif args.command == "scenario":
+            from repro.registry.scenario import load_scenario, run_scenario
+
+            spec = load_scenario(args.spec_path)
+            result = run_scenario(spec, base_profile=profile, engine=engine)
+            print(render_scenario(result))
         elif args.command == "sensitivity":
             curves = run_sensitivity_study(profile=profile, engine=engine)
             print(render_sensitivity(curves))
@@ -443,6 +524,9 @@ def main(argv: list[str] | None = None) -> int:
             print(render_telemetry(engine.telemetry), file=sys.stderr)
         _write_metrics(args)
         return 130
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:
         # Rendering needs every cell's result; with failed/poisoned
         # cells it can legitimately come up short (e.g. a figure's
@@ -460,6 +544,51 @@ def main(argv: list[str] | None = None) -> int:
         print(render_telemetry(engine.telemetry), file=sys.stderr)
     _write_metrics(args)
     return _campaign_exit_status(engine)
+
+
+def _dedup(names: list[str]) -> tuple[str, ...]:
+    """Order-preserving dedup (``--schemes static static`` runs one cell)."""
+    return tuple(dict.fromkeys(names))
+
+
+def _run_conform(args: argparse.Namespace) -> int:
+    """``python -m repro conform``: the scheme conformance battery.
+
+    Runs without the execution engine — the checks construct their own
+    single-domain systems and throwaway engines. Exit status: 0 when
+    every check passes (or skips), 1 on any failure, 2 on bad usage.
+    """
+    from repro.registry.conformance import run_all
+
+    if args.quick and args.full:
+        print("error: --quick and --full conflict", file=sys.stderr)
+        return 2
+    names = list(_dedup(args.schemes))
+    if args.all and names:
+        print(
+            "error: give scheme names or --all, not both", file=sys.stderr
+        )
+        return 2
+    known = scheme_names()
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        print(
+            f"error: unregistered scheme(s): {', '.join(unknown)} "
+            f"(registered: {', '.join(known)})",
+            file=sys.stderr,
+        )
+        return 2
+    # Bare ``conform`` behaves like ``--all``: every registered scheme,
+    # plus the registration-drift detector. Named schemes skip drift —
+    # the caller asked about specific schemes, not registry hygiene.
+    reports = run_all(
+        schemes=names or None,
+        profile=PROFILES[args.profile],
+        quick=not args.full,
+        drift=not names,
+    )
+    print(render_conformance(reports))
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def _failing_records(engine: ExecutionEngine) -> list:

@@ -53,20 +53,52 @@ class ScheduleLike(Protocol):
 
 
 def require_timing_independent_metric(metric: UtilizationMetricLike) -> None:
-    """Raise :class:`PrincipleViolation` unless the metric satisfies P1."""
-    if not getattr(metric, "timing_independent", False):
+    """Raise :class:`PrincipleViolation` unless the metric satisfies P1.
+
+    Two distinct failure modes, distinguished in the message: an object
+    that *declares* ``timing_independent=False`` is a known
+    timing-dependent metric (e.g. an in-flight miss counter), while an
+    object without the attribute at all is structurally non-conforming
+    — it is not a utilization metric in this framework's sense, and
+    calling it "timing-dependent" would send the implementer chasing
+    the wrong fix.
+    """
+    if not isinstance(metric, UtilizationMetricLike):
         raise PrincipleViolation(
-            f"{type(metric).__name__} is timing-dependent; Untangle requires a "
-            "timing-independent utilization metric (Principle 1, Section 5.2)"
+            f"{type(metric).__name__} does not implement the "
+            "utilization-metric protocol: it never declares "
+            "`timing_independent`, so Principle 1 (Section 5.2) cannot "
+            "be certified — declare the attribute (True only if the "
+            "metric depends solely on the retired instruction sequence)"
+        )
+    if not metric.timing_independent:
+        raise PrincipleViolation(
+            f"{type(metric).__name__} declares timing_independent=False; "
+            "Untangle requires a timing-independent utilization metric "
+            "(Principle 1, Section 5.2)"
         )
 
 
 def require_progress_based_schedule(schedule: ScheduleLike) -> None:
-    """Raise :class:`PrincipleViolation` unless the schedule satisfies P2."""
-    if not getattr(schedule, "progress_based", False):
+    """Raise :class:`PrincipleViolation` unless the schedule satisfies P2.
+
+    Mirrors :func:`require_timing_independent_metric`: a missing
+    ``progress_based`` attribute (structurally not a schedule) is
+    reported distinctly from an explicit ``progress_based=False``
+    (a time-based schedule).
+    """
+    if not isinstance(schedule, ScheduleLike):
         raise PrincipleViolation(
-            f"{type(schedule).__name__} is time-based; Untangle requires a "
-            "progress-based resizing schedule (Principle 2, Section 5.2)"
+            f"{type(schedule).__name__} does not implement the schedule "
+            "protocol: it never declares `progress_based`, so Principle 2 "
+            "(Section 5.2) cannot be certified — declare the attribute "
+            "(True only if assessments are tied to execution progress)"
+        )
+    if not schedule.progress_based:
+        raise PrincipleViolation(
+            f"{type(schedule).__name__} declares progress_based=False; "
+            "Untangle requires a progress-based resizing schedule "
+            "(Principle 2, Section 5.2)"
         )
 
 

@@ -200,28 +200,51 @@ def _profile_token(profile: RunProfile) -> dict[str, Any]:
 
 @dataclass(frozen=True)
 class MixSchemeCell:
-    """One mix simulated under one scheme — a Figure 10/12-17 cell."""
+    """One mix simulated under one scheme — a Figure 10/12-17 cell.
+
+    ``scheme_params`` holds registry parameter overrides as a sorted
+    ``((name, value), ...)`` tuple (see
+    :func:`repro.registry.canonical_params`). It is *omitted* from the
+    cache token when empty, so every cell spelled the old way — every
+    cell of every existing campaign — keeps its exact cache key.
+    """
 
     pairs: tuple[tuple[str, str], ...]
     scheme: str
     profile: RunProfile
+    scheme_params: tuple[tuple[str, Any], ...] = ()
 
     @property
     def label(self) -> str:
-        return f"mix[{'|'.join(s + '+' + c for s, c in self.pairs)}]/{self.scheme}"
+        base = f"mix[{'|'.join(s + '+' + c for s, c in self.pairs)}]/{self.scheme}"
+        if not self.scheme_params:
+            return base
+        overrides = ",".join(f"{k}={v}" for k, v in self.scheme_params)
+        return f"{base}{{{overrides}}}"
 
     def cache_token(self) -> dict[str, Any]:
-        return {
+        token = {
             "kind": "mix-scheme",
             "pairs": [list(pair) for pair in self.pairs],
             "scheme": self.scheme,
             "profile": _profile_token(self.profile),
         }
+        if self.scheme_params:
+            token["scheme_params"] = {
+                name: list(value) if isinstance(value, tuple) else value
+                for name, value in self.scheme_params
+            }
+        return token
 
     def execute(self) -> Any:
         from repro.harness.experiment import run_mix_scheme
 
-        return run_mix_scheme(list(self.pairs), self.scheme, self.profile)
+        return run_mix_scheme(
+            list(self.pairs),
+            self.scheme,
+            self.profile,
+            scheme_params=dict(self.scheme_params) or None,
+        )
 
     @staticmethod
     def execute_stacked(cells: list["MixSchemeCell"], max_lanes: int | None = None) -> list:
@@ -236,7 +259,11 @@ class MixSchemeCell:
         from repro.harness.experiment import run_mix_schemes_stacked
 
         return run_mix_schemes_stacked(
-            [(list(cell.pairs), cell.scheme, cell.profile) for cell in cells],
+            [
+                (list(cell.pairs), cell.scheme, cell.profile,
+                 cell.scheme_params)
+                for cell in cells
+            ],
             max_lanes=max_lanes,
         )
 
@@ -257,40 +284,49 @@ class MixSchemeCell:
             [(list(cell.pairs), cell.profile) for cell in cells]
         )
         warmed += warm_rate_tables(
-            [(cell.scheme, cell.profile) for cell in cells]
+            [(cell.scheme, cell.profile, cell.scheme_params)
+             for cell in cells]
         )
         return warmed
 
     def batch_group(self) -> tuple:
         """Chunk-compatibility key for cell-major batching.
 
-        Cells sharing a scheme and profile have comparable runtimes and
-        identical store needs, so stacking them through one worker's
-        shared scratch arena amortizes well without creating stragglers
-        inside a chunk.
+        Cells sharing a scheme (including parameter overrides) and
+        profile have comparable runtimes and identical store needs, so
+        stacking them through one worker's shared scratch arena
+        amortizes well without creating stragglers inside a chunk.
         """
-        return ("mix-scheme", self.scheme, self.profile.name)
+        return (
+            "mix-scheme", self.scheme, self.profile.name,
+            self.scheme_params,
+        )
 
     def store_needs(self) -> list[tuple]:
         """Precomputable artifacts this cell will consume (store populate).
 
         One workload trace per pair (mirroring ``run_mix_scheme``'s
-        seeds) plus — for the Untangle variants — the exact rate table
-        ``make_scheme`` will request.
+        seeds) plus whatever the scheme's registration declares — for
+        the Untangle variants, the exact rate table its factory will
+        request.
         """
+        from repro.registry import scheme_store_needs
+
         needs: list[tuple] = [
             ("trace", spec, crypto, self.profile.workload_scale,
              self.profile.seed + index)
             for index, (spec, crypto) in enumerate(self.pairs)
         ]
-        if self.scheme == "untangle":
-            from repro.schemes.untangle import DEFAULT_TABLE_CAPACITY
-
-            needs.append(
-                ("rmax", self.profile.cooldown, DEFAULT_TABLE_CAPACITY)
+        try:
+            needs.extend(
+                scheme_store_needs(
+                    self.scheme, self.profile, dict(self.scheme_params)
+                )
             )
-        elif self.scheme == "untangle-unopt":
-            needs.append(("rmax-worst", self.profile.cooldown))
+        except ConfigurationError:
+            # An unregistered scheme fails loudly at execute(); store
+            # populate must not be the first place to die.
+            pass
         return needs
 
     @staticmethod
@@ -741,26 +777,32 @@ def backoff_delay(
 # ----------------------------------------------------------------------
 # Cost model (steal-scheduler seeding)
 # ----------------------------------------------------------------------
-#: Relative expected cost by cell-label family, used when no journal
-#: history exists yet. Untangle variants pay monitors + Dinkelbach-style
-#: assessments; Time pays monitors; Static/Shared are bare simulation.
-_FAMILY_COST_WEIGHTS = {
-    "untangle": 4.0,
-    "untangle-unopt": 4.0,
-    "time": 2.0,
-    "static": 1.0,
-    "shared": 1.0,
-}
-
-
 def _cost_family(label: str) -> str:
     """The scheduling family of a cell label (its trailing component).
 
-    ``mix[...]/untangle`` → ``untangle``; ``sensitivity[x]/4096`` →
-    ``4096`` (sensitivity sizes fall through to the default weight,
-    which is fine — they are mutually homogeneous).
+    ``mix[...]/untangle`` → ``untangle``; parameter overrides are
+    stripped (``.../threshold{expand_fraction=0.95}`` → ``threshold``)
+    so variants of one scheme share its cost history and weight;
+    ``sensitivity[x]/4096`` → ``4096`` (sensitivity sizes fall through
+    to the default weight, which is fine — they are mutually
+    homogeneous).
     """
-    return label.rsplit("/", 1)[-1]
+    family = label.rsplit("/", 1)[-1]
+    return family.split("{", 1)[0]
+
+
+def _family_weight(family: str) -> float:
+    """Static cost seed for a family, from its scheme registration.
+
+    Registered schemes declare their relative cost (Untangle variants
+    pay monitors + Dinkelbach-style assessments; Time pays monitors;
+    Static/Shared are bare simulation); non-scheme families — e.g.
+    sensitivity partition sizes — take the neutral weight.
+    """
+    from repro.registry import scheme_cost_weight
+
+    weight = scheme_cost_weight(family)
+    return 1.0 if weight is None else weight
 
 
 def runtime_hints_from_entries(
@@ -821,7 +863,7 @@ def expected_cost(cell: Any, hints: dict[Any, float]) -> float:
     own = getattr(cell, "cost_hint", None)
     if own is not None:
         return float(own())
-    return _FAMILY_COST_WEIGHTS.get(family, 1.0)
+    return _family_weight(family)
 
 
 # ----------------------------------------------------------------------

@@ -15,24 +15,32 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.harness.exec import ExecutionEngine, MixSchemeCell
 from repro.harness.runconfig import RunProfile, SCALED
-from repro.schemes.schedule import ProgressSchedule
-from repro.schemes.shared import SharedScheme
-from repro.schemes.static import StaticScheme
-from repro.schemes.timebased import TimeScheme
 from repro.harness.store import cached_build_workload
-from repro.schemes.untangle import (
-    UntangleScheme,
-    default_channel_model,
-    get_rate_table,
-    get_worst_case_rate_table,
+from repro.registry import (
+    SchemeSelection,
+    canonical_params,
+    create_scheme,
+    default_campaign_schemes,
+    scheme_names,
+    scheme_registration,
+    scheme_store_needs,
 )
+from repro.schemes.untangle import get_rate_table, get_worst_case_rate_table
 from repro.sim.batch import StackedLanes
 from repro.sim.hierarchy import L1ServiceTrace
 from repro.sim.system import DomainSpec, MultiDomainSystem, SystemResult
 from repro.workloads.mixes import get_mix
 
-#: Scheme names accepted by :func:`run_mix_scheme`.
-SCHEME_NAMES = ("static", "time", "untangle", "untangle-unopt", "shared")
+
+def __getattr__(name: str):
+    # SCHEME_NAMES stays importable for compatibility but is re-derived
+    # from the registry on every access, so registering a scheme — in
+    # tree or from a plugin — immediately widens every consumer
+    # (CLI choices, differential tests, docs) without a second list to
+    # keep in sync.
+    if name == "SCHEME_NAMES":
+        return scheme_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -99,19 +107,45 @@ class MixResult:
     runs: dict[str, SchemeRunResult] = field(default_factory=dict)
 
     def normalized_ipc(self, scheme: str) -> dict[str, float]:
-        """Per-workload IPC normalized to Static (a figure's bottom row)."""
+        """Per-workload IPC normalized to Static (a figure's bottom row).
+
+        A Static baseline that retired zero instructions for some
+        workload makes normalization undefined for the whole mix; this
+        raises (naming the stalled workloads) instead of emitting a
+        ``0.0`` placeholder, which downstream geomeans used to silently
+        drop — *inflating* the reported speedup of every other workload.
+        """
         if "static" not in self.runs:
             raise ConfigurationError("normalization requires a static run")
         baseline = {w.label: w.ipc for w in self.runs["static"].workloads}
+        stalled = sorted(
+            label for label, ipc in baseline.items() if ipc <= 0
+        )
+        if stalled:
+            raise ConfigurationError(
+                "static baseline retired zero instructions for "
+                f"{', '.join(stalled)} (mix {self.mix_id!r}); normalized "
+                "IPC is undefined for this mix — shorten the slice or "
+                "inspect the workload instead of trusting a placeholder"
+            )
         return {
-            w.label: (w.ipc / baseline[w.label] if baseline[w.label] > 0 else 0.0)
+            w.label: w.ipc / baseline[w.label]
             for w in self.runs[scheme].workloads
         }
 
     def geomean_speedup(self, scheme: str) -> float:
-        """System-wide speedup over Static (geometric mean of IPC ratios)."""
-        ratios = [r for r in self.normalized_ipc(scheme).values() if r > 0]
+        """System-wide speedup over Static (geometric mean of IPC ratios).
+
+        Every workload participates: a scheme that stalls one workload
+        to zero IPC yields a geomean of exactly ``0.0`` (the
+        mathematical value), where filtering non-positive ratios used to
+        report the geomean of the *surviving* workloads — overstating a
+        scheme precisely when it starves someone.
+        """
+        ratios = list(self.normalized_ipc(scheme).values())
         if not ratios:
+            return 0.0
+        if any(r <= 0 for r in ratios):
             return 0.0
         return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
@@ -134,45 +168,20 @@ def mix_labels(pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...]) -> li
     return labels
 
 
-def make_scheme(name: str, profile: RunProfile, num_domains: int):
-    """Instantiate a scheme by name for the given profile."""
-    arch = profile.arch(num_domains)
-    if name == "static":
-        return StaticScheme(arch)
-    if name == "shared":
-        return SharedScheme(arch)
-    if name == "time":
-        return TimeScheme(
-            arch,
-            interval=profile.time_interval,
-            monitor_window=profile.monitor_window,
-            monitor_sampling_shift=profile.monitor_sampling_shift,
-            hysteresis=profile.hysteresis,
-        )
-    if name in ("untangle", "untangle-unopt"):
-        model = default_channel_model(profile.cooldown)
-        schedule = ProgressSchedule(
-            instructions_per_assessment=profile.untangle_instructions,
-            cooldown=model.cooldown,
-            delay=model.delay,
-            seed=profile.seed + 17,
-        )
-        table = None
-        if name == "untangle-unopt":
-            # Active-attacker accounting (Section 9): every assessment
-            # charged at the single-cooldown rate — no Maintain credit.
-            # Memoized under its own worst-case key, never shared with
-            # the optimized table.
-            table = get_worst_case_rate_table(profile.cooldown)
-        return UntangleScheme(
-            arch,
-            schedule,
-            rmax_table=table,
-            monitor_window=profile.monitor_window,
-            monitor_sampling_shift=profile.monitor_sampling_shift,
-            hysteresis=profile.hysteresis,
-        )
-    raise ConfigurationError(f"unknown scheme {name!r}; known: {SCHEME_NAMES}")
+def make_scheme(
+    name: str,
+    profile: RunProfile,
+    num_domains: int,
+    params: dict | None = None,
+):
+    """Instantiate a registered scheme by name for the given profile.
+
+    The factory lives in the registry (``repro.registry.builtin`` for
+    the built-ins; third parties register their own), so any registered
+    scheme — not a hard-wired list — is a campaign citizen. ``params``
+    are validated against the registration's declared parameter schema.
+    """
+    return create_scheme(name, profile, num_domains, params)
 
 
 @dataclass
@@ -196,6 +205,7 @@ def prepare_mix_scheme(
     scheme_name: str,
     profile: RunProfile = SCALED,
     *,
+    scheme_params: dict | None = None,
     workload_cache: dict | None = None,
     l1_trace_cache: dict | None = None,
 ) -> PreparedMixScheme:
@@ -235,7 +245,7 @@ def prepare_mix_scheme(
         DomainSpec(label, w.stream, w.core_config)
         for label, w in zip(labels, workloads)
     ]
-    scheme = make_scheme(scheme_name, profile, len(domains))
+    scheme = make_scheme(scheme_name, profile, len(domains), scheme_params)
     arch = profile.arch(len(domains))
     system = MultiDomainSystem(
         arch,
@@ -283,9 +293,13 @@ def run_mix_scheme(
     pairs: list[tuple[str, str]],
     scheme_name: str,
     profile: RunProfile = SCALED,
+    *,
+    scheme_params: dict | None = None,
 ) -> SchemeRunResult:
     """Simulate one mix under one scheme."""
-    prepared = prepare_mix_scheme(pairs, scheme_name, profile)
+    prepared = prepare_mix_scheme(
+        pairs, scheme_name, profile, scheme_params=scheme_params
+    )
     outcome = prepared.system.run(max_cycles=profile.max_cycles)
     return finalize_mix_scheme(prepared, outcome)
 
@@ -331,41 +345,49 @@ def warm_l1_traces(entries: list[tuple[list[tuple[str, str]], RunProfile]]) -> i
     return warmed
 
 
-def warm_rate_tables(entries: list[tuple[str, RunProfile]]) -> int:
-    """Pre-solve the Rmax rate table for every distinct untangle config.
+def warm_rate_tables(entries: list[tuple]) -> int:
+    """Pre-solve the Rmax rate table for every distinct scheme config.
 
-    ``entries`` holds ``(scheme_name, profile)`` per upcoming cell. Like
+    ``entries`` holds ``(scheme_name, profile)`` — optionally
+    ``(scheme_name, profile, scheme_params)`` — per upcoming cell. Like
     :func:`warm_l1_traces`, this runs in the parent right before workers
     fork: the table is a pure function of the channel model, and the
     module-level memo in :mod:`repro.schemes.untangle` is inherited
     copy-on-write, so the Dinkelbach solve happens once per campaign
-    instead of once per worker that draws an untangle chunk. Returns the
-    number of tables solved.
+    instead of once per worker that draws an untangle chunk. Which
+    tables a scheme needs comes from its registration's ``store_needs``
+    hook, so registered third-party schemes warm automatically. Returns
+    the number of tables solved.
     """
     warmed = 0
-    seen: set[tuple[str, int]] = set()
-    for scheme_name, profile in entries:
-        if scheme_name not in ("untangle", "untangle-unopt"):
+    seen: set[tuple] = set()
+    for entry in entries:
+        scheme_name, profile = entry[0], entry[1]
+        params = dict(entry[2]) if len(entry) > 2 and entry[2] else None
+        try:
+            needs = scheme_store_needs(scheme_name, profile, params)
+        except ConfigurationError:
             continue
-        key = (scheme_name, profile.cooldown)
-        if key in seen:
-            continue
-        seen.add(key)
-        if scheme_name == "untangle":
-            get_rate_table(profile.cooldown)
-        else:
-            get_worst_case_rate_table(profile.cooldown)
-        warmed += 1
+        for need in needs:
+            if need[0] not in ("rmax", "rmax-worst") or need in seen:
+                continue
+            seen.add(need)
+            if need[0] == "rmax":
+                get_rate_table(need[1], capacity=need[2])
+            else:
+                get_worst_case_rate_table(need[1])
+            warmed += 1
     return warmed
 
 
 def run_mix_schemes_stacked(
-    cells: list[tuple[list[tuple[str, str]], str, RunProfile]],
+    cells: list[tuple],
     max_lanes: int | None = None,
 ) -> list:
     """Execute batch-compatible (mix, scheme) cells as stacked lanes.
 
-    Every entry is a ``(pairs, scheme_name, profile)`` tuple; entries
+    Every entry is a ``(pairs, scheme_name, profile)`` tuple —
+    optionally ``(pairs, scheme_name, profile, scheme_params)``; entries
     must share scheme and profile (the engine's batch-group contract —
     same quantum schedule and array shapes). Lanes run through one
     :class:`~repro.sim.batch.StackedLanes` driver, sharing workload
@@ -385,13 +407,16 @@ def run_mix_schemes_stacked(
         _L1_TRACE_MEMO.clear()
     prepared = [
         prepare_mix_scheme(
-            pairs,
-            scheme,
-            profile,
+            cell[0],
+            cell[1],
+            cell[2],
+            scheme_params=(
+                dict(cell[3]) if len(cell) > 3 and cell[3] else None
+            ),
             workload_cache=shared,
             l1_trace_cache=_L1_TRACE_MEMO,
         )
-        for pairs, scheme, profile in cells
+        for cell in cells
     ]
     results: list = []
     step = max_lanes or len(prepared)
@@ -412,33 +437,52 @@ def run_mix_schemes_stacked(
 
 def _assemble_mix_results(
     grid: list[tuple[int | None, list[tuple[str, str]]]],
-    schemes: tuple[str, ...],
+    schemes: tuple,
     profile: RunProfile,
     engine: ExecutionEngine,
     campaign: str | None = None,
 ) -> list[MixResult]:
     """Fan every (mix, scheme) cell of a grid through one engine run.
 
+    ``schemes`` entries are registry names or
+    :class:`~repro.registry.SchemeSelection` objects (name + parameter
+    overrides + result alias) — scenario compilation reuses this exact
+    function, so a declarative spec produces the same cells, in the
+    same order, with the same cache keys as a hand-wired call.
+
     A failed cell (after the engine's retries) leaves its scheme out of
     that mix's ``runs`` dict instead of aborting the grid; the failure
     stays visible in ``engine.telemetry``. The ``campaign`` tag labels
     this grid's entries in the engine's crash-recovery journal.
     """
+    selections = [SchemeSelection.of(scheme) for scheme in schemes]
+    # Fail fast on unknown names / bad overrides — before any cell is
+    # submitted. Otherwise a typo'd scheme just becomes a failed cell
+    # and silently drops its column from every mix's ``runs``.
+    for selection in selections:
+        scheme_registration(selection.name).validated_params(
+            dict(selection.params)
+        )
     cells = [
-        MixSchemeCell(pairs=tuple(pairs), scheme=scheme, profile=profile)
+        MixSchemeCell(
+            pairs=tuple(pairs),
+            scheme=selection.name,
+            profile=profile,
+            scheme_params=canonical_params(selection.params),
+        )
         for _, pairs in grid
-        for scheme in schemes
+        for selection in selections
     ]
     outcomes = engine.run(cells, campaign=campaign)
     results = []
     cursor = 0
     for mix_id, pairs in grid:
         result = MixResult(mix_id=mix_id, labels=mix_labels(pairs))
-        for scheme in schemes:
+        for selection in selections:
             outcome = outcomes[cursor]
             cursor += 1
             if outcome.ok:
-                result.runs[scheme] = outcome.value
+                result.runs[selection.run_key] = outcome.value
         results.append(result)
     return results
 
@@ -446,11 +490,15 @@ def _assemble_mix_results(
 def run_mix(
     mix_id: int,
     profile: RunProfile = SCALED,
-    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    schemes: tuple | None = None,
     *,
     engine: ExecutionEngine | None = None,
 ) -> MixResult:
     """Simulate one paper mix under the requested schemes.
+
+    ``schemes`` defaults to the registry's campaign set (the paper's
+    Static/Time/Untangle/Shared columns); entries may be registry names
+    or :class:`~repro.registry.SchemeSelection` overrides.
 
     Without an ``engine`` the schemes run serially in-process, uncached —
     the historical behavior. With one, scheme cells fan out over the
@@ -458,6 +506,7 @@ def run_mix(
     bit-identical either way.
     """
     engine = engine if engine is not None else ExecutionEngine()
+    schemes = schemes if schemes is not None else default_campaign_schemes()
     pairs = get_mix(mix_id)
     return _assemble_mix_results(
         [(mix_id, pairs)], schemes, profile, engine, campaign=f"mix{mix_id}"
@@ -467,12 +516,13 @@ def run_mix(
 def run_custom_mix(
     pairs: list[tuple[str, str]],
     profile: RunProfile = SCALED,
-    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    schemes: tuple | None = None,
     *,
     engine: ExecutionEngine | None = None,
 ) -> MixResult:
     """Simulate an arbitrary mix of (spec, crypto) pairs."""
     engine = engine if engine is not None else ExecutionEngine()
+    schemes = schemes if schemes is not None else default_campaign_schemes()
     return _assemble_mix_results(
         [(None, list(pairs))], schemes, profile, engine, campaign="custom-mix"
     )[0]
@@ -481,7 +531,7 @@ def run_custom_mix(
 def run_mix_grid(
     mix_ids: tuple[int, ...] | list[int],
     profile: RunProfile = SCALED,
-    schemes: tuple[str, ...] = ("static", "time", "untangle", "shared"),
+    schemes: tuple | None = None,
     *,
     engine: ExecutionEngine | None = None,
     campaign: str | None = None,
@@ -493,6 +543,7 @@ def run_mix_grid(
     the whole-figure fan-out behind Figures 10/12-17 and Table 6.
     """
     engine = engine if engine is not None else ExecutionEngine()
+    schemes = schemes if schemes is not None else default_campaign_schemes()
     grid = [(mix_id, get_mix(mix_id)) for mix_id in mix_ids]
     if campaign is None:
         campaign = f"mix-grid[{','.join(str(m) for m in mix_ids)}]"

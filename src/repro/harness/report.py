@@ -9,6 +9,7 @@ log files. Sizes are labeled with their paper-scale equivalents
 from __future__ import annotations
 
 from repro.config import ArchConfig
+from repro.errors import ConfigurationError
 from repro.harness.exec import EngineTelemetry
 from repro.harness.figures import FigureGroup
 from repro.harness.sensitivity import SensitivityCurve
@@ -234,3 +235,101 @@ def render_active_attacker(summary: ActiveAttackerSummary) -> str:
         "(paper: 3.8)\n"
         f"  amplification: {summary.amplification:.1f}x"
     )
+
+
+def render_conformance(reports) -> str:
+    """Render conformance reports (``python -m repro conform``)."""
+    lines = []
+    failures = 0
+    for report in reports:
+        title = f"{report.scheme}  (profile: {report.profile_name})"
+        lines.append(title)
+        lines.append("-" * len(title))
+        for check in report.checks:
+            mark = {"passed": "PASS", "failed": "FAIL", "skipped": "SKIP"}[
+                check.status
+            ]
+            detail = f"  {check.detail}" if check.detail else ""
+            lines.append(f"  [{mark}] {check.name}{detail}")
+            if check.status == "failed":
+                failures += 1
+        lines.append("")
+    checks = sum(len(r.checks) for r in reports)
+    verdict = "OK" if failures == 0 else "FAILED"
+    lines.append(
+        f"Conformance {verdict}: {len(reports)} report(s), "
+        f"{checks} check(s), {failures} failure(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_scenario(result) -> str:
+    """Render a scenario run: per sweep point, per mix, per scheme.
+
+    Shows the geomean IPC speedup over the ``static`` column when the
+    scenario includes one (the paper's headline metric); otherwise falls
+    back to the mean raw IPC, since normalization is undefined without a
+    baseline.
+    """
+    spec = result.spec
+    keys = [selection.run_key for selection in spec.schemes]
+    title = f"Scenario {spec.name!r}"
+    lines = [title, "=" * len(title)]
+    for point_result in result.points:
+        point = point_result.point
+        header = f"{point.campaign}  (profile: {point.profile.name})"
+        lines.append(header)
+        lines.append("-" * len(header))
+        col = f"{'mix':12s} " + " ".join(f"{k:>16s}" for k in keys)
+        lines.append(col)
+        for mix_key, mix in point_result.results.items():
+            cells = []
+            for key in keys:
+                run = mix.runs[key]
+                try:
+                    cells.append(f"{mix.geomean_speedup(key):>15.3f}x")
+                except ConfigurationError:
+                    ipcs = [w.ipc for w in run.workloads]
+                    mean = sum(ipcs) / len(ipcs) if ipcs else 0.0
+                    cells.append(f"{'ipc=' + format(mean, '.3f'):>16s}")
+            label = f"mix {mix_key}" if mix_key is not None else "custom"
+            lines.append(f"{label:12s} " + " ".join(cells))
+        lines.append("")
+    lines.append(
+        "(columns: geomean IPC speedup over the static column; "
+        "ipc=mean raw IPC when the scenario has no static baseline)"
+    )
+    return "\n".join(lines)
+
+
+def render_mix_result(result) -> str:
+    """Render one mix under an ad-hoc scheme set (``mix --schemes``).
+
+    The figure renderer needs the paper's full static/time/untangle
+    column set; a restricted or extended ``--schemes`` run gets this
+    plain IPC table instead.
+    """
+    schemes = list(result.runs)
+    title = f"Mix {result.mix_id}: " + ", ".join(schemes)
+    lines = [title, "=" * len(title)]
+    header = f"{'workload':28s} " + " ".join(
+        f"{s + ' IPC':>16s}" for s in schemes
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in result.labels:
+        cells = " ".join(
+            f"{result.runs[s].workload(label).ipc:>16.3f}" for s in schemes
+        )
+        lines.append(f"{label:28s} {cells}")
+    if "static" in result.runs:
+        try:
+            geo = "  ".join(
+                f"{s}={result.geomean_speedup(s):.3f}x"
+                for s in schemes
+                if s != "static"
+            )
+            lines.append(f"Geomean speedup over static: {geo}")
+        except ConfigurationError as exc:
+            lines.append(f"(speedups unavailable: {exc})")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Plugin registry and declarative scenarios (see ``docs/scenarios.md``).
+
+Importing this package registers the built-in schemes, monitors,
+channel models, and workload generators; third-party distributions add
+theirs via ``repro.plugins`` entry points or by calling
+:func:`get_registry` directly. The helpers here are the narrow API the
+harness layers (``experiment``, ``exec``, the CLI) resolve through —
+they exist so those layers never reach into registry internals.
+
+Submodules :mod:`repro.registry.scenario` (declarative campaign specs)
+and :mod:`repro.registry.conformance` (the scheme conformance kit) are
+imported explicitly by their users, not here, to keep scheme
+construction importable without the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.registry.core import (
+    ENTRY_POINT_GROUP,
+    KINDS,
+    REGISTRY,
+    ParamSpec,
+    Registration,
+    Registry,
+    SchemeSelection,
+    canonical_params,
+    get_registry,
+    unregistered_scheme_classes,
+)
+from repro.registry import builtin as _builtin  # noqa: F401  (registers)
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Every registered scheme name, in registration order."""
+    return REGISTRY.names("scheme")
+
+
+def default_campaign_schemes() -> tuple[str, ...]:
+    """The schemes a mix campaign runs when none are requested —
+    the paper's Figure 10/12-17 column set."""
+    return tuple(
+        entry.name
+        for entry in REGISTRY.registrations("scheme")
+        if entry.default_for_campaign
+    )
+
+
+def create_scheme(
+    name: str,
+    profile: Any,
+    num_domains: int,
+    params: Mapping[str, Any] | None = None,
+) -> Any:
+    """Instantiate a registered scheme (the ``make_scheme`` backend)."""
+    return REGISTRY.create("scheme", name, profile, num_domains, params=params)
+
+
+def scheme_registration(name: str) -> Registration:
+    return REGISTRY.get("scheme", name)
+
+
+def scheme_store_needs(
+    name: str, profile: Any, params: Mapping[str, Any] | None = None
+) -> list[tuple]:
+    """The precomputable artifacts cells of this scheme consume."""
+    entry = REGISTRY.get("scheme", name)
+    if entry.store_needs is None:
+        return []
+    return list(entry.store_needs(profile, entry.effective_params(params)))
+
+
+def scheme_cost_weight(name: str) -> float | None:
+    """Scheduler cost-model seed for a scheme family; None if unknown
+    (non-scheme families, e.g. sensitivity partition sizes)."""
+    try:
+        return REGISTRY.get("scheme", name).cost_weight
+    except ConfigurationError:
+        return None
+
+
+def validate_schemes(schemes: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Resolve each name against the registry, raising on unknowns."""
+    for name in schemes:
+        REGISTRY.get("scheme", name)
+    return tuple(schemes)
+
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "KINDS",
+    "REGISTRY",
+    "ParamSpec",
+    "Registration",
+    "Registry",
+    "SchemeSelection",
+    "canonical_params",
+    "create_scheme",
+    "default_campaign_schemes",
+    "get_registry",
+    "scheme_cost_weight",
+    "scheme_names",
+    "scheme_registration",
+    "scheme_store_needs",
+    "unregistered_scheme_classes",
+    "validate_schemes",
+]

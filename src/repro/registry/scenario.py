@@ -1,0 +1,597 @@
+"""Declarative scenario specs: campaigns as data (``docs/scenarios.md``).
+
+A scenario file (TOML or JSON) names workloads (paper mixes through a
+registered workload generator, or explicit ``(spec, crypto)`` pairs),
+the schemes to run them under (with per-scheme parameter overrides and
+result aliases), the run profile with field overrides, and optional
+sweep axes over profile fields. :func:`compile_scenario` expands it
+into sweep points, and :func:`run_scenario` feeds each point through
+the *same* grid assembly the hand-wired
+:func:`~repro.harness.experiment.run_mix_grid` path uses — so a
+declarative spec produces bit-identical campaign cells: same cache
+keys, same journal labels, same results.
+
+TOML loading uses :mod:`tomllib` where available (Python 3.11+) and
+falls back to a built-in parser for the subset scenario specs need
+(tables, arrays of tables, scalar/array values on one line) — no
+third-party dependency either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.harness.exec import ExecutionEngine, MixSchemeCell
+from repro.harness.experiment import MixResult, _assemble_mix_results
+from repro.harness.runconfig import PROFILES, RunProfile, SCALED
+from repro.registry.core import REGISTRY, SchemeSelection, canonical_params
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None
+
+
+# ----------------------------------------------------------------------
+# Spec model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept profile field; axes combine as a cross product."""
+
+    field: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A parsed, registry-validated scenario file."""
+
+    name: str
+    profile: str | None = None
+    profile_overrides: tuple[tuple[str, Any], ...] = ()
+    schemes: tuple[SchemeSelection, ...] = ()
+    generator: str = "paper-mix"
+    mix_ids: tuple[int, ...] = ()
+    custom_mixes: tuple[
+        tuple[str | None, tuple[tuple[str, str], ...]], ...
+    ] = ()
+    sweep: tuple[SweepAxis, ...] = ()
+    campaign: str | None = None
+    channel_model: str = "default"
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One sweep point: a concrete profile plus the mix grid to run."""
+
+    label: str
+    profile: RunProfile
+    grid: tuple[tuple[int | str | None, tuple[tuple[str, str], ...]], ...]
+    campaign: str
+
+    def cells(self, schemes: tuple[SchemeSelection, ...]) -> list:
+        """The exact engine cells this point submits (mix-major,
+        scheme-inner — the ``run_mix_grid`` order)."""
+        return [
+            MixSchemeCell(
+                pairs=tuple(pairs),
+                scheme=selection.name,
+                profile=self.profile,
+                scheme_params=canonical_params(selection.params),
+            )
+            for _, pairs in self.grid
+            for selection in schemes
+        ]
+
+
+@dataclass
+class CompiledScenario:
+    spec: ScenarioSpec
+    points: list[ScenarioPoint]
+
+    def cells(self) -> list:
+        return [
+            cell
+            for point in self.points
+            for cell in point.cells(self.spec.schemes)
+        ]
+
+
+@dataclass
+class ScenarioPointResult:
+    point: ScenarioPoint
+    results: dict[int | str | None, MixResult] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioResult:
+    spec: ScenarioSpec
+    points: list[ScenarioPointResult]
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation
+# ----------------------------------------------------------------------
+_PROFILE_FIELDS = {f.name for f in dataclasses.fields(RunProfile)} - {"name"}
+
+
+def _require_keys(table: Mapping, allowed: set[str], where: str) -> None:
+    unknown = sorted(set(table) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {', '.join(unknown)} in {where}; "
+            f"accepted: {', '.join(sorted(allowed))}"
+        )
+
+
+def _parse_scheme_entry(entry: Any, index: int) -> SchemeSelection:
+    if isinstance(entry, str):
+        REGISTRY.get("scheme", entry)
+        return SchemeSelection(name=entry)
+    if not isinstance(entry, Mapping):
+        raise ConfigurationError(
+            f"scheme entry #{index + 1} must be a name or a table, "
+            f"got {type(entry).__name__}"
+        )
+    _require_keys(
+        entry, {"name", "alias", "params"}, f"scheme entry #{index + 1}"
+    )
+    name = entry.get("name")
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"scheme entry #{index + 1} needs a string 'name'"
+        )
+    registration = REGISTRY.get("scheme", name)
+    params = entry.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise ConfigurationError(
+            f"scheme {name!r} params must be a table of overrides"
+        )
+    validated = registration.validated_params(params)
+    alias = entry.get("alias")
+    if alias is not None and not isinstance(alias, str):
+        raise ConfigurationError(f"scheme {name!r} alias must be a string")
+    return SchemeSelection(
+        name=name, alias=alias, params=canonical_params(validated)
+    )
+
+
+def _parse_pairs(raw: Any, where: str) -> tuple[tuple[str, str], ...]:
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ConfigurationError(f"{where} needs a non-empty pairs array")
+    pairs = []
+    for pair in raw:
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or not all(isinstance(p, str) for p in pair)
+        ):
+            raise ConfigurationError(
+                f"{where}: each pair must be [spec, crypto], got {pair!r}"
+            )
+        pairs.append((pair[0], pair[1]))
+    return tuple(pairs)
+
+
+def parse_scenario(data: Mapping[str, Any]) -> ScenarioSpec:
+    """Validate a loaded spec mapping against the registry."""
+    if "scenario" not in data or not isinstance(data["scenario"], Mapping):
+        raise ConfigurationError(
+            "spec needs a top-level [scenario] table"
+        )
+    table = data["scenario"]
+    _require_keys(
+        table,
+        {
+            "name", "profile", "profile_overrides", "schemes", "scheme",
+            "generator", "mixes", "workloads", "sweep", "campaign",
+            "channel_model",
+        },
+        "[scenario]",
+    )
+    name = table.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError("[scenario] needs a non-empty 'name'")
+
+    profile = table.get("profile")
+    if profile is not None:
+        if profile not in PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {profile!r}; known: "
+                + ", ".join(sorted(PROFILES))
+            )
+
+    overrides_raw = table.get("profile_overrides") or {}
+    if not isinstance(overrides_raw, Mapping):
+        raise ConfigurationError("profile_overrides must be a table")
+    for fname in overrides_raw:
+        if fname not in _PROFILE_FIELDS:
+            raise ConfigurationError(
+                f"unknown profile field {fname!r} in profile_overrides; "
+                f"accepted: {', '.join(sorted(_PROFILE_FIELDS))}"
+            )
+    overrides = canonical_params(dict(overrides_raw))
+
+    # Schemes: simple string list and/or rich [[scenario.scheme]] tables.
+    selections: list[SchemeSelection] = []
+    for index, entry in enumerate(table.get("schemes") or ()):
+        selections.append(_parse_scheme_entry(entry, index))
+    for index, entry in enumerate(table.get("scheme") or ()):
+        selections.append(
+            _parse_scheme_entry(entry, len(selections))
+        )
+    if not selections:
+        from repro.registry import default_campaign_schemes
+
+        selections = [
+            SchemeSelection(name=n) for n in default_campaign_schemes()
+        ]
+    keys = [s.run_key for s in selections]
+    dupes = sorted({k for k in keys if keys.count(k) > 1})
+    if dupes:
+        raise ConfigurationError(
+            f"duplicate scheme result key(s) {', '.join(dupes)}; give "
+            "each parameterization a distinct 'alias'"
+        )
+
+    generator = table.get("generator", "paper-mix")
+    REGISTRY.get("workload", generator)
+
+    mix_ids_raw = table.get("mixes") or ()
+    if not all(isinstance(m, int) for m in mix_ids_raw):
+        raise ConfigurationError("mixes must be an array of mix ids")
+    mix_ids = tuple(mix_ids_raw)
+
+    custom: list[tuple[str | None, tuple[tuple[str, str], ...]]] = []
+    for index, block in enumerate(table.get("workloads") or ()):
+        if not isinstance(block, Mapping):
+            raise ConfigurationError(
+                f"workloads entry #{index + 1} must be a table"
+            )
+        _require_keys(
+            block, {"label", "pairs"}, f"workloads entry #{index + 1}"
+        )
+        label = block.get("label")
+        if label is not None and not isinstance(label, str):
+            raise ConfigurationError("workload label must be a string")
+        custom.append(
+            (label, _parse_pairs(
+                block.get("pairs"), f"workloads entry #{index + 1}"
+            ))
+        )
+    if not mix_ids and not custom:
+        raise ConfigurationError(
+            "scenario needs at least one of 'mixes' or [[scenario.workloads]]"
+        )
+
+    axes: list[SweepAxis] = []
+    for index, block in enumerate(table.get("sweep") or ()):
+        if not isinstance(block, Mapping):
+            raise ConfigurationError(
+                f"sweep entry #{index + 1} must be a table"
+            )
+        _require_keys(
+            block, {"field", "values"}, f"sweep entry #{index + 1}"
+        )
+        fname = block.get("field")
+        if fname not in _PROFILE_FIELDS:
+            raise ConfigurationError(
+                f"sweep field {fname!r} is not a profile field; accepted: "
+                + ", ".join(sorted(_PROFILE_FIELDS))
+            )
+        values = block.get("values")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigurationError(
+                f"sweep over {fname!r} needs a non-empty values array"
+            )
+        axes.append(SweepAxis(field=fname, values=tuple(values)))
+
+    campaign = table.get("campaign")
+    if campaign is not None and not isinstance(campaign, str):
+        raise ConfigurationError("campaign must be a string")
+
+    channel_model = table.get("channel_model", "default")
+    REGISTRY.get("channel-model", channel_model)
+    if channel_model != "default":
+        raise ConfigurationError(
+            f"channel model {channel_model!r} is registered but scheme "
+            "factories derive their model from the profile cooldown; "
+            "override 'cooldown' in profile_overrides instead"
+        )
+
+    return ScenarioSpec(
+        name=name,
+        profile=profile,
+        profile_overrides=overrides,
+        schemes=tuple(selections),
+        generator=generator,
+        mix_ids=mix_ids,
+        custom_mixes=tuple(custom),
+        sweep=tuple(axes),
+        campaign=campaign,
+        channel_model=channel_model,
+    )
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Parse a ``.toml`` or ``.json`` scenario file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read scenario {path}: {exc}")
+    if path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path} is not valid JSON: {exc}")
+    elif path.suffix == ".toml":
+        data = parse_toml(text, source=str(path))
+    else:
+        raise ConfigurationError(
+            f"unsupported scenario format {path.suffix!r}; "
+            "accepted: .toml, .json"
+        )
+    return parse_scenario(data)
+
+
+# ----------------------------------------------------------------------
+# Compilation and execution
+# ----------------------------------------------------------------------
+def _resolve_profile(
+    spec: ScenarioSpec, base_profile: RunProfile | None
+) -> RunProfile:
+    profile = (
+        PROFILES[spec.profile]
+        if spec.profile is not None
+        else (base_profile if base_profile is not None else SCALED)
+    )
+    if spec.profile_overrides:
+        profile = dataclasses.replace(
+            profile, **dict(spec.profile_overrides)
+        )
+    return profile
+
+
+def _sweep_points(spec: ScenarioSpec) -> list[tuple[str, dict]]:
+    """Cross product of the sweep axes as (label, overrides) pairs."""
+    points: list[tuple[str, dict]] = [("", {})]
+    for axis in spec.sweep:
+        points = [
+            (
+                f"{label},{axis.field}={value}" if label
+                else f"{axis.field}={value}",
+                {**overrides, axis.field: value},
+            )
+            for label, overrides in points
+            for value in axis.values
+        ]
+    return points
+
+
+def compile_scenario(
+    spec: ScenarioSpec, base_profile: RunProfile | None = None
+) -> CompiledScenario:
+    """Expand a spec into concrete sweep points with their mix grids.
+
+    ``base_profile`` (e.g. the CLI's ``--profile``) applies only when
+    the spec does not pin a profile itself.
+    """
+    profile = _resolve_profile(spec, base_profile)
+    generator = REGISTRY.get("workload", spec.generator)
+    grid: list[tuple[int | str | None, tuple[tuple[str, str], ...]]] = [
+        (mix_id, tuple(generator.factory(mix_id)))
+        for mix_id in spec.mix_ids
+    ]
+    grid.extend(spec.custom_mixes)
+    base_campaign = (
+        spec.campaign
+        if spec.campaign is not None
+        else f"scenario[{spec.name}]"
+    )
+    points = []
+    for label, overrides in _sweep_points(spec):
+        point_profile = (
+            dataclasses.replace(profile, **overrides) if overrides
+            else profile
+        )
+        points.append(
+            ScenarioPoint(
+                label=label,
+                profile=point_profile,
+                grid=tuple(grid),
+                campaign=(
+                    f"{base_campaign}/{label}" if label else base_campaign
+                ),
+            )
+        )
+    return CompiledScenario(spec=spec, points=points)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    base_profile: RunProfile | None = None,
+    engine: ExecutionEngine | None = None,
+) -> ScenarioResult:
+    """Execute a scenario through the shared grid-assembly path.
+
+    Each sweep point fans its full mix × scheme grid through one engine
+    pass under the point's campaign tag. Because the cells are built by
+    the very :func:`~repro.harness.experiment._assemble_mix_results`
+    that ``run_mix_grid`` uses, an engine with a result cache serves a
+    scenario and its hand-wired equivalent interchangeably.
+    """
+    engine = engine if engine is not None else ExecutionEngine()
+    compiled = compile_scenario(spec, base_profile)
+    point_results = []
+    for point in compiled.points:
+        grid = [(key, list(pairs)) for key, pairs in point.grid]
+        results = _assemble_mix_results(
+            grid,
+            compiled.spec.schemes,
+            point.profile,
+            engine,
+            campaign=point.campaign,
+        )
+        point_results.append(
+            ScenarioPointResult(
+                point=point,
+                results={
+                    key: result
+                    for (key, _), result in zip(point.grid, results)
+                },
+            )
+        )
+    return ScenarioResult(spec=compiled.spec, points=point_results)
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML-subset parser (3.10 fallback; no third-party deps)
+# ----------------------------------------------------------------------
+def parse_toml(text: str, *, source: str = "<toml>") -> dict:
+    """Parse TOML via :mod:`tomllib`, or the built-in subset parser.
+
+    The subset covers what scenario specs use: ``[table]`` /
+    ``[[array.of.tables]]`` headers, bare/dotted keys, and one-line
+    values (strings, integers, floats, booleans, nested arrays).
+    """
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"{source} is not valid TOML: {exc}")
+    return _fallback_parse_toml(text, source=source)
+
+
+def _fallback_parse_toml(text: str, *, source: str = "<toml>") -> dict:
+    root: dict = {}
+    current = root
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        where = f"{source}:{lineno}"
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ConfigurationError(f"{where}: malformed table array")
+            parent_path = _key_path(line[2:-2], where)
+            parent = _descend(root, parent_path[:-1], where)
+            array = parent.setdefault(parent_path[-1], [])
+            if not isinstance(array, list):
+                raise ConfigurationError(
+                    f"{where}: {'.'.join(parent_path)} is not a table array"
+                )
+            current = {}
+            array.append(current)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise ConfigurationError(f"{where}: malformed table header")
+            current = _descend(root, _key_path(line[1:-1], where), where)
+        else:
+            key, sep, value = line.partition("=")
+            if not sep:
+                raise ConfigurationError(f"{where}: expected key = value")
+            path = _key_path(key, where)
+            target = current
+            for part in path[:-1]:
+                target = target.setdefault(part, {})
+                if not isinstance(target, dict):
+                    raise ConfigurationError(
+                        f"{where}: {part!r} is not a table"
+                    )
+            parsed, rest = _parse_value(value.strip(), where)
+            if rest.strip():
+                raise ConfigurationError(
+                    f"{where}: trailing content {rest.strip()!r}"
+                )
+            target[path[-1]] = parsed
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    quote = None
+    for index, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#":
+            return line[:index]
+    return line
+
+
+def _key_path(text: str, where: str) -> list[str]:
+    parts = [part.strip().strip('"').strip("'") for part in text.split(".")]
+    if not parts or any(not part for part in parts):
+        raise ConfigurationError(f"{where}: malformed key {text!r}")
+    return parts
+
+
+def _descend(root: dict, path: list[str], where: str) -> dict:
+    node = root
+    for part in path:
+        node = node.setdefault(part, {})
+        if isinstance(node, list):
+            # [a.b] after [[a.b]]: descend into the latest element.
+            node = node[-1]
+        if not isinstance(node, dict):
+            raise ConfigurationError(f"{where}: {part!r} is not a table")
+    return node
+
+
+def _parse_value(text: str, where: str) -> tuple[Any, str]:
+    """One value from the front of ``text``; returns (value, remainder)."""
+    if not text:
+        raise ConfigurationError(f"{where}: missing value")
+    if text[0] in "\"'":
+        quote = text[0]
+        end = text.find(quote, 1)
+        if end < 0:
+            raise ConfigurationError(f"{where}: unterminated string")
+        return text[1:end], text[end + 1:]
+    if text[0] == "[":
+        rest = text[1:].lstrip()
+        items: list[Any] = []
+        while True:
+            if not rest:
+                raise ConfigurationError(f"{where}: unterminated array")
+            if rest[0] == "]":
+                return items, rest[1:]
+            value, rest = _parse_value(rest, where)
+            items.append(value)
+            rest = rest.lstrip()
+            if rest.startswith(","):
+                rest = rest[1:].lstrip()
+            elif not rest.startswith("]"):
+                raise ConfigurationError(
+                    f"{where}: expected ',' or ']' in array"
+                )
+    # Bare scalar: runs to the next delimiter.
+    end = len(text)
+    for index, char in enumerate(text):
+        if char in ",]":
+            end = index
+            break
+    token, rest = text[:end].strip(), text[end:]
+    if token in ("true", "false"):
+        return token == "true", rest
+    cleaned = token.replace("_", "")
+    try:
+        return int(cleaned), rest
+    except ValueError:
+        pass
+    try:
+        return float(cleaned), rest
+    except ValueError:
+        raise ConfigurationError(
+            f"{where}: unsupported value {token!r} (the built-in TOML "
+            "subset takes strings, integers, floats, booleans, arrays)"
+        )

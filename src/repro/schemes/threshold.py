@@ -22,17 +22,21 @@ per domain.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import ArchConfig
 from repro.core.accountant import LeakageAccountant
 from repro.core.actions import ResizingAction
-from repro.core.principles import require_untangle_compliant
+from repro.core.principles import (
+    require_progress_based_schedule,
+    require_timing_independent_metric,
+)
 from repro.core.rates import RmaxTable
 from repro.errors import ConfigurationError
 from repro.monitor.footprint import FootprintMetric
 from repro.schemes.base import BaseScheme
 from repro.schemes.schedule import ProgressSchedule
+from repro.schemes.tiered import TierAssignment, TieredAccountingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.system import MultiDomainSystem
@@ -68,6 +72,7 @@ class ThresholdScheme(BaseScheme):
         expand_fraction: float = 0.9,
         shrink_fraction: float = 0.6,
         leakage_threshold_bits: float | None = None,
+        tiers: Sequence[int] | None = None,
     ):
         super().__init__(arch)
         if not 0.0 < shrink_fraction < expand_fraction <= 1.5:
@@ -86,6 +91,21 @@ class ThresholdScheme(BaseScheme):
         self._targets = [schedule.first_target()] * arch.num_cores
         self._last_assessment: list[int | None] = [None] * arch.num_cores
         self._committed = [arch.default_partition_lines] * arch.num_cores
+        #: Section 6.4 tiered accounting: resizes exchanging capacity
+        #: only with strictly-higher tiers, with no peer or lower-tier
+        #: observer, are not charged. ``None`` keeps the peer-to-peer
+        #: base model (every visible resize charges).
+        self.tier_policy: TieredAccountingPolicy | None = None
+        if tiers is not None:
+            tier_tuple = tuple(int(t) for t in tiers)
+            if len(tier_tuple) != arch.num_cores:
+                raise ConfigurationError(
+                    f"need one tier per domain: got {len(tier_tuple)} "
+                    f"tiers for {arch.num_cores} domains"
+                )
+            self.tier_policy = TieredAccountingPolicy(
+                TierAssignment(tier_tuple)
+            )
 
     # ------------------------------------------------------------------
     def build(self, system: "MultiDomainSystem") -> None:
@@ -93,7 +113,13 @@ class ThresholdScheme(BaseScheme):
             FootprintMonitorAdapter(self._footprint_window)
             for _ in range(self.arch.num_cores)
         ]
-        require_untangle_compliant(monitors[0], self.schedule)
+        # Every per-core monitor is checked, not a representative one:
+        # a subclass (or future edit) swapping in a non-compliant
+        # monitor for some domain must fail construction, not just
+        # domain 0.
+        for monitor in monitors:
+            require_timing_independent_metric(monitor)
+        require_progress_based_schedule(self.schedule)
         self._build_partitioned(
             system, monitors=monitors, monitor_respects_annotations=True
         )
@@ -135,7 +161,19 @@ class ThresholdScheme(BaseScheme):
         if not accountant.resizing_allowed:
             new_size = current
         action = ResizingAction(new_size=new_size, old_size=current)
-        bits = accountant.on_assessment(assessment_time, action.is_visible)
+        charged = action.is_visible
+        if charged and self.tier_policy is not None:
+            # The heuristic exchanges capacity with the shared pool, so
+            # every other domain is conservatively a counterparty; the
+            # policy charges unless all of them sit strictly higher
+            # with no peer/lower-tier observer left (Section 6.4). An
+            # uncharged resize is booked as a Maintain: the observers
+            # it is visible to were entitled to the information.
+            others = [
+                d for d in range(self.arch.num_cores) if d != domain
+            ]
+            charged = self.tier_policy.chargeable(domain, others)
+        bits = accountant.on_assessment(assessment_time, charged)
 
         apply_time = assessment_time + self.schedule.draw_delay()
         if action.is_visible:

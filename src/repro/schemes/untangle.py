@@ -33,7 +33,10 @@ from repro.config import ArchConfig
 from repro.core.accountant import LeakageAccountant
 from repro.core.actions import ResizingAction
 from repro.core.covert import CovertChannelModel, uniform_delay
-from repro.core.principles import require_untangle_compliant
+from repro.core.principles import (
+    require_progress_based_schedule,
+    require_timing_independent_metric,
+)
 from repro.core.rates import RateEntry, RmaxTable, compute_entry
 from repro.monitor.umon import UMONMonitor
 from repro.schemes.allocation import GreedyHitMaximizer
@@ -356,7 +359,10 @@ class UntangleScheme(BaseScheme):
         ]
         # Construction-time principle check (Section 5.2): a
         # timing-dependent metric or time-based schedule is rejected.
-        require_untangle_compliant(monitors[0], self.schedule)
+        # Every per-core monitor is checked, not a representative one.
+        for monitor in monitors:
+            require_timing_independent_metric(monitor)
+        require_progress_based_schedule(self.schedule)
         self._build_partitioned(
             system,
             monitors=monitors,

@@ -1,12 +1,23 @@
 """Per-domain memory hierarchy: private L1 -> LLC view -> DRAM.
 
 Each access walks the hierarchy and returns the round-trip latency of the
-level that served it. On an L1 miss the access is also offered to the
-domain's utilization monitor (the paper's UMON-style hardware table
-filters out "memory accesses that would hit in the private caches",
-Section 7); secret-annotated accesses are excluded from the monitor when
-the hierarchy is configured to respect annotations (Principle 1 plus
-annotations, Section 5.2).
+level that served it. The domain's utilization monitor is fed the
+L1-filtered access stream (the paper's UMON-style hardware table filters
+out "memory accesses that would hit in the private caches", Section 7) —
+but the *filter itself* depends on who is asking:
+
+* When the hierarchy respects annotations (Principle 1, Untangle-style
+  schemes), the monitor's L1 filter is a private shadow tag directory
+  warmed only by the monitored (public) accesses. The live L1 holds
+  secret lines too — the data really moves — so filtering by live-L1
+  misses would let a secret-warmed L1 decide which *public* accesses the
+  monitor sees, making the metric a function of the secret (exactly the
+  Edge 1 leak Principle 1 exists to close). The shadow filter's "would
+  this hit in the private cache" answer is a pure function of the public
+  access sequence, so the monitor window contents are too.
+* When annotations are not respected (conventional schemes, the Time
+  baseline), the monitor observes live-L1-missing accesses including
+  secret ones — the secret-dependent metric that motivates the paper.
 
 Three entry points exist: :meth:`DomainMemory.access` resolves one
 access (the reference kernel's path); :meth:`DomainMemory.access_block`
@@ -19,10 +30,11 @@ scalar loop would have stopped (a cycle budget, typically), and then
 commit only that prefix, rolling the caches back over the unexecuted
 tail via copy-on-write set snapshots. The block paths are exactly
 equivalent to per-access calls: within a run, the L1 state depends only
-on the address sequence, the monitor only on the L1-missing
-(annotation-filtered) subsequence, and the LLC only on the L1-missing
-subsequence — none feeds back into another — and a rolled-back replay
-is deterministic from the restored state.
+on the address sequence, the monitor only on its filtered subsequence,
+and the LLC only on the L1-missing subsequence — none feeds back into
+another — and a rolled-back replay is deterministic from the restored
+state. The shadow monitor filter advances only at commit time (it never
+influences latencies), so speculation needs no filter snapshots.
 """
 
 from __future__ import annotations
@@ -164,11 +176,15 @@ class DomainMemory:
     llc_view:
         This domain's LLC access object (partitioned or shared).
     monitor:
-        Optional utilization-monitor sink fed with L1-missing accesses.
+        Optional utilization-monitor sink fed with L1-filtered accesses.
     monitor_respects_annotations:
         When ``True`` (Untangle), secret-annotated accesses never reach
-        the monitor. When ``False`` (conventional schemes), every access
-        is monitored — which is what makes their metric secret-dependent.
+        the monitor, and the monitor's L1 filter is a private shadow tag
+        directory warmed only by public accesses — a pure function of
+        the public access sequence (Principle 1; see the module
+        docstring). When ``False`` (conventional schemes), every
+        live-L1-missing access is monitored — which is what makes their
+        metric secret-dependent.
     """
 
     __slots__ = (
@@ -176,6 +192,7 @@ class DomainMemory:
         "llc_view",
         "monitor",
         "monitor_respects_annotations",
+        "_monitor_filter",
         "_l1_latency",
         "_llc_latency",
         "_dram_latency",
@@ -197,6 +214,14 @@ class DomainMemory:
         self.llc_view = llc_view
         self.monitor = monitor
         self.monitor_respects_annotations = monitor_respects_annotations
+        # The shadow tag directory filtering the monitored stream (same
+        # geometry as the L1 it models). Only at commit time, never
+        # speculatively — see resolve/commit.
+        self._monitor_filter = (
+            make_cache(l1_sets, config.l1_associativity)
+            if monitor is not None and monitor_respects_annotations
+            else None
+        )
         self._l1_latency = config.l1_latency
         self._llc_latency = config.llc_latency
         self._dram_latency = config.dram_latency
@@ -251,8 +276,14 @@ class DomainMemory:
 
         ``metric_excluded`` marks secret-annotated accesses: they traverse
         the caches normally (the data still moves!) but are hidden from
-        the monitor when annotations are respected.
+        the monitor when annotations are respected — and excluded from
+        its shadow filter, so they cannot even shift which public
+        accesses the monitor sees.
         """
+        filter_cache = self._monitor_filter
+        if filter_cache is not None and not metric_excluded:
+            if not filter_cache.access(line_addr):
+                self.monitor.observe(line_addr)
         trace = self._l1_trace
         if trace is not None:
             pos = self._l1_trace_pos
@@ -266,8 +297,10 @@ class DomainMemory:
         elif self.l1.access(line_addr):
             self.level_counts[MemoryLevel.L1] += 1
             return self._l1_latency
-        if self.monitor is not None and (
-            not self.monitor_respects_annotations or not metric_excluded
+        if (
+            filter_cache is None
+            and self.monitor is not None
+            and (not self.monitor_respects_annotations or not metric_excluded)
         ):
             self.monitor.observe(line_addr)
         if self.llc_view.access(line_addr):
@@ -612,6 +645,69 @@ class DomainMemory:
             domain_stats.misses += miss
         return snapshot, np.array(out, dtype=bool)
 
+    def _feed_monitor(
+        self,
+        addrs: np.ndarray,
+        count: int,
+        metric_excluded: np.ndarray | None,
+        hashes: np.ndarray | None,
+        miss_mask: np.ndarray,
+    ) -> None:
+        """Offer a committed prefix's accesses to the monitor.
+
+        ``addrs``/``miss_mask`` cover exactly the committed prefix
+        (length ``count``); ``metric_excluded``/``hashes`` are aligned
+        with the original block and sliced here. With a shadow filter
+        (annotations respected), the public subsequence is walked
+        through the filter and its misses are observed — the live L1's
+        ``miss_mask`` plays no part, so secret lines resident in the
+        real L1 cannot shift what the monitor sees. Without one, the
+        legacy live-L1-missing feed applies.
+        """
+        monitor = self.monitor
+        if monitor is None:
+            return
+        filter_cache = self._monitor_filter
+        if filter_cache is not None:
+            if metric_excluded is not None:
+                public = ~metric_excluded[:count]
+                public_addrs = addrs[public]
+            else:
+                public = None
+                public_addrs = addrs
+            if not public_addrs.shape[0]:
+                return
+            filter_hits, _ = filter_cache.access_run(public_addrs)
+            keep = ~filter_hits
+            monitored = public_addrs[keep]
+            if not monitored.shape[0]:
+                return
+            if hashes is not None:
+                kept_hashes = hashes[:count]
+                if public is not None:
+                    kept_hashes = kept_hashes[public]
+                monitored_hashes = kept_hashes[keep]
+            else:
+                monitored_hashes = None
+        else:
+            if self.monitor_respects_annotations and metric_excluded is not None:
+                keep = miss_mask & ~metric_excluded[:count]
+            else:
+                keep = miss_mask
+            monitored = addrs[keep]
+            if not monitored.shape[0]:
+                return
+            monitored_hashes = (
+                hashes[:count][keep] if hashes is not None else None
+            )
+        observe_block = getattr(monitor, "observe_block", None)
+        if observe_block is not None:
+            observe_block(monitored, monitored_hashes)
+        else:
+            observe = monitor.observe
+            for line_addr in monitored.tolist():
+                observe(line_addr)
+
     def _commit_block_traced(
         self,
         token: tuple,
@@ -669,26 +765,7 @@ class DomainMemory:
         stats = self.l1.stats
         stats.hits += count - num_misses
         stats.misses += num_misses
-        if num_misses == 0:
-            return
-        monitor = self.monitor
-        if monitor is not None:
-            if self.monitor_respects_annotations and metric_excluded is not None:
-                keep = miss_mask & ~metric_excluded[:count]
-            else:
-                keep = miss_mask
-            monitored = addrs[keep]
-            if monitored.shape[0]:
-                monitored_hashes = (
-                    hashes[:count][keep] if hashes is not None else None
-                )
-                observe_block = getattr(monitor, "observe_block", None)
-                if observe_block is not None:
-                    observe_block(monitored, monitored_hashes)
-                else:
-                    observe = monitor.observe
-                    for line_addr in monitored.tolist():
-                        observe(line_addr)
+        self._feed_monitor(addrs, count, metric_excluded, hashes, miss_mask)
 
     def commit_block(
         self,
@@ -746,25 +823,7 @@ class DomainMemory:
         num_llc = int(np.count_nonzero(llc_hits))
         counts[MemoryLevel.LLC] += num_llc
         counts[MemoryLevel.DRAM] += num_misses - num_llc
-        if num_misses == 0:
-            return
-
-        monitor = self.monitor
-        if monitor is not None:
-            if self.monitor_respects_annotations and metric_excluded is not None:
-                keep = miss_mask & ~metric_excluded[:count]
-            else:
-                keep = miss_mask
-            monitored = addrs[keep]
-            if monitored.shape[0]:
-                monitored_hashes = hashes[:count][keep] if hashes is not None else None
-                observe_block = getattr(monitor, "observe_block", None)
-                if observe_block is not None:
-                    observe_block(monitored, monitored_hashes)
-                else:
-                    observe = monitor.observe
-                    for line_addr in monitored.tolist():
-                        observe(line_addr)
+        self._feed_monitor(addrs, count, metric_excluded, hashes, miss_mask)
 
     def access_block(
         self,

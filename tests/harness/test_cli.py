@@ -108,3 +108,104 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Trace summary" in out
         assert "cell.compute" in out
+
+
+class TestSchemesFlag:
+    def test_parser_accepts_registered_names(self):
+        args = build_parser().parse_args(
+            ["mix", "1", "--schemes", "static", "threshold"]
+        )
+        assert args.schemes == ["static", "threshold"]
+
+    def test_parser_rejects_unregistered_names(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "1", "--schemes", "nosuch"])
+
+    def test_ad_hoc_scheme_set_renders_plain_table(self, capsys):
+        assert (
+            main(
+                [
+                    "--profile",
+                    "test",
+                    "--no-cache",
+                    "mix",
+                    "1",
+                    "--schemes",
+                    "static",
+                    "threshold",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Mix 1: static, threshold" in out
+        assert "Geomean speedup over static" in out
+        # The figure renderer (which needs time/untangle columns) must
+        # not have been used.
+        assert "Maintain fraction" not in out
+
+
+class TestScenarioCommand:
+    def test_runs_a_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(
+            "[scenario]\n"
+            'name = "tiny"\n'
+            'profile = "test"\n'
+            'schemes = ["static"]\n'
+            "[[scenario.workloads]]\n"
+            'label = "pair"\n'
+            'pairs = [["gcc_0", "RSA-2048"]]\n'
+        )
+        assert main(["--no-cache", "scenario", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'tiny'" in out
+        assert "scenario[tiny]" in out
+
+    def test_bad_spec_exits_2(self, capsys, tmp_path):
+        spec = tmp_path / "bad.toml"
+        spec.write_text("[scenario]\nname = 'x'\nmixes = [1]\nschemes = ['nosuch']\n")
+        assert main(["--no-cache", "scenario", str(spec)]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestConformCommand:
+    def test_quick_battery_for_one_scheme(self, capsys):
+        assert main(["conform", "static", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "static  (profile: test)" in out
+        assert "[PASS] kernel-identity" in out
+        assert "Conformance OK" in out
+
+    def test_unknown_scheme_exits_2(self, capsys):
+        assert main(["conform", "nosuch"]) == 2
+        assert "unregistered scheme" in capsys.readouterr().err
+
+    def test_names_conflict_with_all(self, capsys):
+        assert main(["conform", "--all", "static"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_quick_conflicts_with_full(self, capsys):
+        assert main(["conform", "static", "--quick", "--full"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_failed_check_exits_1(self, capsys, monkeypatch):
+        # A scheme registered as untangle-compliant whose factory
+        # produces the time-based scheme must fail the battery — and
+        # the CLI must exit non-zero for CI to notice.
+        from repro.registry import REGISTRY, Registration
+        from repro.schemes.timebased import TimeScheme
+
+        registration = REGISTRY.get("scheme", "time")
+        impostor = Registration(
+            kind="scheme",
+            name="impostor",
+            factory=registration.factory,
+            untangle_compliant=True,
+            produces=(TimeScheme,),
+        )
+        with REGISTRY.temporary(impostor):
+            assert main(["conform", "impostor", "--quick"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "Conformance FAILED" in out

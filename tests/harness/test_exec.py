@@ -280,12 +280,24 @@ class TestGracefulDegradation:
         assert engine.telemetry.retries == 1
 
     def test_failed_cell_drops_scheme_from_mix_result(self):
-        result = run_mix(
-            1, TEST, schemes=("static", "no-such-scheme"),
-            engine=ExecutionEngine(jobs=1),
+        # Unknown names now fail fast before any cell is submitted
+        # (tests/registry/test_registry.py), so runtime degradation
+        # needs a registered scheme whose cells actually die.
+        from repro.registry import REGISTRY, Registration
+
+        def explode(profile, num_domains):
+            raise RuntimeError("boom")
+
+        exploding = Registration(
+            kind="scheme", name="exploding", factory=explode
         )
+        with REGISTRY.temporary(exploding):
+            result = run_mix(
+                1, TEST, schemes=("static", "exploding"),
+                engine=ExecutionEngine(jobs=1),
+            )
         assert "static" in result.runs
-        assert "no-such-scheme" not in result.runs
+        assert "exploding" not in result.runs
 
     def test_parallel_failure_keeps_grid_going(self):
         cells = [

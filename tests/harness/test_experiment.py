@@ -126,3 +126,64 @@ class TestMixResult:
                 assert low in sizes
                 assert high in sizes
                 assert low <= q1 <= median <= q3 <= high
+
+
+def _workload_stub(label: str, ipc: float):
+    from repro.harness.experiment import WorkloadResult
+
+    return WorkloadResult(
+        label=label,
+        ipc=ipc,
+        assessments=0,
+        visible_actions=0,
+        leakage_bits=0.0,
+        partition_quartiles=(0.0, 0.0, 0.0, 0.0, 0.0),
+    )
+
+
+class TestGeomeanRegressions:
+    """Satellite regressions: non-positive IPC ratios must never be
+    silently dropped from the geomean, and a zero-IPC static baseline
+    must refuse to normalize rather than emit a placeholder."""
+
+    def _result(self, static_ipcs, scheme_ipcs):
+        from repro.harness.experiment import MixResult, SchemeRunResult
+
+        labels = [f"w{i}" for i in range(len(static_ipcs))]
+        result = MixResult(mix_id=99, labels=labels)
+        result.runs["static"] = SchemeRunResult(
+            "static",
+            [_workload_stub(l, v) for l, v in zip(labels, static_ipcs)],
+            total_cycles=100,
+        )
+        result.runs["x"] = SchemeRunResult(
+            "x",
+            [_workload_stub(l, v) for l, v in zip(labels, scheme_ipcs)],
+            total_cycles=100,
+        )
+        return result
+
+    def test_missing_static_run_raises(self):
+        from repro.harness.experiment import MixResult
+
+        result = MixResult(mix_id=99, labels=[])
+        with pytest.raises(ConfigurationError, match="static"):
+            result.normalized_ipc("x")
+
+    def test_zero_ipc_baseline_raises_naming_the_workload(self):
+        result = self._result([1.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ConfigurationError, match="w1"):
+            result.normalized_ipc("x")
+        with pytest.raises(ConfigurationError, match="w1"):
+            result.geomean_speedup("x")
+
+    def test_stalled_scheme_workload_zeroes_the_geomean(self):
+        # A scheme that starves one workload to zero IPC must report
+        # 0.0 — not the geomean of the surviving workloads (which used
+        # to *reward* starvation).
+        result = self._result([1.0, 1.0], [4.0, 0.0])
+        assert result.geomean_speedup("x") == 0.0
+
+    def test_all_positive_geomean_is_exact(self):
+        result = self._result([1.0, 1.0], [2.0, 0.5])
+        assert result.geomean_speedup("x") == pytest.approx(1.0)

@@ -22,7 +22,9 @@ class TestWarmRateTables:
         monkeypatch.setattr(
             experiment,
             "get_rate_table",
-            lambda cooldown: calls.append(("optimized", cooldown)),
+            lambda cooldown, capacity=None: calls.append(
+                ("optimized", cooldown)
+            ),
         )
         monkeypatch.setattr(
             experiment,

@@ -1,0 +1,403 @@
+"""Tests for declarative scenario specs (`repro.registry.scenario`).
+
+The load-bearing property is the acceptance criterion: a spec compiles
+to exactly the campaign cells the hand-wired `run_mix_grid` path
+submits — same cache keys, same order, bit-identical results — so a
+scenario file and a Python call are interchangeable consumers of one
+result cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.exec import ExecutionEngine, ResultCache, cell_key
+from repro.harness.experiment import run_custom_mix, run_mix_grid
+from repro.harness.runconfig import PROFILES, TEST
+from repro.registry import SchemeSelection
+from repro.registry.scenario import (
+    ScenarioSpec,
+    SweepAxis,
+    _fallback_parse_toml,
+    compile_scenario,
+    load_scenario,
+    parse_scenario,
+    parse_toml,
+    run_scenario,
+)
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10
+    tomllib = None
+
+
+REFERENCE_TOML = """\
+# full-surface exercise of the supported subset
+[scenario]
+name = "ref"            # trailing comment with 'quotes'
+profile = "test"
+mixes = [1, 2]
+schemes = ["static", "untangle"]
+campaign = "custom-tag"
+
+[scenario.profile_overrides]
+cooldown = 1_000
+max_cycles = 50000
+
+[[scenario.scheme]]
+name = "threshold"
+alias = "thr-tight"
+
+[scenario.scheme.params]
+expand_fraction = 0.8
+footprint_window = 5000
+
+[[scenario.sweep]]
+field = "quantum"
+values = [250, 500]
+
+[[scenario.workloads]]
+label = "pair"
+pairs = [["gcc_0", "RSA-2048"], ["xz_0", "SHA-256"]]
+"""
+
+
+class TestTomlParsing:
+    def test_fallback_matches_tomllib(self):
+        if tomllib is None:
+            pytest.skip("tomllib unavailable; fallback is the only parser")
+        assert _fallback_parse_toml(REFERENCE_TOML) == tomllib.loads(
+            REFERENCE_TOML
+        )
+
+    def test_fallback_value_types(self):
+        data = _fallback_parse_toml(
+            "[t]\n"
+            "s = 'x'\n"
+            "i = 1_000\n"
+            "f = 2.5\n"
+            "b = true\n"
+            "a = [1, [2, 3], 'four']\n"
+        )
+        assert data == {
+            "t": {
+                "s": "x",
+                "i": 1000,
+                "f": 2.5,
+                "b": True,
+                "a": [1, [2, 3], "four"],
+            }
+        }
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[unclosed",
+            "[[unclosed",
+            "[t]\nkey\n",
+            "[t]\nkey = \n",
+            "[t]\nkey = 'unterminated\n",
+            "[t]\nkey = [1, 2\n",
+            "[t]\nkey = what\n",
+            "[t]\nkey = 1 trailing\n",
+        ],
+    )
+    def test_fallback_rejects_malformed_lines(self, text):
+        with pytest.raises(ConfigurationError):
+            _fallback_parse_toml(text)
+
+    def test_parse_toml_reports_source_on_bad_toml(self):
+        with pytest.raises(ConfigurationError, match="spec.toml"):
+            parse_toml("=[=", source="spec.toml")
+
+
+class TestParseScenario:
+    def base(self, **overrides):
+        data = {
+            "scenario": {
+                "name": "t",
+                "profile": "test",
+                "mixes": [1],
+                "schemes": ["static"],
+                **overrides,
+            }
+        }
+        return data
+
+    def test_minimal_spec(self):
+        spec = parse_scenario(self.base())
+        assert spec.name == "t"
+        assert spec.mix_ids == (1,)
+        assert [s.run_key for s in spec.schemes] == ["static"]
+
+    def test_missing_scenario_table(self):
+        with pytest.raises(ConfigurationError, match="top-level"):
+            parse_scenario({"name": "t"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            parse_scenario(self.base(shcemes=["static"]))
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            parse_scenario(self.base(profile="gigantic"))
+
+    def test_unknown_profile_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="profile field"):
+            parse_scenario(self.base(profile_overrides={"kooldown": 1}))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            parse_scenario(self.base(schemes=["nosuch"]))
+
+    def test_bad_scheme_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            parse_scenario(
+                self.base(
+                    schemes=[{"name": "threshold", "params": {"nope": 1}}]
+                )
+            )
+
+    def test_duplicate_run_key_needs_alias(self):
+        with pytest.raises(ConfigurationError, match="alias"):
+            parse_scenario(
+                self.base(
+                    schemes=[
+                        "threshold",
+                        {
+                            "name": "threshold",
+                            "params": {"footprint_window": 500},
+                        },
+                    ]
+                )
+            )
+
+    def test_alias_disambiguates(self):
+        spec = parse_scenario(
+            self.base(
+                schemes=[
+                    "threshold",
+                    {
+                        "name": "threshold",
+                        "alias": "thr-small",
+                        "params": {"footprint_window": 500},
+                    },
+                ]
+            )
+        )
+        assert [s.run_key for s in spec.schemes] == [
+            "threshold",
+            "thr-small",
+        ]
+
+    def test_empty_schemes_default_to_campaign_set(self):
+        spec = parse_scenario(self.base(schemes=[]))
+        assert "untangle" in [s.name for s in spec.schemes]
+
+    def test_needs_mixes_or_workloads(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            parse_scenario(self.base(mixes=[]))
+
+    def test_bad_sweep_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a profile field"):
+            parse_scenario(
+                self.base(sweep=[{"field": "nope", "values": [1]}])
+            )
+
+    def test_non_default_channel_model_rejected_with_guidance(self):
+        with pytest.raises(ConfigurationError, match="unknown channel-model"):
+            parse_scenario(self.base(channel_model="nosuch"))
+
+    def test_workload_pairs_validated(self):
+        with pytest.raises(ConfigurationError, match="spec, crypto"):
+            parse_scenario(
+                self.base(workloads=[{"pairs": [["gcc_0"]]}])
+            )
+
+
+class TestLoadScenario:
+    def test_toml_and_json_agree(self, tmp_path):
+        toml_path = tmp_path / "s.toml"
+        toml_path.write_text(
+            "[scenario]\n"
+            'name = "t"\n'
+            'profile = "test"\n'
+            "mixes = [1]\n"
+            'schemes = ["static"]\n'
+        )
+        json_path = tmp_path / "s.json"
+        json_path.write_text(
+            json.dumps(
+                {
+                    "scenario": {
+                        "name": "t",
+                        "profile": "test",
+                        "mixes": [1],
+                        "schemes": ["static"],
+                    }
+                }
+            )
+        )
+        assert load_scenario(toml_path) == load_scenario(json_path)
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("scenario:\n")
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            load_scenario(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_scenario(tmp_path / "absent.toml")
+
+
+class TestCompile:
+    def test_default_campaign_derives_from_name(self):
+        spec = ScenarioSpec(
+            name="x",
+            profile="test",
+            mix_ids=(1,),
+            schemes=(SchemeSelection(name="static"),),
+        )
+        compiled = compile_scenario(spec)
+        assert [p.campaign for p in compiled.points] == ["scenario[x]"]
+
+    def test_sweep_cross_product_labels_and_campaigns(self):
+        spec = ScenarioSpec(
+            name="x",
+            profile="test",
+            mix_ids=(1,),
+            schemes=(SchemeSelection(name="static"),),
+            sweep=(
+                SweepAxis("cooldown", (250, 500)),
+                SweepAxis("quantum", (100,)),
+            ),
+        )
+        compiled = compile_scenario(spec)
+        assert [p.label for p in compiled.points] == [
+            "cooldown=250,quantum=100",
+            "cooldown=500,quantum=100",
+        ]
+        assert compiled.points[0].campaign == (
+            "scenario[x]/cooldown=250,quantum=100"
+        )
+        assert compiled.points[0].profile.cooldown == 250
+        assert compiled.points[1].profile.cooldown == 500
+
+    def test_base_profile_applies_only_without_pin(self):
+        pinned = ScenarioSpec(
+            name="x",
+            profile="test",
+            mix_ids=(1,),
+            schemes=(SchemeSelection(name="static"),),
+        )
+        unpinned = ScenarioSpec(
+            name="x",
+            mix_ids=(1,),
+            schemes=(SchemeSelection(name="static"),),
+        )
+        base = PROFILES["bench"]
+        assert (
+            compile_scenario(pinned, base_profile=base).points[0].profile
+            == TEST
+        )
+        assert (
+            compile_scenario(unpinned, base_profile=base).points[0].profile
+            == base
+        )
+
+    def test_profile_overrides_applied(self):
+        spec = ScenarioSpec(
+            name="x",
+            profile="test",
+            profile_overrides=(("cooldown", 123),),
+            mix_ids=(1,),
+            schemes=(SchemeSelection(name="static"),),
+        )
+        assert compile_scenario(spec).points[0].profile.cooldown == 123
+
+
+class TestBitIdentityWithRunMixGrid:
+    """The acceptance criterion, end to end at CI scale."""
+
+    SPEC_TOML = """\
+[scenario]
+name = "accept"
+profile = "test"
+mixes = [1]
+schemes = ["static", "threshold"]
+campaign = "mix-grid[1]"
+"""
+
+    def test_cells_match_run_mix_grid_cells(self):
+        from repro.harness.exec import MixSchemeCell
+        from repro.workloads.mixes import get_mix
+
+        spec = parse_scenario(parse_toml(self.SPEC_TOML))
+        compiled = compile_scenario(spec)
+        expected = [
+            MixSchemeCell(
+                pairs=tuple(get_mix(1)), scheme=scheme, profile=TEST
+            )
+            for scheme in ("static", "threshold")
+        ]
+        assert [cell_key(c) for c in compiled.cells()] == [
+            cell_key(c) for c in expected
+        ]
+
+    def test_results_and_cache_interchange(self, tmp_path):
+        spec = parse_scenario(parse_toml(self.SPEC_TOML))
+        engine = ExecutionEngine(cache=ResultCache(tmp_path / "cache"))
+        scenario_result = run_scenario(spec, engine=engine)
+
+        # The hand-wired path over the same engine must be served
+        # entirely from cache: identical cell keys, zero re-simulation.
+        engine2 = ExecutionEngine(cache=ResultCache(tmp_path / "cache"))
+        grid = run_mix_grid(
+            (1,),
+            TEST,
+            ("static", "threshold"),
+            engine=engine2,
+        )
+        snap = engine2.telemetry.snapshot()
+        assert snap["computed"] == 0
+        assert snap["hit"] == snap["total"] > 0
+
+        mix_result = scenario_result.points[0].results[1]
+        assert mix_result.runs == grid[1].runs
+        assert mix_result.labels == grid[1].labels
+
+
+class TestRunScenario:
+    def test_custom_workloads_and_sweep(self):
+        spec = ScenarioSpec(
+            name="tiny",
+            profile="test",
+            custom_mixes=(
+                ("pairset", (("gcc_0", "RSA-2048"),)),
+            ),
+            schemes=(SchemeSelection(name="static"),),
+            sweep=(SweepAxis("quantum", (250, 500)),),
+        )
+        result = run_scenario(spec)
+        assert len(result.points) == 2
+        for point_result in result.points:
+            mix = point_result.results["pairset"]
+            assert set(mix.runs) == {"static"}
+            assert mix.labels == ["gcc_0+RSA-2048"]
+
+    def test_custom_mix_matches_run_custom_mix(self):
+        pairs = [("gcc_0", "RSA-2048")]
+        spec = ScenarioSpec(
+            name="tiny",
+            profile="test",
+            custom_mixes=((None, tuple(pairs)),),
+            schemes=(SchemeSelection(name="static"),),
+        )
+        via_scenario = run_scenario(spec).points[0].results[None]
+        direct = run_custom_mix(pairs, TEST, ("static",))
+        assert via_scenario.runs == direct.runs

@@ -115,3 +115,77 @@ class TestEndToEnd:
         accountant = scheme.accountants[0]
         max_charge = max((c.bits for c in accountant.charges), default=0.0)
         assert accountant.total_bits <= 0.4 + max_charge + 1e-9
+
+
+class TestBuildCertifiesEveryMonitor:
+    """Satellite regression: `build` used to certify `monitors[0]` only;
+    a non-compliant monitor on any other domain slipped through."""
+
+    def test_every_per_core_monitor_is_checked(self, tiny_arch, rate_table, monkeypatch):
+        import repro.schemes.threshold as threshold_module
+
+        certified = []
+        monkeypatch.setattr(
+            threshold_module,
+            "require_timing_independent_metric",
+            certified.append,
+        )
+        schedules = []
+        monkeypatch.setattr(
+            threshold_module,
+            "require_progress_based_schedule",
+            schedules.append,
+        )
+        scheme = make_scheme(tiny_arch, rate_table)
+        stream = InstructionStream(np.full(32, -1, dtype=np.int64))
+        MultiDomainSystem(
+            tiny_arch,
+            [
+                DomainSpec("a", stream, CoreConfig()),
+                DomainSpec("b", stream, CoreConfig()),
+            ],
+            scheme,
+            quantum=64,
+        )
+        assert len(certified) == tiny_arch.num_cores == 2
+        assert schedules == [scheme.schedule]
+
+
+class TestTieredAccounting:
+    def test_tier_count_must_match_domains(self, tiny_arch, rate_table):
+        with pytest.raises(ConfigurationError, match="one tier per domain"):
+            make_scheme(tiny_arch, rate_table, tiers=(0,))
+
+    def test_flat_tiers_keep_peer_exchanges_chargeable(
+        self, tiny_arch, rate_table
+    ):
+        flat = make_scheme(tiny_arch, rate_table, tiers=(0, 0))
+        assert flat.tier_policy is not None
+        assert flat.tier_policy.chargeable(0, [1])
+        assert flat.tier_policy.chargeable(1, [0])
+
+    def test_ladder_frees_only_the_bottom_tier(self, tiny_arch, rate_table):
+        ladder = make_scheme(tiny_arch, rate_table, tiers=(0, 1))
+        # Domain 0 exchanges capacity only with the strictly-higher
+        # tier and nobody lower/peer can probe: uncharged (Section 6.4).
+        assert not ladder.tier_policy.chargeable(0, [1])
+        # Domain 1's resize is visible to a lower-tier observer.
+        assert ladder.tier_policy.chargeable(1, [0])
+
+    def test_sole_domain_with_no_counterparties_charges_less(
+        self, rate_table
+    ):
+        # One domain, tiered accounting: every resize has no
+        # counterparty left to observe it, so visible actions book as
+        # Maintains — total leakage must come in strictly below the
+        # base model, which charges every visible resize.
+        arch = ArchConfig.tiny(num_cores=1)
+        base = make_scheme(arch, rate_table)
+        tiered = make_scheme(arch, rate_table, tiers=(0,))
+        run_single(arch, base, working_set=100)
+        system = run_single(arch, tiered, working_set=100)
+        assert system.stats[0].assessments > 0
+        assert (
+            tiered.accountants[0].total_bits
+            < base.accountants[0].total_bits
+        )

@@ -78,7 +78,7 @@ from repro.harness.store import (
     precompute_from_env,
 )
 from repro.harness.faults import faults_from_env
-from repro.harness.journal import RunJournal
+from repro.harness.journal import RunJournal, batching_from_env
 from repro.harness.experiment import run_mix
 from repro.harness.profiling import PROFILE_DIR_ENV, PROFILE_ENV
 from repro.harness.figures import figure_group
@@ -354,11 +354,15 @@ def build_engine(args: argparse.Namespace) -> ExecutionEngine:
     conflict.
     """
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    journal = (
-        None
-        if args.no_cache
-        else RunJournal(Path(args.cache_dir) / "journal.jsonl")
-    )
+    if args.no_cache:
+        journal = None
+    else:
+        batch_entries, linger_seconds = batching_from_env()
+        journal = RunJournal(
+            Path(args.cache_dir) / "journal.jsonl",
+            batch_entries=batch_entries,
+            linger_seconds=linger_seconds,
+        )
     store = None
     raw_precompute = os.environ.get(PRECOMPUTE_ENV, "").strip().lower()
     if args.no_precompute_store:

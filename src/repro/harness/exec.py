@@ -87,10 +87,11 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import CampaignInterrupted, ConfigurationError, JournalError
 from repro.harness.faults import FaultPlan, faults_from_env, release_fault_state
-from repro.harness.journal import JournalEntry, RunJournal
+from repro.harness.journal import JournalEntry, RunJournal, batching_from_env
 from repro.harness.reaper import reap_orphans
 from repro.harness.profiling import maybe_profile, reset_claim
 from repro.harness.runconfig import RunProfile
+from repro.harness.streamstats import StreamingSummary
 from repro.harness.store import (
     STORE_DIR_ENV,
     STORE_SHM_ENV,
@@ -129,6 +130,11 @@ MANIFEST_FORMAT_VERSION = 1
 #: File the failure manifest is rendered to, next to the journal (or in
 #: the cache directory when no journal is attached).
 MANIFEST_NAME = "failures.json"
+
+#: Cap on *successful* per-cell records retained in telemetry; beyond
+#: it the streaming sketches carry the distribution (failures are
+#: always retained for the manifest/report).
+MAX_RETAINED_RECORDS = 10_000
 
 # Engine-level metrics, recorded per cell / per supervision event (never
 # per simulated access), so they are cheap enough to count always;
@@ -175,6 +181,10 @@ _M_CACHE = {
     )
     for kind in ("hit", "miss", "quarantined")
 }
+_M_PACK_BYTES = _REG.counter(
+    "repro_cache_pack_bytes_total",
+    "Bytes appended to result-cache pack segments",
+)
 _M_CELL_SECONDS = _REG.histogram(
     "repro_exec_cell_seconds",
     "Per-cell wall time (completed cells)",
@@ -442,37 +452,356 @@ def cell_key(cell: Any) -> str:
 # On-disk result cache
 # ----------------------------------------------------------------------
 class ResultCache:
-    """Content-addressed JSON store of cell results.
+    """Content-addressed store of cell results in packed segments.
 
-    Entries live at ``<directory>/<key[:2]>/<key>.json`` and are written
-    atomically (temp file + rename), so concurrent workers and concurrent
-    benchmark sessions can share one cache directory safely.
+    Entries are appended to per-shard pack segments
+    (``<directory>/packs/<key[:1]>.pack``, one JSON line per entry)
+    with an in-memory offset index, persisted as a compact sidecar
+    (``<shard>.idx``) on teardown so a warm process locates every entry
+    without rescanning. One put is one ``write(2)`` on an already-open
+    ``O_APPEND`` descriptor — no per-entry ``mkdir``/``mkstemp``/
+    ``os.replace`` — which is what lets the campaign control plane
+    scale to 100k trivial cells.
 
-    Integrity: each entry embeds a SHA-256 checksum of its value
-    payload. An entry that is truncated, garbled, checksum-mismatched,
-    or written by an incompatible :data:`CACHE_FORMAT_VERSION` is
-    *quarantined* — renamed to ``<entry>.json.corrupt`` and counted in
-    :attr:`quarantined` — so it is diagnosable on disk and is never
-    re-read and re-parsed on subsequent runs.
+    The legacy one-file-per-entry layout
+    (``<directory>/<key[:2]>/<key>.json``) remains fully readable:
+    :meth:`get` falls back to it when a key has no packed entry, so
+    existing caches interchange without migration. ``layout="files"``
+    keeps *writing* that layout (atomic temp file + rename) — retained
+    as the baseline arm of ``benchmarks/bench_overhead.py``.
+
+    Integrity: cache keys and the per-entry SHA-256 of the value
+    payload are unchanged from the per-file layout. A packed entry that
+    is torn, garbled, checksum-mismatched, or format-incompatible is
+    *quarantined* — its bytes are appended to the shard's
+    ``<shard>.corrupt`` sidecar and the pack is compacted (atomic
+    rewrite + rename) to drop exactly the damaged lines, counted in
+    :attr:`quarantined`. Legacy entries quarantine by rename
+    (``<entry>.json.corrupt``) as before.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, *, layout: str = "pack"):
+        if layout not in ("pack", "files"):
+            raise ConfigurationError(
+                f"unknown cache layout {layout!r}; accepted: pack, files"
+            )
         self.directory = Path(directory)
+        self.layout = layout
         #: Entries quarantined by :meth:`get` over this instance's life.
         self.quarantined = 0
         #: Successful/absent lookups over this instance's life.
         self.hits = 0
         self.misses = 0
+        # Packed-segment state: per-shard offset index, bytes scanned,
+        # open O_APPEND descriptors, and which sidecars need rewriting.
+        self._index: dict[str, dict[str, tuple[int, int]]] = {}
+        self._scanned: dict[str, int] = {}
+        self._fds: dict[str, int] = {}
+        self._dirty: set[str] = set()
+        self._packs_dir_made = False
+        #: Shards already brought up to date by :meth:`_refresh_shard`
+        #: this instance (one ``stat`` + tail scan per shard, not per
+        #: get). A validation failure still forces a full re-scan.
+        self._refreshed: set[str] = set()
+        # Whether the directory holds legacy per-file entries at all;
+        # resolved lazily with one directory listing so a pure-pack
+        # cache never pays the per-miss legacy path probe.
+        self._legacy_checked = layout == "files"
+        self._legacy_present = layout == "files"
+        #: Shard dirs already created by the legacy writer (memoized so
+        #: ``layout="files"`` pays one mkdir per shard, not per put).
+        self._made_dirs: set[str] = set()
 
+    # -- paths ----------------------------------------------------------
     def _path(self, key: str) -> Path:
+        """Legacy per-file entry path (still read; written by
+        ``layout="files"``)."""
         return self.directory / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _pack_shard(key: str) -> str:
+        """Pack shard of a key: one hex character, sixteen segments.
+
+        Coarser than the legacy two-character directory fan-out on
+        purpose: the point of packing is few, large, append-only files
+        (fewer descriptors, fewer sidecars, fewer fsync targets), and
+        sixteen segments keep even a 100k-cell cache at a comfortable
+        per-segment size.
+        """
+        return key[:1]
+
+    def _pack_path(self, shard: str) -> Path:
+        return self.directory / "packs" / f"{shard}.pack"
+
+    def _index_path(self, shard: str) -> Path:
+        return self.directory / "packs" / f"{shard}.idx"
+
+    def _corrupt_path(self, shard: str) -> Path:
+        return self.directory / "packs" / f"{shard}.corrupt"
 
     @staticmethod
     def _value_checksum(value: Any) -> str:
         canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def _encode_entry(key: str, payload: dict[str, Any]) -> bytes:
+        """One pack line, serializing the value exactly once.
+
+        The value's canonical JSON feeds the sha256 *and* is spliced
+        verbatim into the entry line (canonical JSON round-trips
+        exactly, so the checksum re-verifies on read).
+        """
+        value_json = json.dumps(
+            payload.get("value"), sort_keys=True, separators=(",", ":")
+        )
+        sha = hashlib.sha256(value_json.encode("utf-8")).hexdigest()
+        rest = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "sha256": sha,
+            **{k: v for k, v in payload.items() if k != "value"},
+        }
+        head = json.dumps(rest, separators=(",", ":"))
+        return (head[:-1] + ',"value":' + value_json + "}\n").encode("utf-8")
+
+    # -- pack plumbing --------------------------------------------------
+    def _ensure_packs_dir(self) -> None:
+        if not self._packs_dir_made:
+            (self.directory / "packs").mkdir(parents=True, exist_ok=True)
+            self._packs_dir_made = True
+
+    def _fd(self, shard: str) -> int:
+        """The shard's append descriptor, opened (and tail-repaired) once."""
+        fd = self._fds.get(shard)
+        if fd is not None:
+            return fd
+        self._ensure_packs_dir()
+        fd = os.open(
+            self._pack_path(shard),
+            os.O_APPEND | os.O_CREAT | os.O_RDWR,
+            0o644,
+        )
+        size = os.fstat(fd).st_size
+        if size and os.pread(fd, 1, size - 1) != b"\n":
+            # A torn final append (crash mid-write) left no newline;
+            # terminate it so the fragment scans as one damaged line
+            # instead of gluing itself onto the next entry.
+            os.write(fd, b"\n")
+        self._fds[shard] = fd
+        return fd
+
+    def _load_sidecar(self, shard: str, size: int) -> int:
+        """Seed the in-memory index from ``<shard>.idx``; returns the
+        byte offset up to which the sidecar is authoritative."""
+        try:
+            sidecar = json.loads(self._index_path(shard).read_bytes())
+        except (OSError, ValueError):
+            return 0
+        if (
+            not isinstance(sidecar, dict)
+            or sidecar.get("format") != CACHE_FORMAT_VERSION
+            or not isinstance(sidecar.get("entries"), dict)
+            or not isinstance(sidecar.get("pack_bytes"), int)
+            or sidecar["pack_bytes"] > size
+        ):
+            # Stale or damaged sidecar (e.g. the pack was compacted or
+            # truncated after it was written): fall back to a full scan.
+            return 0
+        index = self._index.setdefault(shard, {})
+        for key, loc in sidecar["entries"].items():
+            if (
+                isinstance(key, str)
+                and isinstance(loc, list)
+                and len(loc) == 2
+                and all(isinstance(v, int) for v in loc)
+            ):
+                index[key] = (loc[0], loc[1])
+        return sidecar["pack_bytes"]
+
+    def _refresh_shard(self, shard: str) -> None:
+        """Index any pack bytes this instance has not scanned yet.
+
+        Damaged lines found while scanning (torn tail from a crash,
+        foreign garbage) are quarantined immediately; parseable entries
+        are indexed newest-wins. A trailing fragment without a newline
+        is left unscanned — the tail repair in :meth:`_fd` bounds it.
+
+        Runs once per shard per instance: a fresh instance always
+        re-scans (so cross-process appends are picked up between
+        campaigns), but within one campaign the supervisor is the only
+        writer, so repeating the ``stat`` on every get buys nothing.
+        :meth:`_read_packed` drops the memo when validation fails.
+        """
+        if shard in self._refreshed:
+            return
+        self._refreshed.add(shard)
+        path = self._pack_path(shard)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            self._index.setdefault(shard, {})
+            self._scanned.setdefault(shard, 0)
+            return
+        scanned = self._scanned.get(shard)
+        if scanned is None:
+            scanned = self._load_sidecar(shard, size)
+        if size <= scanned:
+            self._index.setdefault(shard, {})
+            self._scanned[shard] = scanned
+            return
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(scanned)
+                blob = handle.read(size - scanned)
+        except OSError:
+            self._index.setdefault(shard, {})
+            self._scanned.setdefault(shard, scanned)
+            return
+        index = self._index.setdefault(shard, {})
+        offset = scanned
+        damaged: list[tuple[int, int]] = []
+        end = len(blob)
+        pos = 0
+        while pos < end:
+            newline = blob.find(b"\n", pos)
+            if newline < 0:
+                break  # in-flight/torn tail: not scanned, not damaged
+            line = blob[pos : newline + 1]
+            length = len(line)
+            key = None
+            try:
+                fields = json.loads(line)
+                if isinstance(fields, dict):
+                    key = fields.get("key")
+            except ValueError:
+                pass
+            if isinstance(key, str):
+                index[key] = (offset, length)
+            elif line.strip():
+                damaged.append((offset, length))
+            offset += length
+            pos = newline + 1
+        self._scanned[shard] = offset
+        if damaged:
+            for dmg_offset, dmg_length in damaged:
+                self._quarantine_packed_bytes(
+                    shard, blob[dmg_offset - scanned :][:dmg_length]
+                )
+            self._compact_shard(shard)
+
+    def _quarantine_packed_bytes(self, shard: str, data: bytes) -> None:
+        """Book one damaged packed entry: counted, bytes preserved in
+        the shard's ``.corrupt`` sidecar for diagnosis."""
+        self.quarantined += 1
+        _M_CACHE["quarantined"].inc()
+        obs_trace.event(
+            "cache.quarantine", path=str(self._pack_path(shard)), shard=shard
+        )
+        try:
+            self._ensure_packs_dir()
+            with open(self._corrupt_path(shard), "ab") as handle:
+                handle.write(data if data.endswith(b"\n") else data + b"\n")
+        except OSError:
+            pass
+
+    def _compact_shard(self, shard: str) -> None:
+        """Rewrite the shard's pack from its surviving index entries.
+
+        Atomic (temp file + rename), so readers never see a half-
+        compacted pack; only the quarantined lines are dropped, every
+        surviving entry's bytes are preserved verbatim.
+        """
+        path = self._pack_path(shard)
+        index = self._index.get(shard, {})
+        with obs_trace.span(
+            "cache.compact", path=str(path), entries=len(index)
+        ):
+            fd = self._fd(shard)
+            survivors: list[tuple[str, bytes]] = []
+            for key, (offset, length) in sorted(
+                index.items(), key=lambda item: item[1][0]
+            ):
+                data = os.pread(fd, length, offset)
+                if len(data) == length:
+                    survivors.append((key, data))
+            tmp_fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{shard}-", suffix=".tmp"
+            )
+            try:
+                new_index: dict[str, tuple[int, int]] = {}
+                offset = 0
+                with os.fdopen(tmp_fd, "wb") as handle:
+                    for key, data in survivors:
+                        handle.write(data)
+                        new_index[key] = (offset, len(data))
+                        offset += len(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            # The open descriptor still points at the pre-compaction
+            # inode; reopen lazily.
+            os.close(self._fds.pop(shard))
+            self._index[shard] = new_index
+            self._scanned[shard] = offset
+            self._dirty.add(shard)
+
+    def _write_sidecar(self, shard: str) -> None:
+        index = self._index.get(shard)
+        if index is None:
+            return
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "pack_bytes": self._scanned.get(shard, 0),
+            "entries": {key: list(loc) for key, loc in index.items()},
+        }
+        path = self._index_path(shard)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{shard}-", suffix=".idx.tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except (OSError, UnboundLocalError):
+                pass
+
+    def release_handles(self) -> None:
+        """Persist dirty sidecar indexes and close pack descriptors.
+
+        Called on engine teardown (and finalization) so a campaign
+        holds at most one descriptor per touched shard while running
+        and zero afterwards.
+        """
+        for shard in sorted(self._dirty):
+            self._write_sidecar(shard)
+        self._dirty.clear()
+        for shard in list(self._fds):
+            try:
+                os.close(self._fds.pop(shard))
+            except OSError:
+                pass
+
+    close = release_handles
+
+    def __del__(self):  # pragma: no cover - finalization best-effort
+        try:
+            self.release_handles()
+        except Exception:
+            pass
+
+    # -- quarantine (legacy + packed) -----------------------------------
     def _quarantine(self, path: Path) -> None:
+        """Legacy per-file quarantine: rename to ``*.corrupt``."""
         self.quarantined += 1
         _M_CACHE["quarantined"].inc()
         obs_trace.event("cache.quarantine", path=str(path))
@@ -485,7 +814,100 @@ class ResultCache:
         self.misses += 1
         _M_CACHE["miss"].inc()
 
+    def _scan_legacy_dirs(self) -> bool:
+        """Whether the directory holds any legacy two-hex shard dirs."""
+        try:
+            with os.scandir(self.directory) as entries:
+                return any(
+                    entry.is_dir()
+                    and len(entry.name) == 2
+                    and all(c in "0123456789abcdef" for c in entry.name)
+                    for entry in entries
+                )
+        except OSError:
+            return False
+
+    @staticmethod
+    def _valid(payload: Any) -> bool:
+        return (
+            isinstance(payload, dict)
+            and payload.get("format") == CACHE_FORMAT_VERSION
+            and "value" in payload
+            and payload.get("sha256")
+            == ResultCache._value_checksum(payload["value"])
+        )
+
+    # -- lookup ---------------------------------------------------------
+    def _read_packed(self, shard: str, key: str) -> dict[str, Any] | None:
+        """The packed entry for ``key``, quarantining it if damaged.
+
+        Returns the payload on success, ``None`` when the key has no
+        (surviving) packed entry. A validation failure first forces a
+        full shard rescan — the index may be stale if another process
+        appended or compacted — and only quarantines if the freshly
+        located bytes are damaged too.
+        """
+        for attempt in range(2):
+            loc = self._index.get(shard, {}).get(key)
+            if loc is None:
+                return None
+            offset, length = loc
+            try:
+                data = os.pread(self._fd(shard), length, offset)
+            except OSError:
+                return None
+            payload: Any = None
+            if len(data) == length:
+                try:
+                    payload = json.loads(data)
+                except ValueError:
+                    payload = None
+            if (
+                isinstance(payload, dict)
+                and payload.get("key") == key
+                and self._valid(payload)
+            ):
+                return payload
+            if attempt == 0:
+                # Stale index? Re-scan the shard from scratch before
+                # declaring the entry damaged.
+                self._index.pop(shard, None)
+                self._scanned.pop(shard, None)
+                self._refreshed.discard(shard)
+                self._refresh_shard(shard)
+                if self._index.get(shard, {}).get(key) == loc:
+                    break  # same bytes — genuinely damaged
+        loc = self._index.get(shard, {}).get(key)
+        if loc is None:
+            return None
+        offset, length = loc
+        try:
+            data = os.pread(self._fd(shard), length, offset)
+        except OSError:
+            data = b""
+        self._index[shard].pop(key, None)
+        self._quarantine_packed_bytes(shard, data)
+        self._compact_shard(shard)
+        return None
+
     def get(self, key: str) -> dict[str, Any] | None:
+        shard = self._pack_shard(key)
+        self._refresh_shard(shard)
+        payload = self._read_packed(shard, key)
+        if payload is not None:
+            self.hits += 1
+            _M_CACHE["hit"].inc()
+            return payload
+        # Fall back to the legacy per-file layout (pre-pack caches
+        # interchange without migration). One directory listing decides
+        # whether any legacy shard dirs exist at all; a pure-pack cache
+        # then misses without per-key path probes.
+        if not self._legacy_checked:
+            self._legacy_checked = True
+            self._legacy_present = self._scan_legacy_dirs()
+        if not self._legacy_present:
+            self._miss()
+            return None
         path = self._path(key)
         try:
             text = path.read_text()
@@ -493,52 +915,92 @@ class ResultCache:
             self._miss()
             return None  # genuinely absent — a plain miss
         try:
-            payload = json.loads(text)
+            legacy = json.loads(text)
         except ValueError:
             self._quarantine(path)
             self._miss()
             return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != CACHE_FORMAT_VERSION
-            or "value" not in payload
-            or payload.get("sha256") != self._value_checksum(payload["value"])
-        ):
+        if not self._valid(legacy):
             self._quarantine(path)
             self._miss()
             return None
         self.hits += 1
         _M_CACHE["hit"].inc()
-        return payload
+        return legacy
 
+    # -- write ----------------------------------------------------------
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Write one entry atomically.
+        """Write one entry durably-replaceable and atomically visible.
 
-        Raises ``OSError`` (e.g. ``ENOSPC``/``EIO``) after cleaning up
-        the temp file: the engine downgrades the cache to compute-only
-        on the first write failure rather than silently dropping every
-        entry onto a full disk for the rest of the campaign.
+        Packed layout: one append of one serialized line (newline-
+        terminated appends are atomic for readers; a newer line for the
+        same key shadows older ones). ``layout="files"``: the legacy
+        atomic temp-file + rename. Raises ``OSError`` (e.g.
+        ``ENOSPC``/``EIO``): the engine downgrades the cache to
+        compute-only on the first write failure rather than silently
+        dropping every entry onto a full disk for the rest of the
+        campaign.
         """
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "format": CACHE_FORMAT_VERSION,
-            "sha256": self._value_checksum(payload.get("value")),
-            **payload,
-        }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-        except OSError:
+        line = self._encode_entry(key, payload)
+        if self.layout == "files":
+            path = self._path(key)
+            if key[:2] not in self._made_dirs:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._made_dirs.add(key[:2])
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(line)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return
+        shard = self._pack_shard(key)
+        fd = self._fd(shard)
+        offset = os.lseek(fd, 0, os.SEEK_END)
+        os.write(fd, line)
+        _M_PACK_BYTES.inc(len(line))
+        index = self._index.setdefault(shard, {})
+        index[key] = (offset, len(line))
+        if self._scanned.get(shard, 0) == offset:
+            # Contiguous with what we have scanned; otherwise a foreign
+            # writer appended in between and the next refresh re-scans.
+            self._scanned[shard] = offset + len(line)
+        self._dirty.add(shard)
+
+    # -- fault seam -----------------------------------------------------
+    def corrupt_entry(self, key: str) -> None:
+        """Garble the stored entry for ``key`` in place (fault injection).
+
+        Packed entries are damaged *within* their line — byte length
+        and neighbors untouched, so exactly one entry is affected;
+        legacy entries are truncated like a torn write.
+        """
+        shard = self._pack_shard(key)
+        self._refresh_shard(shard)
+        loc = self._index.get(shard, {}).get(key)
+        if loc is None:
+            FaultPlan.corrupt_file(self._path(key))
+            return
+        offset, length = loc
+        stamp = b"#torn-write#"[: max(1, length - 2)]
+        try:
+            # Not the shard's O_APPEND descriptor: pwrite on O_APPEND
+            # appends regardless of offset (Linux), which would leave
+            # the target line intact.
+            fd = os.open(self._pack_path(shard), os.O_WRONLY)
+            try:
+                os.pwrite(fd, stamp, offset)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -616,10 +1078,28 @@ class EngineTelemetry:
     #: lanes actually ran (serial driver or worker processes).
     stacked_cells: int = 0
     lane_divergences: int = 0
+    #: Per-cell records retained for reporting. Successful cells are
+    #: capped at :data:`MAX_RETAINED_RECORDS` (the overflow counted in
+    #: :attr:`records_dropped`) so a 100k-cell campaign's telemetry
+    #: stays O(1); failed/poisoned cells are *always* retained — the
+    #: failure manifest and report need every one of them.
     records: list[CellRecord] = field(default_factory=list)
+    records_dropped: int = 0
+    #: Streaming per-cell wall-time distribution — exact counters above
+    #: stay exact; this adds percentiles without retaining cells.
+    cell_seconds_stats: StreamingSummary = field(
+        default_factory=lambda: StreamingSummary(quantiles=(0.5, 0.9, 0.99))
+    )
 
     def note(self, record: CellRecord) -> None:
-        self.records.append(record)
+        if (
+            record.status in ("failed", "poisoned")
+            or len(self.records) < MAX_RETAINED_RECORDS
+        ):
+            self.records.append(record)
+        else:
+            self.records_dropped += 1
+        self.cell_seconds_stats.add(record.wall_seconds)
         self.cells += 1
         self.cell_seconds += record.wall_seconds
         _M_CELLS[record.status].inc()
@@ -694,6 +1174,10 @@ class EngineTelemetry:
             "batched_cells": self.batched_cells,
             "stacked_cells": self.stacked_cells,
             "lane_divergences": self.lane_divergences,
+            "records_dropped": self.records_dropped,
+            "cell_seconds_p50": self.cell_seconds_stats.quantile(0.5),
+            "cell_seconds_p90": self.cell_seconds_stats.quantile(0.9),
+            "cell_seconds_p99": self.cell_seconds_stats.quantile(0.99),
         }
 
     def absorb_store(self, delta: dict[str, float]) -> None:
@@ -2059,6 +2543,11 @@ class ExecutionEngine:
         self._serial_mode = True
         self._campaign: str | None = None
         self._old_handlers: dict[int, Any] = {}
+        #: Finished cells whose journal record is not yet fsync'd
+        #: (group commit): the ack — the progress line that marks a
+        #: cell resume-skippable — is held until its sequence number is
+        #: durable. (outcome, done, total, seq), FIFO by seq.
+        self._pending_acks: deque[tuple[CellOutcome, int, int, int]] = deque()
 
     # ------------------------------------------------------------------
     # Signal handling (graceful shutdown)
@@ -2193,7 +2682,8 @@ class ExecutionEngine:
                 if self.faults is not None and self.faults.should_corrupt(
                     outcome.cell.label
                 ):
-                    self.faults.corrupt_file(self.cache._path(outcome.key))
+                    self.cache.corrupt_entry(outcome.key)
+        seq: int | None = None
         if (
             self.journal is not None
             and outcome.status != "replayed"
@@ -2201,7 +2691,7 @@ class ExecutionEngine:
         ):
             try:
                 self._check_io("journal")
-                self.journal.record(
+                seq = self.journal.record(
                     JournalEntry(
                         key=outcome.key,
                         label=outcome.cell.label,
@@ -2222,8 +2712,38 @@ class ExecutionEngine:
                 )
             except (OSError, JournalError) as exc:
                 self._degrade("journal", exc)
-        self._emit(outcome, done, total)
+                # Durability is waived from here on; release any held
+                # acks — the lines were honest when their cells ran.
+                self._drain_acks(force=True)
+        if seq is not None:
+            # Ack-after-fsync: the progress line (the ack that marks
+            # this cell done and resume-skippable) waits for the
+            # group commit covering its journal record. With the
+            # default batch of 1 the record is already durable and the
+            # ack is emitted immediately, as before.
+            self._pending_acks.append((outcome, done, total, seq))
+            self._drain_acks()
+        else:
+            self._drain_acks(force=self.journal is None)
+            self._emit(outcome, done, total)
         return outcome
+
+    def _drain_acks(self, force: bool = False) -> None:
+        """Emit held progress lines whose journal records are durable.
+
+        ``force=True`` (teardown after a final flush, or journal
+        degradation) releases everything: at that point either the
+        records are on disk or durability is no longer promised.
+        """
+        if not self._pending_acks:
+            return
+        durable = self.journal.durable_seq if self.journal is not None else 0
+        while self._pending_acks:
+            outcome, done, total, seq = self._pending_acks[0]
+            if not force and seq > durable:
+                break
+            self._pending_acks.popleft()
+            self._emit(outcome, done, total)
 
     def _replay(self, cell: Any, key: str, entry: JournalEntry) -> Any | None:
         """Decode a journaled result, or ``None`` if it is unusable."""
@@ -2349,6 +2869,11 @@ class ExecutionEngine:
         outcomes: list[CellOutcome | None] = [None] * total
         done = 0
         self._campaign = campaign
+        self._pending_acks.clear()
+        if self.journal is not None and self.journal.faults is None:
+            # The group-commit crash window (journal-batch-crash) fires
+            # inside the journal's flush; hand it this run's plan.
+            self.journal.faults = self.faults
         run_span = obs_trace.span(
             "engine.run",
             campaign=campaign,
@@ -2477,6 +3002,22 @@ class ExecutionEngine:
         finally:
             self._restore_signals()
             self._serial_mode = True
+            if (
+                self.journal is not None
+                and "journal" not in self.telemetry.degraded
+            ):
+                # Commit any partial group-commit batch before acking:
+                # every progress line ever emitted stays backed by an
+                # fsync'd record, even for the tail of the campaign.
+                try:
+                    self.journal.flush()
+                except (OSError, JournalError) as exc:
+                    self._degrade("journal", exc)
+            self._drain_acks(force=True)
+            if self.cache is not None:
+                # Persist pack sidecar indexes and drop descriptors so
+                # a campaign never leaks fds across runs.
+                self.cache.release_handles()
             if not self.telemetry.interrupted:
                 # Interrupted runs tell their story via the journal +
                 # resume hint; completed runs with failures render the
@@ -2717,6 +3258,11 @@ def engine_from_env(
     * ``REPRO_JOURNAL``: journal path (default
       ``<cache-dir>/journal.jsonl`` whenever a cache directory is in
       use; ``0`` disables journaling).
+    * ``REPRO_JOURNAL_BATCH``: journal group-commit batch size
+      (default 64; ``1`` restores one fsync per cell). Acks are held
+      until the batch's fsync, so crash-safety is unchanged.
+    * ``REPRO_JOURNAL_LINGER``: max seconds a partial batch may wait
+      for its fsync (default 0.05).
     * ``REPRO_RESUME``: set to ``1`` to replay journaled cells instead
       of re-running them.
     * ``REPRO_FAULTS``: fault-injection spec for chaos runs (see
@@ -2803,12 +3349,21 @@ def engine_from_env(
             cache = ResultCache(directory)
     journal: RunJournal | None = None
     raw_journal = os.environ.get("REPRO_JOURNAL", "").strip()
+    batch_entries, linger_seconds = batching_from_env()
     if raw_journal == "0":
         journal = None
     elif raw_journal:
-        journal = RunJournal(raw_journal)
+        journal = RunJournal(
+            raw_journal,
+            batch_entries=batch_entries,
+            linger_seconds=linger_seconds,
+        )
     elif directory is not None:
-        journal = RunJournal(Path(directory) / "journal.jsonl")
+        journal = RunJournal(
+            Path(directory) / "journal.jsonl",
+            batch_entries=batch_entries,
+            linger_seconds=linger_seconds,
+        )
     store: PrecomputeStore | None = None
     if precompute_from_env():
         # The trace store is allowed even when the result cache is off

@@ -36,6 +36,12 @@ injects those failures on demand:
   no-resume warning, cache/store → compute-only) instead of aborting
   the campaign.
 * ``enospc=<subsystem>`` — same seams, but ``ENOSPC`` (disk full).
+* ``journal-batch-crash=<n>`` — the supervising process hard-exits at
+  the start of journal group-commit flush number ``n`` (1-based),
+  *before* the batch's buffered entries reach the kernel: the
+  crash window between a batch's buffered write and its fsync/ack.
+  Cells in that batch were finished but never acked; ``--resume`` must
+  re-attempt exactly them, bit-identically.
 
 Each fault fires at most once when a ``state`` directory is set (except
 ``poison``, which always fires by design): the first process to fire it
@@ -94,6 +100,7 @@ _SPEC_HELP = (
     "heartbeat-stall=<label-substr>, slow=<label-substr>, "
     "corrupt=<label-substr>, kill-worker=<int>, "
     "io-error=<journal|cache|store>, enospc=<journal|cache|store>, "
+    "journal-batch-crash=<int>, "
     "hang-seconds=<float>, stall-seconds=<float>, slow-seconds=<float>, "
     "state=<dir>"
 )
@@ -117,6 +124,9 @@ class FaultPlan:
     io_error_subsystems: tuple[str, ...] = ()
     #: Subsystems whose next write raises ``ENOSPC`` (``enospc=...``).
     enospc_subsystems: tuple[str, ...] = ()
+    #: Hard-exit the supervising process at the start of journal flush
+    #: number N (1-based) — the group-commit crash window. 0 = off.
+    journal_batch_crash: int = 0
     #: How long an injected hang sleeps (must exceed the engine timeout).
     hang_seconds: float = 3600.0
     #: How long a ``heartbeat-stall`` freezes progress before resuming.
@@ -227,6 +237,21 @@ class FaultPlan:
                 f"<injected:{subsystem}>",
             )
 
+    def on_journal_flush(self, flush_number: int) -> None:
+        """Crash the process at the start of the armed flush, if any.
+
+        Called by :class:`~repro.harness.journal.RunJournal` at the top
+        of each group-commit flush, while the batch's entries are still
+        in the user-space buffer — ``os._exit`` here loses exactly the
+        unacked batch, which is what the resume contract must absorb.
+        """
+        if (
+            self.journal_batch_crash
+            and flush_number >= self.journal_batch_crash
+            and self._fire_once("journal-batch-crash")
+        ):
+            os._exit(CRASH_EXIT_CODE)
+
     @staticmethod
     def corrupt_file(path: str | Path) -> None:
         """Garble a file the way a torn write would: truncate mid-payload."""
@@ -258,6 +283,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
     kill: list[int] = []
     io_error: list[str] = []
     enospc: list[str] = []
+    journal_batch_crash = 0
     hang_seconds = 3600.0
     stall_seconds = 30.0
     slow_seconds = 2.0
@@ -296,6 +322,19 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             io_error.append(_subsystem(value, "io-error"))
         elif key == "enospc":
             enospc.append(_subsystem(value, "enospc"))
+        elif key == "journal-batch-crash":
+            try:
+                journal_batch_crash = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"journal-batch-crash needs a 1-based flush number, "
+                    f"got {value!r}; {_SPEC_HELP}"
+                )
+            if journal_batch_crash < 1:
+                raise ConfigurationError(
+                    f"journal-batch-crash needs a 1-based flush number, "
+                    f"got {value!r}; {_SPEC_HELP}"
+                )
         elif key in ("hang-seconds", "stall-seconds", "slow-seconds"):
             try:
                 seconds = float(value)
@@ -325,6 +364,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         kill_workers=tuple(kill),
         io_error_subsystems=tuple(io_error),
         enospc_subsystems=tuple(enospc),
+        journal_batch_crash=journal_batch_crash,
         hang_seconds=hang_seconds,
         stall_seconds=stall_seconds,
         slow_seconds=slow_seconds,
@@ -400,6 +440,7 @@ def faults_from_env() -> FaultPlan | None:
             kill_workers=plan.kill_workers,
             io_error_subsystems=plan.io_error_subsystems,
             enospc_subsystems=plan.enospc_subsystems,
+            journal_batch_crash=plan.journal_batch_crash,
             hang_seconds=plan.hang_seconds,
             stall_seconds=plan.stall_seconds,
             slow_seconds=plan.slow_seconds,

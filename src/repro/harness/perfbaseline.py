@@ -12,7 +12,11 @@ order):
   disabled vs cold vs warm;
 * ``benchmarks/bench_campaign.py`` → ``BENCH_campaign.json``
   (``"kind": "campaign"``): a skewed-cost campaign under legacy per-cell
-  fifo dispatch vs the work-stealing scheduler (per-cell and batched).
+  fifo dispatch vs the work-stealing scheduler (per-cell and batched);
+* ``benchmarks/bench_overhead.py`` → ``BENCH_overhead.json``
+  (``"kind": "overhead"``): a control-plane-bound campaign of trivial
+  cells under per-cell journal fsync + per-file cache writes vs the
+  group-commit journal + packed cache segments (cold and warm).
 
 A regression is flagged when a freshly measured speedup falls more than
 ``tolerance`` (default 30%) below the committed baseline's — i.e. the
@@ -51,6 +55,11 @@ STORE_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_store.json"
 #: The committed baseline written by ``benchmarks/bench_campaign.py``.
 CAMPAIGN_BASELINE_PATH = (
     Path(__file__).resolve().parents[3] / "BENCH_campaign.json"
+)
+
+#: The committed baseline written by ``benchmarks/bench_overhead.py``.
+OVERHEAD_BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "BENCH_overhead.json"
 )
 
 #: Allowed fractional loss of speedup before a measurement is a regression.
@@ -93,6 +102,11 @@ def _speedups(payload: dict) -> dict[str, float]:
         if "stacked" in payload:
             out["campaign/stacked"] = float(payload["stacked"]["speedup"])
         return out
+    if payload.get("kind") == "overhead":
+        return {
+            "overhead/fastpath": float(payload["grouped"]["speedup"]),
+            "overhead/warm": float(payload["grouped"]["warm_speedup"]),
+        }
     out = {"raw_kernel": float(payload["raw_kernel"]["speedup"])}
     for scheme, cell in payload["end_to_end"]["cells"].items():
         out[f"end_to_end/{scheme}"] = float(cell["speedup"])
@@ -112,6 +126,12 @@ def _identity_failures(payload: dict) -> list[str]:
             f"campaign/{mode}"
             for mode in ("percell", "stolen", "batched", "stacked")
             if mode in payload and not payload[mode].get("identical", False)
+        ]
+    if payload.get("kind") == "overhead":
+        return [
+            f"overhead/{mode}"
+            for mode in ("percell", "grouped")
+            if not payload[mode].get("identical", False)
         ]
     return [
         f"end_to_end/{scheme}"
@@ -183,7 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="committed baseline (default: the committed file matching the "
         f"current payload's kind — {BASELINE_PATH.name}, "
-        f"{STORE_BASELINE_PATH.name}, or {CAMPAIGN_BASELINE_PATH.name})",
+        f"{STORE_BASELINE_PATH.name}, {CAMPAIGN_BASELINE_PATH.name}, "
+        f"or {OVERHEAD_BASELINE_PATH.name})",
     )
     parser.add_argument(
         "--current",
@@ -204,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline_path = {
             "store": STORE_BASELINE_PATH,
             "campaign": CAMPAIGN_BASELINE_PATH,
+            "overhead": OVERHEAD_BASELINE_PATH,
         }.get(current.get("kind"), BASELINE_PATH)
     baseline = load_bench(baseline_path)
     regressions = compare(current, baseline, args.tolerance)

@@ -1,0 +1,227 @@
+"""Streaming statistics for campaign-scale aggregation (O(1) memory).
+
+A 100k-cell campaign cannot afford to hold every per-cell result in
+memory just to print a distribution at the end. This module provides
+the constant-memory accumulators the reporting layer aggregates with:
+
+* :class:`P2Quantile` — the P² (Jain & Chlamtac 1985) single-quantile
+  estimator: five markers, no samples retained. Exact below five
+  observations, a piecewise-parabolic interpolation above.
+* :class:`Reservoir` — Vitter's algorithm R with a *deterministic* RNG
+  seed, so two runs over the same cell stream keep the same sample and
+  reports stay reproducible.
+* :class:`Welford` — numerically stable running mean/variance/min/max.
+* :class:`StreamingSummary` — the bundle the engine and the tables
+  layer actually use: Welford + a set of P² quantiles + an optional
+  reservoir, exposed as one ``summary()`` dict.
+
+These sketches apply only *across* cells. Per-cell statistics (e.g.
+``partition_size_quartiles``) remain exact and bit-identical — a sketch
+never substitutes for a value that feeds the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Iterable
+
+__all__ = ["P2Quantile", "Reservoir", "Welford", "StreamingSummary"]
+
+
+class P2Quantile:
+    """P² estimator of one quantile without storing observations.
+
+    Maintains five markers whose heights converge on the
+    ``(q*n)``-th order statistic; below five observations the estimate
+    is the exact order statistic of what was seen.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self._n = 0
+        self._heights: list[float] = []
+        # Marker positions (1-based) and their desired positions.
+        self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._incr = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        if len(self._heights) < 5:
+            self._heights.append(float(x))
+            self._heights.sort()
+            return
+        h = self._heights
+        if x < h[0]:
+            h[0] = float(x)
+            cell = 0
+        elif x >= h[4]:
+            h[4] = float(x)
+            cell = 3
+        else:
+            cell = 0
+            while x >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            self._pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._pos[i]
+            if (d >= 1.0 and self._pos[i + 1] - self._pos[i] > 1.0) or (
+                d <= -1.0 and self._pos[i - 1] - self._pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                self._pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, p = self._heights, self._pos
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step)
+            * (h[i] - h[i - 1])
+            / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, p = self._heights, self._pos
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (p[j] - p[i])
+
+    def value(self) -> float | None:
+        """Current estimate (exact for fewer than five observations)."""
+        if self._n == 0:
+            return None
+        if self._n <= len(self._heights):
+            # Exact small-sample order statistic (nearest-rank on what
+            # was seen; the heights are sorted by construction).
+            rank = max(0, min(self._n - 1, math.ceil(self.q * self._n) - 1))
+            return self._heights[rank]
+        return self._heights[2]
+
+
+class Reservoir:
+    """Fixed-size uniform sample of a stream (algorithm R).
+
+    The RNG is seeded deterministically so the retained sample — and
+    any report rendered from it — is identical across re-runs of the
+    same cell stream.
+    """
+
+    def __init__(self, size: int, *, seed: int = 0):
+        if size < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {size!r}")
+        self.size = size
+        self._rng = random.Random(seed)
+        self._n = 0
+        self._items: list[Any] = []
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def items(self) -> list[Any]:
+        return list(self._items)
+
+    def add(self, item: Any) -> None:
+        self._n += 1
+        if len(self._items) < self.size:
+            self._items.append(item)
+            return
+        slot = self._rng.randrange(self._n)
+        if slot < self.size:
+            self._items[slot] = item
+
+
+class Welford:
+    """Running mean/variance/min/max (Welford's online algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        self.minimum = min(self.minimum, x)
+        self.maximum = max(self.maximum, x)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class StreamingSummary:
+    """Welford + P² quantiles + optional reservoir, as one accumulator.
+
+    ``summary()`` renders the canonical dict the reporting layer
+    serializes: count/mean/std/min/max plus one ``p<NN>`` key per
+    tracked quantile and (when a reservoir is attached) a ``sample``
+    list. Total state is O(quantiles + reservoir size) regardless of
+    how many observations stream through.
+    """
+
+    def __init__(
+        self,
+        quantiles: Iterable[float] = (0.1, 0.5, 0.9),
+        *,
+        reservoir: int = 0,
+        seed: int = 0,
+    ):
+        self.welford = Welford()
+        self.quantiles = {q: P2Quantile(q) for q in quantiles}
+        self.reservoir = Reservoir(reservoir, seed=seed) if reservoir else None
+
+    @property
+    def count(self) -> int:
+        return self.welford.count
+
+    def add(self, x: float) -> None:
+        self.welford.add(x)
+        for sketch in self.quantiles.values():
+            sketch.add(x)
+        if self.reservoir is not None:
+            self.reservoir.add(x)
+
+    def quantile(self, q: float) -> float | None:
+        sketch = self.quantiles.get(q)
+        return sketch.value() if sketch is not None else None
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.welford.count,
+            "mean": self.welford.mean if self.welford.count else None,
+            "std": self.welford.std if self.welford.count else None,
+            "min": self.welford.minimum if self.welford.count else None,
+            "max": self.welford.maximum if self.welford.count else None,
+        }
+        for q in sorted(self.quantiles):
+            out[f"p{round(q * 100):02d}"] = self.quantiles[q].value()
+        if self.reservoir is not None:
+            out["sample"] = self.reservoir.items
+        return out

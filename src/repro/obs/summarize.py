@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import ConfigurationError
 
@@ -58,43 +58,71 @@ class TraceSummary:
     total_span_seconds: float = 0.0
 
 
-def load_trace(path: str | Path) -> tuple[list[dict[str, Any]], int]:
-    """Parse one trace JSONL; returns ``(records, skipped_lines)``."""
+def _iter_trace(path: str | Path) -> Iterator[dict[str, Any] | None]:
+    """Stream one trace JSONL line-by-line (``None`` = damaged line).
+
+    A campaign-scale trace can run to millions of lines; streaming keeps
+    summarization at O(1) memory — only the per-phase aggregates are
+    held, never the parsed records. Damage tolerance is unchanged from
+    the slurping reader: unparseable or foreign lines yield ``None`` so
+    the caller can count them, and are never fatal.
+    """
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        handle = open(path, "r", encoding="utf-8", errors="replace")
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace file {path}: {exc}")
+    with handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                fields = json.loads(line)
+            except ValueError:
+                yield None
+                continue
+            if not isinstance(fields, dict) or fields.get("kind") not in (
+                "span",
+                "event",
+            ):
+                yield None
+                continue
+            yield fields
+
+
+def load_trace(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Parse one trace JSONL; returns ``(records, skipped_lines)``.
+
+    Materializes every record — kept for callers that genuinely need
+    the full list. :func:`summarize_trace` streams instead.
+    """
     records: list[dict[str, Any]] = []
     skipped = 0
-    for line in text.splitlines():
-        if not line.strip():
-            continue
-        try:
-            fields = json.loads(line)
-        except ValueError:
+    for fields in _iter_trace(path):
+        if fields is None:
             skipped += 1
-            continue
-        if not isinstance(fields, dict) or fields.get("kind") not in (
-            "span",
-            "event",
-        ):
-            skipped += 1
-            continue
-        records.append(fields)
+        else:
+            records.append(fields)
     return records, skipped
 
 
 def summarize_trace(path: str | Path) -> TraceSummary:
-    """Aggregate a trace file into per-phase summaries."""
-    records, skipped = load_trace(path)
+    """Aggregate a trace file into per-phase summaries.
+
+    Streams the file line-by-line: memory use is bounded by the number
+    of distinct span/event *names*, not the number of lines.
+    """
+    skipped = 0
     phases: dict[str, PhaseSummary] = {}
     events: dict[str, int] = {}
     spans = 0
     t_min = float("inf")
     t_max = float("-inf")
     total = 0.0
-    for record in records:
+    for record in _iter_trace(path):
+        if record is None:
+            skipped += 1
+            continue
         name = str(record.get("name", "?"))
         if record["kind"] == "event":
             events[name] = events.get(name, 0) + 1

@@ -89,18 +89,98 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         key = "ef" * 32
         cache.put(key, {"value": 1})
-        cache._path(key).write_text("{not json")
-        assert cache.get(key) is None
+        cache.corrupt_entry(key)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
 
     def test_format_mismatch_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "01" * 32
         cache.put(key, {"value": 1})
+        cache.release_handles()
+        pack = tmp_path / "packs" / f"{key[:1]}.pack"
+        pack.write_bytes(
+            pack.read_bytes().replace(b'"format":3', b'"format":-1')
+        )
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+
+    def test_packed_puts_share_one_segment_per_shard(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [f"ab{i:02d}" + "0" * 60 for i in range(8)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"value": i})
+        packs = list((tmp_path / "packs").glob("*.pack"))
+        assert len(packs) == 1  # all keys share the "a" shard
+        for i, key in enumerate(keys):
+            assert cache.get(key)["value"] == i
+
+    def test_newer_append_shadows_older_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "be" * 32
+        cache.put(key, {"value": 1})
+        cache.put(key, {"value": 2})
+        cache.release_handles()
+        assert ResultCache(tmp_path).get(key)["value"] == 2
+
+    def test_sidecar_index_survives_reopen(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"value": {"ipc": 2.5}})
+        cache.release_handles()
+        assert (tmp_path / "packs" / f"{key[:1]}.idx").exists()
+        warm = ResultCache(tmp_path)
+        assert warm.get(key)["value"] == {"ipc": 2.5}
+        assert warm.hits == 1
+
+    def test_stale_sidecar_triggers_rescan(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "da" * 32
+        cache.put(key, {"value": 1})
+        cache.release_handles()
+        # Append behind the sidecar's back (a second process would).
+        other = ResultCache(tmp_path)
+        other.put(key, {"value": 2})
+        other.release_handles()
+        # The sidecar written first still says pack_bytes of one entry;
+        # the reader must scan the tail and serve the newest append.
+        assert ResultCache(tmp_path).get(key)["value"] == 2
+
+    def test_legacy_per_file_entries_remain_readable(self, tmp_path):
+        writer = ResultCache(tmp_path, layout="files")
+        key = "fe" * 32
+        writer.put(key, {"value": {"ipc": 3.5}})
+        assert writer._path(key).exists()
+        reader = ResultCache(tmp_path)  # default packed layout
+        assert reader.get(key)["value"] == {"ipc": 3.5}
+        assert reader.hits == 1 and reader.quarantined == 0
+
+    def test_legacy_corrupt_entry_still_renamed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ad" * 32
         path = cache._path(key)
-        path.write_text(path.read_text().replace(
-            f'"format": {CACHE_FORMAT_VERSION}', '"format": -1'
-        ))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
         assert cache.get(key) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_pack_damage_quarantines_only_damaged_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [f"aa{i:02d}" + "0" * 60 for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"value": i})
+        cache.corrupt_entry(keys[1])
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(keys[1]) is None
+        # Exactly one entry was damaged; its neighbors still hit after
+        # the compaction that dropped it.
+        for i, key in enumerate(keys):
+            if i != 1:
+                assert fresh.get(key)["value"] == i
+        assert fresh.quarantined == 1
+        assert (tmp_path / "packs" / "a.corrupt").exists()
 
 
 class TestEngineValidation:

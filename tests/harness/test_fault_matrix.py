@@ -24,18 +24,25 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.harness.exec import ExecutionEngine, ResultCache
-from repro.harness.faults import FaultPlan, parse_fault_spec
+from repro.harness.faults import CRASH_EXIT_CODE, FaultPlan, parse_fault_spec
 from repro.harness.journal import RunJournal
 from repro.harness.store import PrecomputeStore
 
 TOTAL = 6
 SHM_ROOT = Path("/dev/shm")
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GROUPCOMMIT_CHILD = Path(__file__).with_name("_groupcommit_child.py")
+GC_CELLS = 6  # keep in sync with _groupcommit_child.CELLS
+GC_BATCH = 3  # keep in sync with _groupcommit_child.BATCH_ENTRIES
 
 
 class MatrixCell:
@@ -259,6 +266,95 @@ class TestFaultMatrix:
         # The journal stopped before completing all cells.
         journaled = RunJournal(tmp_path / "dj" / "journal.jsonl").load()
         assert len(journaled) < TOTAL
+
+
+def run_groupcommit_child(journal: Path, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_RESUME", None)
+    return subprocess.run(
+        [sys.executable, str(GROUPCOMMIT_CHILD), str(journal), *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def parse_child_result(output: str) -> dict:
+    result_lines = [l for l in output.splitlines() if l.startswith("RESULT ")]
+    assert result_lines, output
+    return json.loads(result_lines[-1][len("RESULT "):])
+
+
+class TestJournalBatchCrashWindow:
+    """The group-commit crash window: entries buffered but not fsync'd.
+
+    With a batched journal the dangerous window is between a cell
+    finishing and its batch's fsync. The ack protocol closes it: a cell
+    is only reported done (progress line, resume-skip eligibility) after
+    the fsync that made its record durable. ``journal-batch-crash=2``
+    hard-kills the child at the start of the second flush, while that
+    batch is still in user space — the buffered cells must be neither
+    acked nor journaled, and ``--resume`` must re-attempt exactly them.
+    """
+
+    def test_journal_batch_crash_loses_only_unacked_cells(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        crashed = run_groupcommit_child(journal, "journal-batch-crash=2")
+        assert crashed.returncode == CRASH_EXIT_CODE, crashed.stdout
+
+        # Acks stop at the durability horizon: only the first batch's
+        # cells (fsync'd by flush #1) ever produced a progress line.
+        acked = [
+            l for l in crashed.stdout.splitlines() if l.startswith("[exec")
+        ]
+        assert len(acked) == GC_BATCH, crashed.stdout
+
+        # The journal holds exactly the fsync'd batch — the buffered
+        # batch died in user space, leaving no torn lines behind.
+        fresh = RunJournal(journal)
+        loaded = fresh.load()
+        assert fresh.corrupt_lines == 0
+        assert len(loaded) == GC_BATCH
+        assert all(entry.ok for entry in loaded.values())
+
+        # Resume replays the durable cells and re-attempts exactly the
+        # lost ones — never trusting an un-fsync'd ack.
+        resumed = run_groupcommit_child(journal, "--resume")
+        assert resumed.returncode == 0, resumed.stdout
+        result = parse_child_result(resumed.stdout)
+        assert result["replays"] == GC_BATCH
+        assert result["simulations"] == GC_CELLS - GC_BATCH
+        assert result["statuses"] == (
+            ["replayed"] * GC_BATCH + ["computed"] * (GC_CELLS - GC_BATCH)
+        )
+
+        # Bit-identical to an uninterrupted reference run.
+        clean = run_groupcommit_child(tmp_path / "reference.jsonl")
+        assert clean.returncode == 0, clean.stdout
+        reference = parse_child_result(clean.stdout)
+        assert reference["simulations"] == GC_CELLS
+        assert result["values"] == reference["values"]
+
+    def test_journal_batch_first_flush_crash_loses_everything(self, tmp_path):
+        """Crash before any fsync: zero acks, empty journal, full rerun."""
+        journal = tmp_path / "journal.jsonl"
+        crashed = run_groupcommit_child(journal, "journal-batch-crash=1")
+        assert crashed.returncode == CRASH_EXIT_CODE, crashed.stdout
+        acked = [
+            l for l in crashed.stdout.splitlines() if l.startswith("[exec")
+        ]
+        assert acked == [], crashed.stdout
+        assert len(RunJournal(journal).load()) == 0
+
+        resumed = run_groupcommit_child(journal, "--resume")
+        assert resumed.returncode == 0, resumed.stdout
+        result = parse_child_result(resumed.stdout)
+        assert result["replays"] == 0
+        assert result["simulations"] == GC_CELLS
 
 
 class TestFdHygiene:

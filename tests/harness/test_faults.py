@@ -38,6 +38,16 @@ class TestParseFaultSpec:
         plan = parse_fault_spec("crash=a;crash=b")
         assert plan.crash_cells == ("a", "b")
 
+    def test_journal_batch_crash_clause(self):
+        plan = parse_fault_spec("journal-batch-crash=2")
+        assert plan.journal_batch_crash == 2
+
+    def test_journal_batch_crash_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec("journal-batch-crash=0")
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec("journal-batch-crash=soon")
+
     def test_unknown_kind_rejected_with_help(self):
         with pytest.raises(ConfigurationError) as excinfo:
             parse_fault_spec("explode=x")
@@ -177,8 +187,12 @@ class TestCorruptCacheRecovery:
         assert second.telemetry.quarantines == 1
         assert second.telemetry.simulations == 1
         key = cell_key(SleepCell(0.01))
-        path = second.cache._path(key)
-        assert path.with_name(path.name + ".corrupt").exists()
+        # The damaged line's bytes are preserved in the shard's
+        # quarantine sidecar for diagnosis (the packed analogue of the
+        # legacy *.json.corrupt rename).
+        corrupt_sidecar = cache_dir / "packs" / f"{key[:1]}.corrupt"
+        assert corrupt_sidecar.exists()
+        assert corrupt_sidecar.stat().st_size > 0
         # The recomputed entry replaced the corrupt one: third run hits.
         third = ExecutionEngine(jobs=1, cache=ResultCache(cache_dir))
         assert third.run([SleepCell(0.01)])[0].status == "hit"

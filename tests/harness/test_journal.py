@@ -108,6 +108,119 @@ class TestRunJournal:
         assert all(json.loads(l)["kind"] == "cell" for l in lines[1:])
 
 
+class TestGroupCommit:
+    """Group-commit batching: fewer fsyncs, unchanged durability story."""
+
+    def test_default_is_synchronous(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        seq = journal.record(entry("k1"))
+        # batch_entries=1: durable before record() returns.
+        assert journal.durable_seq == seq == 1
+        assert journal.flushes == 1
+
+    def test_batched_records_buffer_until_batch_fills(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, batch_entries=3)
+        s1 = journal.record(entry("k1"))
+        s2 = journal.record(entry("k2"))
+        # Buffered in user space: not yet durable, not yet on disk.
+        assert journal.durable_seq == 0
+        assert len(path.read_text().splitlines()) == 1  # header only
+        s3 = journal.record(entry("k3"))
+        assert journal.durable_seq == s3 == 3
+        assert journal.flushes == 1  # one fsync for all three
+        loaded = RunJournal(path).load()
+        assert set(loaded) == {"k1", "k2", "k3"}
+        assert (s1, s2, s3) == (1, 2, 3)
+
+    def test_flush_commits_a_partial_batch(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, batch_entries=64)
+        journal.record(entry("k1"))
+        assert journal.durable_seq == 0
+        journal.flush()
+        assert journal.durable_seq == 1
+        assert RunJournal(path).load()["k1"].ok
+
+    def test_close_flushes_buffered_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path, batch_entries=64) as journal:
+            journal.record(entry("k1"))
+        assert set(RunJournal(path).load()) == {"k1"}
+
+    def test_linger_flushes_a_stalled_partial_batch(self, tmp_path):
+        import time
+
+        journal = RunJournal(
+            tmp_path / "j.jsonl", batch_entries=64, linger_seconds=0.05
+        )
+        journal.record(entry("k1"))
+        deadline = time.monotonic() + 2.0
+        while journal.durable_seq < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert journal.durable_seq == 1
+        journal.close()
+
+    def test_batched_lines_identical_to_synchronous(self, tmp_path):
+        """Group commit changes *when* bytes hit the disk, not the bytes."""
+        sync_path, batch_path = tmp_path / "sync.jsonl", tmp_path / "batch.jsonl"
+        sync = RunJournal(sync_path)
+        batched = RunJournal(batch_path, batch_entries=8)
+        for journal in (sync, batched):
+            journal.record(entry("k1", campaign="same"))
+            journal.record(entry("k2", status="failed", value=None, error="x"))
+            journal.close()
+        assert sync_path.read_text() == batch_path.read_text()
+
+    def test_batching_from_env_defaults_and_overrides(self, monkeypatch):
+        from repro.errors import ConfigurationError
+        from repro.harness.journal import (
+            DEFAULT_BATCH_ENTRIES,
+            DEFAULT_LINGER_SECONDS,
+            batching_from_env,
+        )
+
+        monkeypatch.delenv("REPRO_JOURNAL_BATCH", raising=False)
+        monkeypatch.delenv("REPRO_JOURNAL_LINGER", raising=False)
+        assert batching_from_env() == (
+            DEFAULT_BATCH_ENTRIES,
+            DEFAULT_LINGER_SECONDS,
+        )
+        monkeypatch.setenv("REPRO_JOURNAL_BATCH", "8")
+        monkeypatch.setenv("REPRO_JOURNAL_LINGER", "0.2")
+        assert batching_from_env() == (8, 0.2)
+        monkeypatch.setenv("REPRO_JOURNAL_BATCH", "zero")
+        with pytest.raises(ConfigurationError):
+            batching_from_env()
+        monkeypatch.setenv("REPRO_JOURNAL_BATCH", "0")
+        with pytest.raises(ConfigurationError):
+            batching_from_env()
+
+    def test_engine_acks_only_after_fsync(self, tmp_path):
+        """Progress lines lag the fsync, never lead it: every acked cell
+        is durable even while later cells sit in the buffer."""
+        journal = RunJournal(
+            tmp_path / "j.jsonl", batch_entries=2, linger_seconds=3600
+        )
+        acked: list[str] = []
+        durable_at_ack: list[int] = []
+
+        def progress(line: str) -> None:
+            acked.append(line)
+            durable_at_ack.append(journal.durable_seq)
+
+        engine = ExecutionEngine(
+            jobs=1, journal=journal, progress=progress
+        )
+        engine.run([SleepCell(0.01), SleepCell(0.02), SleepCell(0.03)])
+        assert len(acked) == 3
+        # Ack i is emitted only once its own record is durable.
+        assert all(durable >= i + 1 for i, durable in enumerate(durable_at_ack))
+        # The odd tail cell was committed by the teardown flush.
+        assert journal.durable_seq == 3
+        assert len(RunJournal(tmp_path / "j.jsonl").load()) == 3
+
+
 class TestEngineJournaling:
     def test_every_finished_cell_is_journaled(self, tmp_path):
         journal = RunJournal(tmp_path / "j.jsonl")

@@ -1,0 +1,155 @@
+"""Streaming-sketch accuracy and determinism.
+
+The campaign-level aggregation layer replaces exact "hold every value"
+statistics with O(1)-memory sketches; these tests pin down the contract
+that makes that safe: small-sample exactness, bounded estimation error
+on large streams, and deterministic reservoir contents so reports stay
+reproducible across re-runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.harness.streamstats import (
+    P2Quantile,
+    Reservoir,
+    StreamingSummary,
+    Welford,
+)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a full sample (the reference)."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.5).value() is None
+
+    def test_exact_below_five_observations(self):
+        sketch = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            sketch.add(x)
+        assert sketch.value() == 3.0  # exact median of {1, 3, 5}
+        assert sketch.count == 3
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.99])
+    def test_tracks_uniform_stream_within_tolerance(self, q):
+        rng = random.Random(42)
+        values = [rng.uniform(0.0, 100.0) for _ in range(20_000)]
+        sketch = P2Quantile(q)
+        for x in values:
+            sketch.add(x)
+        # P² on a well-behaved stream stays within a few percent of the
+        # exact order statistic (the paper-scale campaigns only need
+        # distribution shape, not exact ranks).
+        assert sketch.value() == pytest.approx(exact_quantile(values, q), abs=2.0)
+
+    def test_monotone_stream(self):
+        sketch = P2Quantile(0.5)
+        for x in range(1, 1001):
+            sketch.add(float(x))
+        assert sketch.value() == pytest.approx(500.0, rel=0.05)
+
+
+class TestReservoir:
+    def test_rejects_empty_reservoir(self):
+        with pytest.raises(ValueError):
+            Reservoir(0)
+
+    def test_keeps_everything_below_capacity(self):
+        res = Reservoir(10)
+        for i in range(7):
+            res.add(i)
+        assert res.items == list(range(7))
+        assert res.count == 7
+
+    def test_caps_at_capacity(self):
+        res = Reservoir(5)
+        for i in range(1000):
+            res.add(i)
+        assert len(res.items) == 5
+        assert res.count == 1000
+
+    def test_same_seed_same_sample(self):
+        a, b = Reservoir(8, seed=7), Reservoir(8, seed=7)
+        for i in range(500):
+            a.add(i)
+            b.add(i)
+        assert a.items == b.items
+
+    def test_items_is_a_copy(self):
+        res = Reservoir(3)
+        res.add(1)
+        res.items.append(99)
+        assert res.items == [1]
+
+
+class TestWelford:
+    def test_matches_two_pass_statistics(self):
+        rng = random.Random(1)
+        values = [rng.gauss(10.0, 3.0) for _ in range(5000)]
+        w = Welford()
+        for x in values:
+            w.add(x)
+        mean = sum(values) / len(values)
+        variance = sum((x - mean) ** 2 for x in values) / len(values)
+        assert w.count == len(values)
+        assert w.mean == pytest.approx(mean)
+        assert w.variance == pytest.approx(variance)
+        assert w.std == pytest.approx(math.sqrt(variance))
+        assert w.minimum == min(values)
+        assert w.maximum == max(values)
+
+    def test_empty_is_safe(self):
+        w = Welford()
+        assert w.variance == 0.0
+        assert w.std == 0.0
+
+
+class TestStreamingSummary:
+    def test_summary_keys(self):
+        summary = StreamingSummary((0.1, 0.5, 0.9))
+        for x in range(100):
+            summary.add(float(x))
+        out = summary.summary()
+        assert set(out) == {"count", "mean", "std", "min", "max",
+                            "p10", "p50", "p90"}
+        assert out["count"] == 100
+        assert out["min"] == 0.0 and out["max"] == 99.0
+        assert out["p10"] < out["p50"] < out["p90"]
+
+    def test_empty_summary_is_all_none(self):
+        out = StreamingSummary().summary()
+        assert out["count"] == 0
+        assert out["mean"] is None and out["p50"] is None
+
+    def test_quantile_lookup(self):
+        summary = StreamingSummary((0.5,))
+        summary.add(1.0)
+        summary.add(2.0)
+        summary.add(3.0)
+        assert summary.quantile(0.5) == 2.0
+        assert summary.quantile(0.9) is None  # untracked quantile
+
+    def test_reservoir_sample_included_and_deterministic(self):
+        a = StreamingSummary((0.5,), reservoir=4, seed=3)
+        b = StreamingSummary((0.5,), reservoir=4, seed=3)
+        for x in range(200):
+            a.add(float(x))
+            b.add(float(x))
+        assert a.summary()["sample"] == b.summary()["sample"]
+        assert len(a.summary()["sample"]) == 4
